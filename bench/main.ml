@@ -1,0 +1,207 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of Kotz & Ellis 1989 through
+   the experiment registry (one section per paper artifact; see DESIGN.md's
+   experiment index and EXPERIMENTS.md for paper-vs-measured commentary).
+
+   Part 2 runs Bechamel micro-benchmarks of the real (multicore) pool's
+   operations against a global-lock stack baseline, plus the simulator's
+   event throughput — wall-clock numbers for this machine.
+
+   Select experiments and fidelity via argv:
+     dune exec bench/main.exe                 -- quick preset, everything
+     dune exec bench/main.exe -- --paper      -- full fidelity (10 trials, 3 plies)
+     dune exec bench/main.exe -- fig2 fig7    -- just those sections
+     dune exec bench/main.exe -- --no-micro   -- skip the Bechamel part *)
+
+open Cpool_experiments
+
+let parse_args () =
+  let paper = ref false and micro = ref true and names = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--paper" -> paper := true
+        | "--quick" -> paper := false
+        | "--no-micro" -> micro := false
+        | name -> names := name :: !names)
+    Sys.argv;
+  (!paper, !micro, List.rev !names)
+
+(* --- Part 1: paper experiments --- *)
+
+let run_experiments cfg names =
+  let entries =
+    match names with
+    | [] -> Registry.all
+    | names ->
+      List.filter_map
+        (fun name ->
+          match Registry.find name with
+          | Some e -> Some e
+          | None ->
+            Printf.eprintf "unknown experiment %S (known: %s)\n%!" name
+              (String.concat ", " Registry.ids);
+            None)
+        names
+  in
+  List.iter
+    (fun entry ->
+      let t0 = Unix.gettimeofday () in
+      Printf.printf "==== %s: %s ====\n%!" entry.Registry.id entry.Registry.title;
+      print_endline (entry.Registry.run cfg);
+      Printf.printf "(%s finished in %.1fs)\n\n%!" entry.Registry.id
+        (Unix.gettimeofday () -. t0))
+    entries
+
+(* --- Part 2: Bechamel micro-benchmarks --- *)
+
+open Bechamel
+open Toolkit
+
+let pool_pair kind =
+  let pool = Cpool_mc.Mc_pool.create ~kind ~segments:2 () in
+  let mine = Cpool_mc.Mc_pool.register_at pool 0 in
+  let other = Cpool_mc.Mc_pool.register_at pool 1 in
+  (pool, mine, other)
+
+let test_local_add_remove kind name =
+  let pool, mine, _ = pool_pair kind in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Cpool_mc.Mc_pool.add pool mine 42;
+         ignore (Cpool_mc.Mc_pool.try_remove_local pool mine)))
+
+let test_steal kind name =
+  let pool, mine, other = pool_pair kind in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         (* Two in the victim, zero in ours: try_remove must steal; the
+            banked remainder is drained to reset the state. *)
+         Cpool_mc.Mc_pool.add pool other 1;
+         Cpool_mc.Mc_pool.add pool other 2;
+         ignore (Cpool_mc.Mc_pool.try_remove pool mine);
+         ignore (Cpool_mc.Mc_pool.try_remove_local pool mine)))
+
+let test_locked_stack_baseline =
+  let mutex = Mutex.create () in
+  let stack = Cpool_util.Vec.create () in
+  Test.make ~name:"baseline: global-lock stack push+pop"
+    (Staged.stage (fun () ->
+         Mutex.lock mutex;
+         Cpool_util.Vec.push stack 42;
+         Mutex.unlock mutex;
+         Mutex.lock mutex;
+         ignore (Cpool_util.Vec.pop stack);
+         Mutex.unlock mutex))
+
+let test_sim_throughput =
+  Test.make ~name:"simulator: 2-process lock handoff run"
+    (Staged.stage (fun () ->
+         let e = Cpool_sim.Engine.create ~nodes:2 ~seed:7L () in
+         let lock = Cpool_sim.Lock.make ~home:0 in
+         for i = 0 to 1 do
+           ignore
+             (Cpool_sim.Engine.spawn e ~node:i ~name:(string_of_int i) (fun () ->
+                  for _ = 1 to 20 do
+                    Cpool_sim.Lock.with_lock lock (fun () -> Cpool_sim.Engine.delay 1.0)
+                  done))
+         done;
+         ignore (Cpool_sim.Engine.run e)))
+
+let test_board_ops =
+  Test.make ~name:"game: board play + evaluate"
+    (Staged.stage (fun () ->
+         let b = Cpool_game.Board.play Cpool_game.Board.empty 21 in
+         ignore (Cpool_game.Board.evaluate b)))
+
+let micro_tests =
+  [
+    test_local_add_remove Cpool_mc.Mc_pool.Linear "mcpool linear: local add+remove";
+    test_steal Cpool_mc.Mc_pool.Linear "mcpool linear: steal of 2";
+    test_steal Cpool_mc.Mc_pool.Random "mcpool random: steal of 2";
+    test_steal Cpool_mc.Mc_pool.Tree "mcpool tree: steal of 2";
+    test_locked_stack_baseline;
+    test_sim_throughput;
+    test_board_ops;
+  ]
+
+let run_micro () =
+  print_endline "==== micro: Bechamel wall-clock benchmarks (this machine) ====";
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let measure test =
+    let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+        instance results
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ ns ] -> Printf.printf "  %-45s %12.1f ns/op\n%!" name ns
+        | Some _ | None -> Printf.printf "  %-45s (no estimate)\n%!" name)
+      ols
+  in
+  List.iter measure micro_tests;
+  print_newline ()
+
+(* --- Part 3: multi-domain throughput on this machine --- *)
+
+(* A fork/join task storm: every worker both produces and consumes; the
+   pool's quiescence detection ends the run. Reported as tasks/second. *)
+let domain_throughput ~kind ~domains =
+  let pool = Cpool_mc.Mc_pool.create ~kind ~segments:domains () in
+  let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
+  let processed = Atomic.make 0 in
+  Cpool_mc.Mc_pool.add pool handles.(0) 15;
+  let t0 = Unix.gettimeofday () in
+  let worker i =
+    Domain.spawn (fun () ->
+        let h = handles.(i) in
+        let rec go () =
+          match Cpool_mc.Mc_pool.remove pool h with
+          | Some depth ->
+            Atomic.incr processed;
+            if depth > 0 then begin
+              Cpool_mc.Mc_pool.add pool h (depth - 1);
+              Cpool_mc.Mc_pool.add pool h (depth - 1)
+            end;
+            go ()
+          | None -> ()
+        in
+        go ();
+        Cpool_mc.Mc_pool.deregister pool h)
+  in
+  let ds = List.init domains worker in
+  List.iter Domain.join ds;
+  let dt = Unix.gettimeofday () -. t0 in
+  (float_of_int (Atomic.get processed) /. dt, Atomic.get processed, Cpool_mc.Mc_pool.steals pool)
+
+let run_domain_throughput () =
+  print_endline "==== multicore: task-storm throughput (this machine) ====";
+  let domains = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  Printf.printf "  binary task tree of depth 15 (65535 tasks), %d domains\n" domains;
+  List.iter
+    (fun (name, kind) ->
+      let rate, tasks, steals = domain_throughput ~kind ~domains in
+      Printf.printf "  %-8s %10.0f tasks/s  (%d tasks, %d steals)\n%!" name rate tasks steals)
+    [
+      ("linear", Cpool_mc.Mc_pool.Linear);
+      ("random", Cpool_mc.Mc_pool.Random);
+      ("tree", Cpool_mc.Mc_pool.Tree);
+    ];
+  print_newline ()
+
+let () =
+  let paper, micro, names = parse_args () in
+  let cfg = if paper then Exp_config.paper else Exp_config.quick in
+  Printf.printf "concurrent-pools bench: preset=%s\n\n%!" (Exp_config.name cfg);
+  run_experiments cfg names;
+  if micro then begin
+    run_micro ();
+    run_domain_throughput ()
+  end;
+  print_endline "bench done"

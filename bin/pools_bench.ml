@@ -1,0 +1,118 @@
+(* Command-line driver: regenerate any paper experiment.
+
+   Examples:
+     pools_bench list
+     pools_bench run fig2 fig7 --preset quick
+     pools_bench run all --trials 10
+*)
+
+open Cmdliner
+open Cpool_experiments
+
+let apply_overrides cfg trials ops participants initial seed plies =
+  let cfg = match trials with Some t -> { cfg with Exp_config.trials = t } | None -> cfg in
+  let cfg = match ops with Some o -> { cfg with Exp_config.total_ops = o } | None -> cfg in
+  let cfg =
+    match participants with Some p -> { cfg with Exp_config.participants = p } | None -> cfg
+  in
+  let cfg =
+    match initial with Some i -> { cfg with Exp_config.initial_elements = i } | None -> cfg
+  in
+  let cfg =
+    match seed with Some s -> { cfg with Exp_config.base_seed = Int64.of_int s } | None -> cfg
+  in
+  match plies with Some p -> { cfg with Exp_config.app_plies = p } | None -> cfg
+
+let preset_conv =
+  let parse = function
+    | "paper" -> Ok Exp_config.paper
+    | "quick" -> Ok Exp_config.quick
+    | s -> Error (`Msg (Printf.sprintf "unknown preset %S (expected paper or quick)" s))
+  in
+  let print fmt cfg = Format.pp_print_string fmt (Exp_config.name cfg) in
+  Arg.conv (parse, print)
+
+let preset =
+  let doc = "Configuration preset: $(b,paper) (full fidelity, 10 trials) or $(b,quick)." in
+  Arg.(value & opt preset_conv Exp_config.quick & info [ "preset"; "p" ] ~docv:"PRESET" ~doc)
+
+let trials =
+  Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc:"Trials per data point.")
+
+let ops =
+  Arg.(value & opt (some int) None & info [ "ops" ] ~docv:"N" ~doc:"Operations per trial.")
+
+let participants =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "participants" ] ~docv:"N" ~doc:"Processors/segments in the pool.")
+
+let initial =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "initial" ] ~docv:"N" ~doc:"Initial elements in the pool.")
+
+let seed =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"S" ~doc:"Base random seed.")
+
+let plies =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "plies" ] ~docv:"N" ~doc:"Application (tic-tac-toe) search depth.")
+
+let experiments =
+  let doc = "Experiments to run (see $(b,list)); $(b,all) runs every one." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let run_cmd =
+  let run preset trials ops participants initial seed plies names =
+    let cfg = apply_overrides preset trials ops participants initial seed plies in
+    let entries =
+      if List.mem "all" names then Ok Registry.all
+      else
+        List.fold_left
+          (fun acc name ->
+            match (acc, Registry.find name) with
+            | Error e, _ -> Error e
+            | Ok entries, Some entry -> Ok (entries @ [ entry ])
+            | Ok _, None ->
+              Error
+                (Printf.sprintf "unknown experiment %S; known: %s" name
+                   (String.concat ", " Registry.ids)))
+          (Ok []) names
+    in
+    match entries with
+    | Error msg -> `Error (false, msg)
+    | Ok entries ->
+      List.iter
+        (fun entry ->
+          Printf.printf "=== %s: %s ===\n%!" entry.Registry.id entry.Registry.title;
+          print_endline (entry.Registry.run cfg);
+          print_newline ())
+        entries;
+      `Ok ()
+  in
+  let doc = "Regenerate paper experiments" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ preset $ trials $ ops $ participants $ initial $ seed $ plies $ experiments))
+
+let list_cmd =
+  let list () =
+    List.iter
+      (fun e -> Printf.printf "%-10s %s\n" e.Registry.id e.Registry.title)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments") Term.(const list $ const ())
+
+let main =
+  let doc = "Concurrent pools (Kotz & Ellis 1989) experiment driver" in
+  let info = Cmd.info "pools_bench" ~version:"1.0.0" ~doc in
+  Cmd.group info [ run_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

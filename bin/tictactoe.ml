@@ -1,0 +1,93 @@
+(* Self-play 4x4x4 tic-tac-toe with pool-parallel search — a demo of the
+   whole stack on real domains.
+
+   Each move, the legal successors of the current position are distributed
+   to worker domains through an Mc_pool; every worker alpha-beta-searches
+   its share and the best move wins. Run with:
+
+     dune exec bin/tictactoe.exe -- --plies 3 --moves 8 *)
+
+open Cmdliner
+open Cpool_game
+
+let best_move_parallel ~plies ~domains board =
+  match Board.legal_moves board with
+  | [] -> None
+  | moves ->
+    let pool = Cpool_mc.Mc_pool.create ~segments:domains () in
+    let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
+    List.iter (Cpool_mc.Mc_pool.add pool handles.(0)) moves;
+    let best = Atomic.make (min_int, -1) in
+    let rec improve candidate =
+      let current = Atomic.get best in
+      if candidate > current && not (Atomic.compare_and_set best current candidate) then
+        improve candidate
+    in
+    let worker i =
+      Domain.spawn (fun () ->
+          let h = handles.(i) in
+          let rec go () =
+            match Cpool_mc.Mc_pool.remove pool h with
+            | Some move ->
+              let value =
+                -Minimax.alpha_beta_value ~plies:(max 0 (plies - 1)) (Board.play board move)
+              in
+              improve (value, move);
+              go ()
+            | None -> ()
+          in
+          go ();
+          Cpool_mc.Mc_pool.deregister pool h)
+    in
+    let ds = List.init domains worker in
+    List.iter Domain.join ds;
+    let value, move = Atomic.get best in
+    Some (move, value)
+
+let play plies moves domains =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> min 8 (max 2 (Domain.recommended_domain_count ()))
+  in
+  Printf.printf "4x4x4 tic-tac-toe self-play: %d plies deep, %d domains, up to %d moves\n\n"
+    plies domains moves;
+  let rec step board move_number =
+    if move_number > moves then print_endline "move limit reached"
+    else
+      match Board.winner board with
+      | Some player -> Printf.printf "%s wins!\n" (Board.player_to_string player)
+      | None -> (
+        if Board.is_full board then print_endline "draw"
+        else
+          match best_move_parallel ~plies ~domains board with
+          | None -> print_endline "no moves"
+          | Some (move, value) ->
+            let side = Board.player_to_string (Board.to_move board) in
+            let x, y, z = Board.coords move in
+            let board = Board.play board move in
+            Printf.printf "move %d: %s plays (%d,%d,%d)  [minimax value %d]\n" move_number
+              side x y z value;
+            print_endline (Board.to_string board);
+            step board (move_number + 1))
+  in
+  step Board.empty 1
+
+let plies =
+  Arg.(value & opt int 3 & info [ "plies" ] ~docv:"N" ~doc:"Search depth per move.")
+
+let moves =
+  Arg.(value & opt int 6 & info [ "moves" ] ~docv:"N" ~doc:"Maximum moves to play.")
+
+let domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N" ~doc:"Worker domains (default: machine-dependent).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tictactoe" ~doc:"Pool-parallel 4x4x4 tic-tac-toe self-play")
+    Term.(const play $ plies $ moves $ domains)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,74 @@
+(* Distributed backtracking over a concurrent pool — the DIB application
+   shape the paper cites as real-world evidence (Finkel & Manber 1987).
+
+   Run with: dune exec examples/backtracking.exe
+
+   N-Queens enumeration has wildly irregular subtree sizes, which is what
+   steal-half load balancing is for. The example solves it twice:
+
+   1. On the simulated 16-processor Butterfly, comparing the pool against
+      the global-lock stack work list (the paper's baseline).
+   2. On real domains via Mc_pool, with the pool's quiescence detection
+      ending the run. *)
+
+open Cpool_game
+
+let simulated () =
+  let n = 8 in
+  let problem = Nqueens.problem ~n in
+  let solutions, nodes = Backtrack.sequential problem in
+  Printf.printf "== simulated 16-processor machine: %d-queens (%d solutions, %d nodes)\n" n
+    solutions nodes;
+  List.iter
+    (fun scheduler ->
+      let report =
+        Backtrack.solve problem { Backtrack.default_config with workers = 16; scheduler }
+      in
+      assert (report.Backtrack.solutions = solutions);
+      Printf.printf "  %-12s %8.1f ms of virtual time\n"
+        (Parallel.scheduler_to_string scheduler)
+        (report.Backtrack.duration /. 1000.0))
+    [
+      Parallel.Pool_scheduler Cpool.Pool.Linear;
+      Parallel.Pool_scheduler Cpool.Pool.Tree;
+      Parallel.Stack_scheduler;
+    ]
+
+(* The same enumeration on real domains: states flow through an Mc_pool;
+   a worker that draws [None] knows the whole tree is exhausted. *)
+let on_domains () =
+  let n = 10 in
+  let domains = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let problem = Nqueens.problem ~n in
+  let pool = Cpool_mc.Mc_pool.create ~segments:domains () in
+  let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
+  List.iter (Cpool_mc.Mc_pool.add pool handles.(0)) problem.Backtrack.roots;
+  let solutions = Atomic.make 0 in
+  let nodes = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let worker i =
+    Domain.spawn (fun () ->
+        let h = handles.(i) in
+        let rec go () =
+          match Cpool_mc.Mc_pool.remove pool h with
+          | Some state ->
+            Atomic.incr nodes;
+            if problem.Backtrack.is_solution state then Atomic.incr solutions;
+            List.iter (Cpool_mc.Mc_pool.add pool h) (problem.Backtrack.children state);
+            go ()
+          | None -> ()
+        in
+        go ();
+        Cpool_mc.Mc_pool.deregister pool h)
+  in
+  let ds = List.init domains worker in
+  List.iter Domain.join ds;
+  Printf.printf "== real domains: %d-queens on %d domains: %d solutions, %d nodes, %.2fs, %d steals\n"
+    n domains (Atomic.get solutions) (Atomic.get nodes)
+    (Unix.gettimeofday () -. t0)
+    (Cpool_mc.Mc_pool.steals pool);
+  assert (Nqueens.known_solutions n = Some (Atomic.get solutions))
+
+let () =
+  simulated ();
+  on_domains ()

@@ -1,0 +1,68 @@
+(* Parallel game-tree search over a concurrent pool — the paper's Section
+   4.4 application, in two forms:
+
+   1. On real domains: the 64 opening moves of 4x4x4 tic-tac-toe are
+      distributed through an Mc_pool; each worker alpha-beta-searches its
+      moves and the results reduce to the best opening move.
+   2. In the simulator: the same game searched by the paper's virtual
+      16-processor machine, comparing the pool against the global-lock
+      stack work list (speedup shapes of the paper).
+
+   Run with: dune exec examples/game_search.exe *)
+
+open Cpool_game
+
+let best_opening_with_domains ~plies ~domains =
+  let pool = Cpool_mc.Mc_pool.create ~segments:domains () in
+  let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
+  List.iter (Cpool_mc.Mc_pool.add pool handles.(0)) (Board.legal_moves Board.empty);
+  let best = Atomic.make (min_int, -1) in
+  let rec improve candidate =
+    let current = Atomic.get best in
+    if candidate > current && not (Atomic.compare_and_set best current candidate) then
+      improve candidate
+  in
+  let worker i =
+    Domain.spawn (fun () ->
+        let h = handles.(i) in
+        let rec go () =
+          match Cpool_mc.Mc_pool.remove pool h with
+          | Some move ->
+            let value = -Minimax.alpha_beta_value ~plies (Board.play Board.empty move) in
+            improve (value, move);
+            go ()
+          | None -> ()
+        in
+        go ();
+        Cpool_mc.Mc_pool.deregister pool h)
+  in
+  let t0 = Unix.gettimeofday () in
+  let ds = List.init domains worker in
+  List.iter Domain.join ds;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let value, move = Atomic.get best in
+  (move, value, elapsed, Cpool_mc.Mc_pool.steals pool)
+
+let () =
+  let domains = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let plies = 3 in
+  Printf.printf "== real domains: best opening move (alpha-beta %d plies below each root move)\n"
+    plies;
+  let move, value, elapsed, steals = best_opening_with_domains ~plies ~domains in
+  let x, y, z = Board.coords move in
+  Printf.printf "best opening: cell %d = (%d,%d,%d), value %d  [%d domains, %.2fs, %d steals]\n"
+    move x y z value domains elapsed steals;
+
+  Printf.printf "\n== simulated 16-processor machine: pool vs global-lock stack (2 plies)\n";
+  let run scheduler =
+    Parallel.analyse { Parallel.default_config with scheduler; plies = 2; workers = 16 }
+  in
+  let pool_report = run (Parallel.Pool_scheduler Cpool.Pool.Linear) in
+  let stack_report = run Parallel.Stack_scheduler in
+  Printf.printf "pool (linear): %8.1f ms of virtual time, %d positions\n"
+    (pool_report.Parallel.duration /. 1000.0)
+    pool_report.Parallel.leaves;
+  Printf.printf "lock stack:    %8.1f ms of virtual time (%.0f%% slower)\n"
+    (stack_report.Parallel.duration /. 1000.0)
+    (100.0 *. ((stack_report.Parallel.duration /. pool_report.Parallel.duration) -. 1.0));
+  assert (pool_report.Parallel.value = stack_report.Parallel.value)

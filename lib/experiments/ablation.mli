@@ -1,0 +1,30 @@
+(** Ablation: counting vs boxed segments.
+
+    The paper simplified segments to bare counters, noting that this
+    "eliminated some remote operations (common to all three search
+    strategies) such as the block transfer of stolen elements between
+    processes" (Section 3.5). This ablation quantifies that choice: the
+    same steal-heavy workload with and without per-element transfer
+    charges. The gap grows with elements moved per steal and affects all
+    three algorithms alike, supporting the paper's claim that the
+    simplification does not change the algorithms' ranking. *)
+
+type cell = { op_time : float; steal_time : float; elements_per_steal : float }
+
+type row = {
+  kind : Cpool.Pool.kind;
+  counting : cell;
+  boxed : cell;
+}
+
+type result = { rows : row list }
+
+val run : ?producers:int -> Exp_config.t -> result
+(** [run cfg] measures a balanced producer/consumer workload (default 5
+    producers) under both segment profiles for each algorithm. *)
+
+val render : result -> string
+
+val ranking_preserved : result -> bool
+(** Whether ordering the algorithms by mean operation time gives the same
+    ranking under both profiles. *)

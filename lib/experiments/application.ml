@@ -1,0 +1,130 @@
+open Cpool_game
+open Cpool_metrics
+
+type row = {
+  scheduler : Parallel.scheduler;
+  workers : int;
+  duration : float;
+  speedup : float;
+  value : int;
+  tasks : int;
+}
+
+type result = {
+  plies : int;
+  positions : int;
+  sequential_value : int;
+  rows : row list;
+}
+
+let schedulers =
+  [
+    Parallel.Pool_scheduler Cpool.Pool.Linear;
+    Parallel.Pool_scheduler Cpool.Pool.Random;
+    Parallel.Pool_scheduler Cpool.Pool.Tree;
+    Parallel.Stack_scheduler;
+  ]
+
+let run cfg =
+  let plies = cfg.Exp_config.app_plies in
+  let sequential_value = Minimax.value ~plies Board.empty in
+  let positions = Minimax.positions_examined ~plies Board.empty in
+  let rows =
+    List.concat_map
+      (fun scheduler ->
+        let reports =
+          List.map
+            (fun workers ->
+              let report =
+                Parallel.analyse
+                  {
+                    Parallel.default_config with
+                    workers;
+                    scheduler;
+                    plies;
+                    seed = cfg.Exp_config.base_seed;
+                  }
+              in
+              if report.Parallel.value <> sequential_value then
+                failwith
+                  (Printf.sprintf
+                     "Application: %s with %d workers computed %d, sequential says %d"
+                     (Parallel.scheduler_to_string scheduler)
+                     workers report.Parallel.value sequential_value);
+              (workers, report))
+            cfg.Exp_config.app_workers
+        in
+        (* Speedup is relative to the smallest worker count measured for the
+           same scheduler (1 in the paper's sweep). *)
+        let t1 =
+          match reports with (_, first) :: _ -> first.Parallel.duration | [] -> Float.nan
+        in
+        List.map
+          (fun (workers, report) ->
+            {
+              scheduler;
+              workers;
+              duration = report.Parallel.duration;
+              speedup = t1 /. report.Parallel.duration;
+              value = report.Parallel.value;
+              tasks = report.Parallel.tasks;
+            })
+          reports)
+      schedulers
+  in
+  { plies; positions; sequential_value; rows }
+
+let find_row r scheduler workers =
+  List.find_opt (fun row -> row.scheduler = scheduler && row.workers = workers) r.rows
+
+let stack_slowdown_at ~workers r =
+  let stack = find_row r Parallel.Stack_scheduler workers in
+  let pool_times =
+    List.filter_map
+      (fun row ->
+        match row.scheduler with
+        | Parallel.Pool_scheduler _ when row.workers = workers -> Some row.duration
+        | _ -> None)
+      r.rows
+  in
+  match (stack, pool_times) with
+  | Some s, _ :: _ -> s.duration /. List.fold_left Float.min Float.infinity pool_times
+  | _ -> Float.nan
+
+let render r =
+  let headers = [ "scheduler"; "workers"; "elapsed (ms)"; "speedup"; "tasks" ] in
+  let rows =
+    List.map
+      (fun row ->
+        [
+          Parallel.scheduler_to_string row.scheduler;
+          string_of_int row.workers;
+          Render.float_cell (row.duration /. 1000.0);
+          Render.float_cell row.speedup;
+          string_of_int row.tasks;
+        ])
+      r.rows
+  in
+  let speedup_series =
+    List.map
+      (fun scheduler ->
+        ( Parallel.scheduler_to_string scheduler,
+          List.filter_map
+            (fun row ->
+              if row.scheduler = scheduler then Some (float_of_int row.workers, row.speedup)
+              else None)
+            r.rows ))
+      schedulers
+  in
+  let max_workers = List.fold_left (fun acc row -> max acc row.workers) 1 r.rows in
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "Section 4.4 -- tic-tac-toe application: %d plies, %d leaf positions, minimax value %d"
+        r.plies r.positions r.sequential_value;
+      Render.table ~headers ~rows ();
+      Render.chart ~title:"Speedup vs workers" ~x_label:"workers" ~y_label:"speedup"
+        speedup_series;
+      Printf.sprintf "stack elapsed / best pool elapsed at %d workers: %s" max_workers
+        (Render.float_cell (stack_slowdown_at ~workers:max_workers r));
+    ]

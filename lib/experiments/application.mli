@@ -1,0 +1,36 @@
+(** Section 4.4: the tic-tac-toe application.
+
+    Parallel minimax over the first [app_plies] moves of 4x4x4 tic-tac-toe
+    (three plies = 249,984 positions), scheduled by each of the three pool
+    algorithms and by the global-lock stack baseline, across a sweep of
+    worker counts. Findings to reproduce: all three pools give nearly
+    linear speedup (the paper: 14.6-15.4 at 16 processors), the stack
+    reaches only ~10.7 and is ~40% slower in elapsed time at 16. *)
+
+type row = {
+  scheduler : Cpool_game.Parallel.scheduler;
+  workers : int;
+  duration : float;  (** Virtual elapsed time, us. *)
+  speedup : float;  (** Relative to the same scheduler's 1-worker run. *)
+  value : int;  (** Root minimax value (must agree across schedulers). *)
+  tasks : int;
+}
+
+type result = {
+  plies : int;
+  positions : int;  (** Leaf positions examined (paper: 249,984 at 3). *)
+  sequential_value : int;  (** Reference value from sequential minimax. *)
+  rows : row list;
+}
+
+val run : Exp_config.t -> result
+(** [run cfg] sweeps [cfg.app_workers] for all four schedulers at
+    [cfg.app_plies]. Raises [Failure] if any run disagrees with the
+    sequential minimax value — the parallel evaluation is checked, not
+    assumed. *)
+
+val render : result -> string
+
+val stack_slowdown_at : workers:int -> result -> float
+(** [stack_slowdown_at ~workers r] is stack time / best pool time at the
+    given worker count (the paper reports ~1.4 at 16). *)

@@ -1,0 +1,25 @@
+(** Extension experiment: capacity-bounded segments.
+
+    The paper's footnote: "the problem of an add operation encountering a
+    full segment (if there is a limit imposed) could be handled in a
+    symmetric fashion, adding remotely to a segment with sufficient
+    capacity." This experiment imposes per-segment capacities on a
+    growth-heavy workload (70% adds over the standard quota, so the pool
+    tries to grow well past small bounds) and measures the symmetric
+    spill mechanism: how often adds spill or get rejected, and what that
+    does to add times. *)
+
+type row = {
+  capacity : int option;
+  add_time : float;  (** Mean add time, us. *)
+  spill_fraction : float;  (** Spilled adds / attempted adds. *)
+  reject_fraction : float;  (** Rejected adds / attempted adds. *)
+  final_fill : float;  (** Final pool size / total capacity ([nan] if unbounded). *)
+}
+
+type result = { kind : Cpool.Pool.kind; rows : row list }
+
+val run : ?kind:Cpool.Pool.kind -> ?capacities:int list -> Exp_config.t -> result
+(** Default capacities: 10, 20, 40, 80 per segment, plus unbounded. *)
+
+val render : result -> string

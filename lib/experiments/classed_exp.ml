@@ -1,0 +1,93 @@
+open Cpool_sim
+open Cpool_metrics
+
+type row = { classes : int; op_time : float; miss_fraction : float; steals : int }
+
+type result = { rows : row list }
+
+(* The classed pool has its own driver loop: roles are a uniform 50% mix
+   and every remove requests a class drawn from the same distribution the
+   adds use. *)
+let one_trial cfg ~classes ~seed =
+  let p = cfg.Exp_config.participants in
+  let engine = Engine.create ~nodes:p ~seed () in
+  let pool = Cpool.Classed.create ~classes ~participants:p () in
+  (* Prefill evenly across segments and classes. *)
+  let quota = Memory.make ~home:0 cfg.Exp_config.total_ops in
+  let op_time = Sample.create () in
+  let misses = ref 0 and removes = ref 0 in
+  let body i () =
+    Cpool.Classed.join pool;
+    let continue = ref true in
+    while !continue do
+      if Memory.fetch_add quota (-1) <= 0 then continue := false
+      else begin
+        let cls = Engine.random_int classes in
+        let t0 = Engine.clock () in
+        if Engine.random_int 100 < 50 then Cpool.Classed.add pool ~me:i ~cls (Engine.random_int 1000)
+        else begin
+          incr removes;
+          match Cpool.Classed.try_remove pool ~me:i ~cls with
+          | Some _ -> ()
+          | None -> incr misses
+        end;
+        Sample.add op_time (Engine.clock () -. t0)
+      end
+    done;
+    Cpool.Classed.leave pool
+  in
+  for i = 0 to p - 1 do
+    ignore (Engine.spawn engine ~node:i ~name:(Printf.sprintf "c%d" i) (body i))
+  done;
+  (match Engine.run engine with
+  | Engine.Completed -> ()
+  | Engine.Deadlocked names -> failwith ("Classed_exp: deadlock: " ^ String.concat "," names)
+  | Engine.Hit_limit -> assert false);
+  (Sample.mean op_time, !misses, !removes, Cpool.Classed.steals pool)
+
+let run ?(class_counts = [ 1; 2; 4; 8 ]) cfg =
+  let rows =
+    List.map
+      (fun classes ->
+        let times, misses, removes, steals =
+          List.fold_left
+            (fun (ts, m, r, s) k ->
+              let t, misses, removes, steals =
+                one_trial cfg ~classes
+                  ~seed:(Int64.add cfg.Exp_config.base_seed (Int64.of_int ((classes * 100) + k)))
+              in
+              (t :: ts, m + misses, r + removes, s + steals))
+            ([], 0, 0, 0)
+            (List.init cfg.Exp_config.trials Fun.id)
+        in
+        {
+          classes;
+          op_time = List.fold_left ( +. ) 0.0 times /. float_of_int (List.length times);
+          miss_fraction =
+            (if removes = 0 then Float.nan else float_of_int misses /. float_of_int removes);
+          steals;
+        })
+      class_counts
+  in
+  { rows }
+
+let render r =
+  let headers = [ "classes"; "op time us"; "% removes missing"; "steals" ] in
+  let rows =
+    List.map
+      (fun row ->
+        [
+          string_of_int row.classes;
+          Render.float_cell row.op_time;
+          Render.float_cell (100.0 *. row.miss_fraction);
+          string_of_int row.steals;
+        ])
+      r.rows
+  in
+  String.concat "\n"
+    [
+      "Extension (Sec 5) -- distinguishable elements: cost of class-specific removes";
+      Render.table ~headers ~rows ();
+      "One class is the plain pool; with k classes a remove can use only 1/k of";
+      "the elements, so misses and search traffic grow with k.";
+    ]

@@ -1,0 +1,23 @@
+(** Extension experiment: distinguishable elements (paper Section 5).
+
+    Measures what partitioning the pool into element classes costs: the
+    same 16-process random-operations workload where each element carries
+    one of [k] classes and every remove asks for a specific class, swept
+    over [k]. With [k = 1] this is the plain pool; as [k] grows, a remove
+    can only be satisfied by 1/k of the elements, so searches lengthen and
+    more removes come back empty-handed — quantifying the price of
+    distinguishability that the paper's open question implies. *)
+
+type row = {
+  classes : int;
+  op_time : float;  (** Mean time per operation, us. *)
+  miss_fraction : float;  (** Class-specific removes that found nothing. *)
+  steals : int;
+}
+
+type result = { rows : row list }
+
+val run : ?class_counts:int list -> Exp_config.t -> result
+(** Default class counts: 1, 2, 4, 8. *)
+
+val render : result -> string

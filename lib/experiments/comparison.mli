@@ -1,0 +1,29 @@
+(** Section 4.3: comparison of the three search algorithms.
+
+    For each algorithm and both workload models the sweep reports mean
+    operation time, segments examined per steal and elements stolen per
+    steal. The paper's findings to reproduce: the three algorithms are
+    nearly identical at sufficient mixes; at sparse mixes the tree
+    algorithm's operation times compare unfavourably even though it
+    examines *fewer* segments per steal and steals *more* elements. *)
+
+type cell = {
+  op_time : float;  (** Mean operation time, us. *)
+  segments_per_steal : float;
+  elements_per_steal : float;
+  steal_fraction : float;
+}
+
+type row = {
+  condition : string;  (** e.g. ["random 30% adds"]. *)
+  add_percent : int;  (** Nominal mix of the condition. *)
+  by_kind : (Cpool.Pool.kind * cell) list;
+}
+
+type result = { random_rows : row list; balanced_pc_rows : row list }
+
+val run : Exp_config.t -> result
+(** [run cfg] sweeps mixes 0..100 by 10 (random model) and producer counts
+    (balanced producer/consumer model) for all three algorithms. *)
+
+val render : result -> string

@@ -1,0 +1,28 @@
+(** Section 4.3: simulating higher-cost remote access architectures.
+
+    "Delays were added to each remote operation ... from 1 usec per
+    operation to 100 msec per operation." The paper's finding: the tree
+    algorithm never beats linear or random, and as the delay grows all
+    three converge — both for the random-operations model and the balanced
+    producer/consumer model. *)
+
+type point = { delay : float; by_kind : (Cpool.Pool.kind * float) list }
+(** [delay] in us; values are mean operation times in us. *)
+
+type result = {
+  random_model : point list;  (** Random model, 30% adds (steal-heavy). *)
+  pc_model : point list;  (** Balanced producer/consumer, 5 producers. *)
+}
+
+val delays : float list
+(** The swept per-remote-operation delays, us: 0, 1, 10, 100, 1000, 10^4,
+    10^5 (the last matching the paper's 100 msec). *)
+
+val run : ?delays:float list -> Exp_config.t -> result
+
+val render : result -> string
+
+val convergence_ratio : point -> float
+(** [convergence_ratio p] is (max - min) / min over the three algorithms'
+    times at one delay — the paper's convergence shows this shrinking as
+    the delay grows. *)

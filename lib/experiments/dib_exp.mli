@@ -1,0 +1,31 @@
+(** Second application: distributed backtracking (the DIB shape).
+
+    The paper's closing evidence is Finkel & Manber's DIB, a backtracking
+    system built on concurrent pools with "essentially the linear and
+    random search algorithms", whose performance was "quite good"; the
+    tree algorithm was never incorporated. This experiment recreates that
+    setting with N-Queens enumeration: wildly irregular subtree sizes,
+    pure fan-out (no upward propagation), all four schedulers across the
+    worker sweep. Expected shapes: the three pools near-linear and
+    indistinguishable; the global-lock stack saturating below them. *)
+
+type row = {
+  scheduler : Cpool_game.Parallel.scheduler;
+  workers : int;
+  duration : float;
+  speedup : float;
+  steals : int;  (** 0 for the stack scheduler. *)
+}
+
+type result = {
+  n : int;
+  solutions : int;
+  nodes : int;
+  rows : row list;
+}
+
+val run : Exp_config.t -> result
+(** [run cfg] solves [cfg.dib_n]-queens under every scheduler and worker
+    count, verifying each run against the sequential solution count. *)
+
+val render : result -> string

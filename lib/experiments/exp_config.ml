@@ -1,0 +1,52 @@
+open Cpool_workload
+
+type t = {
+  participants : int;
+  total_ops : int;
+  initial_elements : int;
+  trials : int;
+  base_seed : int64;
+  profile : Cpool.Segment.profile;
+  app_plies : int;
+  app_workers : int list;
+  dib_n : int;
+}
+
+let paper =
+  {
+    participants = 16;
+    total_ops = 5000;
+    initial_elements = 320;
+    trials = 10;
+    base_seed = 0x5EEDL;
+    profile = Cpool.Segment.Counting;
+    app_plies = 3;
+    app_workers = [ 1; 2; 4; 8; 16 ];
+    dib_n = 10;
+  }
+
+let quick = { paper with trials = 3; app_plies = 2; dib_n = 8 }
+
+let name t =
+  if t = paper then "paper" else if t = quick then "quick" else "custom"
+
+let spec t ?(kind = Cpool.Pool.Linear) ?(extra_remote_delay = 0.0) ?(record_trace = false)
+    ?(seed_offset = 0) roles =
+  {
+    Driver.pool =
+      {
+        Cpool.Pool.default_config with
+        participants = t.participants;
+        kind;
+        profile = t.profile;
+        remote_op_delay = extra_remote_delay;
+      };
+    roles;
+    total_ops = t.total_ops;
+    initial_elements = t.initial_elements;
+    seed = Int64.add t.base_seed (Int64.of_int (seed_offset * 7_919));
+    cost = Cpool_sim.Topology.butterfly;
+    record_trace;
+  }
+
+let trials t spec = Driver.run_trials ~trials:t.trials spec

@@ -1,0 +1,40 @@
+(** Shared configuration for the paper-reproduction experiments.
+
+    {!paper} mirrors the published setup: 16 processors, 5000 operations
+    per trial against 320 initial elements, ten averaged trials, counting
+    segments. {!quick} trades trials and application depth for speed (CI
+    and smoke runs) without changing any shape. *)
+
+type t = {
+  participants : int;  (** Pool segments = processes (paper: 16). *)
+  total_ops : int;  (** Combined operation quota per trial (paper: 5000). *)
+  initial_elements : int;  (** Prefill (paper: 320). *)
+  trials : int;  (** Trials averaged per data point (paper: 10). *)
+  base_seed : int64;
+  profile : Cpool.Segment.profile;  (** Segment cost profile. *)
+  app_plies : int;  (** Application search depth (paper: 3). *)
+  app_workers : int list;  (** Worker counts for the speedup sweep. *)
+  dib_n : int;  (** N-Queens size for the backtracking (DIB) experiment. *)
+}
+
+val paper : t
+val quick : t
+
+val name : t -> string
+(** ["paper"] or ["quick"] (or ["custom"]). *)
+
+val spec :
+  t ->
+  ?kind:Cpool.Pool.kind ->
+  ?extra_remote_delay:float ->
+  ?record_trace:bool ->
+  ?seed_offset:int ->
+  Cpool_workload.Role.t array ->
+  Cpool_workload.Driver.spec
+(** [spec t roles] builds a driver spec for one experimental condition.
+    [extra_remote_delay] adds the Section 4.3 per-remote-operation delay;
+    [seed_offset] decorrelates conditions that should not share random
+    streams. *)
+
+val trials : t -> Cpool_workload.Driver.spec -> Cpool_workload.Driver.result list
+(** [trials t spec] runs [t.trials] independent trials of [spec]. *)

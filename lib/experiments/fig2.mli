@@ -1,0 +1,28 @@
+(** Figure 2: average operation time vs job mix, tree traversal algorithm,
+    random-operations vs producer/consumer models.
+
+    The random model sweeps the add percentage 0..100 in steps of 10; the
+    producer/consumer model sweeps the number of (contiguous) producers
+    0..participants and is plotted against its measured add fraction, as the
+    paper does ("the job mix was measured and the data was plotted on that
+    scale"). *)
+
+type point = {
+  x_add_percent : float;  (** Measured percentage of adds. *)
+  op_time : float;  (** Mean operation time over trials, us. *)
+  steal_fraction : float;  (** Fraction of removes that stole. *)
+  label : string;  (** Condition description (mix or producer count). *)
+}
+
+type result = {
+  kind : Cpool.Pool.kind;
+  random_series : point list;
+  producer_consumer_series : point list;
+}
+
+val run : ?kind:Cpool.Pool.kind -> Exp_config.t -> result
+(** [run cfg] sweeps both models with the given search algorithm (default
+    [Tree], as in the figure). *)
+
+val render : result -> string
+(** Table plus ASCII chart in the style of the figure. *)

@@ -1,0 +1,24 @@
+(** Figure 7 (errata-corrected): average elements stolen per steal vs the
+    number of producers, tree traversal algorithm, unbalanced (contiguous)
+    vs balanced producer arrangements.
+
+    The errata reverses the published labels: the *balanced* arrangement
+    steals more elements per steal. "By spreading out the producers,
+    forcing the consumers to steal from all producers rather than one at a
+    time, each steal is likely to find a greater number of elements." *)
+
+type point = {
+  producers : int;
+  unbalanced : float;  (** Mean elements per steal, contiguous producers. *)
+  balanced : float;  (** Mean elements per steal, balanced producers. *)
+}
+
+type result = { kind : Cpool.Pool.kind; points : point list }
+
+val run : ?kind:Cpool.Pool.kind -> Exp_config.t -> result
+(** [run cfg] sweeps producers 0..participants with both arrangements, as
+    the figure's x-axis does (at 0 producers the only steals drain the
+    initial fill; at [participants] producers nothing is removed, rendered
+    as "-"). *)
+
+val render : result -> string

@@ -1,0 +1,31 @@
+(** Extension experiment: the Section 5 "hints" proposal, measured.
+
+    The paper asks: "how might concurrent pools be modified so that
+    searching processors leave hints in the pool, and elements added by
+    another processor can be directed to the searching process[?]". This
+    experiment implements that ({!Cpool.Pool.Hinted}: searchers announce on
+    a hint board, adders deliver directly into an announced searcher's
+    segment) and measures it against the plain linear algorithm on the
+    steal-heavy workloads where it could plausibly help.
+
+    Finding (recorded in EXPERIMENTS.md): direct delivery hands elements
+    over one at a time, forfeiting the steal-half batching that lets a
+    consumer bank elements for future local removes; adds also pay the
+    hint-board checks. Hints lose to plain linear search on every sparse
+    workload tested — the paper's broader moral ("the extra complexity
+    need not pay off") extends to its own proposed extension. *)
+
+type row = {
+  condition : string;
+  linear_op_time : float;
+  hinted_op_time : float;
+  delivery_fraction : float;  (** Deliveries / adds under [Hinted]. *)
+  linear_haul : float;  (** Mean elements per steal, linear. *)
+  hinted_haul : float;  (** Mean elements per steal, hinted. *)
+}
+
+type result = { rows : row list }
+
+val run : Exp_config.t -> result
+
+val render : result -> string

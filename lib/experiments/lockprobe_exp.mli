@@ -1,0 +1,23 @@
+(** Ablation: locking vs lock-free probes.
+
+    The paper's implementation locked a segment to examine it ("another
+    source [of interference] is the locking at the leaves"), so at sparse
+    mixes a crowd of searchers queues against the few producers' own adds,
+    which is what drives its Figure 2 sparse times into the tens of
+    milliseconds. Our default probes with an atomic size read (the modern
+    idiom). This ablation measures both, on the Figure 2 workloads: the
+    probe discipline changes the magnitude of the sparse-mix penalty
+    substantially while leaving the shape — sparse slow, sufficient fast,
+    crossover at 50% — intact. *)
+
+type row = {
+  condition : string;
+  atomic_probe : float;  (** Mean op time with lock-free probes, us. *)
+  locking_probe : float;  (** Mean op time with locking probes, us. *)
+}
+
+type result = { kind : Cpool.Pool.kind; rows : row list }
+
+val run : ?kind:Cpool.Pool.kind -> Exp_config.t -> result
+
+val render : result -> string

@@ -1,0 +1,29 @@
+(** Extension experiment: time-varying workloads (paper Sections 3.3/3.5).
+
+    "It is easy to imagine an application which has an initial phase with
+    more than sufficient adds (as the pool is filled), a stable phase, and
+    a more sparse termination phase (as the pool is emptied). Our
+    experiments have essentially examined these phases separately." This
+    experiment runs the three phases *back to back on one pool* and checks
+    that each phase behaves like its standalone counterpart — plus a
+    dynamic producer/consumer schedule where the producer set rotates
+    between phases (Section 3.3's "the identity of the processes acting as
+    producers may change dynamically over time"). *)
+
+type phase_report = {
+  name : string;
+  op_time : float;
+  steal_fraction : float;
+  aborts : int;
+  pool_size_after : int;
+}
+
+type result = {
+  kind : Cpool.Pool.kind;
+  lifecycle : phase_report list;  (** fill / stable / drain. *)
+  rotation : phase_report list;  (** producer set rotated each phase. *)
+}
+
+val run : ?kind:Cpool.Pool.kind -> Exp_config.t -> result
+
+val render : result -> string

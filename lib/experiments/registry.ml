@@ -1,0 +1,89 @@
+type entry = { id : string; title : string; run : Exp_config.t -> string }
+
+let trace_entry id ~kind ~balanced title =
+  {
+    id;
+    title;
+    run = (fun cfg -> Traces.render ~figure:title (Traces.run ~kind ~balanced cfg));
+  }
+
+let all =
+  [
+    {
+      id = "fig2";
+      title = "Figure 2: op time vs job mix (tree algorithm, both models)";
+      run = (fun cfg -> Fig2.render (Fig2.run cfg));
+    };
+    trace_entry "fig3" ~kind:Cpool.Pool.Linear ~balanced:false
+      "Figure 3: segment sizes, linear algorithm, 5 contiguous producers";
+    trace_entry "fig4" ~kind:Cpool.Pool.Linear ~balanced:true
+      "Figure 4: segment sizes, linear algorithm, 5 balanced producers";
+    trace_entry "fig5" ~kind:Cpool.Pool.Tree ~balanced:false
+      "Figure 5: segment sizes, tree algorithm, 5 contiguous producers";
+    trace_entry "fig6" ~kind:Cpool.Pool.Tree ~balanced:true
+      "Figure 6: segment sizes, tree algorithm, 5 balanced producers";
+    {
+      id = "fig7";
+      title = "Figure 7: elements stolen per steal vs producers (errata labels)";
+      run = (fun cfg -> Fig7.render (Fig7.run cfg));
+    };
+    {
+      id = "compare";
+      title = "Section 4.3: algorithm comparison across job mixes";
+      run = (fun cfg -> Comparison.render (Comparison.run cfg));
+    };
+    {
+      id = "delay";
+      title = "Section 4.3: remote-access delay sweep";
+      run = (fun cfg -> Delay_sweep.render (Delay_sweep.run cfg));
+    };
+    {
+      id = "steals";
+      title = "Section 4.2: balancing the producers (steal statistics)";
+      run = (fun cfg -> Steal_stats.render (Steal_stats.run cfg));
+    };
+    {
+      id = "app";
+      title = "Section 4.4: tic-tac-toe application speedups";
+      run = (fun cfg -> Application.render (Application.run cfg));
+    };
+    {
+      id = "ablation";
+      title = "Ablation: counting vs boxed segments";
+      run = (fun cfg -> Ablation.render (Ablation.run cfg));
+    };
+    {
+      id = "lockprobe";
+      title = "Ablation: locking vs atomic probes (paper's leaf locking)";
+      run = (fun cfg -> Lockprobe_exp.render (Lockprobe_exp.run cfg));
+    };
+    {
+      id = "hints";
+      title = "Extension (Sec 5): hinted search vs plain linear";
+      run = (fun cfg -> Hints_exp.render (Hints_exp.run cfg));
+    };
+    {
+      id = "bounded";
+      title = "Extension (footnote): bounded segments with symmetric spill";
+      run = (fun cfg -> Bounded_exp.render (Bounded_exp.run cfg));
+    };
+    {
+      id = "phases";
+      title = "Extension (Sec 3.5): fill/stable/drain phases and rotating producers";
+      run = (fun cfg -> Phases_exp.render (Phases_exp.run cfg));
+    };
+    {
+      id = "dib";
+      title = "Second application: N-Queens backtracking (DIB shape)";
+      run = (fun cfg -> Dib_exp.render (Dib_exp.run cfg));
+    };
+    {
+      id = "classed";
+      title = "Extension (Sec 5): distinguishable elements (classed pool)";
+      run = (fun cfg -> Classed_exp.render (Classed_exp.run cfg));
+    };
+  ]
+
+let ids = List.map (fun e -> e.id) all
+
+let find id = List.find_opt (fun e -> e.id = id) all

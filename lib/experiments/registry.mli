@@ -1,0 +1,18 @@
+(** Name -> experiment mapping used by the CLI and the benchmark harness.
+
+    Each entry regenerates one paper artifact (figure, table or reported
+    result) and renders it as text. See DESIGN.md's experiment index. *)
+
+type entry = {
+  id : string;  (** Short name, e.g. ["fig2"]. *)
+  title : string;  (** What paper artifact this regenerates. *)
+  run : Exp_config.t -> string;  (** Execute and render. *)
+}
+
+val all : entry list
+(** Every experiment, in paper order. *)
+
+val ids : string list
+
+val find : string -> entry option
+(** [find id] looks an experiment up by [id]. *)

@@ -1,0 +1,34 @@
+(** Section 4.2: the effect of balancing the producers.
+
+    For each producer count and both arrangements, the quantities the paper
+    discusses: mean add/remove/steal times, steal frequency, segments
+    examined per steal and elements stolen per steal. Findings to
+    reproduce: "Balancing the producers consistently lowered the average
+    time for add operations, remove operations, and steals. ... The
+    frequency of steals decreased ... There was, however, no consistent
+    significant difference in the number of segments examined." *)
+
+type cell = {
+  add_time : float;
+  remove_time : float;
+  steal_time : float;
+  steal_fraction : float;
+  segments_per_steal : float;
+  elements_per_steal : float;
+}
+
+type row = { producers : int; unbalanced : cell; balanced : cell }
+
+type result = { kind : Cpool.Pool.kind; rows : row list }
+
+val run : ?kind:Cpool.Pool.kind -> ?producer_counts:int list -> Exp_config.t -> result
+(** Default algorithm: [Linear] (the paper's Section 4.2 walks through the
+    linear case); default producer counts 1..participants-1. *)
+
+val render : result -> string
+
+val balanced_wins : result -> int * int
+(** [(improved, total)] — at how many producer counts balancing strictly
+    lowered the mean remove time (by more than 1%), of the rows where both
+    sides have data. Remove time is where the paper's improvement
+    concentrates (fewer, larger steals mean most removes stay local). *)

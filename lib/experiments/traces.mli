@@ -1,0 +1,36 @@
+(** Figures 3-6: segment sizes over time under the producer/consumer model.
+
+    One traced run per figure: the linear (Figs 3-4) or tree (Figs 5-6)
+    algorithm with 5 producers and 11 consumers, producers either contiguous
+    (unbalanced, Figs 3 and 5) or spread out (balanced, Figs 4 and 6). The
+    paper reads consumer *bunching* off these plots: with contiguous
+    producers the consumers drain producer segments one at a time in ring
+    order and some producers are never stolen from; balancing spreads the
+    steals over all producers. *)
+
+type result = {
+  kind : Cpool.Pool.kind;
+  balanced : bool;
+  producers : int list;  (** Producer positions. *)
+  trace : Cpool_metrics.Trace.t;
+  producer_steals : (int * int) list;
+      (** For each producer position, how many steals its segment suffered
+          (size drops of two or more). *)
+  first_steal_time : (int * float option) list;
+      (** For each producer position, when its segment was first stolen
+          from. With contiguous producers these times are staggered in ring
+          order (the bunch drains one producer at a time); balanced
+          arrangements are stolen from nearly simultaneously. *)
+}
+
+val run : kind:Cpool.Pool.kind -> balanced:bool -> ?producers:int -> Exp_config.t -> result
+(** [run ~kind ~balanced cfg] performs one traced trial with [producers]
+    (default 5) producers. *)
+
+val render : figure:string -> result -> string
+(** Strip chart of all segments over time, producers marked, plus the
+    per-producer steal counts. *)
+
+val untouched_producers : result -> int list
+(** Producers whose segments were never stolen from — the paper's "producer
+    4 is never stolen from" effect. *)

@@ -1,0 +1,96 @@
+open Cpool_sim
+
+type 's problem = {
+  roots : 's list;
+  children : 's -> 's list;
+  is_solution : 's -> bool;
+}
+
+let sequential p =
+  let solutions = ref 0 and nodes = ref 0 in
+  let rec visit state =
+    incr nodes;
+    if p.is_solution state then incr solutions;
+    List.iter visit (p.children state)
+  in
+  List.iter visit p.roots;
+  (!solutions, !nodes)
+
+type config = {
+  workers : int;
+  scheduler : Parallel.scheduler;
+  expand_cost : float;
+  visit_cost : float;
+  seed : int64;
+  cost : Topology.cost_model;
+}
+
+let default_config =
+  {
+    workers = 16;
+    scheduler = Parallel.Pool_scheduler Cpool.Pool.Linear;
+    expand_cost = 14.0;
+    visit_cost = 300.0;
+    seed = 1L;
+    cost = Topology.butterfly;
+  }
+
+type report = {
+  solutions : int;
+  nodes : int;
+  duration : float;
+  pool_totals : Cpool.Pool.totals option;
+}
+
+let solve p config =
+  if config.workers <= 0 then invalid_arg "Backtrack.solve: workers must be positive";
+  let engine = Engine.create ~cost:config.cost ~nodes:config.workers ~seed:config.seed () in
+  let pool, work_list =
+    match config.scheduler with
+    | Parallel.Pool_scheduler kind ->
+      let pool =
+        Cpool.Pool.create
+          {
+            Cpool.Pool.default_config with
+            participants = config.workers;
+            kind;
+            profile = Cpool.Segment.Boxed;
+          }
+      in
+      (Some pool, Work_list.of_pool pool)
+    | Parallel.Stack_scheduler ->
+      let wl, _stats = Work_list.global_stack () in
+      (None, wl)
+  in
+  let solutions = ref 0 and nodes = ref 0 in
+  let worker me () =
+    work_list.Work_list.join ();
+    if me = 0 then List.iter (fun root -> work_list.Work_list.add ~me root) p.roots;
+    let rec loop () =
+      match work_list.Work_list.remove ~me with
+      | Some state ->
+        Engine.delay config.visit_cost;
+        incr nodes;
+        if p.is_solution state then incr solutions;
+        let kids = p.children state in
+        Engine.delay (config.expand_cost *. float_of_int (List.length kids));
+        List.iter (fun kid -> work_list.Work_list.add ~me kid) kids;
+        loop ()
+      | None -> ()
+    in
+    loop ();
+    work_list.Work_list.leave ()
+  in
+  for i = 0 to config.workers - 1 do
+    ignore (Engine.spawn engine ~node:i ~name:(Printf.sprintf "bt%d" i) (worker i))
+  done;
+  (match Engine.run engine with
+  | Engine.Completed -> ()
+  | Engine.Deadlocked names -> failwith ("Backtrack.solve: deadlock: " ^ String.concat "," names)
+  | Engine.Hit_limit -> assert false);
+  {
+    solutions = !solutions;
+    nodes = !nodes;
+    duration = Engine.now engine;
+    pool_totals = Option.map Cpool.Pool.totals pool;
+  }

@@ -1,0 +1,46 @@
+(** Parallel backtracking over a shared work list — the DIB shape.
+
+    The paper's external evidence (Section 4.4) is Finkel & Manber's DIB,
+    "a distributed implementation of backtracking" that "relies heavily on
+    a concurrent pools data structure for load balancing" and uses
+    essentially the linear and random search algorithms. This module is
+    that application shape: a search tree described by a successor
+    function, explored by workers pulling nodes from a work list and
+    pushing children back, counting solutions. Unlike minimax nothing
+    propagates upward, so quiescence (the pool's abort, or the stack's
+    idle count) is the entire termination story. *)
+
+type 's problem = {
+  roots : 's list;  (** Initial tree nodes. *)
+  children : 's -> 's list;  (** Successors; [[]] makes a leaf. *)
+  is_solution : 's -> bool;  (** Counted at every node where it holds. *)
+}
+
+val sequential : 's problem -> int * int
+(** [sequential p] is [(solutions, nodes)] by plain depth-first search —
+    the reference the parallel runs are checked against. *)
+
+type config = {
+  workers : int;
+  scheduler : Parallel.scheduler;  (** Pool (any algorithm) or lock stack. *)
+  expand_cost : float;  (** Simulated compute per child generated, us. *)
+  visit_cost : float;  (** Simulated compute per node visited, us. *)
+  seed : int64;
+  cost : Cpool_sim.Topology.cost_model;
+}
+
+val default_config : config
+(** 16 workers, linear pool, costs calibrated like the minimax
+    application. *)
+
+type report = {
+  solutions : int;
+  nodes : int;  (** Tree nodes visited (= tasks processed). *)
+  duration : float;  (** Virtual completion time, us. *)
+  pool_totals : Cpool.Pool.totals option;
+}
+
+val solve : 's problem -> config -> report
+(** [solve p config] explores the whole tree on the simulated machine.
+    Raises [Invalid_argument] on non-positive workers; the caller should
+    check the result against {!sequential} (the tests do). *)

@@ -1,0 +1,158 @@
+type player = X | O
+
+let opponent = function X -> O | O -> X
+
+let player_to_string = function X -> "X" | O -> "O"
+
+type t = { x_stones : int64; o_stones : int64; stones : int }
+
+let size = 4
+
+let cells = 64
+
+let empty = { x_stones = 0L; o_stones = 0L; stones = 0 }
+
+let index ~x ~y ~z =
+  if x < 0 || x >= size || y < 0 || y >= size || z < 0 || z >= size then
+    invalid_arg "Board.index: coordinate out of range";
+  x + (size * y) + (size * size * z)
+
+let coords i =
+  if i < 0 || i >= cells then invalid_arg "Board.coords: index out of range";
+  (i mod size, i / size mod size, i / (size * size))
+
+let to_move b = if b.stones land 1 = 0 then X else O
+
+let bit i = Int64.shift_left 1L i
+
+let occupied b = Int64.logor b.x_stones b.o_stones
+
+let cell b i =
+  if i < 0 || i >= cells then invalid_arg "Board.cell: index out of range";
+  if Int64.logand b.x_stones (bit i) <> 0L then Some X
+  else if Int64.logand b.o_stones (bit i) <> 0L then Some O
+  else None
+
+let move_count b = b.stones
+
+(* The 76 winning lines of the 4x4x4 cube: 48 axis-parallel rows, 24 face
+   diagonals (two per plane, four planes per axis, three axes), 4 space
+   diagonals. *)
+let lines =
+  let line_of_points points =
+    Array.of_list (List.map (fun (x, y, z) -> index ~x ~y ~z) points)
+  in
+  let range = [ 0; 1; 2; 3 ] in
+  let axis_rows =
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun b ->
+            [
+              line_of_points (List.map (fun i -> (i, a, b)) range);
+              line_of_points (List.map (fun i -> (a, i, b)) range);
+              line_of_points (List.map (fun i -> (a, b, i)) range);
+            ])
+          range)
+      range
+  in
+  let face_diagonals =
+    List.concat_map
+      (fun a ->
+        [
+          (* Diagonals of the z = a plane. *)
+          line_of_points (List.map (fun i -> (i, i, a)) range);
+          line_of_points (List.map (fun i -> (i, 3 - i, a)) range);
+          (* Diagonals of the y = a plane. *)
+          line_of_points (List.map (fun i -> (i, a, i)) range);
+          line_of_points (List.map (fun i -> (i, a, 3 - i)) range);
+          (* Diagonals of the x = a plane. *)
+          line_of_points (List.map (fun i -> (a, i, i)) range);
+          line_of_points (List.map (fun i -> (a, i, 3 - i)) range);
+        ])
+      range
+  in
+  let space_diagonals =
+    [
+      line_of_points (List.map (fun i -> (i, i, i)) range);
+      line_of_points (List.map (fun i -> (i, i, 3 - i)) range);
+      line_of_points (List.map (fun i -> (i, 3 - i, i)) range);
+      line_of_points (List.map (fun i -> (3 - i, i, i)) range);
+    ]
+  in
+  Array.of_list (axis_rows @ face_diagonals @ space_diagonals)
+
+(* Bit masks of each line, and for each cell the lines through it — used to
+   update win state incrementally. *)
+let line_masks =
+  Array.map (Array.fold_left (fun acc i -> Int64.logor acc (bit i)) 0L) lines
+
+let holds_line stones =
+  Array.exists (fun mask -> Int64.logand stones mask = mask) line_masks
+
+let winner b =
+  if holds_line b.x_stones then Some X else if holds_line b.o_stones then Some O else None
+
+let is_full b = b.stones = cells
+
+let play b i =
+  if i < 0 || i >= cells then invalid_arg "Board.play: index out of range";
+  if Int64.logand (occupied b) (bit i) <> 0L then invalid_arg "Board.play: cell occupied";
+  match to_move b with
+  | X -> { b with x_stones = Int64.logor b.x_stones (bit i); stones = b.stones + 1 }
+  | O -> { b with o_stones = Int64.logor b.o_stones (bit i); stones = b.stones + 1 }
+
+let legal_moves b =
+  if winner b <> None then []
+  else begin
+    let taken = occupied b in
+    let rec collect i acc =
+      if i < 0 then acc
+      else collect (i - 1) (if Int64.logand taken (bit i) = 0L then i :: acc else acc)
+    in
+    collect (cells - 1) []
+  end
+
+let win_score = 1_000_000
+
+(* Popcount of a line intersection: at most 4 bits are set. *)
+let rec popcount64 v acc =
+  if v = 0L then acc else popcount64 (Int64.logand v (Int64.sub v 1L)) (acc + 1)
+
+let evaluate b =
+  match winner b with
+  | Some X -> win_score
+  | Some O -> -win_score
+  | None ->
+    (* For each line open to exactly one player, award 10^(stones-1). *)
+    let score = ref 0 in
+    Array.iter
+      (fun mask ->
+        let xs = popcount64 (Int64.logand b.x_stones mask) 0 in
+        let os = popcount64 (Int64.logand b.o_stones mask) 0 in
+        if os = 0 && xs > 0 then
+          score := !score + (match xs with 1 -> 1 | 2 -> 10 | 3 -> 100 | _ -> 0)
+        else if xs = 0 && os > 0 then
+          score := !score - (match os with 1 -> 1 | 2 -> 10 | 3 -> 100 | _ -> 0))
+      line_masks;
+    !score
+
+let evaluate_for_side_to_move b =
+  match to_move b with X -> evaluate b | O -> -evaluate b
+
+let to_string b =
+  let buffer = Buffer.create 256 in
+  for z = 0 to size - 1 do
+    Buffer.add_string buffer (Printf.sprintf "z=%d\n" z);
+    for y = 0 to size - 1 do
+      for x = 0 to size - 1 do
+        let c =
+          match cell b (index ~x ~y ~z) with Some X -> 'X' | Some O -> 'O' | None -> '.'
+        in
+        Buffer.add_char buffer c;
+        if x < size - 1 then Buffer.add_char buffer ' '
+      done;
+      Buffer.add_char buffer '\n'
+    done
+  done;
+  Buffer.contents buffer

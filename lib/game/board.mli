@@ -1,0 +1,74 @@
+(** 4x4x4 three-dimensional tic-tac-toe board (paper Section 4.4).
+
+    Cells are indexed 0..63; cell [(x, y, z)] has index [x + 4y + 16z].
+    Four in a row along any of the 76 winning lines (48 axis rows, 24 face
+    diagonals, 4 space diagonals) wins. Boards are immutable values backed
+    by two bitboards, so they are cheap to copy into work-list tasks. *)
+
+type player = X | O
+
+val opponent : player -> player
+val player_to_string : player -> string
+
+type t
+(** An immutable board position. *)
+
+val size : int
+(** Cells per side: 4. *)
+
+val cells : int
+(** Total cells: 64. *)
+
+val empty : t
+(** The initial position; [X] moves first. *)
+
+val index : x:int -> y:int -> z:int -> int
+(** [index ~x ~y ~z] is the cell index. Raises [Invalid_argument] if any
+    coordinate is outside [\[0, 4)]. *)
+
+val coords : int -> int * int * int
+(** [coords i] inverts {!index}. Raises [Invalid_argument] if out of
+    range. *)
+
+val to_move : t -> player
+(** [to_move b] is the side to move. *)
+
+val cell : t -> int -> player option
+(** [cell b i] is the occupant of cell [i], if any. *)
+
+val move_count : t -> int
+(** [move_count b] is the number of stones placed so far. *)
+
+val play : t -> int -> t
+(** [play b i] places the side-to-move's stone on empty cell [i]. Raises
+    [Invalid_argument] if [i] is out of range or occupied. *)
+
+val legal_moves : t -> int list
+(** [legal_moves b] lists the empty cells in increasing index order;
+    empty if the position already has a winner. *)
+
+val winner : t -> player option
+(** [winner b] is the player holding a complete line, if any. *)
+
+val is_full : t -> bool
+
+val lines : int array array
+(** The 76 winning lines, each an array of 4 cell indices. *)
+
+val evaluate : t -> int
+(** [evaluate b] is a heuristic score from [X]'s perspective: the win
+    score (+/- {!win_score}) for decided positions, otherwise a sum over
+    open lines weighted exponentially by stone count — the classic
+    minimax static evaluator (Horowitz & Sahni, the paper's reference
+    [4]). *)
+
+val evaluate_for_side_to_move : t -> int
+(** [evaluate_for_side_to_move b] negates {!evaluate} for [O] to move —
+    the negamax convention. *)
+
+val win_score : int
+(** Score of a decided position; strictly larger than any undecided
+    evaluation. *)
+
+val to_string : t -> string
+(** Multi-line diagram, one 4x4 layer per z level. *)

@@ -1,0 +1,60 @@
+let check_plies plies = if plies < 0 then invalid_arg "Minimax: plies must be non-negative"
+
+let leaf board = Board.evaluate_for_side_to_move board
+
+let rec negamax plies board =
+  if plies = 0 || Board.winner board <> None then leaf board
+  else
+    match Board.legal_moves board with
+    | [] -> leaf board
+    | moves ->
+      List.fold_left
+        (fun best m -> max best (-negamax (plies - 1) (Board.play board m)))
+        min_int moves
+
+let value ~plies board =
+  check_plies plies;
+  negamax plies board
+
+let rec negamax_ab plies alpha beta board =
+  if plies = 0 || Board.winner board <> None then leaf board
+  else
+    match Board.legal_moves board with
+    | [] -> leaf board
+    | moves ->
+      let rec scan alpha best = function
+        | [] -> best
+        | m :: rest ->
+          let v = -negamax_ab (plies - 1) (-beta) (-alpha) (Board.play board m) in
+          let best = max best v in
+          let alpha = max alpha v in
+          if alpha >= beta then best else scan alpha best rest
+      in
+      scan alpha min_int moves
+
+let alpha_beta_value ~plies board =
+  check_plies plies;
+  negamax_ab plies min_int max_int board
+
+let rec positions plies board =
+  if plies = 0 || Board.winner board <> None then 1
+  else
+    match Board.legal_moves board with
+    | [] -> 1
+    | moves ->
+      List.fold_left (fun acc m -> acc + positions (plies - 1) (Board.play board m)) 0 moves
+
+let positions_examined ~plies board =
+  check_plies plies;
+  positions plies board
+
+let best_move ~plies board =
+  check_plies plies;
+  match Board.legal_moves board with
+  | [] -> None
+  | moves ->
+    let scored =
+      List.map (fun m -> (-negamax (max 0 (plies - 1)) (Board.play board m), m)) moves
+    in
+    let best = List.fold_left max (List.hd scored) (List.tl scored) in
+    Some (snd best)

@@ -1,0 +1,25 @@
+(** Sequential game-tree search: minimax and alpha-beta.
+
+    The reference implementation the parallel schedulers are validated
+    against. Values follow the negamax convention: a position's value is
+    from the perspective of the side to move. *)
+
+val value : plies:int -> Board.t -> int
+(** [value ~plies b] is the plain minimax value of [b] searched [plies]
+    moves deep (the paper examines the first three moves). Decided
+    positions and depth-0 positions take their static evaluation. Raises
+    [Invalid_argument] if [plies < 0]. *)
+
+val alpha_beta_value : plies:int -> Board.t -> int
+(** [alpha_beta_value ~plies b] equals [value ~plies b], computed with
+    alpha-beta pruning. *)
+
+val positions_examined : plies:int -> Board.t -> int
+(** [positions_examined ~plies b] counts the leaf positions a full minimax
+    visits — 249,984 for three plies from the empty board (64 * 63 * 62),
+    as the paper reports. *)
+
+val best_move : plies:int -> Board.t -> int option
+(** [best_move ~plies b] is a move maximising {!value} of the successor
+    (for the side to move), or [None] if the position has no legal
+    moves. *)

@@ -1,0 +1,61 @@
+type state = {
+  n : int;
+  placed : int; (* queens placed = row index of the next placement *)
+  cols : int; (* bitmask of occupied columns *)
+  diag_up : int; (* bitmask of attacked up-diagonals, shifted per row *)
+  diag_down : int; (* bitmask of attacked down-diagonals *)
+}
+
+let initial ~n =
+  if n < 1 || n > 30 then invalid_arg "Nqueens.initial: n out of [1, 30]";
+  { n; placed = 0; cols = 0; diag_up = 0; diag_down = 0 }
+
+let row s = s.placed
+
+let children s =
+  if s.placed = s.n then []
+  else begin
+    (* Free positions in this row: not a used column, not an attacked
+       diagonal. The diagonal masks shift by one per row. *)
+    let full = (1 lsl s.n) - 1 in
+    let attacked = s.cols lor s.diag_up lor s.diag_down in
+    let rec collect col acc =
+      if col < 0 then acc
+      else begin
+        let bit = 1 lsl col in
+        if attacked land bit = 0 then
+          collect (col - 1)
+            ({
+               n = s.n;
+               placed = s.placed + 1;
+               cols = s.cols lor bit;
+               diag_up = ((s.diag_up lor bit) lsl 1) land full;
+               diag_down = (s.diag_down lor bit) lsr 1;
+             }
+            :: acc)
+        else collect (col - 1) acc
+      end
+    in
+    collect (s.n - 1) []
+  end
+
+let problem ~n =
+  {
+    Backtrack.roots = [ initial ~n ];
+    children;
+    is_solution = (fun s -> s.placed = s.n);
+  }
+
+let known_solutions = function
+  | 1 -> Some 1
+  | 2 | 3 -> Some 0
+  | 4 -> Some 2
+  | 5 -> Some 10
+  | 6 -> Some 4
+  | 7 -> Some 40
+  | 8 -> Some 92
+  | 9 -> Some 352
+  | 10 -> Some 724
+  | 11 -> Some 2680
+  | 12 -> Some 14200
+  | _ -> None

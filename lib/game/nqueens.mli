@@ -1,0 +1,23 @@
+(** The N-Queens enumeration as a backtracking problem.
+
+    A state is a prefix of rows with non-attacking queens, encoded with the
+    standard column/diagonal bitmasks so successor generation is O(n). The
+    canonical DIB-style workload: highly irregular subtree sizes, which is
+    exactly what the pool's steal-half balancing is for. *)
+
+type state
+
+val initial : n:int -> state
+(** [initial ~n] is the empty board for an [n x n] problem. Raises
+    [Invalid_argument] unless [1 <= n <= 30]. *)
+
+val row : state -> int
+(** [row s] is the number of queens placed so far. *)
+
+val problem : n:int -> state Backtrack.problem
+(** [problem ~n] enumerates all complete placements; a solution is a state
+    with [n] queens. *)
+
+val known_solutions : int -> int option
+(** [known_solutions n] is the published solution count for small [n]
+    (1..12), used by tests and sanity checks. *)

@@ -1,0 +1,52 @@
+(** Parallel minimax over a shared work list (paper Section 4.4).
+
+    "Each position is placed in a pool when it is generated. Processors
+    repeatedly pull a position from the pool and possibly generate new
+    positions to put in the pool." Internal nodes carry a pending-children
+    counter and a negamax accumulator in simulated shared memory; the last
+    child to complete folds its value into the parent and cascades upward,
+    so the computed root value equals sequential minimax exactly.
+
+    Workers exit when the work list reports exhaustion — the pool's
+    livelock detector (or the stack's idle count) doubles as quiescence
+    detection for the task graph. *)
+
+type scheduler =
+  | Pool_scheduler of Cpool.Pool.kind
+      (** Concurrent pool with the given search algorithm. *)
+  | Stack_scheduler  (** The paper's global-lock stack baseline. *)
+
+val scheduler_to_string : scheduler -> string
+
+type config = {
+  workers : int;  (** Simulated processors (paper: 16). *)
+  scheduler : scheduler;
+  plies : int;  (** Search depth (paper: 3 = 249,984 positions). *)
+  expand_cost : float;
+      (** Local compute charged per child generated during expansion, us. *)
+  leaf_cost : float;
+      (** Local compute charged per leaf evaluation, us. These two model
+          the real work a Butterfly node performed per board position;
+          defaults are calibrated in the experiments so the stack baseline
+          saturates near the paper's 10.7x speedup. *)
+  seed : int64;
+  cost : Cpool_sim.Topology.cost_model;
+}
+
+val default_config : config
+(** 16 workers, linear pool, 3 plies, calibrated costs, Butterfly model. *)
+
+type report = {
+  value : int;  (** Root minimax value (negamax convention). *)
+  leaves : int;  (** Leaf positions evaluated. *)
+  tasks : int;  (** Total tasks processed (leaves + internal). *)
+  duration : float;  (** Virtual completion time, us. *)
+  pool_totals : Cpool.Pool.totals option;  (** Present for pool runs. *)
+  stack_lock : (int * int) option;
+      (** [(acquisitions, contended)] of the global lock, for stack runs. *)
+}
+
+val analyse : ?board:Board.t -> config -> report
+(** [analyse config] searches from [board] (default {!Board.empty}) with
+    [config.workers] simulated processors and returns the measured report.
+    Raises [Invalid_argument] if [workers <= 0] or [plies < 0]. *)

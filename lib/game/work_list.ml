@@ -1,0 +1,79 @@
+open Cpool_sim
+
+type 'a t = {
+  join : unit -> unit;
+  leave : unit -> unit;
+  add : me:int -> 'a -> unit;
+  remove : me:int -> 'a option;
+}
+
+let of_pool pool =
+  {
+    join = (fun () -> Cpool.Pool.join pool);
+    leave = (fun () -> Cpool.Pool.leave pool);
+    add = (fun ~me task -> Cpool.Pool.add pool ~me task);
+    remove =
+      (fun ~me ->
+        match Cpool.Pool.remove pool ~me with
+        | Cpool.Pool.Local task | Cpool.Pool.Stolen (task, _) -> Some task
+        | Cpool.Pool.Empty _ -> None);
+  }
+
+let global_stack ?(home = 0) () =
+  let lock = Lock.make ~home in
+  let size = Memory.make ~home 0 in
+  let idle = Memory.make ~home 0 in
+  let joined = Memory.make ~home 0 in
+  let items = Cpool_util.Vec.create () in
+  (* Tasks (board positions) are copied through the central stack while the
+     lock is held — the block transfer the original program paid on every
+     push and pop. *)
+  let transfer_words = 4 in
+  let add ~me:_ task =
+    Lock.with_lock lock (fun () ->
+        ignore (Memory.fetch_add size 1);
+        Engine.charge_n ~home (transfer_words - 1);
+        Cpool_util.Vec.push items task)
+  in
+  let try_pop () =
+    Lock.with_lock lock (fun () ->
+        if Memory.read size = 0 then None
+        else begin
+          ignore (Memory.fetch_add size (-1));
+          Engine.charge_n ~home (transfer_words - 1);
+          Some (Cpool_util.Vec.pop_exn items)
+        end)
+  in
+  let remove ~me:_ =
+    let rec attempt () =
+      match try_pop () with
+      | Some task -> Some task
+      | None -> spin ()
+    and spin () =
+      (* Declare ourselves idle, then watch the stack; when every joined
+         worker is idle and nothing remains, the computation is over. *)
+      ignore (Memory.fetch_add idle 1);
+      let rec watch () =
+        if Memory.read size > 0 then begin
+          ignore (Memory.fetch_add idle (-1));
+          attempt ()
+        end
+        else if Memory.read idle >= Memory.peek joined then begin
+          ignore (Memory.fetch_add idle (-1));
+          None
+        end
+        else watch ()
+      in
+      watch ()
+    in
+    attempt ()
+  in
+  let wl =
+    {
+      join = (fun () -> ignore (Memory.fetch_add joined 1));
+      leave = (fun () -> ignore (Memory.fetch_add joined (-1)));
+      add;
+      remove;
+    }
+  in
+  (wl, fun () -> (Lock.acquisitions lock, Lock.contended_acquisitions lock))

@@ -1,0 +1,29 @@
+(** Work-list abstraction over which the parallel game search runs.
+
+    The paper's application compares a concurrent pool against "a stack
+    with a global lock for the work list". Both are exposed through this
+    tiny interface so the scheduler is identical and only the distribution
+    mechanism differs. All functions run inside simulated processes. *)
+
+type 'a t = {
+  join : unit -> unit;  (** Register the calling worker. *)
+  leave : unit -> unit;  (** Deregister the calling worker. *)
+  add : me:int -> 'a -> unit;  (** Contribute a task. *)
+  remove : me:int -> 'a option;
+      (** Take a task; [None] means the work is exhausted: every worker is
+          idle and no task remains, so the worker should exit. *)
+}
+
+val of_pool : 'a Cpool.Pool.t -> 'a t
+(** [of_pool pool] adapts a concurrent pool: removes that abort map to
+    [None] (the pool's livelock detector doubles as quiescence detection
+    for the task graph — an abort means every worker is searching and no
+    task exists anywhere). *)
+
+val global_stack : ?home:Cpool_sim.Topology.node -> unit -> 'a t * (unit -> int * int)
+(** [global_stack ()] is the baseline: one stack guarded by one lock on
+    node [home] (default 0), as in the paper's original program. [remove]
+    spins on costed size reads while the stack is empty, returning [None]
+    once every joined worker is idle with the stack empty. The second
+    component reports the lock's [(acquisitions, contended)] counts when
+    called. *)

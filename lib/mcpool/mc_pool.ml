@@ -1,0 +1,289 @@
+type kind = Linear | Random | Tree
+
+type tree = {
+  leaves : int;
+  rounds : int Atomic.t array; (* heap layout, as in the simulated pool *)
+  node_locks : Mutex.t array; (* internal nodes; protect children's counters *)
+}
+
+type 'a t = {
+  pool_kind : kind;
+  bound : int option;
+  segs : 'a Mc_segment.t array;
+  registration : Mutex.t;
+  claimed : bool array;
+  searching : int Atomic.t;
+  registered : int Atomic.t;
+  steal_count : int Atomic.t;
+  seed : int64;
+  tree : tree option;
+}
+
+type handle = {
+  pool_slot : int;
+  rng : Cpool_util.Rng.t;
+  mutable last_found : int;
+  mutable last_leaf : int;
+  mutable my_round : int;
+  mutable started : bool;
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
+
+let create ?(kind = Linear) ?(seed = 42L) ?capacity ~segments () =
+  if segments <= 0 then invalid_arg "Mc_pool.create: segments must be positive";
+  let tree =
+    match kind with
+    | Tree ->
+      let leaves = next_pow2 segments 1 in
+      Some
+        {
+          leaves;
+          rounds = Array.init ((2 * leaves) - 1) (fun _ -> Atomic.make 0);
+          node_locks = Array.init (max 0 (leaves - 1)) (fun _ -> Mutex.create ());
+        }
+    | Linear | Random -> None
+  in
+  {
+    pool_kind = kind;
+    bound = capacity;
+    segs = Array.init segments (fun id -> Mc_segment.make ?capacity ~id ());
+    registration = Mutex.create ();
+    claimed = Array.make segments false;
+    searching = Atomic.make 0;
+    registered = Atomic.make 0;
+    steal_count = Atomic.make 0;
+    seed;
+    tree;
+  }
+
+let segments t = Array.length t.segs
+
+let kind t = t.pool_kind
+
+let mk_handle t slot =
+  {
+    pool_slot = slot;
+    rng = Cpool_util.Rng.create (Int64.add t.seed (Int64.of_int slot));
+    last_found = slot;
+    last_leaf = slot;
+    my_round = 1;
+    started = false;
+  }
+
+let claim t pick =
+  Mutex.lock t.registration;
+  let slot =
+    match pick () with
+    | exception e ->
+      Mutex.unlock t.registration;
+      raise e
+    | slot ->
+      t.claimed.(slot) <- true;
+      Mutex.unlock t.registration;
+      slot
+  in
+  Atomic.incr t.registered;
+  mk_handle t slot
+
+let register t =
+  claim t (fun () ->
+      let rec scan i =
+        if i = Array.length t.claimed then failwith "Mc_pool.register: all slots claimed"
+        else if not t.claimed.(i) then i
+        else scan (i + 1)
+      in
+      scan 0)
+
+let register_at t i =
+  claim t (fun () ->
+      if i < 0 || i >= Array.length t.claimed then
+        invalid_arg "Mc_pool.register_at: slot out of range";
+      if t.claimed.(i) then invalid_arg "Mc_pool.register_at: slot already claimed";
+      i)
+
+let slot h = h.pool_slot
+
+let deregister t h =
+  ignore h;
+  Atomic.decr t.registered
+
+let try_add t h x =
+  match t.bound with
+  | None ->
+    Mc_segment.add t.segs.(h.pool_slot) x;
+    true
+  | Some _ ->
+    if Mc_segment.try_add t.segs.(h.pool_slot) x then true
+    else begin
+      (* Spill around the ring to the first segment with room. *)
+      let p = Array.length t.segs in
+      let rec spill i =
+        if i = p then false
+        else begin
+          let pos = (h.pool_slot + i) mod p in
+          if Mc_segment.spare t.segs.(pos) > 0 && Mc_segment.try_add t.segs.(pos) x then true
+          else spill (i + 1)
+        end
+      in
+      spill 1
+    end
+
+let add t h x = if not (try_add t h x) then failwith "Mc_pool.add: pool is full"
+
+let try_remove_local t h = Mc_segment.try_remove t.segs.(h.pool_slot)
+
+(* Bank a steal's remainder into our own segment and return the element. *)
+let land_loot t h pos = function
+  | Cpool.Steal.Nothing -> None
+  | Cpool.Steal.Single x ->
+    Atomic.incr t.steal_count;
+    h.last_found <- pos;
+    h.last_leaf <- pos;
+    Some x
+  | Cpool.Steal.Batch (x, rest) ->
+    Atomic.incr t.steal_count;
+    h.last_found <- pos;
+    h.last_leaf <- pos;
+    Mc_segment.deposit t.segs.(h.pool_slot) rest;
+    Some x
+
+let max_take t h =
+  match t.bound with
+  | None -> max_int
+  | Some _ -> 1 + Mc_segment.spare t.segs.(h.pool_slot)
+
+let attempt_steal t h pos =
+  if Mc_segment.size t.segs.(pos) > 0 then
+    land_loot t h pos (Mc_segment.steal_half ~max_take:(max_take t h) t.segs.(pos))
+  else None
+
+(* One full deterministic pass over every segment; the confirmation step
+   before reporting the pool empty. *)
+let sweep t h =
+  let p = Array.length t.segs in
+  let rec go i =
+    if i = p then None
+    else
+      match attempt_steal t h ((h.pool_slot + i) mod p) with
+      | Some x -> Some x
+      | None -> go (i + 1)
+  in
+  go 0
+
+(* One algorithm-specific search pass; None does not mean empty, only that
+   this pass failed. *)
+let rec search_pass t h =
+  let p = Array.length t.segs in
+  match t.pool_kind with
+  | Linear ->
+    let rec ring i =
+      if i = p then None
+      else
+        match attempt_steal t h ((h.last_found + i) mod p) with
+        | Some x -> Some x
+        | None -> ring (i + 1)
+    in
+    ring 0
+  | Random ->
+    let rec probe i =
+      if i = p then None
+      else
+        match attempt_steal t h (Cpool_util.Rng.int h.rng p) with
+        | Some x -> Some x
+        | None -> probe (i + 1)
+    in
+    probe 0
+  | Tree -> tree_pass t h
+
+(* Manber's walk, one round: returns when an element is found or when this
+   process concludes the whole tree is empty for its round. *)
+and tree_pass t h =
+  let tree = match t.tree with Some tree -> tree | None -> assert false in
+  let p = Array.length t.segs in
+  let leaf_index j = tree.leaves - 1 + j in
+  let span i =
+    let rec depth i acc = if i = 0 then acc else depth ((i - 1) / 2) (acc + 1) in
+    tree.leaves lsr depth i 0
+  in
+  let rec visit_leaf j =
+    h.last_leaf <- j;
+    match if j < p then attempt_steal t h j else None with
+    | Some x -> Some x
+    | None ->
+      if tree.leaves = 1 then begin
+        h.my_round <- h.my_round + 1;
+        None
+      end
+      else ascend ((leaf_index j - 1) / 2) (leaf_index j)
+  and ascend v child =
+    let left = (2 * v) + 1 and right = (2 * v) + 2 in
+    Mutex.lock tree.node_locks.(v);
+    let left_round = Atomic.get tree.rounds.(left) in
+    let right_round = Atomic.get tree.rounds.(right) in
+    let newest = max left_round right_round in
+    if newest > h.my_round then begin
+      Mutex.unlock tree.node_locks.(v);
+      h.my_round <- newest;
+      visit_leaf h.pool_slot
+    end
+    else begin
+      Atomic.set tree.rounds.(child) h.my_round;
+      let sibling_round = if child = left then right_round else left_round in
+      Mutex.unlock tree.node_locks.(v);
+      if sibling_round = h.my_round then
+        if v = 0 then begin
+          (* Whole tree empty this round: the pass ends. *)
+          h.my_round <- h.my_round + 1;
+          None
+        end
+        else ascend ((v - 1) / 2) v
+      else visit_leaf (h.last_leaf lxor span child)
+    end
+  in
+  let start =
+    if h.started then h.last_leaf
+    else begin
+      h.started <- true;
+      h.pool_slot
+    end
+  in
+  visit_leaf start
+
+let try_remove t h =
+  match try_remove_local t h with
+  | Some x -> Some x
+  | None -> (
+    match search_pass t h with
+    | Some x -> Some x
+    | None -> sweep t h)
+
+let remove t h =
+  match try_remove_local t h with
+  | Some x -> Some x
+  | None ->
+    Atomic.incr t.searching;
+    let finish r =
+      Atomic.decr t.searching;
+      r
+    in
+    let rec hunt () =
+      match search_pass t h with
+      | Some x -> finish (Some x)
+      | None ->
+        if Atomic.get t.searching >= Atomic.get t.registered then begin
+          (* Everyone is searching: a clean sweep proves the pool empty. *)
+          match sweep t h with
+          | Some x -> finish (Some x)
+          | None -> finish None
+        end
+        else begin
+          Domain.cpu_relax ();
+          hunt ()
+        end
+    in
+    hunt ()
+
+let size t = Array.fold_left (fun acc s -> acc + Mc_segment.size s) 0 t.segs
+
+let steals t = Atomic.get t.steal_count

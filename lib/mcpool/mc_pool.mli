@@ -1,0 +1,84 @@
+(** Multicore concurrent pool for OCaml 5 domains.
+
+    The practical counterpart of the simulated {!Cpool.Pool}: an unordered
+    collection partitioned into per-worker segments. A worker's adds and
+    removes stay in its own segment; when that runs dry the worker steals
+    roughly half of the first non-empty segment its search algorithm finds
+    (Manber's concurrent pools, evaluated by Kotz & Ellis 1989 — their
+    result that the simple linear/random searches suffice motivates
+    [Linear] as the default here).
+
+    Typical use: create with one segment per worker domain, {!register}
+    once in each domain, then {!add}/{!remove} freely. All operations are
+    thread-safe; [remove] returning [None] means the pool was confirmed
+    empty while every registered worker was simultaneously searching — the
+    natural quiescence signal for task-graph workloads. *)
+
+type kind = Linear | Random | Tree
+
+type 'a t
+
+type handle
+(** A worker's identity: its segment slot plus search state. Handles are
+    not thread-safe; use each handle from one domain at a time. *)
+
+val create : ?kind:kind -> ?seed:int64 -> ?capacity:int -> segments:int -> unit -> 'a t
+(** [create ~segments ()] builds a pool with [segments] slots. [kind]
+    defaults to [Linear]; [seed] (default [42L]) drives the [Random]
+    search's probe sequence deterministically per handle; [capacity]
+    bounds each segment (default unbounded) — full adds spill to the first
+    segment with room and steals cap their take at the thief's spare
+    capacity + 1. Raises [Invalid_argument] if [segments <= 0] or
+    [capacity <= 0]. *)
+
+val segments : 'a t -> int
+
+val kind : 'a t -> kind
+
+val register : 'a t -> handle
+(** [register t] claims the next free segment slot. Raises [Failure] when
+    all slots are claimed. *)
+
+val register_at : 'a t -> int -> handle
+(** [register_at t i] claims slot [i] explicitly (for tests and pinned
+    layouts). Raises [Invalid_argument] if out of range; slots may be
+    claimed at most once. *)
+
+val slot : handle -> int
+(** [slot h] is the segment index the handle owns. *)
+
+val deregister : 'a t -> handle -> unit
+(** [deregister t h] removes the worker from quiescence accounting: a
+    worker that stops calling the pool MUST deregister, or blocked
+    {!remove} calls in other workers can never conclude the pool is empty.
+    The slot stays claimed (the handle must not be used afterwards). *)
+
+val add : 'a t -> handle -> 'a -> unit
+(** [add t h x] inserts [x] into [h]'s segment (spilling on a bounded
+    pool). Raises [Failure] when every segment is full — only possible
+    with [capacity]; use {!try_add} to handle that case. *)
+
+val try_add : 'a t -> handle -> 'a -> bool
+(** [try_add t h x] inserts locally, spilling around the ring on a bounded
+    pool; [false] when the whole pool is full. *)
+
+val try_remove_local : 'a t -> handle -> 'a option
+(** [try_remove_local t h] removes from [h]'s own segment only. *)
+
+val remove : 'a t -> handle -> 'a option
+(** [remove t h] removes an arbitrary element, searching and stealing if
+    [h]'s segment is empty; blocks (spinning politely) while the pool is
+    empty but some registered worker is still active, and returns [None]
+    only once every registered worker is searching and a full sweep
+    confirmed emptiness. *)
+
+val try_remove : 'a t -> handle -> 'a option
+(** [try_remove t h] is like {!remove} but never blocks: one search pass
+    over the segments; [None] if nothing was found. *)
+
+val size : 'a t -> int
+(** [size t] sums segment sizes (a racy snapshot). *)
+
+val steals : 'a t -> int
+(** [steals t] counts successful steals so far (monotonic, approximate
+    under heavy contention only in its read timing). *)

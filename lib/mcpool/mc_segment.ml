@@ -1,0 +1,87 @@
+type 'a t = {
+  seg_id : int;
+  bound : int option;
+  mutex : Mutex.t;
+  items : 'a Cpool_util.Vec.t;
+  count : int Atomic.t; (* mirrors [Vec.length items]; read lock-free *)
+}
+
+let make ?capacity ~id () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Mc_segment.make: capacity must be positive"
+  | Some _ | None -> ());
+  {
+    seg_id = id;
+    bound = capacity;
+    mutex = Mutex.create ();
+    items = Cpool_util.Vec.create ();
+    count = Atomic.make 0;
+  }
+
+let id s = s.seg_id
+
+let size s = Atomic.get s.count
+
+let with_lock s f =
+  Mutex.lock s.mutex;
+  match f () with
+  | v ->
+    Mutex.unlock s.mutex;
+    v
+  | exception e ->
+    Mutex.unlock s.mutex;
+    raise e
+
+let add s x =
+  with_lock s (fun () ->
+      Cpool_util.Vec.push s.items x;
+      Atomic.incr s.count)
+
+let try_add s x =
+  with_lock s (fun () ->
+      match s.bound with
+      | Some c when Cpool_util.Vec.length s.items >= c -> false
+      | Some _ | None ->
+        Cpool_util.Vec.push s.items x;
+        Atomic.incr s.count;
+        true)
+
+let spare s =
+  match s.bound with None -> max_int | Some c -> max 0 (c - Atomic.get s.count)
+
+let try_remove s =
+  if Atomic.get s.count = 0 then None
+  else
+    with_lock s (fun () ->
+        match Cpool_util.Vec.pop s.items with
+        | Some x ->
+          Atomic.decr s.count;
+          Some x
+        | None -> None)
+
+let steal_half ?(max_take = max_int) s =
+  if max_take < 1 then invalid_arg "Mc_segment.steal_half: max_take must be >= 1";
+  with_lock s (fun () ->
+      let n = Cpool_util.Vec.length s.items in
+      if n = 0 then Cpool.Steal.Nothing
+      else if n = 1 then begin
+        let x = Cpool_util.Vec.pop_exn s.items in
+        Atomic.decr s.count;
+        Cpool.Steal.Single x
+      end
+      else begin
+        let h = min ((n + 1) / 2) max_take in
+        let taken = Cpool_util.Vec.take_last s.items h in
+        Atomic.set s.count (n - h);
+        match taken with
+        | x :: rest -> Cpool.Steal.Batch (x, rest)
+        | [] -> assert false
+      end)
+
+let deposit s xs =
+  match xs with
+  | [] -> ()
+  | _ ->
+    with_lock s (fun () ->
+        Cpool_util.Vec.append_list s.items xs;
+        Atomic.set s.count (Cpool_util.Vec.length s.items))

@@ -1,0 +1,39 @@
+(** One segment of the multicore concurrent pool.
+
+    A mutex-protected stack with an atomically readable size, so searching
+    domains can probe without taking the lock (the same probe-then-lock
+    discipline as the simulated pool). Safe for concurrent use from any
+    number of domains. *)
+
+type 'a t
+
+val make : ?capacity:int -> id:int -> unit -> 'a t
+(** [make ~id ()] is an empty segment; [capacity] bounds it (default
+    unbounded). Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val id : 'a t -> int
+
+val size : 'a t -> int
+(** [size s] is an atomic snapshot of the element count (may be stale by
+    the time it is used — callers re-check under the lock). *)
+
+val add : 'a t -> 'a -> unit
+(** [add s x] inserts unconditionally (steal banking ignores capacity). *)
+
+val try_add : 'a t -> 'a -> bool
+(** [try_add s x] inserts unless that would exceed the capacity. *)
+
+val spare : 'a t -> int
+(** [spare s] is the remaining capacity ([max_int] when unbounded). *)
+
+val try_remove : 'a t -> 'a option
+(** [try_remove s] takes the most recently added element, if any. *)
+
+val steal_half : ?max_take:int -> 'a t -> 'a Cpool.Steal.loot
+(** [steal_half s] removes [min (ceil n/2) max_take] of the [n] elements under the lock
+    (the element to return plus a remainder batch), [Single] for [n = 1],
+    [Nothing] for [n = 0]. The caller deposits the remainder into its own
+    segment afterwards — victim and thief are never locked together. *)
+
+val deposit : 'a t -> 'a list -> unit
+(** [deposit s xs] adds every element of [xs] under one lock acquisition. *)

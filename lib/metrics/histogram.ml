@@ -1,0 +1,34 @@
+type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bins h = Array.length h.counts
+
+let add h x =
+  let b = Array.length h.counts in
+  let width = (h.hi -. h.lo) /. float_of_int b in
+  let i = int_of_float (Float.floor ((x -. h.lo) /. width)) in
+  let i = max 0 (min (b - 1) i) in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.total <- h.total + 1
+
+let count h = h.total
+
+let check h i name = if i < 0 || i >= Array.length h.counts then invalid_arg name
+
+let bin_count h i =
+  check h i "Histogram.bin_count: out of range";
+  h.counts.(i)
+
+let bin_bounds h i =
+  check h i "Histogram.bin_bounds: out of range";
+  let width = (h.hi -. h.lo) /. float_of_int (Array.length h.counts) in
+  (h.lo +. (float_of_int i *. width), h.lo +. (float_of_int (i + 1) *. width))
+
+let to_rows h =
+  List.init (Array.length h.counts) (fun i ->
+      let lo, hi = bin_bounds h i in
+      (Printf.sprintf "[%g, %g)" lo hi, h.counts.(i)))

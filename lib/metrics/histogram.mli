@@ -1,0 +1,30 @@
+(** Fixed-width histograms over a bounded range.
+
+    Used to summarise distributions (steal sizes, search lengths) in the
+    bench output. Observations outside the range clamp into the first or
+    last bin. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] divides [\[lo, hi)] into [bins] equal bins.
+    Raises [Invalid_argument] if [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+(** [add h x] increments the bin containing [x] (clamped to the range). *)
+
+val count : t -> int
+(** [count h] is the total number of observations. *)
+
+val bin_count : t -> int -> int
+(** [bin_count h i] is the number of observations in bin [i]. Raises
+    [Invalid_argument] if out of range. *)
+
+val bin_bounds : t -> int -> float * float
+(** [bin_bounds h i] is the half-open interval of bin [i]. *)
+
+val bins : t -> int
+(** [bins h] is the number of bins. *)
+
+val to_rows : t -> (string * int) list
+(** [to_rows h] renders each bin as [("[lo, hi)", count)], for tables. *)

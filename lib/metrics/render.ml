@@ -1,0 +1,139 @@
+let float_cell x =
+  if Float.is_nan x then "-"
+  else if Float.abs x >= 1000.0 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 10.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.2f" x
+
+let pad width s =
+  let missing = width - String.length s in
+  if missing <= 0 then s else s ^ String.make missing ' '
+
+let table ?title ~headers ~rows () =
+  let columns = List.length headers in
+  let normalise row =
+    let len = List.length row in
+    if len >= columns then row else row @ List.init (columns - len) (fun _ -> "")
+  in
+  let rows = List.map normalise rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  (* Trailing spaces from padding the last column are dropped. *)
+  let rec trim_right s =
+    let len = String.length s in
+    if len > 0 && s.[len - 1] = ' ' then trim_right (String.sub s 0 (len - 1)) else s
+  in
+  let render_row cells = trim_right (String.concat "  " (List.map2 pad widths cells)) in
+  let rule = String.concat "--" (List.map (fun w -> String.make w '-') widths) in
+  let buffer = Buffer.create 256 in
+  Option.iter (fun t -> Buffer.add_string buffer (t ^ "\n")) title;
+  Buffer.add_string buffer (render_row headers);
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer rule;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buffer (render_row row);
+      Buffer.add_char buffer '\n')
+    rows;
+  Buffer.contents buffer
+
+let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '~' |]
+
+let chart ?(width = 72) ?(height = 20) ?title ?x_label ?y_label series =
+  let finite (x, y) = Float.is_finite x && Float.is_finite y in
+  let points = List.concat_map (fun (_, pts) -> List.filter finite pts) series in
+  match points with
+  | [] -> "(chart: no data)\n"
+  | _ ->
+    let xs = List.map fst points and ys = List.map snd points in
+    let x_min = List.fold_left Float.min Float.infinity xs in
+    let x_max = List.fold_left Float.max Float.neg_infinity xs in
+    let y_min = Float.min 0.0 (List.fold_left Float.min Float.infinity ys) in
+    let y_max = List.fold_left Float.max Float.neg_infinity ys in
+    let y_max = if y_max = y_min then y_min +. 1.0 else y_max in
+    let x_span = if x_max = x_min then 1.0 else x_max -. x_min in
+    let canvas = Array.make_matrix height width ' ' in
+    let plot marker (x, y) =
+      let col =
+        int_of_float (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+      in
+      let row =
+        int_of_float
+          (Float.round ((y -. y_min) /. (y_max -. y_min) *. float_of_int (height - 1)))
+      in
+      let col = max 0 (min (width - 1) col) in
+      let row = height - 1 - max 0 (min (height - 1) row) in
+      canvas.(row).(col) <- marker
+    in
+    List.iteri
+      (fun i (_, pts) ->
+        let marker = markers.(i mod Array.length markers) in
+        List.iter (fun p -> if finite p then plot marker p) pts)
+      series;
+    let buffer = Buffer.create 2048 in
+    Option.iter (fun t -> Buffer.add_string buffer (t ^ "\n")) title;
+    Option.iter (fun l -> Buffer.add_string buffer ("y: " ^ l ^ "\n")) y_label;
+    let y_axis_width = 10 in
+    Array.iteri
+      (fun r line ->
+        let label =
+          if r = 0 then Printf.sprintf "%*.4g |" (y_axis_width - 2) y_max
+          else if r = height - 1 then Printf.sprintf "%*.4g |" (y_axis_width - 2) y_min
+          else String.make (y_axis_width - 1) ' ' ^ "|"
+        in
+        Buffer.add_string buffer label;
+        Buffer.add_string buffer (String.init width (fun c -> line.(c)));
+        Buffer.add_char buffer '\n')
+      canvas;
+    Buffer.add_string buffer (String.make (y_axis_width - 1) ' ' ^ "+");
+    Buffer.add_string buffer (String.make width '-');
+    Buffer.add_char buffer '\n';
+    let x_min_text = Printf.sprintf "%.4g" x_min in
+    let x_max_text = Printf.sprintf "%.4g" x_max in
+    let gap = max 1 (width - String.length x_min_text - String.length x_max_text) in
+    Buffer.add_string buffer
+      (String.make y_axis_width ' ' ^ x_min_text ^ String.make gap ' ' ^ x_max_text ^ "\n");
+    Option.iter
+      (fun l -> Buffer.add_string buffer (String.make y_axis_width ' ' ^ "x: " ^ l ^ "\n"))
+      x_label;
+    List.iteri
+      (fun i (name, _) ->
+        Buffer.add_string buffer
+          (Printf.sprintf "  %c = %s\n" markers.(i mod Array.length markers) name))
+      series;
+    Buffer.contents buffer
+
+let density = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let strip_chart ?(width = 72) ?title ~labels grid =
+  if Array.length labels <> Array.length grid then
+    invalid_arg "Render.strip_chart: labels/grid mismatch";
+  let peak = Array.fold_left (fun acc row -> Array.fold_left max acc row) 1 grid in
+  let label_width = Array.fold_left (fun acc l -> max acc (String.length l)) 0 labels in
+  let buffer = Buffer.create 2048 in
+  Option.iter (fun t -> Buffer.add_string buffer (t ^ "\n")) title;
+  Array.iteri
+    (fun seg row ->
+      let buckets = Array.length row in
+      Buffer.add_string buffer (pad label_width labels.(seg));
+      Buffer.add_string buffer " |";
+      for c = 0 to width - 1 do
+        (* Nearest-bucket resampling onto the requested width. *)
+        let b = if buckets = 0 then 0 else c * buckets / width in
+        let v = if buckets = 0 then 0 else row.(min b (buckets - 1)) in
+        let level =
+          if v <= 0 then 0
+          else 1 + (v * (Array.length density - 2) / peak)
+        in
+        Buffer.add_char buffer density.(min level (Array.length density - 1))
+      done;
+      Buffer.add_string buffer "|\n")
+    grid;
+  Buffer.add_string buffer
+    (Printf.sprintf "%s  (time ->; darkest = %d elements)\n" (String.make label_width ' ') peak);
+  Buffer.contents buffer

@@ -1,0 +1,33 @@
+(** Plain-text rendering of tables, line charts and segment strips.
+
+    The benchmark harness reproduces the paper's figures as ASCII output:
+    {!table} for tabulated results, {!chart} for the x/y figures (Figures 2
+    and 7, the delay sweep), and {!strip_chart} for the segment-size-over-
+    time plots (Figures 3-6). *)
+
+val table : ?title:string -> headers:string list -> rows:string list list -> unit -> string
+(** [table ~headers ~rows ()] lays out a column-aligned table. Rows shorter
+    than [headers] are padded with empty cells. *)
+
+val chart :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (string * (float * float) list) list ->
+  string
+(** [chart series] plots each named series of [(x, y)] points on a shared
+    canvas with per-series markers and a legend. Returns a note instead of
+    a canvas when no finite points exist. Default size 72x20 characters. *)
+
+val strip_chart :
+  ?width:int -> ?title:string -> labels:string array -> int array array -> string
+(** [strip_chart ~labels grid] renders one text row per segment: each cell
+    of [grid.(seg)] (a time bucket, see {!Trace.grid}) maps to a density
+    character, darker meaning larger, normalised by the grid's maximum.
+    Raises [Invalid_argument] if [labels] and [grid] lengths differ. *)
+
+val float_cell : float -> string
+(** [float_cell x] formats a measurement for a table cell: ["-"] for NaN,
+    otherwise a compact fixed-point form. *)

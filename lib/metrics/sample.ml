@@ -1,0 +1,72 @@
+type t = { values : float Cpool_util.Vec.t; mutable sorted : float array option }
+
+let create () = { values = Cpool_util.Vec.create (); sorted = None }
+
+let add s x =
+  Cpool_util.Vec.push s.values x;
+  s.sorted <- None
+
+let add_int s n = add s (float_of_int n)
+
+let n s = Cpool_util.Vec.length s.values
+
+let is_empty s = n s = 0
+
+let fold f acc s =
+  let acc = ref acc in
+  Cpool_util.Vec.iter (fun x -> acc := f !acc x) s.values;
+  !acc
+
+let total s = fold ( +. ) 0.0 s
+
+let mean s = if is_empty s then Float.nan else total s /. float_of_int (n s)
+
+let stddev s =
+  let count = n s in
+  if count = 0 then Float.nan
+  else if count = 1 then 0.0
+  else begin
+    let m = mean s in
+    let sum_sq = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 s in
+    sqrt (sum_sq /. float_of_int (count - 1))
+  end
+
+let min_value s = if is_empty s then Float.nan else fold Float.min Float.infinity s
+
+let max_value s = if is_empty s then Float.nan else fold Float.max Float.neg_infinity s
+
+let sorted s =
+  match s.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list (Cpool_util.Vec.to_list s.values) in
+    Array.sort compare a;
+    s.sorted <- Some a;
+    a
+
+let percentile s p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Sample.percentile: p out of [0, 100]";
+  if is_empty s then Float.nan
+  else begin
+    let a = sorted s in
+    let count = Array.length a in
+    if count = 1 then a.(0)
+    else begin
+      (* Linear interpolation between closest ranks. *)
+      let rank = p /. 100.0 *. float_of_int (count - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (lo + 1) (count - 1) in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    end
+  end
+
+let median s = percentile s 50.0
+
+let values s = Cpool_util.Vec.to_list s.values
+
+let merge a b =
+  let s = create () in
+  Cpool_util.Vec.iter (add s) a.values;
+  Cpool_util.Vec.iter (add s) b.values;
+  s

@@ -1,0 +1,51 @@
+(** Collected numeric samples with summary statistics.
+
+    Stores every observation (operation times, steal sizes, ...) so that
+    percentiles are exact; the experiment scale of the paper (thousands of
+    operations per trial) makes this cheap. *)
+
+type t
+
+val create : unit -> t
+(** [create ()] is an empty sample. *)
+
+val add : t -> float -> unit
+(** [add s x] records the observation [x]. *)
+
+val add_int : t -> int -> unit
+(** [add_int s n] records [float_of_int n]. *)
+
+val n : t -> int
+(** [n s] is the number of observations. *)
+
+val is_empty : t -> bool
+
+val mean : t -> float
+(** [mean s] is the arithmetic mean; [nan] when empty. *)
+
+val stddev : t -> float
+(** [stddev s] is the sample standard deviation (n-1 denominator); [0.] for
+    fewer than two observations, [nan] when empty. *)
+
+val min_value : t -> float
+(** [min_value s] is the smallest observation; [nan] when empty. *)
+
+val max_value : t -> float
+(** [max_value s] is the largest observation; [nan] when empty. *)
+
+val total : t -> float
+(** [total s] is the sum of all observations. *)
+
+val percentile : t -> float -> float
+(** [percentile s p] is the [p]-th percentile ([0. <= p <= 100.]) by linear
+    interpolation between closest ranks; [nan] when empty. Raises
+    [Invalid_argument] if [p] is out of range. *)
+
+val median : t -> float
+(** [median s] is [percentile s 50.]. *)
+
+val values : t -> float list
+(** [values s] lists the observations in insertion order. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh sample containing the observations of both. *)

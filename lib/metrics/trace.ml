@@ -1,0 +1,63 @@
+type t = { seg_count : int; events : (float * int * int) Cpool_util.Vec.t }
+
+let create ~segments =
+  if segments <= 0 then invalid_arg "Trace.create: segments must be positive";
+  { seg_count = segments; events = Cpool_util.Vec.create () }
+
+let segments t = t.seg_count
+
+let record t ~time ~seg ~size =
+  if seg < 0 || seg >= t.seg_count then invalid_arg "Trace.record: segment out of range";
+  Cpool_util.Vec.push t.events (time, seg, size)
+
+let events t = Cpool_util.Vec.to_list t.events
+
+let event_count t = Cpool_util.Vec.length t.events
+
+let duration t =
+  let d = ref 0.0 in
+  Cpool_util.Vec.iter (fun (time, _, _) -> d := Float.max !d time) t.events;
+  !d
+
+let grid t ~buckets =
+  if buckets <= 0 then invalid_arg "Trace.grid: buckets must be positive";
+  let g = Array.make_matrix t.seg_count buckets 0 in
+  let total = duration t in
+  if total > 0.0 then begin
+    let bucket_of time =
+      min (buckets - 1) (int_of_float (Float.floor (time /. total *. float_of_int buckets)))
+    in
+    (* Write each event's size into its bucket (later events in the same
+       bucket overwrite earlier ones)... *)
+    let written = Array.make_matrix t.seg_count buckets false in
+    Cpool_util.Vec.iter
+      (fun (time, seg, size) ->
+        let b = bucket_of time in
+        g.(seg).(b) <- size;
+        written.(seg).(b) <- true)
+      t.events;
+    (* ... then carry the last known size forward through silent buckets. *)
+    for seg = 0 to t.seg_count - 1 do
+      let last = ref 0 in
+      for b = 0 to buckets - 1 do
+        if written.(seg).(b) then last := g.(seg).(b) else g.(seg).(b) <- !last
+      done
+    done
+  end;
+  g
+
+let peak_size t =
+  let peak = ref 0 in
+  Cpool_util.Vec.iter (fun (_, _, size) -> peak := max !peak size) t.events;
+  !peak
+
+let steals_observed t ~seg =
+  let prev = ref 0 and count = ref 0 in
+  Cpool_util.Vec.iter
+    (fun (_, s, size) ->
+      if s = seg then begin
+        if size <= !prev - 2 then incr count;
+        prev := size
+      end)
+    t.events;
+  !count

@@ -1,0 +1,41 @@
+(** Segment-size-over-time traces (Figures 3-6 of the paper).
+
+    Every segment mutation is recorded as an event [(time, segment, size)];
+    the grid view resamples the run onto equal time buckets for rendering
+    or comparison. *)
+
+type t
+
+val create : segments:int -> t
+(** [create ~segments] is an empty trace for [segments] segments. Raises
+    [Invalid_argument] if [segments <= 0]. *)
+
+val segments : t -> int
+
+val record : t -> time:float -> seg:int -> size:int -> unit
+(** [record t ~time ~seg ~size] logs that segment [seg] reached [size] at
+    virtual time [time]. Times must be non-decreasing per segment (they
+    are, coming from a simulation run). Raises [Invalid_argument] if [seg]
+    is out of range. *)
+
+val events : t -> (float * int * int) list
+(** [events t] lists all events in recording order. *)
+
+val event_count : t -> int
+
+val duration : t -> float
+(** [duration t] is the time of the last event (0 if none). *)
+
+val grid : t -> buckets:int -> int array array
+(** [grid t ~buckets] is a [segments x buckets] matrix: cell [(s, b)] holds
+    segment [s]'s size at the end of time bucket [b] (carrying the last
+    known size forward, starting from 0). Raises [Invalid_argument] if
+    [buckets <= 0]. *)
+
+val peak_size : t -> int
+(** [peak_size t] is the largest size ever recorded (0 if none). *)
+
+val steals_observed : t -> seg:int -> int
+(** [steals_observed t ~seg] counts events where segment [seg]'s size
+    dropped by two or more at once — the signature of a steal (a plain
+    remove drops it by one). *)

@@ -1,0 +1,32 @@
+(** Confirmation sweep before aborting a search.
+
+    The paper's livelock rule — abort when every active participant is
+    searching — is racy: a searcher may not yet have examined the one
+    segment that still holds elements (certain for the random algorithm,
+    possible for the tree when rounds restart). Before aborting, we
+    therefore sweep every segment once, deterministically. While all
+    participants are searching nobody adds, so a clean sweep proves the pool
+    empty; finding elements turns the abort into a normal steal. The sweep
+    charges ordinary probe costs and only runs on the (rare) abort path. *)
+
+(** [confirm_or_steal segments ~start ~examined] probes all segments once,
+    beginning at [start]. Returns [Ok (loot, position, examined')] on the
+    first successful steal, or [Error examined'] when every segment proved
+    empty; [examined'] includes the sweep's probes. *)
+let confirm_or_steal ?(remote_op_delay = 0.0) ?(max_take = max_int) segments ~start ~examined =
+  let p = Array.length segments in
+  let rec go i examined =
+    if i = p then Error examined
+    else begin
+      let pos = (start + i) mod p in
+      let seg = segments.(pos) in
+      let examined = examined + 1 in
+      if Probe.costed ~delay:remote_op_delay seg > 0 then begin
+        match Segment.steal_half ~max_take seg with
+        | Steal.Nothing -> go (i + 1) examined
+        | loot -> Ok (loot, pos, examined)
+      end
+      else go (i + 1) examined
+    end
+  in
+  go 0 examined

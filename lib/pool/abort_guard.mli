@@ -1,0 +1,24 @@
+(** Confirmation sweep before aborting a search.
+
+    The paper's livelock rule — abort when every active participant is
+    searching — is racy: a searcher may not yet have examined the one
+    segment that still holds elements (certain for the random algorithm,
+    possible for the tree when rounds restart). Before aborting, the
+    searches therefore sweep every segment once, deterministically. While
+    all participants are searching nobody adds, so a clean sweep proves the
+    pool empty; finding elements turns the abort into a normal steal. The
+    sweep charges ordinary probe costs and only runs on the (rare) abort
+    path. *)
+
+val confirm_or_steal :
+  ?remote_op_delay:float ->
+  ?max_take:int ->
+  'a Segment.t array ->
+  start:int ->
+  examined:int ->
+  ('a Steal.loot * int * int, int) result
+(** [confirm_or_steal segments ~start ~examined] probes all segments once,
+    beginning at [start]. Returns [Ok (loot, position, examined')] on the
+    first successful steal, or [Error examined'] when every segment proved
+    empty; [examined'] includes the sweep's probes. [remote_op_delay] and
+    [max_take] are the calling search's parameters. *)

@@ -1,0 +1,202 @@
+open Cpool_sim
+
+(* A class-aware segment: one lock, one counter and one payload stack per
+   class. Counter reads/updates charge like any shared word; payload moves
+   are free (counting profile, as the paper's experiments use). *)
+type 'a seg = {
+  home : Topology.node;
+  lock : Lock.t;
+  counts : int Memory.t array; (* per class *)
+  items : 'a Cpool_util.Vec.t array; (* per class *)
+}
+
+type 'a t = {
+  class_count : int;
+  segs : 'a seg array;
+  termination : Termination.t;
+  add_overhead : float;
+  remove_overhead : float;
+  next_class : int array; (* per participant: remove_any round-robin *)
+  mutable steal_count : int;
+}
+
+let create ?(home_of = Fun.id) ?(add_overhead = 64.0) ?(remove_overhead = 102.0) ~classes
+    ~participants () =
+  if classes <= 0 then invalid_arg "Classed.create: classes must be positive";
+  if participants <= 0 then invalid_arg "Classed.create: participants must be positive";
+  let mk_seg i =
+    let home = home_of i in
+    {
+      home;
+      lock = Lock.make ~home;
+      counts = Array.init classes (fun _ -> Memory.make ~home 0);
+      items = Array.init classes (fun _ -> Cpool_util.Vec.create ());
+    }
+  in
+  {
+    class_count = classes;
+    segs = Array.init participants mk_seg;
+    termination = Termination.create ~home:(home_of 0);
+    add_overhead;
+    remove_overhead;
+    next_class = Array.make participants 0;
+    steal_count = 0;
+  }
+
+let classes t = t.class_count
+
+let participants t = Array.length t.segs
+
+let join t = Termination.join t.termination
+
+let leave t = Termination.leave t.termination
+
+let check t ~me ~cls name =
+  if me < 0 || me >= Array.length t.segs then invalid_arg (name ^ ": participant out of range");
+  if cls < 0 || cls >= t.class_count then invalid_arg (name ^ ": class out of range")
+
+let add t ~me ~cls x =
+  check t ~me ~cls "Classed.add";
+  Engine.delay t.add_overhead;
+  let seg = t.segs.(me) in
+  Lock.with_lock seg.lock (fun () ->
+      ignore (Memory.fetch_add seg.counts.(cls) 1);
+      Cpool_util.Vec.push seg.items.(cls) x)
+
+(* Locked take of one class-[cls] element, if any. *)
+let take_one seg cls =
+  Lock.with_lock seg.lock (fun () ->
+      if Memory.read seg.counts.(cls) = 0 then None
+      else begin
+        ignore (Memory.fetch_add seg.counts.(cls) (-1));
+        Some (Cpool_util.Vec.pop_exn seg.items.(cls))
+      end)
+
+(* Locked steal of ceil(n/2) class-[cls] elements. *)
+let steal_class seg cls =
+  Lock.with_lock seg.lock (fun () ->
+      let n = Memory.read seg.counts.(cls) in
+      if n = 0 then Steal.Nothing
+      else if n = 1 then begin
+        ignore (Memory.fetch_add seg.counts.(cls) (-1));
+        Steal.Single (Cpool_util.Vec.pop_exn seg.items.(cls))
+      end
+      else begin
+        let h = (n + 1) / 2 in
+        ignore (Memory.fetch_add seg.counts.(cls) (-h));
+        match Cpool_util.Vec.take_last seg.items.(cls) h with
+        | x :: rest -> Steal.Batch (x, rest)
+        | [] -> assert false
+      end)
+
+let deposit seg cls xs =
+  match xs with
+  | [] -> ()
+  | _ ->
+    Lock.with_lock seg.lock (fun () ->
+        ignore (Memory.fetch_add seg.counts.(cls) (List.length xs));
+        Cpool_util.Vec.append_list seg.items.(cls) xs)
+
+(* Probe then steal class [cls] at [pos]; bank any remainder at home. *)
+let attempt t ~me ~cls pos =
+  let seg = t.segs.(pos) in
+  if Memory.read seg.counts.(cls) = 0 then None
+  else begin
+    match steal_class seg cls with
+    | Steal.Nothing -> None
+    | Steal.Single x ->
+      t.steal_count <- t.steal_count + 1;
+      Some x
+    | Steal.Batch (x, rest) ->
+      t.steal_count <- t.steal_count + 1;
+      deposit t.segs.(me) cls rest;
+      Some x
+  end
+
+let try_remove t ~me ~cls =
+  check t ~me ~cls "Classed.try_remove";
+  Engine.delay t.remove_overhead;
+  match take_one t.segs.(me) cls with
+  | Some x -> Some x
+  | None ->
+    let p = Array.length t.segs in
+    let rec ring i =
+      if i = p then None
+      else
+        match attempt t ~me ~cls ((me + i) mod p) with
+        | Some x -> Some x
+        | None -> ring (i + 1)
+    in
+    ring 1
+
+(* One locked look at the local segment for any non-empty class, starting
+   the class rotation at [start]. *)
+let take_any_local t ~me ~start =
+  let k = t.class_count in
+  let seg = t.segs.(me) in
+  Lock.with_lock seg.lock (fun () ->
+      let rec scan j =
+        if j = k then None
+        else begin
+          let cls = (start + j) mod k in
+          if Memory.read seg.counts.(cls) > 0 then begin
+            ignore (Memory.fetch_add seg.counts.(cls) (-1));
+            Some (Cpool_util.Vec.pop_exn seg.items.(cls), cls)
+          end
+          else scan (j + 1)
+        end
+      in
+      scan 0)
+
+let remove_any t ~me =
+  check t ~me ~cls:0 "Classed.remove_any";
+  Engine.delay t.remove_overhead;
+  let k = t.class_count in
+  let p = Array.length t.segs in
+  let start = t.next_class.(me) in
+  t.next_class.(me) <- (start + 1) mod k;
+  match take_any_local t ~me ~start with
+  | Some found -> Some found
+  | None ->
+    Termination.begin_search t.termination;
+    let finish r =
+      Termination.end_search t.termination;
+      r
+    in
+    (* Ring search over (segment, rotating class); abort via the shared
+       count plus a confirming sweep over every class everywhere. *)
+    let rec search pos j =
+      let cls = (start + j) mod k in
+      match if pos = me then None else attempt t ~me ~cls pos with
+      | Some x -> finish (Some (x, cls))
+      | None ->
+        let pos, j = if j + 1 = k then ((pos + 1) mod p, 0) else (pos, j + 1) in
+        if j = 0 && Termination.should_abort t.termination then begin
+          match sweep 0 0 with
+          | Some found -> finish (Some found)
+          | None -> finish None
+        end
+        else search pos j
+    and sweep i j =
+      if i = p then None
+      else begin
+        let cls = (start + j) mod k in
+        match attempt t ~me ~cls ((me + i) mod p) with
+        | Some x -> Some (x, cls)
+        | None -> if j + 1 = k then sweep (i + 1) 0 else sweep i (j + 1)
+      end
+    in
+    search ((me + 1) mod p) 0
+
+let size_of_class t cls =
+  if cls < 0 || cls >= t.class_count then invalid_arg "Classed.size_of_class: class out of range";
+  Array.fold_left (fun acc seg -> acc + Memory.peek seg.counts.(cls)) 0 t.segs
+
+let total_size t =
+  let sum = ref 0 in
+  Array.iter
+    (fun seg -> Array.iter (fun c -> sum := !sum + Memory.peek c) seg.counts)
+    t.segs;
+  !sum
+
+let steals t = t.steal_count

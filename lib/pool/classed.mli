@@ -1,0 +1,65 @@
+(** Distinguishable elements: the paper's second open question (Section 5),
+    "How might pools be extended to handle distinguishable elements?"
+
+    Answer implemented here: partition each segment by element {e class}
+    (task type, priority band, ...). Every class keeps its own counter per
+    segment, so probes stay one memory access and steals still move
+    ceil(n/2) of a single class; locality is preserved because a class's
+    elements are still spread across all segments with local adds.
+
+    Semantics follow from the termination analysis: "all participants are
+    searching" proves the {e whole} pool stays empty, but cannot prove a
+    single class will stay empty while producers of other classes are
+    active. Per-class removal is therefore a bounded search
+    ({!try_remove}: own segment, then one ring pass), and only
+    {!remove_any} — which accepts every class — may use the full abort
+    protocol. Callers needing to block on one class loop on
+    {!try_remove} with their own back-off policy.
+
+    Search strategy is linear, per the paper's conclusion that the simple
+    algorithms suffice. *)
+
+type 'a t
+
+val create :
+  ?home_of:(int -> Cpool_sim.Topology.node) ->
+  ?add_overhead:float ->
+  ?remove_overhead:float ->
+  classes:int ->
+  participants:int ->
+  unit ->
+  'a t
+(** [create ~classes ~participants ()] builds the pool; overheads default
+    to the calibrated {!Pool.default_config} values. Raises
+    [Invalid_argument] if [classes <= 0] or [participants <= 0]. *)
+
+val classes : 'a t -> int
+val participants : 'a t -> int
+
+val join : 'a t -> unit
+(** Register the calling process (see {!Pool.join}). *)
+
+val leave : 'a t -> unit
+
+val add : 'a t -> me:int -> cls:int -> 'a -> unit
+(** [add t ~me ~cls x] inserts [x] with class [cls] into [me]'s segment. *)
+
+val try_remove : 'a t -> me:int -> cls:int -> 'a option
+(** [try_remove t ~me ~cls] takes a class-[cls] element from the local
+    segment, or steals half of the first segment holding that class found
+    on one costed ring pass. [None] means no class-[cls] element was
+    visible on this pass — not a proof the class is permanently empty. *)
+
+val remove_any : 'a t -> me:int -> ('a * int) option
+(** [remove_any t ~me] takes an element of any class (preferring the local
+    segment, round-robin over classes), searching and stealing like
+    {!Pool.remove}; [None] only after the all-searching abort condition
+    and a confirming sweep over every class of every segment. *)
+
+val size_of_class : 'a t -> int -> int
+(** [size_of_class t cls] sums class [cls] across segments, uncosted. *)
+
+val total_size : 'a t -> int
+
+val steals : 'a t -> int
+(** Successful steals so far (both entry points), uncosted. *)

@@ -1,0 +1,46 @@
+open Cpool_sim
+
+type t = { waiters : int Memory.t; flags : bool Memory.t array }
+
+let create ~home ~home_of ~participants =
+  if participants <= 0 then invalid_arg "Hints.create: participants must be positive";
+  {
+    waiters = Memory.make ~home 0;
+    flags = Array.init participants (fun i -> Memory.make ~home:(home_of i) false);
+  }
+
+let announce t ~me =
+  Memory.write t.flags.(me) true;
+  ignore (Memory.fetch_add t.waiters 1)
+
+let retract t ~me =
+  if Memory.compare_and_set t.flags.(me) ~expected:true ~desired:false then begin
+    ignore (Memory.fetch_add t.waiters (-1));
+    true
+  end
+  else false
+
+let waiters_hint t = Memory.read t.waiters
+
+let claim_waiter t ~me =
+  let p = Array.length t.flags in
+  let rec scan i =
+    if i = p then None
+    else begin
+      let candidate = (me + i) mod p in
+      (* Cheap read first; the atomic claim only on a likely hit. *)
+      if
+        Memory.read t.flags.(candidate)
+        && Memory.compare_and_set t.flags.(candidate) ~expected:true ~desired:false
+      then begin
+        ignore (Memory.fetch_add t.waiters (-1));
+        Some candidate
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 1
+
+let announced_free t i = Memory.peek t.flags.(i)
+
+let waiters_free t = Memory.peek t.waiters

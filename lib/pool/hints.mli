@@ -1,0 +1,47 @@
+(** The paper's first proposed extension (Section 5): "how might concurrent
+    pools be modified so that searching processors leave hints in the pool,
+    and elements added by another processor can be directed to the
+    searching process."
+
+    A searcher {e announces} itself on a per-participant flag word (homed
+    on its own node) and bumps a shared waiter count; an adder that sees a
+    non-zero count {e claims} a waiter — ring-scan of the flags, atomic
+    clear — and deposits its element directly into that waiter's segment
+    instead of its own. Whoever clears a flag (the claiming adder, or the
+    searcher retracting after finding an element elsewhere) decrements the
+    waiter count, so the count never drifts. *)
+
+type t
+
+val create :
+  home:Cpool_sim.Topology.node -> home_of:(int -> Cpool_sim.Topology.node) -> participants:int -> t
+(** [create ~home ~home_of ~participants] allocates the waiter count on
+    [home] and participant [i]'s flag on [home_of i]. Raises
+    [Invalid_argument] if [participants <= 0]. *)
+
+val announce : t -> me:int -> unit
+(** [announce t ~me] marks [me] as hungry (costed flag write + counter
+    bump). Must be balanced by a successful {!retract} or by an adder's
+    {!claim_waiter}. *)
+
+val retract : t -> me:int -> bool
+(** [retract t ~me] atomically clears [me]'s flag; returns whether this
+    call cleared it (false means an adder already claimed [me] and a
+    delivery is — or soon will be — in [me]'s segment). Decrements the
+    waiter count when it clears. *)
+
+val waiters_hint : t -> int
+(** [waiters_hint t] is a costed read of the shared waiter count — what an
+    adder checks before deciding to deliver. *)
+
+val claim_waiter : t -> me:int -> int option
+(** [claim_waiter t ~me] ring-scans the flags starting after [me] and
+    atomically claims the first announced waiter (costed probes), skipping
+    [me] itself. Returns the claimed participant, or [None] if everyone
+    retracted in the meantime. *)
+
+val announced_free : t -> int -> bool
+(** [announced_free t i] reads [i]'s flag without charging (tests). *)
+
+val waiters_free : t -> int
+(** [waiters_free t] reads the count without charging (tests). *)

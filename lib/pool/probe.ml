@@ -1,0 +1,15 @@
+(** Probing a segment during a search, with the Section 4.3 delay.
+
+    The delay-sweep experiments charge an extra delay per {e logical}
+    remote operation — one per attempt to steal from a remote segment —
+    on top of the per-access NUMA costs. *)
+
+open Cpool_sim
+
+let is_remote seg = Segment.home seg <> Engine.self_node ()
+
+(** [costed ~delay seg] reads [seg]'s size as a steal attempt, charging the
+    extra per-remote-operation [delay] when [seg] is remote. *)
+let costed ~delay seg =
+  if delay > 0.0 && is_remote seg then Engine.delay delay;
+  Segment.probe seg

@@ -1,0 +1,13 @@
+(** Probing a segment during a search, with the Section 4.3 delay.
+
+    The delay-sweep experiments charge an extra delay per {e logical}
+    remote operation — one per attempt to steal from a remote segment —
+    on top of the per-access NUMA costs. *)
+
+val is_remote : 'a Segment.t -> bool
+(** [is_remote seg] is whether [seg]'s home differs from the calling
+    process's node. *)
+
+val costed : delay:float -> 'a Segment.t -> int
+(** [costed ~delay seg] reads [seg]'s size as a steal attempt, charging the
+    extra per-remote-operation [delay] first when [seg] is remote. *)

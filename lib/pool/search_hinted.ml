@@ -1,0 +1,66 @@
+type 'a t = {
+  segments : 'a Segment.t array;
+  termination : Termination.t;
+  hints : Hints.t;
+  remote_op_delay : float;
+  max_take_for : int -> int;
+  last_found : int array;
+}
+
+let create ?(remote_op_delay = 0.0) ?(max_take_for = fun _ -> max_int) ~hints segments
+    termination =
+  let p = Array.length segments in
+  if p = 0 then invalid_arg "Search_hinted.create: no segments";
+  { segments; termination; hints; remote_op_delay; max_take_for; last_found = Array.init p Fun.id }
+
+let search t ~me =
+  let p = Array.length t.segments in
+  Termination.begin_search t.termination;
+  Hints.announce t.hints ~me;
+  let finish outcome =
+    (* Whoever clears the flag owns the waiter-count decrement; a false
+       retract means an adder claimed us and its delivery lands (or already
+       landed) in our segment, where a later remove will find it. *)
+    ignore (Hints.retract t.hints ~me);
+    Termination.end_search t.termination;
+    outcome
+  in
+  let own = t.segments.(me) in
+  let rec probe_at pos examined =
+    (* A delivery may have landed at home since the last step: the home
+       probe is local and cheap, so check it before every remote probe. *)
+    let examined = examined + 1 in
+    if Segment.probe own > 0 then begin
+      match Segment.steal_half ~max_take:(t.max_take_for me) own with
+      | Steal.Nothing -> remote pos examined
+      | loot -> finish (Steal.found ~examined loot)
+    end
+    else remote pos examined
+  and remote pos examined =
+    if pos = me then next pos examined
+    else begin
+      let seg = t.segments.(pos) in
+      let examined = examined + 1 in
+      if Probe.costed ~delay:t.remote_op_delay seg > 0 then begin
+        match Segment.steal_half ~max_take:(t.max_take_for me) seg with
+        | Steal.Nothing -> next pos examined
+        | loot ->
+          t.last_found.(me) <- pos;
+          finish (Steal.found ~examined loot)
+      end
+      else next pos examined
+    end
+  and next pos examined =
+    if Termination.should_abort t.termination then begin
+      match
+        Abort_guard.confirm_or_steal ~remote_op_delay:t.remote_op_delay
+          ~max_take:(t.max_take_for me) t.segments ~start:((pos + 1) mod p) ~examined
+      with
+      | Ok (loot, found_pos, examined) ->
+        t.last_found.(me) <- found_pos;
+        finish (Steal.found ~examined loot)
+      | Error examined -> finish (Steal.aborted ~examined)
+    end
+    else probe_at ((pos + 1) mod p) examined
+  in
+  probe_at t.last_found.(me) 0

@@ -1,0 +1,26 @@
+(** Hinted search: the linear algorithm extended with the paper's Section 5
+    proposal.
+
+    Before searching, the process {e announces} itself on the hint board
+    ({!Hints}); adders that see waiters deliver elements straight into the
+    announcer's segment. The search therefore re-probes its own (local,
+    cheap) segment between remote probes, and retracts its announcement on
+    any exit. Deliveries surface as one-element finds whose search ended at
+    the home segment. *)
+
+type 'a t
+
+val create :
+  ?remote_op_delay:float ->
+  ?max_take_for:(int -> int) ->
+  hints:Hints.t ->
+  'a Segment.t array ->
+  Termination.t ->
+  'a t
+(** [create ~hints segments termination] builds the search state; the same
+    [hints] board must be consulted by the pool's adds for deliveries to
+    happen. Raises [Invalid_argument] on an empty array. *)
+
+val search : 'a t -> me:int -> 'a Steal.outcome
+(** [search t ~me] announces, searches (own segment first, then the ring),
+    and retracts. Aborts exactly as the linear search does. *)

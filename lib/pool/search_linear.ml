@@ -1,0 +1,51 @@
+type 'a t = {
+  segments : 'a Segment.t array;
+  termination : Termination.t;
+  remote_op_delay : float;
+  max_take_for : int -> int; (* steal-size cap for a bounded thief *)
+  last_found : int array; (* per participant: ring position of the last successful steal *)
+}
+
+let create ?(remote_op_delay = 0.0) ?(max_take_for = fun _ -> max_int) segments termination =
+  let p = Array.length segments in
+  if p = 0 then invalid_arg "Search_linear.create: no segments";
+  { segments; termination; remote_op_delay; max_take_for; last_found = Array.init p Fun.id }
+
+let search t ~me =
+  let p = Array.length t.segments in
+  Termination.begin_search t.termination;
+  let finish outcome =
+    Termination.end_search t.termination;
+    outcome
+  in
+  let rec probe_at pos examined =
+    let seg = t.segments.(pos) in
+    let examined = examined + 1 in
+    if Probe.costed ~delay:t.remote_op_delay seg > 0 then begin
+      match Segment.steal_half ~max_take:(t.max_take_for me) seg with
+      | Steal.Nothing ->
+        (* Raced: drained between probe and lock. Keep travelling. *)
+        next pos examined
+      | loot ->
+        t.last_found.(me) <- pos;
+        finish (Steal.found ~examined loot)
+    end
+    else next pos examined
+  and next pos examined =
+    (* Livelock detection consults the shared counter after every failed
+       probe, as the paper's shared-count scheme does; the confirmation
+       sweep then distinguishes a genuinely empty pool from an unluckily
+       ordered search (see Abort_guard). *)
+    if Termination.should_abort t.termination then begin
+      match
+        Abort_guard.confirm_or_steal ~remote_op_delay:t.remote_op_delay
+          ~max_take:(t.max_take_for me) t.segments ~start:((pos + 1) mod p) ~examined
+      with
+      | Ok (loot, found_pos, examined) ->
+        t.last_found.(me) <- found_pos;
+        finish (Steal.found ~examined loot)
+      | Error examined -> finish (Steal.aborted ~examined)
+    end
+    else probe_at ((pos + 1) mod p) examined
+  in
+  probe_at t.last_found.(me) 0

@@ -1,0 +1,28 @@
+(** The linear search algorithm (paper Section 2.2).
+
+    "The linear algorithm starts looking at the segment where it last found
+    elements, and travels from one segment to the next segment, as if they
+    were arranged in a ring, until it finds a non-empty segment to split."
+    The first search of each process begins at its own segment. *)
+
+type 'a t
+
+val create :
+  ?remote_op_delay:float ->
+  ?max_take_for:(int -> int) ->
+  'a Segment.t array ->
+  Termination.t ->
+  'a t
+(** [create segments termination] ([remote_op_delay], default 0, is charged
+    once per logical remote operation during searches — see
+    {!Pool.config.remote_op_delay}; [max_take_for me], default unlimited,
+    caps how many elements participant [me] steals at once — a bounded
+    thief passes its spare capacity + 1) builds per-process search state for
+    [Array.length segments] participants. Raises [Invalid_argument] on an
+    empty array. *)
+
+val search : 'a t -> me:int -> 'a Steal.outcome
+(** [search t ~me] runs one search on behalf of participant [me] (inside
+    [me]'s simulated process). Charges all probe/steal costs; maintains
+    the shared searching count; aborts when every participant is
+    searching. *)

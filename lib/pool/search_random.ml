@@ -1,0 +1,44 @@
+open Cpool_sim
+
+type 'a t = {
+  segments : 'a Segment.t array;
+  termination : Termination.t;
+  remote_op_delay : float;
+  max_take_for : int -> int; (* steal-size cap for a bounded thief *)
+}
+
+let create ?(remote_op_delay = 0.0) ?(max_take_for = fun _ -> max_int) segments termination =
+  if Array.length segments = 0 then invalid_arg "Search_random.create: no segments";
+  { segments; termination; remote_op_delay; max_take_for }
+
+let search t ~me =
+  let p = Array.length t.segments in
+  Termination.begin_search t.termination;
+  let finish outcome =
+    Termination.end_search t.termination;
+    outcome
+  in
+  let rec probe examined =
+    let seg = t.segments.(Engine.random_int p) in
+    let examined = examined + 1 in
+    if Probe.costed ~delay:t.remote_op_delay seg > 0 then begin
+      match Segment.steal_half ~max_take:(t.max_take_for me) seg with
+      | Steal.Nothing -> continue examined
+      | loot -> finish (Steal.found ~examined loot)
+    end
+    else continue examined
+  and continue examined =
+    (* Consult the livelock detector after every failed probe; random
+       probes guarantee no coverage, so a confirmation sweep decides
+       (see Abort_guard). *)
+    if Termination.should_abort t.termination then begin
+      match
+        Abort_guard.confirm_or_steal ~remote_op_delay:t.remote_op_delay
+          ~max_take:(t.max_take_for me) t.segments ~start:0 ~examined
+      with
+      | Ok (loot, _, examined) -> finish (Steal.found ~examined loot)
+      | Error examined -> finish (Steal.aborted ~examined)
+    end
+    else probe examined
+  in
+  probe 0

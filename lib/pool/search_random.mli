@@ -1,0 +1,24 @@
+(** The random search algorithm (paper Section 2.3).
+
+    "Another simple algorithm chooses segments at random until it finds a
+    non-empty segment to split." Probes draw from the calling process's
+    deterministic random stream, with replacement, over all segments. *)
+
+type 'a t
+
+val create :
+  ?remote_op_delay:float ->
+  ?max_take_for:(int -> int) ->
+  'a Segment.t array ->
+  Termination.t ->
+  'a t
+(** [create segments termination] ([remote_op_delay], default 0, is charged
+    once per logical remote operation during searches — see
+    {!Pool.config.remote_op_delay}; [max_take_for me], default unlimited,
+    caps how many elements participant [me] steals at once — a bounded
+    thief passes its spare capacity + 1) builds the search state. Raises
+    [Invalid_argument] on an empty array. *)
+
+val search : 'a t -> me:int -> 'a Steal.outcome
+(** [search t ~me] runs one search on behalf of participant [me]. Charges
+    all probe/steal costs; aborts when every participant is searching. *)

@@ -1,0 +1,156 @@
+open Cpool_sim
+
+(* Heap layout over a full binary tree with [leaves] = 2^k leaves:
+   node 0 is the root, node i has children 2i+1 and 2i+2 and parent
+   (i-1)/2; leaf j occupies index leaves-1+j. Segments beyond the real
+   participant count are phantom leaves that are permanently empty. *)
+
+type 'a t = {
+  segments : 'a Segment.t array;
+  termination : Termination.t;
+  remote_op_delay : float;
+  max_take_for : int -> int; (* steal-size cap for a bounded thief *)
+  leaves : int;
+  rounds : int Memory.t array; (* one round counter per tree node *)
+  locks : Lock.t array; (* internal nodes only; protects children's counters *)
+  my_round : int array; (* per participant *)
+  last_leaf : int array; (* per participant: most recently visited leaf *)
+  started : bool array; (* first search starts at the home leaf *)
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
+
+let leaf_index t j = t.leaves - 1 + j
+
+let span t i =
+  (* Number of leaves under node i = leaves / 2^depth(i). *)
+  let rec depth i acc = if i = 0 then acc else depth ((i - 1) / 2) (acc + 1) in
+  t.leaves lsr depth i 0
+
+let create ?(remote_op_delay = 0.0) ?(max_take_for = fun _ -> max_int) segments termination =
+  let p = Array.length segments in
+  if p = 0 then invalid_arg "Search_tree.create: no segments";
+  let leaves = next_pow2 p 1 in
+  let node_count = (2 * leaves) - 1 in
+  let home_of_tree_node i =
+    if i >= leaves - 1 then begin
+      (* Leaf: co-located with its segment; phantoms round-robin. *)
+      let j = i - (leaves - 1) in
+      if j < p then Segment.home segments.(j) else j mod p
+    end
+    else i mod p
+  in
+  {
+    segments;
+    termination;
+    remote_op_delay;
+    max_take_for;
+    leaves;
+    rounds = Array.init node_count (fun i -> Memory.make ~home:(home_of_tree_node i) 0);
+    locks = Array.init (leaves - 1) (fun i -> Lock.make ~home:(home_of_tree_node i));
+    my_round = Array.make p 1;
+    last_leaf = Array.init p Fun.id;
+    started = Array.make p false;
+  }
+
+let leaf_count t = t.leaves
+
+let round_of_leaf_free t j = Memory.peek t.rounds.(leaf_index t j)
+
+let my_round_free t i = t.my_round.(i)
+
+let search t ~me =
+  let p = Array.length t.segments in
+  Termination.begin_search t.termination;
+  let finish outcome =
+    Termination.end_search t.termination;
+    outcome
+  in
+  let rec visit_leaf j examined =
+    t.last_leaf.(me) <- j;
+    let examined = examined + 1 in
+    if j < p then begin
+      let seg = t.segments.(j) in
+      if Probe.costed ~delay:t.remote_op_delay seg > 0 then begin
+        match Segment.steal_half ~max_take:(t.max_take_for me) seg with
+        | Steal.Nothing -> empty_leaf j examined
+        | loot -> finish (Steal.found ~examined loot)
+      end
+      else empty_leaf j examined
+    end
+    else begin
+      (* Phantom leaf: examining it costs one access to its counter word,
+         plus the per-remote-operation delay if that word is remote. *)
+      let cell = t.rounds.(leaf_index t j) in
+      if t.remote_op_delay > 0.0 && Memory.home cell <> Engine.self_node () then
+        Engine.delay t.remote_op_delay;
+      ignore (Memory.read cell);
+      empty_leaf j examined
+    end
+  and empty_leaf j examined =
+    (* The livelock check runs after every failed leaf probe; a
+       confirmation sweep proves the pool empty before aborting (see
+       Abort_guard). *)
+    if Termination.should_abort t.termination then begin
+      match
+        Abort_guard.confirm_or_steal ~remote_op_delay:t.remote_op_delay
+          ~max_take:(t.max_take_for me) t.segments ~start:me ~examined
+      with
+      | Ok (loot, found_pos, examined) ->
+        t.last_leaf.(me) <- found_pos;
+        finish (Steal.found ~examined loot)
+      | Error examined -> finish (Steal.aborted ~examined)
+    end
+    else if t.leaves = 1 then begin
+      (* The tree is a single leaf: the whole tree is empty, start a new
+         round at our own (only) leaf. *)
+      t.my_round.(me) <- t.my_round.(me) + 1;
+      visit_leaf me examined
+    end
+    else ascend ((leaf_index t j - 1) / 2) (leaf_index t j) examined
+  and ascend v child examined =
+    (* [child]'s subtree was just found empty; decide where to go by
+       comparing round counters under [v]'s lock (paper: counters are
+       examined and modified atomically). *)
+    let left = (2 * v) + 1 and right = (2 * v) + 2 in
+    (* One logical access of a (remote) superimposed-tree node. *)
+    if t.remote_op_delay > 0.0 && Lock.home t.locks.(v) <> Engine.self_node () then
+      Engine.delay t.remote_op_delay;
+    Lock.acquire t.locks.(v);
+    let left_round = Memory.read t.rounds.(left) in
+    let right_round = Memory.read t.rounds.(right) in
+    let newest = max left_round right_round in
+    if newest > t.my_round.(me) then begin
+      (* Case 3: we are behind; adopt the newer round, restart at home. *)
+      Lock.release t.locks.(v);
+      t.my_round.(me) <- newest;
+      visit_leaf me examined
+    end
+    else begin
+      Memory.write t.rounds.(child) t.my_round.(me);
+      let sibling_round = if child = left then right_round else left_round in
+      Lock.release t.locks.(v);
+      if sibling_round = t.my_round.(me) then
+        if v = 0 then begin
+          (* Case 2 at the root: the whole tree is empty this round. *)
+          t.my_round.(me) <- t.my_round.(me) + 1;
+          visit_leaf me examined
+        end
+        else ascend ((v - 1) / 2) v examined
+      else begin
+        (* Case 1: the sibling subtree has not been marked empty as
+           recently — descend to the matching descendant of the last
+           leaf visited. *)
+        let matching = t.last_leaf.(me) lxor span t child in
+        visit_leaf matching examined
+      end
+    end
+  in
+  let start =
+    if t.started.(me) then t.last_leaf.(me)
+    else begin
+      t.started.(me) <- true;
+      me
+    end
+  in
+  visit_leaf start 0

@@ -1,0 +1,52 @@
+(** Manber's tree search algorithm (paper Section 2.1).
+
+    A binary tree is superimposed on the segments, one segment per leaf.
+    Every subtree carries a *round counter* recording the last round in
+    which it was completely traversed and found empty; every process keeps
+    its own round number. Ascending from an exhausted subtree, a process
+    compares counters under the parent's lock and either
+
+    + descends to the {e matching descendant} in the sibling subtree (the
+      leaf in the symmetric position of the last leaf visited) when the
+      sibling was marked empty less recently — case 1;
+    + keeps ascending when the sibling is just as recently empty — case 2
+      (at the root it instead starts a new round at its own leaf);
+    + or, discovering it is a round behind, adopts the newer round and
+      restarts at its own leaf — case 3.
+
+    The segment count is padded to the next power of two with permanently
+    empty phantom leaves so the tree is full, as the paper assumes. Leaf
+    counters are homed with their segments; internal nodes are distributed
+    round-robin over the nodes ("this tree must reside somewhere ... it is
+    likely to be remote for most of the processors"). *)
+
+type 'a t
+
+val create :
+  ?remote_op_delay:float ->
+  ?max_take_for:(int -> int) ->
+  'a Segment.t array ->
+  Termination.t ->
+  'a t
+(** [create segments termination] ([remote_op_delay], default 0, is charged
+    once per logical remote operation during searches — see
+    {!Pool.config.remote_op_delay}; [max_take_for me], default unlimited,
+    caps how many elements participant [me] steals at once — a bounded
+    thief passes its spare capacity + 1) superimposes the tree. Raises
+    [Invalid_argument] on an empty array. *)
+
+val search : 'a t -> me:int -> 'a Steal.outcome
+(** [search t ~me] runs one tree search on behalf of participant [me]. The
+    first search starts at [me]'s own leaf, later ones at the last leaf
+    visited. Charges all lock, counter and probe costs; aborts when every
+    participant is searching. *)
+
+val leaf_count : 'a t -> int
+(** [leaf_count t] is the padded (power-of-two) number of leaves. *)
+
+val round_of_leaf_free : 'a t -> int -> int
+(** [round_of_leaf_free t j] reads leaf [j]'s round counter without charging
+    (tests and instrumentation). *)
+
+val my_round_free : 'a t -> int -> int
+(** [my_round_free t i] is participant [i]'s private round number (tests). *)

@@ -1,0 +1,128 @@
+open Cpool_sim
+
+type profile = Counting | Boxed
+
+type 'a t = {
+  seg_id : int;
+  home_node : Topology.node;
+  profile : profile;
+  bound : int option;
+  locking_probes : bool;
+  lock : Lock.t;
+  count : int Memory.t; (* authoritative size; every costed op touches it *)
+  items : 'a Cpool_util.Vec.t; (* payloads, mirroring [count] *)
+  on_size_change : int -> unit;
+}
+
+let make ?(on_size_change = fun _ -> ()) ?capacity ?(locking_probes = false) ~home ~id profile =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Segment.make: capacity must be positive"
+  | Some _ | None -> ());
+  {
+    seg_id = id;
+    home_node = home;
+    profile;
+    bound = capacity;
+    locking_probes;
+    lock = Lock.make ~home;
+    count = Memory.make ~home 0;
+    items = Cpool_util.Vec.create ();
+    on_size_change;
+  }
+
+let capacity s = s.bound
+
+let id s = s.seg_id
+
+let home s = s.home_node
+
+let size_free s = Memory.peek s.count
+
+let probe s =
+  if s.locking_probes then Lock.with_lock s.lock (fun () -> Memory.read s.count)
+  else Memory.read s.count
+
+(* Charge the per-element block-transfer cost in the boxed profile; the
+   counting profile's split is a single counter operation (paper Sec 3.2). *)
+let charge_transfer s n =
+  match s.profile with
+  | Counting -> ()
+  | Boxed -> Engine.charge_n ~home:s.home_node n
+
+let notify s = s.on_size_change (Memory.peek s.count)
+
+let add s x =
+  Lock.with_lock s.lock (fun () ->
+      ignore (Memory.fetch_add s.count 1);
+      charge_transfer s 1;
+      Cpool_util.Vec.push s.items x;
+      notify s)
+
+let probe_spare s =
+  let n = Memory.read s.count in
+  match s.bound with None -> max_int | Some c -> max 0 (c - n)
+
+let try_add s x =
+  Lock.with_lock s.lock (fun () ->
+      let n = Memory.read s.count in
+      match s.bound with
+      | Some c when n >= c -> false
+      | Some _ | None ->
+        ignore (Memory.fetch_add s.count 1);
+        charge_transfer s 1;
+        Cpool_util.Vec.push s.items x;
+        notify s;
+        true)
+
+let try_remove s =
+  Lock.with_lock s.lock (fun () ->
+      let n = Memory.read s.count in
+      if n = 0 then None
+      else begin
+        ignore (Memory.fetch_add s.count (-1));
+        charge_transfer s 1;
+        let x = Cpool_util.Vec.pop_exn s.items in
+        notify s;
+        Some x
+      end)
+
+let steal_half ?(max_take = max_int) s =
+  if max_take < 1 then invalid_arg "Segment.steal_half: max_take must be >= 1";
+  Lock.with_lock s.lock (fun () ->
+      let n = Memory.read s.count in
+      if n = 0 then Steal.Nothing
+      else if n = 1 then begin
+        ignore (Memory.fetch_add s.count (-1));
+        charge_transfer s 1;
+        let x = Cpool_util.Vec.pop_exn s.items in
+        notify s;
+        Steal.Single x
+      end
+      else begin
+        let h = min ((n + 1) / 2) max_take in
+        ignore (Memory.fetch_add s.count (-h));
+        charge_transfer s h;
+        let taken = Cpool_util.Vec.take_last s.items h in
+        notify s;
+        match taken with
+        | x :: rest -> Steal.Batch (x, rest)
+        | [] -> assert false
+      end)
+
+let prefill_one s x =
+  Memory.poke s.count (Memory.peek s.count + 1);
+  Cpool_util.Vec.push s.items x;
+  notify s
+
+let deposit s xs =
+  match xs with
+  | [] -> ()
+  | _ ->
+    let n = List.length xs in
+    Lock.with_lock s.lock (fun () ->
+        ignore (Memory.fetch_add s.count n);
+        charge_transfer s n;
+        Cpool_util.Vec.append_list s.items xs;
+        notify s)
+
+let lock_stats s = (Lock.acquisitions s.lock, Lock.contended_acquisitions s.lock)

@@ -1,0 +1,98 @@
+(** One per-processor segment of a concurrent pool (simulated).
+
+    A segment is a locked collection of elements homed on its owner's node.
+    Following the paper (Section 3.2) the *counting* profile represents the
+    segment as "a single counter that is atomically added to, subtracted
+    from, or split in half": element payloads ride along for free and block
+    transfer of stolen elements is not charged. The *boxed* profile charges
+    one access per element moved, restoring the cost the paper notes its
+    simplification eliminated.
+
+    All operations must run inside a simulated process; they charge the
+    caller local or remote access costs and serialise under the segment's
+    lock, which is where the paper's inter-process interference arises. *)
+
+type profile =
+  | Counting  (** Per-element transfer costs not charged (paper's setup). *)
+  | Boxed  (** One access charged per element moved. *)
+
+type 'a t
+(** A segment holding elements of type ['a]. *)
+
+val make :
+  ?on_size_change:(int -> unit) ->
+  ?capacity:int ->
+  ?locking_probes:bool ->
+  home:Cpool_sim.Topology.node ->
+  id:int ->
+  profile ->
+  'a t
+(** [make ~home ~id profile] is an empty segment homed on [home].
+    [on_size_change] is invoked (costlessly) with the new size after every
+    mutation, for the segment-size traces of Figures 3-6. [capacity]
+    bounds the segment (default unbounded): {!try_add} refuses to exceed
+    it and {!steal_half} respects [max_take]; {!deposit} may transiently
+    overshoot under races (a soft bound — see the paper's footnote on
+    full segments, handled "in a symmetric fashion"). Raises
+    [Invalid_argument] if [capacity <= 0].
+
+    [locking_probes] (default false) makes {!probe} acquire the segment
+    lock around its read, as the paper's own implementation did ("another
+    source is the locking at the leaves") — searching processes then queue
+    against the owner's adds/removes, which is what drove the paper's
+    sparse-mix times into the tens of milliseconds. The default models a
+    modern atomic size read. *)
+
+val id : 'a t -> int
+(** [id s] is the identifier given at creation (= owner index). *)
+
+val home : 'a t -> Cpool_sim.Topology.node
+(** [home s] is the node the segment lives on. *)
+
+val size_free : 'a t -> int
+(** [size_free s] reads the current size without charging (instrumentation
+    and tests only). *)
+
+val probe : 'a t -> int
+(** [probe s] is a costed, unlocked read of the size — what a searching
+    process does to decide whether to attempt a steal. *)
+
+val capacity : 'a t -> int option
+(** [capacity s] is the bound given at creation, if any. *)
+
+val probe_spare : 'a t -> int
+(** [probe_spare s] is a costed, unlocked read of the spare capacity
+    ([max_int] when unbounded) — what a spilling process does to decide
+    whether to attempt a remote add. *)
+
+val add : 'a t -> 'a -> unit
+(** [add s x] inserts [x] under the segment lock, ignoring any capacity
+    (used by the unbounded experiments and by steal banking). *)
+
+val try_add : 'a t -> 'a -> bool
+(** [try_add s x] inserts [x] under the lock unless that would exceed the
+    capacity; returns whether it did. Always succeeds when unbounded. *)
+
+val try_remove : 'a t -> 'a option
+(** [try_remove s] removes an arbitrary element under the lock, or returns
+    [None] if the segment is empty. *)
+
+val steal_half : ?max_take:int -> 'a t -> 'a Steal.loot
+(** [steal_half s] locks [s] and removes [min (ceil n/2) max_take] of its
+    [n] elements ([Nothing] if [n = 0], the sole element if [n = 1]). The
+    thief deposits the remainder into its own segment afterwards with
+    {!deposit}; victim and thief segments are never locked simultaneously,
+    which rules out steal/steal deadlock. [max_take] defaults to
+    unlimited; a bounded thief passes its spare capacity + 1. *)
+
+val prefill_one : 'a t -> 'a -> unit
+(** [prefill_one s x] inserts [x] without charging costs or locking;
+    initialises a pool before a run (may be called outside a process). *)
+
+val deposit : 'a t -> 'a list -> unit
+(** [deposit s xs] adds all of [xs] under one lock acquisition (the thief
+    banking the stolen remainder into its own segment). *)
+
+val lock_stats : 'a t -> int * int
+(** [lock_stats s] is [(acquisitions, contended_acquisitions)] of the
+    segment lock, for interference analysis. *)

@@ -1,0 +1,54 @@
+(** Shared vocabulary of the steal machinery.
+
+    Kept in its own module so segments, search strategies and the pool agree
+    on one set of types without a dependency cycle. *)
+
+(** What a locked steal attempt extracted from a victim segment. *)
+type 'a loot =
+  | Nothing  (** The victim was empty under the lock. *)
+  | Single of 'a
+      (** The victim held exactly one element, which is taken directly (the
+          paper: "unless there is only one element in the remote segment, in
+          which case that element is taken immediately"). *)
+  | Batch of 'a * 'a list
+      (** [Batch (x, rest)]: the victim held [n >= 2] elements; the thief
+          removed [ceil n/2] of them — [x] satisfies the pending remove and
+          [rest] is deposited into the thief's own segment. *)
+
+(** Statistics of one completed search, feeding the paper's measurements. *)
+type stats = {
+  segments_examined : int;
+      (** Leaf/segment probes performed before elements were found (or the
+          search aborted). *)
+  elements_stolen : int;
+      (** Total elements moved by the steal, including the one returned; 0
+          if aborted. *)
+}
+
+(** Result of a whole search-and-steal, as returned by a search strategy.
+    The caller (the pool) deposits [rest] into the thief's own segment. *)
+type 'a outcome =
+  | Found of { element : 'a; rest : 'a list; stats : stats }
+  | Aborted of stats
+      (** Livelock detection fired: every active participant was searching,
+          so no element can appear. *)
+
+let loot_size = function
+  | Nothing -> 0
+  | Single _ -> 1
+  | Batch (_, rest) -> 1 + List.length rest
+
+let found ~examined loot =
+  match loot with
+  | Nothing -> invalid_arg "Steal.found: empty loot"
+  | Single element ->
+    Found { element; rest = []; stats = { segments_examined = examined; elements_stolen = 1 } }
+  | Batch (element, rest) ->
+    Found
+      {
+        element;
+        rest;
+        stats = { segments_examined = examined; elements_stolen = 1 + List.length rest };
+      }
+
+let aborted ~examined = Aborted { segments_examined = examined; elements_stolen = 0 }

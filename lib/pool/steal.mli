@@ -1,0 +1,44 @@
+(** Shared vocabulary of the steal machinery.
+
+    Kept in its own module so segments, search strategies and the pool
+    agree on one set of types without a dependency cycle. *)
+
+(** What a locked steal attempt extracted from a victim segment. *)
+type 'a loot =
+  | Nothing  (** The victim was empty under the lock. *)
+  | Single of 'a
+      (** The victim held exactly one element, which is taken directly (the
+          paper: "unless there is only one element in the remote segment, in
+          which case that element is taken immediately"). *)
+  | Batch of 'a * 'a list
+      (** [Batch (x, rest)]: the victim held [n >= 2] elements; the thief
+          removed up to [ceil n/2] — [x] satisfies the pending remove and
+          [rest] is deposited into the thief's own segment. *)
+
+(** Statistics of one completed search, feeding the paper's measurements. *)
+type stats = {
+  segments_examined : int;
+      (** Probes performed before elements were found (or the search
+          aborted). *)
+  elements_stolen : int;
+      (** Total elements moved by the steal, including the one returned;
+          0 if aborted. *)
+}
+
+(** Result of a whole search-and-steal, as returned by a search strategy.
+    The caller (the pool) deposits [rest] into the thief's own segment. *)
+type 'a outcome =
+  | Found of { element : 'a; rest : 'a list; stats : stats }
+  | Aborted of stats
+      (** Livelock detection fired: every active participant was searching
+          and a confirmation sweep found nothing. *)
+
+val loot_size : 'a loot -> int
+(** [loot_size l] is the number of elements [l] carries. *)
+
+val found : examined:int -> 'a loot -> 'a outcome
+(** [found ~examined loot] is the [Found] outcome for a non-empty [loot].
+    Raises [Invalid_argument] on [Nothing]. *)
+
+val aborted : examined:int -> 'a outcome
+(** [aborted ~examined] is the empty-pool outcome. *)

@@ -1,0 +1,24 @@
+open Cpool_sim
+
+type t = { searching : int Memory.t; active : int Memory.t }
+
+let create ~home = { searching = Memory.make ~home 0; active = Memory.make ~home 0 }
+
+let join t = ignore (Memory.fetch_add t.active 1)
+
+let leave t = ignore (Memory.fetch_add t.active (-1))
+
+let begin_search t = ignore (Memory.fetch_add t.searching 1)
+
+let end_search t = ignore (Memory.fetch_add t.searching (-1))
+
+let should_abort t =
+  let searching = Memory.read t.searching in
+  (* The two counters share a home node; one costed read covers the pair of
+     words fetched together. *)
+  let active = Memory.peek t.active in
+  searching >= active
+
+let active_free t = Memory.peek t.active
+
+let searching_free t = Memory.peek t.searching

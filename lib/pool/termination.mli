@@ -1,0 +1,44 @@
+(** Livelock detection for empty-pool searches.
+
+    The paper (Section 3.2): if every segment empties and every process
+    starts searching, none will ever add an element and the pool livelocks.
+    "Our implementations keep a shared count of the processes looking for
+    elements. When any process discovers that all the processes involved in
+    the pool operations are looking (and therefore no process might be
+    adding), it aborts its operation." This module is that shared-memory
+    mechanism — deliberately not a distributed termination protocol, as the
+    paper notes.
+
+    We additionally track the number of *active participants* (processes
+    that have joined and not yet left), so that searches also abort at the
+    end of a run when the only processes still working are searchers. *)
+
+type t
+
+val create : home:Cpool_sim.Topology.node -> t
+(** [create ~home] allocates the shared counters on node [home]. *)
+
+val join : t -> unit
+(** [join t] registers the calling process as an active participant
+    (costed). *)
+
+val leave : t -> unit
+(** [leave t] deregisters the calling process (costed). *)
+
+val begin_search : t -> unit
+(** [begin_search t] increments the shared searching count (costed). Must be
+    balanced by {!end_search}. *)
+
+val end_search : t -> unit
+(** [end_search t] decrements the shared searching count (costed). *)
+
+val should_abort : t -> bool
+(** [should_abort t] is a costed check, performed by a process that is
+    itself searching, of whether every active participant is now searching —
+    in which case no element can ever appear and the search must abort. *)
+
+val active_free : t -> int
+(** [active_free t] reads the participant count without charging (tests). *)
+
+val searching_free : t -> int
+(** [searching_free t] reads the searching count without charging (tests). *)

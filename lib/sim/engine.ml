@@ -1,0 +1,186 @@
+type pid = int
+
+(* Debug tracing; enable with Logs.Src.set_level Engine.log_src (Some Debug). *)
+let log_src = Logs.Src.create "cpool.sim.engine" ~doc:"Discrete-event engine tracing"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+exception Not_in_process
+
+exception Process_failure of string * exn
+
+type proc = {
+  pid : pid;
+  node : Topology.node;
+  name : string;
+  rng : Rng.t;
+  mutable finished : bool;
+}
+
+type t = {
+  mutable time : float;
+  mutable seq : int;
+  events : (unit -> unit) Pqueue.t;
+  cost : Topology.cost_model;
+  node_count : int;
+  rng : Rng.t;
+  mutable next_pid : int;
+  mutable live : int; (* spawned, not yet finished *)
+  mutable executed : int;
+  parked : (pid, string) Hashtbl.t;
+}
+
+type env = { engine : t; proc : proc }
+
+(* The three fundamental effects; everything else is derived. [Env] carries
+   the process's identity and engine so that context operations need no
+   global state. *)
+type wakeup = { mutable fired : bool; resume : unit -> unit }
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Suspend : (wakeup -> unit) -> unit Effect.t
+  | Env : env Effect.t
+
+let create ?(cost = Topology.butterfly) ~nodes ~seed () =
+  if nodes <= 0 then invalid_arg "Engine.create: nodes must be positive";
+  (match Topology.validate cost with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.create: " ^ msg));
+  {
+    time = 0.0;
+    seq = 0;
+    events = Pqueue.create ();
+    cost;
+    node_count = nodes;
+    rng = Rng.create seed;
+    next_pid = 0;
+    live = 0;
+    executed = 0;
+    parked = Hashtbl.create 16;
+  }
+
+let nodes t = t.node_count
+
+let cost_model t = t.cost
+
+let now t = t.time
+
+let events_executed t = t.executed
+
+let schedule t ~at thunk =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Pqueue.add t.events ~time:at ~seq thunk
+
+let spawn t ~node ~name body =
+  if node < 0 || node >= t.node_count then
+    invalid_arg "Engine.spawn: node out of range";
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  t.live <- t.live + 1;
+  Log.debug (fun m -> m "t=%.3f spawn pid=%d node=%d %s" t.time pid node name);
+  let proc = { pid; node; name; rng = Rng.split t.rng; finished = false } in
+  let env = { engine = t; proc } in
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc =
+        (fun () ->
+          proc.finished <- true;
+          Log.debug (fun m -> m "t=%.3f finish pid=%d %s" t.time pid name);
+          t.live <- t.live - 1);
+      exnc = (fun e -> raise (Process_failure (name, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                schedule t ~at:(t.time +. Float.max d 0.0) (fun () ->
+                    Effect.Deep.continue k ()))
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                Log.debug (fun m -> m "t=%.3f park pid=%d %s" t.time pid name);
+                Hashtbl.replace t.parked pid name;
+                let w =
+                  {
+                    fired = false;
+                    resume =
+                      (fun () ->
+                        Log.debug (fun m -> m "t=%.3f wake pid=%d %s" t.time pid name);
+                        Hashtbl.remove t.parked pid;
+                        schedule t ~at:t.time (fun () -> Effect.Deep.continue k ()));
+                  }
+                in
+                register w)
+          | Env -> Some (fun k -> Effect.Deep.continue k env)
+          | _ -> None);
+    }
+  in
+  schedule t ~at:t.time (fun () -> Effect.Deep.match_with body () handler);
+  pid
+
+type outcome = Completed | Deadlocked of string list | Hit_limit
+
+let run ?(limit = Float.infinity) t =
+  let rec loop () =
+    match Pqueue.peek t.events with
+    | None ->
+      if Hashtbl.length t.parked > 0 then begin
+        let stuck = Hashtbl.fold (fun _ name acc -> name :: acc) t.parked [] in
+        let stuck = List.sort String.compare stuck in
+        Log.warn (fun m ->
+            m "t=%.3f deadlock: %d process(es) parked forever: %s" t.time (List.length stuck)
+              (String.concat ", " stuck));
+        Deadlocked stuck
+      end
+      else Completed
+    | Some (time, _, _) when time > limit -> Hit_limit
+    | Some (time, _, _) ->
+      let thunk =
+        match Pqueue.pop t.events with
+        | Some (_, _, thunk) -> thunk
+        | None -> assert false
+      in
+      t.time <- Float.max t.time time;
+      t.executed <- t.executed + 1;
+      thunk ();
+      loop ()
+  in
+  loop ()
+
+let env () = try Effect.perform Env with Effect.Unhandled _ -> raise Not_in_process
+
+let self_pid () = (env ()).proc.pid
+
+let self_node () = (env ()).proc.node
+
+let self_name () = (env ()).proc.name
+
+let clock () = (env ()).engine.time
+
+let delay d = try Effect.perform (Delay d) with Effect.Unhandled _ -> raise Not_in_process
+
+let charge ~home =
+  let { engine; proc } = env () in
+  delay (Topology.access_cost engine.cost ~from:proc.node ~home)
+
+let charge_n ~home n =
+  let { engine; proc } = env () in
+  let unit_cost = Topology.access_cost engine.cost ~from:proc.node ~home in
+  delay (unit_cost *. float_of_int n)
+
+let random_int n = Rng.int (env ()).proc.rng n
+
+let random_float x = Rng.float (env ()).proc.rng x
+
+let random_bool () = Rng.bool (env ()).proc.rng
+
+let suspend register =
+  try Effect.perform (Suspend register) with Effect.Unhandled _ -> raise Not_in_process
+
+let wake w =
+  if w.fired then invalid_arg "Engine.wake: wakeup already fired";
+  w.fired <- true;
+  w.resume ()

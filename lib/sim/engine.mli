@@ -1,0 +1,112 @@
+(** Discrete-event simulation engine with coroutine processes.
+
+    A simulated multiprocessor: processes are plain OCaml functions pinned to
+    a node; they advance virtual time by performing effects ({!delay},
+    {!charge}, {!suspend}) that the engine interprets. The engine executes
+    events in virtual-time order with deterministic tie-breaking, so a run is
+    a pure function of the seed. All times are in microseconds.
+
+    Functions documented as "inside a process" may only be called from within
+    a function passed to {!spawn} during {!run}; elsewhere they raise
+    [Not_in_process]. *)
+
+type t
+(** A simulation engine instance. *)
+
+val log_src : Logs.src
+(** The engine's log source ([cpool.sim.engine]). Spawns, completions,
+    parks, wakes and deadlocks are logged at debug/warning level; enable
+    with [Logs.Src.set_level Engine.log_src (Some Logs.Debug)] and a
+    reporter. Logging never affects virtual time or determinism. *)
+
+type pid = int
+(** Process identifier, unique within an engine. *)
+
+exception Not_in_process
+(** Raised by process-context operations called outside a process. *)
+
+exception Process_failure of string * exn
+(** [Process_failure (name, exn)]: process [name] raised [exn]. *)
+
+val create : ?cost:Topology.cost_model -> nodes:int -> seed:int64 -> unit -> t
+(** [create ~nodes ~seed ()] is an engine simulating [nodes] processor nodes.
+    [cost] defaults to {!Topology.butterfly}. Raises [Invalid_argument] if
+    [nodes <= 0] or the cost model does not validate. *)
+
+val nodes : t -> int
+(** [nodes t] is the node count given at creation. *)
+
+val cost_model : t -> Topology.cost_model
+(** [cost_model t] is the engine's NUMA cost model. *)
+
+val now : t -> float
+(** [now t] is the current virtual time (callable from anywhere). *)
+
+val events_executed : t -> int
+(** [events_executed t] counts scheduler events processed so far. *)
+
+val spawn : t -> node:Topology.node -> name:string -> (unit -> unit) -> pid
+(** [spawn t ~node ~name body] registers a process to start at the current
+    virtual time. Raises [Invalid_argument] if [node] is out of range. *)
+
+type outcome =
+  | Completed  (** Every spawned process ran to completion. *)
+  | Deadlocked of string list
+      (** The event queue drained while these processes were still suspended
+          waiting for a wake-up that can no longer arrive. *)
+  | Hit_limit
+      (** The time limit passed to {!run} elapsed with work remaining. *)
+
+val run : ?limit:float -> t -> outcome
+(** [run t] executes events until the queue drains or virtual time would
+    exceed [limit] (default: no limit). Re-raises process exceptions wrapped
+    in {!Process_failure}. May be called repeatedly: processes spawned after
+    a [run] are picked up by the next [run]. *)
+
+(** {1 Process context operations} *)
+
+val self_pid : unit -> pid
+(** [self_pid ()] is the running process's identifier. *)
+
+val self_node : unit -> Topology.node
+(** [self_node ()] is the node the running process is pinned to. *)
+
+val self_name : unit -> string
+(** [self_name ()] is the running process's name. *)
+
+val clock : unit -> float
+(** [clock ()] is the current virtual time, inside a process. *)
+
+val delay : float -> unit
+(** [delay d] advances the process's virtual time by [max d 0.]; other
+    processes may run in between. *)
+
+val charge : home:Topology.node -> unit
+(** [charge ~home] delays for the cost of one memory access to a word homed
+    on [home], per the engine's cost model. *)
+
+val charge_n : home:Topology.node -> int -> unit
+(** [charge_n ~home n] charges [n] consecutive accesses. *)
+
+val random_int : int -> int
+(** [random_int n] draws uniformly from [\[0, n)] using the process's private
+    deterministic stream. *)
+
+val random_float : float -> float
+(** [random_float x] draws uniformly from [\[0, x)]. *)
+
+val random_bool : unit -> bool
+(** [random_bool ()] is a fair coin flip from the process's stream. *)
+
+type wakeup
+(** A one-shot handle that resumes a suspended process. *)
+
+val suspend : (wakeup -> unit) -> unit
+(** [suspend register] parks the running process after calling
+    [register w]; the process resumes (at the waker's virtual time) when
+    some other process calls [wake w]. [register] must store [w] somewhere a
+    waker will find it and must not call [wake] itself. *)
+
+val wake : wakeup -> unit
+(** [wake w] schedules the suspended process to resume at the current
+    virtual time. Raises [Invalid_argument] if [w] was already woken. *)

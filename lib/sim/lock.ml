@@ -1,0 +1,59 @@
+type t = {
+  home_node : Topology.node;
+  mutable owner : Engine.pid option;
+  waiters : (Engine.pid * Engine.wakeup option ref) Queue.t;
+  mutable acquired : int;
+  mutable contended : int;
+}
+
+let make ~home =
+  { home_node = home; owner = None; waiters = Queue.create (); acquired = 0; contended = 0 }
+
+let home l = l.home_node
+
+let acquire l =
+  let pid = Engine.self_pid () in
+  if l.owner = Some pid then invalid_arg "Lock.acquire: lock already held";
+  Engine.charge ~home:l.home_node;
+  match l.owner with
+  | None ->
+    l.owner <- Some pid;
+    l.acquired <- l.acquired + 1
+  | Some _ ->
+    l.contended <- l.contended + 1;
+    (* Park until a release names us the owner; the ref lets [release]
+       find the wakeup that [suspend] hands us. *)
+    Engine.suspend (fun w -> Queue.push (pid, ref (Some w)) l.waiters);
+    (* Resumed: the releaser set [owner] to us before waking. *)
+    assert (l.owner = Some pid);
+    l.acquired <- l.acquired + 1
+
+let release l =
+  let pid = Engine.self_pid () in
+  if l.owner <> Some pid then invalid_arg "Lock.release: lock not held by caller";
+  Engine.charge ~home:l.home_node;
+  match Queue.take_opt l.waiters with
+  | None -> l.owner <- None
+  | Some (next_pid, cell) -> (
+    l.owner <- Some next_pid;
+    match !cell with
+    | Some w ->
+      cell := None;
+      Engine.wake w
+    | None -> assert false)
+
+let with_lock l f =
+  acquire l;
+  match f () with
+  | v ->
+    release l;
+    v
+  | exception e ->
+    release l;
+    raise e
+
+let holder l = l.owner
+
+let acquisitions l = l.acquired
+
+let contended_acquisitions l = l.contended

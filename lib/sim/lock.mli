@@ -1,0 +1,40 @@
+(** Simulated FIFO mutual-exclusion locks.
+
+    A lock word lives on a home node; acquiring charges one access to that
+    word (remote for most contenders, as on the Butterfly), and contended
+    acquirers queue in FIFO order — an idealised queue lock. Waiting time
+    under contention is the paper's main source of inter-process
+    interference, and is captured exactly by the grant schedule; the busy
+    cycles a real spinlock would burn are not modelled (documented in
+    DESIGN.md). *)
+
+type t
+(** A simulated lock. *)
+
+val make : home:Topology.node -> t
+(** [make ~home] is a free lock whose word is homed on [home]. *)
+
+val home : t -> Topology.node
+(** [home l] is the lock word's home node. *)
+
+val acquire : t -> unit
+(** [acquire l] charges one access, then either takes the free lock or
+    blocks until granted in FIFO order. Raises [Invalid_argument] if the
+    calling process already holds [l] (the simulated machines have no
+    recursive locks). *)
+
+val release : t -> unit
+(** [release l] charges one access and passes the lock to the oldest waiter,
+    if any. Raises [Invalid_argument] if the caller does not hold [l]. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock l f] runs [f] under [l], releasing on exception too. *)
+
+val holder : t -> Engine.pid option
+(** [holder l] is the current holder, for instrumentation. *)
+
+val acquisitions : t -> int
+(** [acquisitions l] counts successful acquires so far. *)
+
+val contended_acquisitions : t -> int
+(** [contended_acquisitions l] counts acquires that had to wait. *)

@@ -1,0 +1,47 @@
+type 'a t = {
+  home_node : Topology.node;
+  mutable value : 'a;
+  mutable access_count : int;
+}
+
+let make ~home value = { home_node = home; value; access_count = 0 }
+
+let home c = c.home_node
+
+let charge c =
+  c.access_count <- c.access_count + 1;
+  Engine.charge ~home:c.home_node
+
+let read c =
+  charge c;
+  c.value
+
+let write c v =
+  charge c;
+  c.value <- v
+
+let fetch_add c d =
+  charge c;
+  let old = c.value in
+  c.value <- old + d;
+  old
+
+let update c f =
+  charge c;
+  let old = c.value in
+  c.value <- f old;
+  old
+
+let compare_and_set c ~expected ~desired =
+  charge c;
+  if c.value = expected then begin
+    c.value <- desired;
+    true
+  end
+  else false
+
+let accesses c = c.access_count
+
+let peek c = c.value
+
+let poke c v = c.value <- v

@@ -1,0 +1,48 @@
+(** Simulated shared memory cells with NUMA access costing.
+
+    A cell lives on a home node; every operation performed from inside a
+    simulated process first charges the appropriate local/remote access cost
+    (during which other processes may run), then applies its primitive
+    instantaneously — so plain reads and writes are individually atomic and
+    the read-modify-write operations are atomic, exactly as on real
+    shared-memory hardware. Sequences of operations interleave.
+
+    The [peek]/[poke] observers bypass costing for instrumentation and test
+    setup; they must not be used to model program behaviour. *)
+
+type 'a t
+(** A shared memory cell holding an ['a]. *)
+
+val make : home:Topology.node -> 'a -> 'a t
+(** [make ~home v] allocates a cell on node [home] with initial value [v]. *)
+
+val home : 'a t -> Topology.node
+(** [home c] is the cell's home node. *)
+
+val read : 'a t -> 'a
+(** [read c] charges one access and returns the value. *)
+
+val write : 'a t -> 'a -> unit
+(** [write c v] charges one access and stores [v]. *)
+
+val fetch_add : int t -> int -> int
+(** [fetch_add c d] charges one access, then atomically adds [d] and returns
+    the previous value. *)
+
+val update : 'a t -> ('a -> 'a) -> 'a
+(** [update c f] charges one access, then atomically replaces the value [v]
+    with [f v], returning the previous [v]. *)
+
+val compare_and_set : 'a t -> expected:'a -> desired:'a -> bool
+(** [compare_and_set c ~expected ~desired] charges one access, then
+    atomically installs [desired] if the current value equals [expected]
+    (structural equality), returning whether it did. *)
+
+val accesses : 'a t -> int
+(** [accesses c] counts costed operations performed on [c] so far. *)
+
+val peek : 'a t -> 'a
+(** [peek c] reads without charging; for instrumentation only. *)
+
+val poke : 'a t -> 'a -> unit
+(** [poke c v] writes without charging; for test setup only. *)

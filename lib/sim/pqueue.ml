@@ -1,0 +1,101 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = { mutable heap : 'a entry array; mutable size : int }
+
+(* A classic binary min-heap in a growable array. The dummy entry fills
+   unused slots so the array can be of a concrete element type. *)
+
+let initial_capacity = 64
+
+let create () = { heap = [||]; size = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let key_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q needed =
+  let capacity = max initial_capacity (Array.length q.heap) in
+  let rec next c = if c >= needed then c else next (2 * c) in
+  let capacity = next capacity in
+  if capacity > Array.length q.heap then begin
+    match q.size with
+    | 0 ->
+      (* No existing element to use as filler; delay allocation until the
+         first [add] supplies one. *)
+      ()
+    | _ ->
+      let filler = q.heap.(0) in
+      let heap = Array.make capacity filler in
+      Array.blit q.heap 0 heap 0 q.size;
+      q.heap <- heap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if key_lt q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = i in
+  let smallest =
+    if left < q.size && key_lt q.heap.(left) q.heap.(smallest) then left
+    else smallest
+  in
+  let smallest =
+    if right < q.size && key_lt q.heap.(right) q.heap.(smallest) then right
+    else smallest
+  in
+  if smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(smallest);
+    q.heap.(smallest) <- tmp;
+    sift_down q smallest
+  end
+
+let add q ~time ~seq payload =
+  if Float.is_nan time then invalid_arg "Pqueue.add: NaN time";
+  let entry = { time; seq; payload } in
+  if q.size = Array.length q.heap then begin
+    if q.size = 0 then q.heap <- Array.make initial_capacity entry
+    else grow q (q.size + 1)
+  end;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.seq, top.payload)
+  end
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let top = q.heap.(0) in
+    Some (top.time, top.seq, top.payload)
+
+let clear q = q.size <- 0
+
+let to_sorted_list q =
+  let rec drain acc =
+    match pop q with
+    | None -> List.rev acc
+    | Some e -> drain (e :: acc)
+  in
+  drain []

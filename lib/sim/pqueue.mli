@@ -1,0 +1,33 @@
+(** Minimum priority queue keyed by [(time, sequence)] pairs.
+
+    The event queue of the simulator. Keys order first by time and then by a
+    monotonically increasing sequence number, so simultaneous events pop in
+    insertion order and every simulation run is deterministic. *)
+
+type 'a t
+(** A mutable min-heap of ['a] payloads. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty queue. *)
+
+val length : 'a t -> int
+(** [length q] is the number of queued elements. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is [length q = 0]. *)
+
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+(** [add q ~time ~seq x] inserts [x] with key [(time, seq)].
+    Raises [Invalid_argument] if [time] is NaN. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** [pop q] removes and returns the minimum-key entry, or [None] if empty. *)
+
+val peek : 'a t -> (float * int * 'a) option
+(** [peek q] is the minimum-key entry without removing it. *)
+
+val clear : 'a t -> unit
+(** [clear q] removes every element. *)
+
+val to_sorted_list : 'a t -> (float * int * 'a) list
+(** [to_sorted_list q] drains [q], returning all entries in key order. *)

@@ -1,0 +1,3 @@
+(* Re-export: the generator lives in Cpool_util so that non-simulation
+   libraries (the multicore pool) can share it. *)
+include Cpool_util.Rng

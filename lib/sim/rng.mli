@@ -1,0 +1,4 @@
+(** Deterministic pseudo-random number generator (re-exported from
+    {!Cpool_util.Rng}; see there for documentation). *)
+
+include module type of Cpool_util.Rng

@@ -1,0 +1,29 @@
+type node = int
+
+type cost_model = {
+  local_cost : float;
+  remote_ratio : float;
+  remote_extra : float;
+  compute_per_op : float;
+}
+
+let butterfly =
+  { local_cost = 2.0; remote_ratio = 4.0; remote_extra = 0.0; compute_per_op = 40.0 }
+
+let with_remote_extra remote_extra m = { m with remote_extra }
+
+let access_cost m ~from ~home =
+  if from = home then m.local_cost
+  else (m.remote_ratio *. m.local_cost) +. m.remote_extra
+
+let validate m =
+  let non_negative name v =
+    if Float.is_nan v || v < 0.0 then Error (name ^ " must be non-negative") else Ok ()
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* () = non_negative "local_cost" m.local_cost in
+  let* () = non_negative "remote_extra" m.remote_extra in
+  let* () = non_negative "compute_per_op" m.compute_per_op in
+  if Float.is_nan m.remote_ratio || m.remote_ratio < 1.0 then
+    Error "remote_ratio must be >= 1.0"
+  else Ok ()

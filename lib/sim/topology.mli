@@ -1,0 +1,40 @@
+(** NUMA cost model: what a memory access costs, by locality.
+
+    The simulated machine follows the paper's Butterfly model: every memory
+    word lives on some node ("home"); a process on the same node pays
+    [local_cost] per access, a process elsewhere pays
+    [remote_ratio *. local_cost +. remote_extra]. The paper reports remote
+    accesses roughly 4x local on the Butterfly, and adds artificial
+    [remote_extra] delays (1 us .. 100 ms) to emulate loosely coupled
+    architectures. Times are in microseconds throughout the simulator. *)
+
+type node = int
+(** Processor-node identifier, in [\[0, nodes)]. *)
+
+type cost_model = {
+  local_cost : float;  (** Cost of one local memory access, in us. *)
+  remote_ratio : float;  (** Remote-to-local cost ratio (Butterfly: 4.0). *)
+  remote_extra : float;
+      (** Additional delay charged per remote access, in us; 0 on the real
+          Butterfly, swept upward in the delay experiments. *)
+  compute_per_op : float;
+      (** Fixed local computation charged once per pool operation (argument
+          setup, bookkeeping); calibrates absolute operation times. *)
+}
+
+val butterfly : cost_model
+(** The default model calibrated to the paper: [local_cost = 2.0],
+    [remote_ratio = 4.0], [remote_extra = 0.0], [compute_per_op = 40.0],
+    which yields uncontended add times near 70 us and remove times near
+    110 us as reported in Section 4.3. *)
+
+val with_remote_extra : float -> cost_model -> cost_model
+(** [with_remote_extra d m] is [m] with [remote_extra = d]. *)
+
+val access_cost : cost_model -> from:node -> home:node -> float
+(** [access_cost m ~from ~home] is the cost of one access to a word homed on
+    [home] issued by a process on [from]. *)
+
+val validate : cost_model -> (unit, string) result
+(** [validate m] checks every field is finite and non-negative and
+    [remote_ratio >= 1.0]. *)

@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 mixing function (Steele, Lea & Flood 2014). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = next_int64 g in
+  (* Mix once more so parent and child streams differ even for seed 0. *)
+  { state = mix64 seed }
+
+let bits g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2)
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if n land (n - 1) = 0 then bits g land (n - 1)
+  else begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let max_usable = 0x3FFFFFFFFFFFFFFF - (0x3FFFFFFFFFFFFFFF mod n) in
+    let rec draw () =
+      let v = bits g in
+      if v >= max_usable then draw () else v mod n
+    in
+    draw ()
+  end
+
+let float g x =
+  (* 53 random bits scaled to [0, 1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 g) 11) in
+  float_of_int v /. 9007199254740992.0 *. x
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

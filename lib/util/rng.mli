@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator — random search probes, job-mix
+    draws, workload shuffles — draws from an explicit generator so that a run
+    is a pure function of its seed. Splitmix64 passes BigCrush, is trivially
+    splittable, and needs no global state. *)
+
+type t
+(** A mutable generator. *)
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Distinct seeds give independent
+    streams for practical purposes. *)
+
+val copy : t -> t
+(** [copy g] is a generator with the same state as [g]; the two then evolve
+    independently. *)
+
+val split : t -> t
+(** [split g] derives a new independent generator from [g], advancing [g].
+    Used to give each simulated process its own stream. *)
+
+val next_int64 : t -> int64
+(** [next_int64 g] is the next raw 64-bit output. *)
+
+val bits : t -> int
+(** [bits g] is a non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** [bool g] is a fair coin flip. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** [shuffle_in_place g a] applies a Fisher-Yates shuffle to [a]. *)

@@ -1,0 +1,71 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length v = v.size
+
+let is_empty v = v.size = 0
+
+(* Grow a non-empty vector; an existing element serves as filler so no dummy
+   value is required. *)
+let grow v =
+  let new_capacity = max 8 (2 * Array.length v.data) in
+  let data = Array.make new_capacity v.data.(0) in
+  Array.blit v.data 0 data 0 v.size;
+  v.data <- data
+
+let push v x =
+  if v.size = Array.length v.data then
+    if v.size = 0 then v.data <- Array.make 8 x else grow v;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let pop v =
+  if v.size = 0 then None
+  else begin
+    v.size <- v.size - 1;
+    Some v.data.(v.size)
+  end
+
+let pop_exn v =
+  match pop v with
+  | Some x -> x
+  | None -> invalid_arg "Vec.pop_exn: empty"
+
+let check_bounds v i name = if i < 0 || i >= v.size then invalid_arg name
+
+let get v i =
+  check_bounds v i "Vec.get: index out of bounds";
+  v.data.(i)
+
+let set v i x =
+  check_bounds v i "Vec.set: index out of bounds";
+  v.data.(i) <- x
+
+let take_last v n =
+  let n = min n v.size in
+  let rec take acc k = if k = 0 then acc else take (pop_exn v :: acc) (k - 1) in
+  List.rev (take [] n)
+
+let append_list v xs = List.iter (push v) xs
+
+let clear v = v.size <- 0
+
+let to_list v = List.init v.size (fun i -> v.data.(i))
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let swap_remove v i =
+  check_bounds v i "Vec.swap_remove: index out of bounds";
+  let x = v.data.(i) in
+  v.size <- v.size - 1;
+  v.data.(i) <- v.data.(v.size);
+  x

@@ -1,0 +1,56 @@
+(** Growable array (the stdlib gains [Dynarray] only in OCaml 5.2).
+
+    Amortised O(1) push/pop at the end; used as the backing store for pool
+    segments and work lists. Not thread-safe: callers synchronise. *)
+
+type 'a t
+(** A growable array of ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty vector. *)
+
+val of_list : 'a list -> 'a t
+(** [of_list xs] contains the elements of [xs] in order. *)
+
+val length : 'a t -> int
+(** [length v] is the number of elements. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty v] is [length v = 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x]. *)
+
+val pop : 'a t -> 'a option
+(** [pop v] removes and returns the last element, or [None] if empty. *)
+
+val pop_exn : 'a t -> 'a
+(** [pop_exn v] is [pop v]; raises [Invalid_argument] if empty. *)
+
+val get : 'a t -> int -> 'a
+(** [get v i] is element [i]. Raises [Invalid_argument] if out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set v i x] replaces element [i]. Raises [Invalid_argument] if out of
+    bounds. *)
+
+val take_last : 'a t -> int -> 'a list
+(** [take_last v n] removes the last [min n (length v)] elements and returns
+    them (most recently pushed first). *)
+
+val append_list : 'a t -> 'a list -> unit
+(** [append_list v xs] pushes each element of [xs] in order. *)
+
+val clear : 'a t -> unit
+(** [clear v] removes all elements. *)
+
+val to_list : 'a t -> 'a list
+(** [to_list v] is the elements in index order. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f v] applies [f] to each element in index order. *)
+
+val swap_remove : 'a t -> int -> 'a
+(** [swap_remove v i] removes element [i] in O(1) by swapping the last
+    element into its place; returns the removed element. Raises
+    [Invalid_argument] if out of bounds. *)

@@ -1,0 +1,256 @@
+open Cpool_sim
+open Cpool
+open Cpool_metrics
+
+type spec = {
+  pool : Pool.config;
+  roles : Role.t array;
+  total_ops : int;
+  initial_elements : int;
+  seed : int64;
+  cost : Topology.cost_model;
+  record_trace : bool;
+}
+
+let default_spec =
+  {
+    pool = Pool.default_config;
+    roles = Role.uniform_mix ~participants:16 ~add_percent:50;
+    total_ops = 5000;
+    initial_elements = 320;
+    seed = 1L;
+    cost = Topology.butterfly;
+    record_trace = false;
+  }
+
+type result = {
+  add_time : Sample.t;
+  remove_time : Sample.t;
+  steal_time : Sample.t;
+  op_time : Sample.t;
+  abort_time : Sample.t;
+  segments_per_steal : Sample.t;
+  elements_per_steal : Sample.t;
+  aborts : int;
+  ops_performed : int;
+  pool_totals : Pool.totals;
+  duration : float;
+  trace : Trace.t option;
+  final_sizes : int array;
+}
+
+let steal_fraction r =
+  if r.pool_totals.Pool.removes = 0 then Float.nan
+  else float_of_int r.pool_totals.Pool.steals /. float_of_int r.pool_totals.Pool.removes
+
+(* Mutable per-phase measurement accumulator. *)
+type phase_acc = {
+  acc_add : Sample.t;
+  acc_remove : Sample.t;
+  acc_steal : Sample.t;
+  acc_op : Sample.t;
+  acc_abort : Sample.t;
+  acc_segments : Sample.t;
+  acc_elements : Sample.t;
+  mutable acc_aborts : int;
+  mutable acc_ops : int;
+  mutable acc_start : float;
+  mutable acc_end : float;
+  mutable acc_snapshot : int array; (* segment sizes when the phase quota drained *)
+}
+
+let fresh_acc p =
+  {
+    acc_add = Sample.create ();
+    acc_remove = Sample.create ();
+    acc_steal = Sample.create ();
+    acc_op = Sample.create ();
+    acc_abort = Sample.create ();
+    acc_segments = Sample.create ();
+    acc_elements = Sample.create ();
+    acc_aborts = 0;
+    acc_ops = 0;
+    acc_start = Float.infinity;
+    acc_end = 0.0;
+    acc_snapshot = Array.make p 0;
+  }
+
+let validate_phase p k (ops, roles) =
+  if ops < 0 then invalid_arg (Printf.sprintf "Driver: phase %d has a negative quota" k);
+  if Array.length roles <> p then
+    invalid_arg (Printf.sprintf "Driver: phase %d needs one role per participant" k)
+
+(* The core: run [phases] back to back on one pool. *)
+let execute spec phases =
+  let p = spec.pool.Pool.participants in
+  List.iteri (validate_phase p) phases;
+  if spec.initial_elements < 0 then invalid_arg "Driver.run: negative initial fill";
+  let engine = Engine.create ~cost:spec.cost ~nodes:p ~seed:spec.seed () in
+  let trace = if spec.record_trace then Some (Trace.create ~segments:p) else None in
+  let on_size_change ~seg ~size =
+    match trace with
+    | Some t -> Trace.record t ~time:(Engine.now engine) ~seg ~size
+    | None -> ()
+  in
+  let pool = Pool.create ~on_size_change spec.pool in
+  (* Spread the initial fill evenly; a remainder goes to low segments. *)
+  let base = spec.initial_elements / p and extra = spec.initial_elements mod p in
+  Pool.prefill pool (fun i -> i) ~per_segment:base;
+  for i = 0 to extra - 1 do
+    Pool.prefill_segment pool ~seg:i ((base * p) + i)
+  done;
+  let phases = Array.of_list phases in
+  let nphases = Array.length phases in
+  let quotas = Array.map (fun (ops, _) -> Memory.make ~home:0 ops) phases in
+  let accs = Array.init nphases (fun _ -> fresh_acc p) in
+  let body i () =
+    Pool.join pool;
+    for k = 0 to nphases - 1 do
+      let _, roles = phases.(k) in
+      let acc = accs.(k) in
+      let continue = ref true in
+      while !continue do
+        let before = Memory.fetch_add quotas.(k) (-1) in
+        if before <= 0 then continue := false
+        else begin
+          if before = 1 then begin
+            (* Last unit of this phase: snapshot the segment sizes as the
+               phase boundary state. *)
+            acc.acc_snapshot <- Array.init p (Pool.size_of_segment pool)
+          end;
+          acc.acc_ops <- acc.acc_ops + 1;
+          let is_add =
+            match roles.(i) with
+            | Role.Producer -> true
+            | Role.Consumer -> false
+            | Role.Mixed percent -> Engine.random_int 100 < percent
+          in
+          let t0 = Engine.clock () in
+          acc.acc_start <- Float.min acc.acc_start t0;
+          (if is_add then begin
+             let outcome = Pool.add_bounded pool ~me:i (Engine.random_int 1_000_000) in
+             let dt = Engine.clock () -. t0 in
+             Sample.add acc.acc_op dt;
+             match outcome with
+             | Pool.Added_locally | Pool.Spilled _ | Pool.Delivered _ ->
+               Sample.add acc.acc_add dt
+             | Pool.Rejected ->
+               (* A full pool: the failed attempt still consumed quota and
+                  time, like an aborted remove. *)
+               ()
+           end
+           else
+             match Pool.remove pool ~me:i with
+             | Pool.Local _ ->
+               let dt = Engine.clock () -. t0 in
+               Sample.add acc.acc_remove dt;
+               Sample.add acc.acc_op dt
+             | Pool.Stolen (_, stats) ->
+               let dt = Engine.clock () -. t0 in
+               Sample.add acc.acc_remove dt;
+               Sample.add acc.acc_steal dt;
+               Sample.add acc.acc_op dt;
+               Sample.add_int acc.acc_segments stats.Steal.segments_examined;
+               Sample.add_int acc.acc_elements stats.Steal.elements_stolen
+             | Pool.Empty _ ->
+               let dt = Engine.clock () -. t0 in
+               Sample.add acc.acc_abort dt;
+               Sample.add acc.acc_op dt;
+               acc.acc_aborts <- acc.acc_aborts + 1);
+          acc.acc_end <- Float.max acc.acc_end (Engine.clock ())
+        end
+      done
+    done;
+    Pool.leave pool
+  in
+  for i = 0 to p - 1 do
+    ignore (Engine.spawn engine ~node:i ~name:(Printf.sprintf "proc%d" i) (body i))
+  done;
+  (match Engine.run engine with
+  | Engine.Completed -> ()
+  | Engine.Deadlocked names ->
+    failwith ("Driver.run: simulation deadlocked: " ^ String.concat "," names)
+  | Engine.Hit_limit -> assert false);
+  (* Convert accumulators to results. Per-phase totals are reconstructed
+     from the per-phase samples (adds/removes/steals/aborts are recorded
+     per phase); counters only the pool tracks (spills, deliveries,
+     rejects) are reported as 0 per phase — single-phase [run] substitutes
+     the pool's exact totals. *)
+  let all_totals = Pool.totals pool in
+  let results = ref [] in
+  for k = nphases - 1 downto 0 do
+    let acc = accs.(k) in
+    let phase_totals =
+      {
+        Pool.adds = Sample.n acc.acc_add;
+        removes = Sample.n acc.acc_remove;
+        steals = Sample.n acc.acc_steal;
+        aborts = acc.acc_aborts;
+        spills = 0;
+        deliveries = 0;
+        rejected_adds = 0;
+        segments_examined = int_of_float (Sample.total acc.acc_segments);
+        elements_stolen = int_of_float (Sample.total acc.acc_elements);
+      }
+    in
+    results :=
+      {
+        add_time = acc.acc_add;
+        remove_time = acc.acc_remove;
+        steal_time = acc.acc_steal;
+        op_time = acc.acc_op;
+        abort_time = acc.acc_abort;
+        segments_per_steal = acc.acc_segments;
+        elements_per_steal = acc.acc_elements;
+        aborts = acc.acc_aborts;
+        ops_performed = acc.acc_ops;
+        pool_totals = phase_totals;
+        duration =
+          (if Float.is_finite acc.acc_start then acc.acc_end -. acc.acc_start else 0.0);
+        trace;
+        final_sizes =
+          (if k = nphases - 1 then Array.init p (Pool.size_of_segment pool)
+           else acc.acc_snapshot);
+      }
+      :: !results
+  done;
+  (!results, all_totals, Engine.now engine, pool)
+
+let run spec =
+  if Array.length spec.roles <> spec.pool.Pool.participants then
+    invalid_arg "Driver.run: one role per participant required";
+  if spec.total_ops < 0 then invalid_arg "Driver.run: negative quota";
+  match execute spec [ (spec.total_ops, spec.roles) ] with
+  | [ result ], all_totals, now, pool ->
+    (* For a single phase the pool's own totals are exact (they include
+       spills/deliveries/rejects); prefer them. *)
+    {
+      result with
+      pool_totals = all_totals;
+      duration = now;
+      final_sizes =
+        Array.init spec.pool.Pool.participants (Cpool.Pool.size_of_segment pool);
+    }
+  | _ -> assert false
+
+let run_phases spec phases =
+  if phases = [] then invalid_arg "Driver.run_phases: no phases";
+  let results, _, _, _ = execute spec phases in
+  results
+
+let run_trials ~trials spec =
+  if trials <= 0 then invalid_arg "Driver.run_trials: trials must be positive";
+  List.init trials (fun k ->
+      run { spec with seed = Int64.add spec.seed (Int64.of_int (k * 1_000_003)) })
+
+let mean_of field results =
+  let means =
+    List.filter_map
+      (fun r ->
+        let s = field r in
+        if Sample.is_empty s then None else Some (Sample.mean s))
+      results
+  in
+  match means with
+  | [] -> Float.nan
+  | _ -> List.fold_left ( +. ) 0.0 means /. float_of_int (List.length means)

@@ -1,0 +1,80 @@
+(** The experiment driver: one measured pool run (paper Section 3.4).
+
+    Spawns one simulated process per participant; processes draw operations
+    according to their roles and keep operating "until the combined total
+    number of operations reached the desired amount" — a shared fetch-add
+    quota, itself a remote access for most processes, as in the paper. The
+    pool starts nearly empty (320 elements against 5000 operations in the
+    paper's configuration), forcing dependence on concurrently added
+    elements. *)
+
+type spec = {
+  pool : Cpool.Pool.config;
+  roles : Role.t array;  (** One role per participant. *)
+  total_ops : int;  (** Combined operation quota (paper: 5000). *)
+  initial_elements : int;
+      (** Elements prefilled, spread evenly over segments (paper: 320). *)
+  seed : int64;
+  cost : Cpool_sim.Topology.cost_model;
+  record_trace : bool;  (** Record segment sizes over time (Figures 3-6). *)
+}
+
+val default_spec : spec
+(** The paper's stress configuration: 16 participants, linear search,
+    counting segments, 5000 ops, 320 initial elements, Butterfly costs,
+    uniform 50% mix, no trace. *)
+
+(** Everything measured in one trial. *)
+type result = {
+  add_time : Cpool_metrics.Sample.t;  (** Time of each add, us. *)
+  remove_time : Cpool_metrics.Sample.t;
+      (** Time of each successful remove (local or stolen), us. *)
+  steal_time : Cpool_metrics.Sample.t;
+      (** Time of each remove that required a steal, us. *)
+  op_time : Cpool_metrics.Sample.t;
+      (** Time of every operation, including removes that aborted on an
+          empty pool — Figure 2's metric (at sparse mixes the long
+          searches of failed removes dominate, as in the paper). *)
+  abort_time : Cpool_metrics.Sample.t;
+      (** Time of each remove that aborted. *)
+  segments_per_steal : Cpool_metrics.Sample.t;
+      (** Segments examined by each successful steal. *)
+  elements_per_steal : Cpool_metrics.Sample.t;
+      (** Elements obtained by each successful steal (Figure 7's metric). *)
+  aborts : int;  (** Removes that aborted on a confirmed-empty pool. *)
+  ops_performed : int;  (** Operations charged against the quota. *)
+  pool_totals : Cpool.Pool.totals;
+  duration : float;  (** Virtual time from start to last process exit. *)
+  trace : Cpool_metrics.Trace.t option;  (** Present iff [record_trace]. *)
+  final_sizes : int array;  (** Segment sizes when the run ended. *)
+}
+
+val steal_fraction : result -> float
+(** [steal_fraction r] is the fraction of successful removes that required
+    a steal ("the percentage of remove operations that required a steal, in
+    effect, the frequency of steal operations"); [nan] if no removes. *)
+
+val run : spec -> result
+(** [run spec] executes one complete trial on a fresh engine. Raises
+    [Invalid_argument] if [roles] length differs from the participant
+    count, or quotas/fills are negative. *)
+
+val run_phases : spec -> (int * Role.t array) list -> result list
+(** [run_phases spec phases] runs the phases back to back on one pool and
+    engine — the paper's observation that real workloads have "an initial
+    phase with more than sufficient adds (as the pool is filled), a stable
+    phase, and a more sparse termination phase" (Section 3.5), and that
+    producer/consumer roles "may change dynamically over time" (Section
+    3.3). Each phase [(ops, roles)] has its own shared quota and its own
+    measurements; pool contents carry across phases. [spec.roles] and
+    [spec.total_ops] are ignored. Results are per-phase, in order. Raises
+    [Invalid_argument] on an empty phase list or mismatched role arrays. *)
+
+val run_trials : trials:int -> spec -> result list
+(** [run_trials ~trials spec] runs [trials] independent trials whose seeds
+    derive from [spec.seed] (the paper averages ten). *)
+
+val mean_of : (result -> Cpool_metrics.Sample.t) -> result list -> float
+(** [mean_of field results] averages [Sample.mean (field r)] over the
+    trials that have data, weighting trials equally as the paper does;
+    [nan] if none do. *)

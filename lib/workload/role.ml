@@ -1,0 +1,49 @@
+type t = Mixed of int | Producer | Consumer
+
+let to_string = function
+  | Mixed p -> Printf.sprintf "mixed(%d%% adds)" p
+  | Producer -> "producer"
+  | Consumer -> "consumer"
+
+let check_participants participants =
+  if participants <= 0 then invalid_arg "Role: participants must be positive"
+
+let check_producers participants producers =
+  check_participants participants;
+  if producers < 0 || producers > participants then
+    invalid_arg "Role: producers out of range"
+
+let uniform_mix ~participants ~add_percent =
+  check_participants participants;
+  if add_percent < 0 || add_percent > 100 then invalid_arg "Role: add_percent out of [0, 100]";
+  Array.make participants (Mixed add_percent)
+
+let contiguous_producers ~participants ~producers =
+  check_producers participants producers;
+  Array.init participants (fun i -> if i < producers then Producer else Consumer)
+
+let balanced_producers ~participants ~producers =
+  check_producers participants producers;
+  let roles = Array.make participants Consumer in
+  (* Place producer k at round(k * participants / producers): as evenly
+     spaced around the ring as integer positions allow. *)
+  for k = 0 to producers - 1 do
+    roles.(k * participants / producers) <- Producer
+  done;
+  (* Integer rounding can collide only if producers > participants, which
+     is excluded; every slot above is distinct because k * n / p is
+     strictly increasing for p <= n. *)
+  roles
+
+let producer_positions roles =
+  Array.to_list roles
+  |> List.mapi (fun i r -> (i, r))
+  |> List.filter_map (fun (i, r) -> match r with Producer -> Some i | Mixed _ | Consumer -> None)
+
+let effective_add_percent roles =
+  let total =
+    Array.fold_left
+      (fun acc r -> acc + match r with Producer -> 100 | Consumer -> 0 | Mixed p -> p)
+      0 roles
+  in
+  total / Array.length roles

@@ -1,0 +1,45 @@
+(** Process roles and producer arrangements (paper Sections 3.3 and 4.2).
+
+    In the random-operations model every process performs the same mix of
+    adds and removes; in the producer/consumer model each process is fixed
+    as a producer (only adds) or consumer (only removes) for the whole run.
+    The paper shows the *arrangement* of producers matters: contiguous
+    producers cause consumer bunching, spread-out ("balanced") producers
+    fix it. *)
+
+type t =
+  | Mixed of int
+      (** [Mixed percent]: each operation is an add with probability
+          [percent]/100, a remove otherwise. *)
+  | Producer  (** Only performs adds. *)
+  | Consumer  (** Only performs removes. *)
+
+val to_string : t -> string
+
+val uniform_mix : participants:int -> add_percent:int -> t array
+(** [uniform_mix ~participants ~add_percent] assigns every process the same
+    job mix. Raises [Invalid_argument] if [add_percent] is outside
+    [\[0, 100\]] or [participants <= 0]. *)
+
+val contiguous_producers : participants:int -> producers:int -> t array
+(** [contiguous_producers ~participants ~producers] places the producers in
+    positions [0 .. producers-1] — the paper's unbalanced arrangement, where
+    "all consumers will encounter the same producer first". Raises
+    [Invalid_argument] unless [0 <= producers <= participants]. *)
+
+val balanced_producers : participants:int -> producers:int -> t array
+(** [balanced_producers ~participants ~producers] spreads the producers as
+    evenly as possible around the ring (e.g. 5 producers among 16 processes
+    occupy positions 0, 3, 6, 9, 12 — "the segments of all producers
+    (processes 0 2 4 8 12) are accessed" in the paper's 5-producer figure).
+    Raises [Invalid_argument] unless [0 <= producers <= participants]. *)
+
+val producer_positions : t array -> int list
+(** [producer_positions roles] lists the indices assigned [Producer]. *)
+
+val effective_add_percent : t array -> int
+(** [effective_add_percent roles] is the overall percentage of operations
+    that are adds if every process issues operations at the same rate — the
+    x-axis the paper uses to plot producer/consumer runs alongside random
+    ones in Figure 2 (k producers of n give 100k/n% adds). [Mixed] roles
+    contribute their own percentage. *)

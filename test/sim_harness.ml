@@ -1,0 +1,29 @@
+(* Shared helpers for tests that run bodies inside the simulator. *)
+
+open Cpool_sim
+
+let zero_cost =
+  { Topology.local_cost = 0.0; remote_ratio = 1.0; remote_extra = 0.0; compute_per_op = 0.0 }
+
+let expect_completed e =
+  match Engine.run e with
+  | Engine.Completed -> ()
+  | Engine.Deadlocked names -> Alcotest.failf "deadlock: %s" (String.concat "," names)
+  | Engine.Hit_limit -> Alcotest.fail "unexpected time limit"
+
+(* Run [body] in a single simulated process and return its result. *)
+let in_proc ?(nodes = 16) ?(seed = 1L) ?cost body =
+  let e = Engine.create ?cost ~nodes ~seed () in
+  let result = ref None in
+  let _ = Engine.spawn e ~node:0 ~name:"main" (fun () -> result := Some (body ())) in
+  expect_completed e;
+  Option.get !result
+
+(* Spawn [n] processes, process [i] on node [i mod nodes] running [body i]. *)
+let run_procs ?(nodes = 16) ?(seed = 1L) ?cost n body =
+  let e = Engine.create ?cost ~nodes ~seed () in
+  for i = 0 to n - 1 do
+    ignore (Engine.spawn e ~node:(i mod nodes) ~name:(string_of_int i) (fun () -> body i))
+  done;
+  expect_completed e;
+  e

@@ -1,0 +1,164 @@
+(* Tests for the backtracking application (DIB shape) and N-Queens. *)
+
+open Cpool_game
+
+let test_nqueens_known_counts () =
+  List.iter
+    (fun n ->
+      let expected = Option.get (Nqueens.known_solutions n) in
+      let solutions, nodes = Backtrack.sequential (Nqueens.problem ~n) in
+      Alcotest.(check int) (Printf.sprintf "%d-queens solutions" n) expected solutions;
+      Alcotest.(check bool) "visited at least the solutions" true (nodes >= solutions))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_nqueens_initial () =
+  Alcotest.(check int) "no queens" 0 (Nqueens.row (Nqueens.initial ~n:8));
+  Alcotest.check_raises "n range" (Invalid_argument "Nqueens.initial: n out of [1, 30]")
+    (fun () -> ignore (Nqueens.initial ~n:0))
+
+let test_sequential_shape () =
+  (* A synthetic problem with a known count: a binary tree of depth d has
+     2^(d+1)-1 nodes and 2^d leaves. *)
+  let depth = 6 in
+  let p =
+    {
+      Backtrack.roots = [ 0 ];
+      children = (fun d -> if d >= depth then [] else [ d + 1; d + 1 ]);
+      is_solution = (fun d -> d = depth);
+    }
+  in
+  let solutions, nodes = Backtrack.sequential p in
+  Alcotest.(check int) "leaves" (1 lsl depth) solutions;
+  Alcotest.(check int) "nodes" ((2 lsl depth) - 1) nodes
+
+let schedulers =
+  [
+    Parallel.Pool_scheduler Cpool.Pool.Linear;
+    Parallel.Pool_scheduler Cpool.Pool.Random;
+    Parallel.Pool_scheduler Cpool.Pool.Tree;
+    Parallel.Stack_scheduler;
+  ]
+
+let quick_config ?(workers = 4) scheduler =
+  { Backtrack.default_config with workers; scheduler; visit_cost = 50.0; expand_cost = 4.0 }
+
+let test_parallel_matches_sequential scheduler () =
+  let p = Nqueens.problem ~n:6 in
+  let expected_solutions, expected_nodes = Backtrack.sequential p in
+  let report = Backtrack.solve p (quick_config scheduler) in
+  Alcotest.(check int) "solutions" expected_solutions report.Backtrack.solutions;
+  Alcotest.(check int) "nodes" expected_nodes report.Backtrack.nodes
+
+let test_parallel_single_worker () =
+  let p = Nqueens.problem ~n:5 in
+  let report =
+    Backtrack.solve p (quick_config ~workers:1 (Parallel.Pool_scheduler Cpool.Pool.Linear))
+  in
+  Alcotest.(check int) "solutions" 10 report.Backtrack.solutions
+
+let test_parallel_speedup () =
+  let p = Nqueens.problem ~n:7 in
+  let time workers =
+    (Backtrack.solve p (quick_config ~workers (Parallel.Pool_scheduler Cpool.Pool.Linear)))
+      .Backtrack.duration
+  in
+  let t1 = time 1 and t8 = time 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "t1=%.0f much greater than t8=%.0f" t1 t8)
+    true
+    (t1 /. t8 > 3.0)
+
+let test_parallel_deterministic () =
+  let p = Nqueens.problem ~n:6 in
+  let run () =
+    let r = Backtrack.solve p (quick_config (Parallel.Pool_scheduler Cpool.Pool.Random)) in
+    (r.Backtrack.solutions, r.Backtrack.nodes, r.Backtrack.duration)
+  in
+  Alcotest.(check bool) "reproducible" true (run () = run ())
+
+let test_pool_totals_exposed () =
+  let p = Nqueens.problem ~n:5 in
+  let pooled = Backtrack.solve p (quick_config (Parallel.Pool_scheduler Cpool.Pool.Linear)) in
+  Alcotest.(check bool) "pool totals" true (pooled.Backtrack.pool_totals <> None);
+  let stacked = Backtrack.solve p (quick_config Parallel.Stack_scheduler) in
+  Alcotest.(check bool) "no totals for stack" true (stacked.Backtrack.pool_totals = None)
+
+let test_validates () =
+  Alcotest.check_raises "workers" (Invalid_argument "Backtrack.solve: workers must be positive")
+    (fun () ->
+      ignore
+        (Backtrack.solve (Nqueens.problem ~n:4)
+           { Backtrack.default_config with workers = 0 }))
+
+let prop_nqueens_children_valid =
+  (* Every child of a reachable state has one more queen and at most n
+     children exist per state. *)
+  QCheck.Test.make ~name:"nqueens successor sanity" ~count:100
+    QCheck.(pair (int_range 1 8) (int_range 0 1000))
+    (fun (n, path_seed) ->
+      let p = Nqueens.problem ~n in
+      let rec walk state seed depth =
+        if depth = 0 then true
+        else begin
+          match p.Backtrack.children state with
+          | [] -> true
+          | kids ->
+            List.length kids <= n
+            && List.for_all (fun k -> Nqueens.row k = Nqueens.row state + 1) kids
+            && walk (List.nth kids (seed mod List.length kids)) (seed / 7) (depth - 1)
+        end
+      in
+      walk (Nqueens.initial ~n) path_seed n)
+
+let prop_parallel_equals_sequential =
+  (* Random irregular task trees: node [seed] spawns [seed mod k] children
+     with derived seeds, bounded by depth. Parallel counts must equal
+     sequential counts for every scheduler-ish shape (pool linear used;
+     the per-scheduler unit tests cover the rest). *)
+  QCheck.Test.make ~name:"parallel backtracking equals sequential on random trees" ~count:25
+    QCheck.(triple (int_range 2 5) (int_range 2 4) (int_bound 1000))
+    (fun (depth, fanout, salt) ->
+      let p =
+        {
+          Backtrack.roots = [ (depth, salt) ];
+          children =
+            (fun (d, s) ->
+              if d = 0 then []
+              else
+                List.init
+                  ((s mod fanout) + 1)
+                  (fun i -> (d - 1, ((s * 31) + i) mod 10_007)));
+          is_solution = (fun (d, s) -> d = 0 && s land 1 = 0);
+        }
+      in
+      let seq_solutions, seq_nodes = Backtrack.sequential p in
+      let report =
+        Backtrack.solve p (quick_config ~workers:3 (Parallel.Pool_scheduler Cpool.Pool.Linear))
+      in
+      report.Backtrack.solutions = seq_solutions && report.Backtrack.nodes = seq_nodes)
+
+let scheduler_cases name f =
+  List.map
+    (fun s ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name (Parallel.scheduler_to_string s))
+        `Quick (f s))
+    schedulers
+
+let suites =
+  [
+    ( "backtrack",
+      [
+        Alcotest.test_case "nqueens known counts" `Quick test_nqueens_known_counts;
+        Alcotest.test_case "nqueens initial" `Quick test_nqueens_initial;
+        Alcotest.test_case "sequential shape" `Quick test_sequential_shape;
+        Alcotest.test_case "single worker" `Quick test_parallel_single_worker;
+        Alcotest.test_case "speedup" `Quick test_parallel_speedup;
+        Alcotest.test_case "deterministic" `Quick test_parallel_deterministic;
+        Alcotest.test_case "scheduler stats" `Quick test_pool_totals_exposed;
+        Alcotest.test_case "validates" `Quick test_validates;
+        QCheck_alcotest.to_alcotest prop_nqueens_children_valid;
+        QCheck_alcotest.to_alcotest prop_parallel_equals_sequential;
+      ]
+      @ scheduler_cases "matches sequential" test_parallel_matches_sequential );
+  ]

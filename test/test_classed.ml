@@ -1,0 +1,240 @@
+(* Tests for the classed (distinguishable-elements) pool. *)
+
+open Cpool
+open Cpool_sim
+
+let mk ?(classes = 3) ?(participants = 4) () = Classed.create ~classes ~participants ()
+
+let test_validation () =
+  Alcotest.check_raises "classes" (Invalid_argument "Classed.create: classes must be positive")
+    (fun () -> ignore (mk ~classes:0 () : unit Classed.t));
+  Alcotest.check_raises "participants"
+    (Invalid_argument "Classed.create: participants must be positive") (fun () ->
+      ignore (mk ~participants:0 () : unit Classed.t));
+  let t : int Classed.t = mk () in
+  Alcotest.(check int) "classes" 3 (Classed.classes t);
+  Alcotest.(check int) "participants" 4 (Classed.participants t)
+
+let test_local_class_roundtrip () =
+  Sim_harness.in_proc (fun () ->
+      let t = mk () in
+      Classed.join t;
+      Classed.add t ~me:0 ~cls:1 "b";
+      Classed.add t ~me:0 ~cls:0 "a";
+      Alcotest.(check int) "class 0 size" 1 (Classed.size_of_class t 0);
+      Alcotest.(check int) "class 1 size" 1 (Classed.size_of_class t 1);
+      Alcotest.(check (option string)) "typed remove" (Some "b") (Classed.try_remove t ~me:0 ~cls:1);
+      Alcotest.(check (option string)) "class 1 now empty" None (Classed.try_remove t ~me:0 ~cls:1);
+      Alcotest.(check (option string)) "class 0 untouched" (Some "a")
+        (Classed.try_remove t ~me:0 ~cls:0);
+      Classed.leave t)
+
+let test_class_isolation () =
+  (* Removing class 0 never returns class-1 elements, even via steals. *)
+  Sim_harness.in_proc (fun () ->
+      let t = mk () in
+      Classed.join t;
+      for i = 1 to 5 do
+        Classed.add t ~me:2 ~cls:1 i
+      done;
+      Alcotest.(check (option int)) "class 0 absent" None (Classed.try_remove t ~me:0 ~cls:0);
+      Alcotest.(check int) "class 1 intact" 5 (Classed.size_of_class t 1);
+      Classed.leave t)
+
+let test_typed_steal () =
+  Sim_harness.in_proc (fun () ->
+      let t = mk () in
+      Classed.join t;
+      for i = 1 to 6 do
+        Classed.add t ~me:2 ~cls:1 i
+      done;
+      (match Classed.try_remove t ~me:0 ~cls:1 with
+      | Some _ -> ()
+      | None -> Alcotest.fail "expected a typed steal");
+      Alcotest.(check int) "one steal" 1 (Classed.steals t);
+      (* Half was banked at home in the same class. *)
+      Alcotest.(check bool) "banked locally" true
+        (Classed.try_remove t ~me:0 ~cls:1 <> None);
+      Classed.leave t)
+
+let test_remove_any_prefers_local_rotation () =
+  Sim_harness.in_proc (fun () ->
+      let t = mk () in
+      Classed.join t;
+      Classed.add t ~me:0 ~cls:0 "zero";
+      Classed.add t ~me:0 ~cls:2 "two";
+      (* First remove_any starts its rotation at class 0. *)
+      (match Classed.remove_any t ~me:0 with
+      | Some ("zero", 0) -> ()
+      | Some (x, c) -> Alcotest.failf "got %s of class %d" x c
+      | None -> Alcotest.fail "expected an element");
+      (match Classed.remove_any t ~me:0 with
+      | Some ("two", 2) -> ()
+      | Some (x, c) -> Alcotest.failf "got %s of class %d" x c
+      | None -> Alcotest.fail "expected the other element");
+      Classed.leave t)
+
+let test_remove_any_steals_remote () =
+  Sim_harness.in_proc (fun () ->
+      let t = mk () in
+      Classed.join t;
+      Classed.join t;
+      (* phantom participant to keep the search alive *)
+      for i = 1 to 4 do
+        Classed.add t ~me:3 ~cls:2 i
+      done;
+      (match Classed.remove_any t ~me:0 with
+      | Some (_, 2) -> ()
+      | Some (_, c) -> Alcotest.failf "class %d" c
+      | None -> Alcotest.fail "expected steal");
+      Classed.leave t;
+      Classed.leave t)
+
+let test_remove_any_aborts_empty () =
+  Sim_harness.in_proc (fun () ->
+      let t = mk () in
+      Classed.join t;
+      Alcotest.(check bool) "empty pool" true (Classed.remove_any t ~me:0 = None);
+      Classed.leave t)
+
+let test_bounds_checked () =
+  Sim_harness.in_proc (fun () ->
+      let t : int Classed.t = mk () in
+      Alcotest.check_raises "class range" (Invalid_argument "Classed.add: class out of range")
+        (fun () -> Classed.add t ~me:0 ~cls:3 1);
+      Alcotest.check_raises "participant range"
+        (Invalid_argument "Classed.try_remove: participant out of range") (fun () ->
+          ignore (Classed.try_remove t ~me:9 ~cls:0)))
+
+let test_concurrent_conservation () =
+  (* Multi-process traffic over classes conserves per-class counts. *)
+  let t = ref None in
+  let produced = Array.make 3 0 in
+  let consumed = Array.make 3 0 in
+  let _ =
+    Sim_harness.run_procs ~nodes:4 ~seed:61L 4 (fun i ->
+        let pool =
+          match !t with
+          | Some p -> p
+          | None ->
+            let p = mk () in
+            t := Some p;
+            p
+        in
+        Classed.join pool;
+        for k = 1 to 120 do
+          let cls = (i + k) mod 3 in
+          if k land 1 = 0 then begin
+            Classed.add pool ~me:i ~cls k;
+            produced.(cls) <- produced.(cls) + 1
+          end
+          else begin
+            match Classed.try_remove pool ~me:i ~cls with
+            | Some _ -> consumed.(cls) <- consumed.(cls) + 1
+            | None -> ()
+          end
+        done;
+        Classed.leave pool)
+  in
+  let pool = Option.get !t in
+  for cls = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "class %d conserved" cls)
+      (produced.(cls) - consumed.(cls))
+      (Classed.size_of_class pool cls)
+  done
+
+let test_producer_consumer_classes () =
+  (* A producer of class 0 and a consumer looping on try_remove of class 0,
+     while another producer floods class 1: the consumer gets exactly the
+     class-0 stream. *)
+  let e = Engine.create ~nodes:4 ~seed:71L () in
+  let pool : int Classed.t = mk () in
+  let got = ref [] in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"consumer" (fun () ->
+        Classed.join pool;
+        let received = ref 0 in
+        while !received < 10 do
+          match Classed.try_remove pool ~me:0 ~cls:0 with
+          | Some x ->
+            got := x :: !got;
+            incr received
+          | None -> Engine.delay 50.0
+        done;
+        Classed.leave pool)
+  in
+  let _ =
+    Engine.spawn e ~node:1 ~name:"producer0" (fun () ->
+        Classed.join pool;
+        for k = 1 to 10 do
+          Classed.add pool ~me:1 ~cls:0 k;
+          Engine.delay 200.0
+        done;
+        Classed.leave pool)
+  in
+  let _ =
+    Engine.spawn e ~node:2 ~name:"producer1" (fun () ->
+        Classed.join pool;
+        for k = 100 to 140 do
+          Classed.add pool ~me:2 ~cls:1 k
+        done;
+        Classed.leave pool)
+  in
+  Sim_harness.expect_completed e;
+  Alcotest.(check int) "ten class-0 elements" 10 (List.length !got);
+  Alcotest.(check bool) "only class-0 values" true (List.for_all (fun x -> x <= 10) !got);
+  Alcotest.(check int) "class 1 untouched" 41 (Classed.size_of_class pool 1)
+
+let test_remove_any_drains_to_quiescence () =
+  (* Several processes drain a classed pool with remove_any until it
+     confirms emptiness; every element is consumed exactly once. *)
+  let t = ref None in
+  let consumed = Atomic.make 0 in
+  let _ =
+    Sim_harness.run_procs ~nodes:4 ~seed:83L 4 (fun i ->
+        let pool =
+          match !t with
+          | Some p -> p
+          | None ->
+            let p = mk () in
+            t := Some p;
+            p
+        in
+        Classed.join pool;
+        if i = 0 then
+          for k = 1 to 30 do
+            Classed.add pool ~me:0 ~cls:(k mod 3) k
+          done;
+        let rec drain () =
+          match Classed.remove_any pool ~me:i with
+          | Some _ ->
+            Atomic.incr consumed;
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        Classed.leave pool)
+  in
+  let pool = Option.get !t in
+  Alcotest.(check int) "all consumed" 30 (Atomic.get consumed);
+  Alcotest.(check int) "empty" 0 (Classed.total_size pool)
+
+let suites =
+  [
+    ( "classed",
+      [
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "local class roundtrip" `Quick test_local_class_roundtrip;
+        Alcotest.test_case "class isolation" `Quick test_class_isolation;
+        Alcotest.test_case "typed steal" `Quick test_typed_steal;
+        Alcotest.test_case "remove_any rotation" `Quick test_remove_any_prefers_local_rotation;
+        Alcotest.test_case "remove_any steals" `Quick test_remove_any_steals_remote;
+        Alcotest.test_case "remove_any aborts" `Quick test_remove_any_aborts_empty;
+        Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+        Alcotest.test_case "concurrent conservation" `Quick test_concurrent_conservation;
+        Alcotest.test_case "producer/consumer classes" `Quick test_producer_consumer_classes;
+        Alcotest.test_case "remove_any drains to quiescence" `Quick
+          test_remove_any_drains_to_quiescence;
+      ] );
+  ]

@@ -1,0 +1,234 @@
+(* Edge-case coverage across modules: cost-model validation, engine corner
+   cases, driver abort timing, renderer degenerate inputs, mcpool steal
+   variants. *)
+
+open Cpool_sim
+
+(* --- Topology --- *)
+
+let test_validate_ok () =
+  Alcotest.(check bool) "butterfly valid" true (Topology.validate Topology.butterfly = Ok ())
+
+let test_validate_rejections () =
+  let expect_error m = Alcotest.(check bool) "rejected" true (Topology.validate m <> Ok ()) in
+  expect_error { Topology.butterfly with Topology.local_cost = -1.0 };
+  expect_error { Topology.butterfly with Topology.local_cost = Float.nan };
+  expect_error { Topology.butterfly with Topology.remote_ratio = 0.5 };
+  expect_error { Topology.butterfly with Topology.remote_extra = -2.0 };
+  expect_error { Topology.butterfly with Topology.compute_per_op = Float.nan }
+
+let test_engine_rejects_bad_cost () =
+  let cost = { Topology.butterfly with Topology.remote_ratio = 0.0 } in
+  Alcotest.check_raises "invalid cost model"
+    (Invalid_argument "Engine.create: remote_ratio must be >= 1.0") (fun () ->
+      ignore (Engine.create ~cost ~nodes:2 ~seed:1L ()))
+
+let test_with_remote_extra () =
+  let m = Topology.with_remote_extra 50.0 Topology.butterfly in
+  Alcotest.(check (float 0.0)) "extra set" 50.0 m.Topology.remote_extra;
+  Alcotest.(check (float 0.0)) "local untouched" Topology.butterfly.Topology.local_cost
+    m.Topology.local_cost;
+  Alcotest.(check (float 1e-9)) "remote cost includes extra" 58.0
+    (Topology.access_cost m ~from:0 ~home:1)
+
+(* --- Engine corner cases --- *)
+
+let test_engine_zero_nodes_rejected () =
+  Alcotest.check_raises "nodes" (Invalid_argument "Engine.create: nodes must be positive")
+    (fun () -> ignore (Engine.create ~nodes:0 ~seed:1L ()))
+
+let test_zero_delay_still_fifo () =
+  (* Zero-length delays preserve deterministic FIFO order between peers. *)
+  let e = Engine.create ~nodes:1 ~seed:1L () in
+  let log = ref [] in
+  for i = 0 to 2 do
+    ignore
+      (Engine.spawn e ~node:0 ~name:(string_of_int i) (fun () ->
+           Engine.delay 0.0;
+           log := i :: !log;
+           Engine.delay 0.0;
+           log := (10 + i) :: !log))
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "two rounds in spawn order" [ 0; 1; 2; 10; 11; 12 ]
+    (List.rev !log)
+
+let test_run_twice_idempotent () =
+  let e = Engine.create ~nodes:1 ~seed:1L () in
+  let _ = Engine.spawn e ~node:0 ~name:"p" (fun () -> Engine.delay 1.0) in
+  Alcotest.(check bool) "first" true (Engine.run e = Engine.Completed);
+  Alcotest.(check bool) "second run is a no-op" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (float 0.0)) "time unchanged" 1.0 (Engine.now e)
+
+let test_nested_spawn_from_process () =
+  let e = Engine.create ~nodes:2 ~seed:1L () in
+  let child_ran = ref false in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"parent" (fun () ->
+        Engine.delay 5.0;
+        ignore
+          (Engine.spawn e ~node:1 ~name:"child" (fun () ->
+               Alcotest.(check (float 0.0)) "child starts at spawn time" 5.0 (Engine.clock ());
+               child_ran := true)))
+  in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check bool) "child ran" true !child_ran
+
+(* --- Driver: abort timing --- *)
+
+let test_driver_abort_time_sampled () =
+  let spec =
+    {
+      Cpool_workload.Driver.default_spec with
+      pool = { Cpool.Pool.default_config with participants = 4 };
+      roles = Cpool_workload.Role.contiguous_producers ~participants:4 ~producers:0;
+      total_ops = 60;
+      initial_elements = 8;
+    }
+  in
+  let r = Cpool_workload.Driver.run spec in
+  Alcotest.(check int) "aborts recorded" r.Cpool_workload.Driver.aborts
+    (Cpool_metrics.Sample.n r.Cpool_workload.Driver.abort_time);
+  Alcotest.(check bool) "abort times positive" true
+    (Cpool_metrics.Sample.min_value r.Cpool_workload.Driver.abort_time > 0.0);
+  (* op_time includes the aborted attempts. *)
+  Alcotest.(check int) "op samples = quota" 60
+    (Cpool_metrics.Sample.n r.Cpool_workload.Driver.op_time)
+
+(* --- Render: degenerate inputs --- *)
+
+let test_chart_single_point () =
+  let s = Cpool_metrics.Render.chart [ ("dot", [ (1.0, 2.0) ]) ] in
+  Alcotest.(check bool) "renders" true (String.contains s '*')
+
+let test_chart_ignores_nan_points () =
+  let s =
+    Cpool_metrics.Render.chart
+      [ ("mixed", [ (Float.nan, 1.0); (0.0, Float.nan); (1.0, 1.0) ]) ]
+  in
+  Alcotest.(check bool) "renders the finite point" true (String.contains s '*')
+
+let test_chart_all_nan () =
+  let s = Cpool_metrics.Render.chart [ ("void", [ (Float.nan, Float.nan) ]) ] in
+  Alcotest.(check string) "graceful" "(chart: no data)\n" s
+
+let test_strip_chart_zero_width_grid () =
+  let s = Cpool_metrics.Render.strip_chart ~width:4 ~labels:[| "a" |] [| [||] |] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+(* --- Mc_pool steal variants --- *)
+
+let test_mcpool_single_element_steal () =
+  let pool = Cpool_mc.Mc_pool.create ~segments:2 () in
+  let h0 = Cpool_mc.Mc_pool.register_at pool 0 in
+  let h1 = Cpool_mc.Mc_pool.register_at pool 1 in
+  Cpool_mc.Mc_pool.add pool h1 42;
+  Alcotest.(check (option int)) "steals the single element" (Some 42)
+    (Cpool_mc.Mc_pool.try_remove pool h0);
+  Alcotest.(check int) "empty" 0 (Cpool_mc.Mc_pool.size pool)
+
+let test_mcpool_steal_banks_remainder () =
+  let pool = Cpool_mc.Mc_pool.create ~segments:2 () in
+  let h0 = Cpool_mc.Mc_pool.register_at pool 0 in
+  let h1 = Cpool_mc.Mc_pool.register_at pool 1 in
+  for i = 1 to 9 do
+    Cpool_mc.Mc_pool.add pool h1 i
+  done;
+  (* ceil(9/2) = 5 taken from the victim's stack top (9..5): element 9 is
+     returned, 8..5 banked locally with 5 ending on top. *)
+  Alcotest.(check (option int)) "steal returns victim's top" (Some 9)
+    (Cpool_mc.Mc_pool.try_remove pool h0);
+  Alcotest.(check (option int)) "local after banking" (Some 5)
+    (Cpool_mc.Mc_pool.try_remove_local pool h0);
+  Alcotest.(check int) "conserved" 7 (Cpool_mc.Mc_pool.size pool)
+
+(* --- Sim pool: deposit respects trace ordering --- *)
+
+let test_pool_trace_monotone_times () =
+  let events = ref [] in
+  Sim_harness.in_proc (fun () ->
+      let pool =
+        Cpool.Pool.create
+          ~on_size_change:(fun ~seg:_ ~size:_ ->
+            events := Cpool_sim.Engine.clock () :: !events)
+          { Cpool.Pool.default_config with participants = 2 }
+      in
+      Cpool.Pool.join pool;
+      for i = 1 to 5 do
+        Cpool.Pool.add pool ~me:0 i
+      done;
+      for _ = 1 to 5 do
+        ignore (Cpool.Pool.remove pool ~me:0)
+      done;
+      Cpool.Pool.leave pool);
+  let times = List.rev !events in
+  Alcotest.(check bool) "non-decreasing timestamps" true
+    (List.sort compare times = times)
+
+let base_suites =
+  [
+    ( "coverage",
+      [
+        Alcotest.test_case "topology validate ok" `Quick test_validate_ok;
+        Alcotest.test_case "topology validate rejects" `Quick test_validate_rejections;
+        Alcotest.test_case "engine rejects bad cost" `Quick test_engine_rejects_bad_cost;
+        Alcotest.test_case "with_remote_extra" `Quick test_with_remote_extra;
+        Alcotest.test_case "engine zero nodes" `Quick test_engine_zero_nodes_rejected;
+        Alcotest.test_case "zero delay FIFO" `Quick test_zero_delay_still_fifo;
+        Alcotest.test_case "run twice" `Quick test_run_twice_idempotent;
+        Alcotest.test_case "nested spawn" `Quick test_nested_spawn_from_process;
+        Alcotest.test_case "driver abort times" `Quick test_driver_abort_time_sampled;
+        Alcotest.test_case "chart single point" `Quick test_chart_single_point;
+        Alcotest.test_case "chart ignores NaN" `Quick test_chart_ignores_nan_points;
+        Alcotest.test_case "chart all NaN" `Quick test_chart_all_nan;
+        Alcotest.test_case "strip chart empty row" `Quick test_strip_chart_zero_width_grid;
+        Alcotest.test_case "mcpool single steal" `Quick test_mcpool_single_element_steal;
+        Alcotest.test_case "mcpool banks remainder" `Quick test_mcpool_steal_banks_remainder;
+        Alcotest.test_case "pool trace monotone" `Quick test_pool_trace_monotone_times;
+      ] );
+  ]
+
+(* --- Engine logging --- *)
+
+let test_engine_logging_captures_events () =
+  (* Install a counting reporter, enable debug on the engine source, run a
+     small simulation, and check events were reported without perturbing
+     the simulation itself. *)
+  let count = ref 0 in
+  let reporter =
+    {
+      Logs.report =
+        (fun _src _level ~over k msgf ->
+          incr count;
+          msgf (fun ?header:_ ?tags:_ fmt -> Format.ikfprintf (fun _ -> over (); k ()) Format.std_formatter fmt));
+    }
+  in
+  let saved = Logs.reporter () in
+  Logs.set_reporter reporter;
+  Logs.Src.set_level Engine.log_src (Some Logs.Debug);
+  let run () =
+    let e = Engine.create ~nodes:2 ~seed:4L () in
+    let slot = ref None in
+    let _ = Engine.spawn e ~node:0 ~name:"sleeper" (fun () -> Engine.suspend (fun w -> slot := Some w)) in
+    let _ =
+      Engine.spawn e ~node:1 ~name:"waker" (fun () ->
+          Engine.delay 3.0;
+          Engine.wake (Option.get !slot))
+    in
+    ignore (Engine.run e);
+    Engine.now e
+  in
+  let t_logged = run () in
+  let events_logged = !count in
+  Logs.Src.set_level Engine.log_src None;
+  let t_silent = run () in
+  Logs.set_reporter saved;
+  Alcotest.(check bool) "events reported" true (events_logged >= 6);
+  Alcotest.(check (float 0.0)) "logging does not perturb virtual time" t_silent t_logged
+
+let suites =
+  base_suites
+  @ [
+      ( "coverage.logging",
+        [ Alcotest.test_case "engine logging" `Quick test_engine_logging_captures_events ] );
+    ]

@@ -1,0 +1,307 @@
+(* Tests for the discrete-event engine: scheduling, virtual time, locks,
+   memory costing, determinism. *)
+
+open Cpool_sim
+
+let mk ?(nodes = 4) ?(seed = 1L) ?cost () = Engine.create ?cost ~nodes ~seed ()
+
+let test_empty_run () =
+  let e = mk () in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (float 0.0)) "time stays 0" 0.0 (Engine.now e)
+
+let test_single_process_delay () =
+  let e = mk () in
+  let finished_at = ref 0.0 in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"p" (fun () ->
+        Engine.delay 5.0;
+        Engine.delay 2.5;
+        finished_at := Engine.clock ())
+  in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (float 1e-9)) "virtual time advanced" 7.5 !finished_at;
+  Alcotest.(check (float 1e-9)) "engine time" 7.5 (Engine.now e)
+
+let test_negative_delay_clamped () =
+  let e = mk () in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"p" (fun () ->
+        Engine.delay (-3.0);
+        Alcotest.(check (float 0.0)) "no time travel" 0.0 (Engine.clock ()))
+  in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed)
+
+let test_interleaving_order () =
+  let e = mk () in
+  let log = ref [] in
+  let note tag = log := tag :: !log in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"a" (fun () ->
+        note "a0";
+        Engine.delay 10.0;
+        note "a10")
+  in
+  let _ =
+    Engine.spawn e ~node:1 ~name:"b" (fun () ->
+        note "b0";
+        Engine.delay 5.0;
+        note "b5")
+  in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (list string)) "virtual-time order" [ "a0"; "b0"; "b5"; "a10" ]
+    (List.rev !log)
+
+let test_fifo_at_same_time () =
+  let e = mk () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore
+      (Engine.spawn e ~node:0 ~name:(string_of_int i) (fun () ->
+           Engine.delay 1.0;
+           log := Engine.self_name () :: !log))
+  done;
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (list string)) "spawn order preserved at ties"
+    [ "0"; "1"; "2"; "3"; "4" ] (List.rev !log)
+
+let test_self_identities () =
+  let e = mk ~nodes:3 () in
+  let seen = ref [] in
+  for n = 0 to 2 do
+    ignore
+      (Engine.spawn e ~node:n ~name:(Printf.sprintf "w%d" n) (fun () ->
+           seen := (Engine.self_pid (), Engine.self_node (), Engine.self_name ()) :: !seen))
+  done;
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  let seen = List.sort compare !seen in
+  Alcotest.(check bool) "pids, nodes, names" true
+    (seen = [ (0, 0, "w0"); (1, 1, "w1"); (2, 2, "w2") ])
+
+let test_spawn_bad_node () =
+  let e = mk ~nodes:2 () in
+  Alcotest.check_raises "node out of range"
+    (Invalid_argument "Engine.spawn: node out of range") (fun () ->
+      ignore (Engine.spawn e ~node:2 ~name:"x" (fun () -> ())))
+
+let test_context_outside_process () =
+  Alcotest.check_raises "clock outside" Engine.Not_in_process (fun () ->
+      ignore (Engine.clock ()));
+  Alcotest.check_raises "delay outside" Engine.Not_in_process (fun () ->
+      Engine.delay 1.0)
+
+let test_process_failure_propagates () =
+  let e = mk () in
+  let _ = Engine.spawn e ~node:0 ~name:"boom" (fun () -> failwith "crash") in
+  match Engine.run e with
+  | exception Engine.Process_failure (name, Failure msg) ->
+    Alcotest.(check string) "process name" "boom" name;
+    Alcotest.(check string) "message" "crash" msg
+  | exception other -> Alcotest.failf "unexpected exception %s" (Printexc.to_string other)
+  | _ -> Alcotest.fail "expected Process_failure"
+
+let test_time_limit () =
+  let e = mk () in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"slow" (fun () ->
+        Engine.delay 100.0;
+        Alcotest.fail "should not run past limit")
+  in
+  Alcotest.(check bool) "hit limit" true (Engine.run ~limit:50.0 e = Engine.Hit_limit)
+
+let test_resume_after_limit () =
+  let e = mk () in
+  let done_ = ref false in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"slow" (fun () ->
+        Engine.delay 100.0;
+        done_ := true)
+  in
+  ignore (Engine.run ~limit:50.0 e);
+  Alcotest.(check bool) "resumable" true (Engine.run e = Engine.Completed);
+  Alcotest.(check bool) "eventually ran" true !done_
+
+let test_deadlock_detection () =
+  let e = mk () in
+  let _ = Engine.spawn e ~node:0 ~name:"waiter" (fun () -> Engine.suspend (fun _ -> ())) in
+  match Engine.run e with
+  | Engine.Deadlocked [ "waiter" ] -> ()
+  | _ -> Alcotest.fail "expected deadlock naming the waiter"
+
+let test_suspend_wake () =
+  let e = mk () in
+  let slot = ref None in
+  let resumed_at = ref (-1.0) in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"sleeper" (fun () ->
+        Engine.suspend (fun w -> slot := Some w);
+        resumed_at := Engine.clock ())
+  in
+  let _ =
+    Engine.spawn e ~node:1 ~name:"waker" (fun () ->
+        Engine.delay 42.0;
+        match !slot with
+        | Some w -> Engine.wake w
+        | None -> Alcotest.fail "sleeper did not register")
+  in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (float 1e-9)) "resumed at waker's time" 42.0 !resumed_at
+
+let test_double_wake_rejected () =
+  let e = mk () in
+  let slot = ref None in
+  let _ = Engine.spawn e ~node:0 ~name:"sleeper" (fun () -> Engine.suspend (fun w -> slot := Some w)) in
+  let _ =
+    Engine.spawn e ~node:1 ~name:"waker" (fun () ->
+        Engine.delay 1.0;
+        let w = Option.get !slot in
+        Engine.wake w;
+        Alcotest.check_raises "double wake"
+          (Invalid_argument "Engine.wake: wakeup already fired") (fun () -> Engine.wake w))
+  in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed)
+
+let test_charge_costs () =
+  let cost =
+    { Topology.local_cost = 2.0; remote_ratio = 4.0; remote_extra = 0.0; compute_per_op = 0.0 }
+  in
+  let e = mk ~cost () in
+  let local = ref 0.0 and remote = ref 0.0 in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"p" (fun () ->
+        let t0 = Engine.clock () in
+        Engine.charge ~home:0;
+        local := Engine.clock () -. t0;
+        let t1 = Engine.clock () in
+        Engine.charge ~home:3;
+        remote := Engine.clock () -. t1)
+  in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (float 1e-9)) "local access" 2.0 !local;
+  Alcotest.(check (float 1e-9)) "remote access 4x" 8.0 !remote
+
+let test_charge_with_extra_delay () =
+  let cost = Topology.with_remote_extra 100.0 Topology.butterfly in
+  let e = mk ~cost () in
+  let remote = ref 0.0 and local = ref 0.0 in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"p" (fun () ->
+        let t0 = Engine.clock () in
+        Engine.charge ~home:1;
+        remote := Engine.clock () -. t0;
+        let t1 = Engine.clock () in
+        Engine.charge ~home:0;
+        local := Engine.clock () -. t1)
+  in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (float 1e-9)) "remote includes extra" 108.0 !remote;
+  Alcotest.(check (float 1e-9)) "local unaffected" 2.0 !local
+
+let test_charge_n () =
+  let e = mk () in
+  let elapsed = ref 0.0 in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"p" (fun () ->
+        let t0 = Engine.clock () in
+        Engine.charge_n ~home:0 5;
+        elapsed := Engine.clock () -. t0)
+  in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (float 1e-9)) "5 local accesses" 10.0 !elapsed
+
+let test_random_reproducible () =
+  let draw () =
+    let e = mk ~seed:77L () in
+    let out = ref [] in
+    let _ =
+      Engine.spawn e ~node:0 ~name:"p" (fun () ->
+          for _ = 1 to 10 do
+            out := Engine.random_int 1000 :: !out
+          done)
+    in
+    ignore (Engine.run e);
+    !out
+  in
+  Alcotest.(check (list int)) "same seed, same draws" (draw ()) (draw ())
+
+let test_random_streams_differ_by_pid () =
+  let e = mk ~seed:77L () in
+  let a = ref [] and b = ref [] in
+  let body out () =
+    for _ = 1 to 10 do
+      out := Engine.random_int 1_000_000 :: !out
+    done
+  in
+  let _ = Engine.spawn e ~node:0 ~name:"a" (body a) in
+  let _ = Engine.spawn e ~node:1 ~name:"b" (body b) in
+  ignore (Engine.run e);
+  Alcotest.(check bool) "distinct streams" true (!a <> !b)
+
+let test_events_counted () =
+  let e = mk () in
+  let _ = Engine.spawn e ~node:0 ~name:"p" (fun () -> Engine.delay 1.0) in
+  ignore (Engine.run e);
+  Alcotest.(check bool) "counted" true (Engine.events_executed e >= 2)
+
+let test_spawn_after_run () =
+  let e = mk () in
+  let _ = Engine.spawn e ~node:0 ~name:"first" (fun () -> Engine.delay 3.0) in
+  ignore (Engine.run e);
+  let second_started = ref (-1.0) in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"second" (fun () -> second_started := Engine.clock ())
+  in
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (float 1e-9)) "starts at current time" 3.0 !second_started
+
+let prop_determinism =
+  (* A small random process soup produces the identical event count and final
+     clock for the same seed. *)
+  QCheck.Test.make ~name:"engine runs are reproducible" ~count:30
+    QCheck.(pair int64 (int_range 1 8))
+    (fun (seed, nprocs) ->
+      let run () =
+        let e = Engine.create ~nodes:4 ~seed () in
+        for i = 0 to nprocs - 1 do
+          ignore
+            (Engine.spawn e ~node:(i mod 4) ~name:(string_of_int i) (fun () ->
+                 for _ = 1 to 20 do
+                   match Engine.random_int 3 with
+                   | 0 -> Engine.delay (Engine.random_float 5.0)
+                   | 1 -> Engine.charge ~home:(Engine.random_int 4)
+                   | _ -> Engine.delay 0.0
+                 done))
+        done;
+        ignore (Engine.run e);
+        (Engine.now e, Engine.events_executed e)
+      in
+      run () = run ())
+
+let suites =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "empty run" `Quick test_empty_run;
+        Alcotest.test_case "delay advances time" `Quick test_single_process_delay;
+        Alcotest.test_case "negative delay clamped" `Quick test_negative_delay_clamped;
+        Alcotest.test_case "interleaving order" `Quick test_interleaving_order;
+        Alcotest.test_case "FIFO at equal times" `Quick test_fifo_at_same_time;
+        Alcotest.test_case "self identities" `Quick test_self_identities;
+        Alcotest.test_case "spawn node range" `Quick test_spawn_bad_node;
+        Alcotest.test_case "context outside process" `Quick test_context_outside_process;
+        Alcotest.test_case "process failure" `Quick test_process_failure_propagates;
+        Alcotest.test_case "time limit" `Quick test_time_limit;
+        Alcotest.test_case "resume after limit" `Quick test_resume_after_limit;
+        Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        Alcotest.test_case "suspend/wake" `Quick test_suspend_wake;
+        Alcotest.test_case "double wake rejected" `Quick test_double_wake_rejected;
+        Alcotest.test_case "charge costs" `Quick test_charge_costs;
+        Alcotest.test_case "charge with extra delay" `Quick test_charge_with_extra_delay;
+        Alcotest.test_case "charge_n" `Quick test_charge_n;
+        Alcotest.test_case "random reproducible" `Quick test_random_reproducible;
+        Alcotest.test_case "random per-pid streams" `Quick test_random_streams_differ_by_pid;
+        Alcotest.test_case "events counted" `Quick test_events_counted;
+        Alcotest.test_case "spawn after run" `Quick test_spawn_after_run;
+        QCheck_alcotest.to_alcotest prop_determinism;
+      ] );
+  ]

@@ -1,0 +1,305 @@
+(* Tests for the 4x4x4 tic-tac-toe board, sequential minimax, and the
+   parallel schedulers. *)
+
+open Cpool_game
+
+(* --- Board --- *)
+
+let play_all board moves = List.fold_left Board.play board moves
+
+let test_line_count () = Alcotest.(check int) "76 winning lines" 76 (Array.length Board.lines)
+
+let test_lines_are_valid () =
+  Array.iter
+    (fun line ->
+      Alcotest.(check int) "line length" 4 (Array.length line);
+      Array.iter
+        (fun i -> Alcotest.(check bool) "cell in range" true (i >= 0 && i < 64))
+        line;
+      let sorted = Array.copy line in
+      Array.sort compare sorted;
+      let distinct = Array.to_list sorted |> List.sort_uniq compare in
+      Alcotest.(check int) "cells distinct" 4 (List.length distinct))
+    Board.lines
+
+let test_lines_distinct () =
+  let canon line =
+    let a = Array.copy line in
+    Array.sort compare a;
+    Array.to_list a
+  in
+  let all = Array.to_list Board.lines |> List.map canon |> List.sort_uniq compare in
+  Alcotest.(check int) "no duplicate lines" 76 (List.length all)
+
+let test_index_coords_roundtrip () =
+  for i = 0 to 63 do
+    let x, y, z = Board.coords i in
+    Alcotest.(check int) "roundtrip" i (Board.index ~x ~y ~z)
+  done;
+  Alcotest.check_raises "bad coord" (Invalid_argument "Board.index: coordinate out of range")
+    (fun () -> ignore (Board.index ~x:4 ~y:0 ~z:0))
+
+let test_alternating_moves () =
+  let b = Board.empty in
+  Alcotest.(check bool) "X first" true (Board.to_move b = Board.X);
+  let b = Board.play b 0 in
+  Alcotest.(check bool) "then O" true (Board.to_move b = Board.O);
+  Alcotest.(check bool) "stone placed" true (Board.cell b 0 = Some Board.X);
+  Alcotest.(check int) "count" 1 (Board.move_count b)
+
+let test_play_occupied_rejected () =
+  let b = Board.play Board.empty 5 in
+  Alcotest.check_raises "occupied" (Invalid_argument "Board.play: cell occupied") (fun () ->
+      ignore (Board.play b 5))
+
+let test_row_win () =
+  (* X takes the x-axis row (0,0,0)..(3,0,0) = cells 0,1,2,3; O plays cells
+     16.. elsewhere. *)
+  let b = play_all Board.empty [ 0; 16; 1; 17; 2; 18; 3 ] in
+  Alcotest.(check bool) "X wins" true (Board.winner b = Some Board.X);
+  Alcotest.(check (list int)) "no moves after win" [] (Board.legal_moves b)
+
+let test_space_diagonal_win () =
+  let diag = List.init 4 (fun i -> Board.index ~x:i ~y:i ~z:i) in
+  let fillers = [ 1; 2; 3 ] in
+  let moves =
+    (* X plays the diagonal, O plays fillers. *)
+    List.concat (List.map2 (fun d f -> [ d; f ]) (List.filteri (fun i _ -> i < 3) diag) fillers)
+    @ [ List.nth diag 3 ]
+  in
+  let b = play_all Board.empty moves in
+  Alcotest.(check bool) "X wins on space diagonal" true (Board.winner b = Some Board.X)
+
+let test_column_win_for_o () =
+  (* O takes the vertical column (0,0,z): cells 0,16,32,48. X wastes moves. *)
+  let b = play_all Board.empty [ 1; 0; 2; 16; 3; 32; 5; 48 ] in
+  Alcotest.(check bool) "O wins" true (Board.winner b = Some Board.O)
+
+let test_no_winner_initially () =
+  Alcotest.(check bool) "empty board no winner" true (Board.winner Board.empty = None);
+  Alcotest.(check int) "64 legal moves" 64 (List.length (Board.legal_moves Board.empty))
+
+let test_evaluate_symmetric () =
+  Alcotest.(check int) "empty is balanced" 0 (Board.evaluate Board.empty);
+  let b = Board.play Board.empty 21 in
+  Alcotest.(check bool) "X stone helps X" true (Board.evaluate b > 0);
+  Alcotest.(check int) "negamax convention flips" (-Board.evaluate b)
+    (Board.evaluate_for_side_to_move b)
+
+let test_evaluate_win_dominates () =
+  let b = play_all Board.empty [ 0; 16; 1; 17; 2; 18; 3 ] in
+  Alcotest.(check int) "win score" Board.win_score (Board.evaluate b)
+
+let test_to_string_shape () =
+  let s = Board.to_string (Board.play Board.empty 0) in
+  Alcotest.(check bool) "has X" true (String.contains s 'X');
+  Alcotest.(check int) "4 layers" 4
+    (List.length (List.filter (fun l -> String.length l > 1 && l.[0] = 'z')
+                    (String.split_on_char '\n' s)))
+
+let prop_legal_moves_shrink =
+  QCheck.Test.make ~name:"playing reduces legal moves by one" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 20) (int_range 0 63))
+    (fun candidate_moves ->
+      let rec go board = function
+        | [] -> true
+        | m :: rest ->
+          if Board.winner board <> None then true
+          else if Board.cell board m <> None then go board rest
+          else begin
+            let before = List.length (Board.legal_moves board) in
+            let board' = Board.play board m in
+            Board.winner board' <> None
+            || List.length (Board.legal_moves board') = before - 1 && go board' rest
+          end
+      in
+      go Board.empty candidate_moves)
+
+(* --- Minimax --- *)
+
+let test_positions_count_shallow () =
+  Alcotest.(check int) "1 ply" 64 (Minimax.positions_examined ~plies:1 Board.empty);
+  Alcotest.(check int) "2 plies" (64 * 63) (Minimax.positions_examined ~plies:2 Board.empty)
+
+let test_paper_position_count () =
+  (* "To examine the first three moves of a 4 by 4 by 4 game requires
+     examining 249,984 board positions." *)
+  Alcotest.(check int) "3 plies = 249,984" 249_984
+    (Minimax.positions_examined ~plies:3 Board.empty)
+
+let test_minimax_depth_zero_is_eval () =
+  let b = Board.play Board.empty 0 in
+  Alcotest.(check int) "depth 0" (Board.evaluate_for_side_to_move b) (Minimax.value ~plies:0 b)
+
+let test_minimax_takes_immediate_win () =
+  (* X to move with 0,1,2 on a row: playing 3 wins. *)
+  let b = play_all Board.empty [ 0; 16; 1; 17; 2; 18 ] in
+  Alcotest.(check int) "win found" Board.win_score (Minimax.value ~plies:1 b);
+  (match Minimax.best_move ~plies:1 b with
+  | Some 3 -> ()
+  | Some m -> Alcotest.failf "expected winning move 3, got %d" m
+  | None -> Alcotest.fail "expected a move")
+
+let test_minimax_avoids_loss () =
+  (* O to move; X threatens 0,1,2->3. O must block cell 3 (depth 2 sees the
+     threat). *)
+  let b = play_all Board.empty [ 0; 16; 1; 17; 2 ] in
+  (match Minimax.best_move ~plies:2 b with
+  | Some 3 -> ()
+  | Some m -> Alcotest.failf "expected block at 3, got %d" m
+  | None -> Alcotest.fail "expected a move");
+  Alcotest.(check bool) "loss foreseen without block" true (Minimax.value ~plies:2 b < 0)
+
+let test_alpha_beta_agrees () =
+  (* On a reduced position (few empty cells) alpha-beta must equal plain
+     minimax at every depth. *)
+  let b = play_all Board.empty [ 0; 1; 2; 3; 16; 17; 18; 19; 32; 33 ] in
+  List.iter
+    (fun plies ->
+      Alcotest.(check int)
+        (Printf.sprintf "depth %d" plies)
+        (Minimax.value ~plies b)
+        (Minimax.alpha_beta_value ~plies b))
+    [ 0; 1; 2; 3 ]
+
+(* --- Parallel schedulers --- *)
+
+let small_board =
+  (* Four scattered stones, no line threatened: a cheap but non-trivial
+     position for the single-worker runs. *)
+  let b = play_all Board.empty [ 0; 21; 42; 62 ] in
+  assert (Board.winner b = None);
+  b
+
+let parallel_cfg ?(workers = 4) ?(scheduler = Parallel.Pool_scheduler Cpool.Pool.Linear)
+    ?(plies = 2) () =
+  {
+    Parallel.default_config with
+    workers;
+    scheduler;
+    plies;
+    expand_cost = 2.0;
+    leaf_cost = 50.0;
+  }
+
+let schedulers =
+  [
+    Parallel.Pool_scheduler Cpool.Pool.Linear;
+    Parallel.Pool_scheduler Cpool.Pool.Random;
+    Parallel.Pool_scheduler Cpool.Pool.Tree;
+    Parallel.Stack_scheduler;
+  ]
+
+let test_parallel_matches_sequential scheduler () =
+  let board = Board.play (Board.play Board.empty 0) 21 in
+  let plies = 2 in
+  let expected = Minimax.value ~plies board in
+  let report = Parallel.analyse ~board (parallel_cfg ~scheduler ~plies ()) in
+  Alcotest.(check int) "value matches sequential minimax" expected report.Parallel.value;
+  Alcotest.(check int) "leaves match"
+    (Minimax.positions_examined ~plies board)
+    report.Parallel.leaves
+
+let test_parallel_single_worker scheduler () =
+  let board = small_board in
+  let plies = 2 in
+  let expected = Minimax.value ~plies board in
+  let report = Parallel.analyse ~board (parallel_cfg ~workers:1 ~scheduler ~plies ()) in
+  Alcotest.(check int) "single worker correct" expected report.Parallel.value
+
+let test_parallel_speedup_monotone () =
+  (* More workers must not slow the pool scheduler down (within a margin on
+     this small workload). *)
+  let board = Board.play Board.empty 0 in
+  let time workers =
+    (Parallel.analyse ~board (parallel_cfg ~workers ())).Parallel.duration
+  in
+  let t1 = time 1 and t4 = time 4 in
+  Alcotest.(check bool) (Printf.sprintf "t1=%.0f > t4=%.0f" t1 t4) true (t1 > t4);
+  Alcotest.(check bool) "meaningful speedup" true (t1 /. t4 > 2.0)
+
+let test_parallel_pool_beats_stack_at_scale () =
+  (* With 8 workers and modest per-task compute the global lock serialises;
+     the pool should finish faster. *)
+  let board = Board.play Board.empty 0 in
+  let run scheduler =
+    (Parallel.analyse ~board (parallel_cfg ~workers:8 ~scheduler ())).Parallel.duration
+  in
+  let pool_time = run (Parallel.Pool_scheduler Cpool.Pool.Linear) in
+  let stack_time = run Parallel.Stack_scheduler in
+  Alcotest.(check bool)
+    (Printf.sprintf "pool %.0f < stack %.0f" pool_time stack_time)
+    true (pool_time < stack_time)
+
+let test_parallel_reports_scheduler_stats () =
+  let board = Board.play Board.empty 0 in
+  let pool_report = Parallel.analyse ~board (parallel_cfg ()) in
+  Alcotest.(check bool) "pool totals present" true (pool_report.Parallel.pool_totals <> None);
+  Alcotest.(check bool) "no stack stats" true (pool_report.Parallel.stack_lock = None);
+  let stack_report =
+    Parallel.analyse ~board (parallel_cfg ~scheduler:Parallel.Stack_scheduler ())
+  in
+  (match stack_report.Parallel.stack_lock with
+  | Some (acquisitions, _) -> Alcotest.(check bool) "lock used" true (acquisitions > 0)
+  | None -> Alcotest.fail "expected stack lock stats");
+  Alcotest.(check bool) "no pool totals" true (stack_report.Parallel.pool_totals = None)
+
+let test_parallel_deterministic () =
+  let board = Board.play Board.empty 7 in
+  let run () =
+    let r = Parallel.analyse ~board (parallel_cfg ~scheduler:(Parallel.Pool_scheduler Cpool.Pool.Random) ()) in
+    (r.Parallel.value, r.Parallel.duration, r.Parallel.tasks)
+  in
+  Alcotest.(check bool) "reproducible" true (run () = run ())
+
+let test_parallel_validates () =
+  Alcotest.check_raises "workers" (Invalid_argument "Parallel.analyse: workers must be positive")
+    (fun () -> ignore (Parallel.analyse { (parallel_cfg ()) with Parallel.workers = 0 }))
+
+let scheduler_cases name f =
+  List.map
+    (fun s ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name (Parallel.scheduler_to_string s))
+        `Quick (f s))
+    schedulers
+
+let suites =
+  [
+    ( "game.board",
+      [
+        Alcotest.test_case "76 lines" `Quick test_line_count;
+        Alcotest.test_case "lines valid" `Quick test_lines_are_valid;
+        Alcotest.test_case "lines distinct" `Quick test_lines_distinct;
+        Alcotest.test_case "index/coords roundtrip" `Quick test_index_coords_roundtrip;
+        Alcotest.test_case "alternating moves" `Quick test_alternating_moves;
+        Alcotest.test_case "occupied rejected" `Quick test_play_occupied_rejected;
+        Alcotest.test_case "row win" `Quick test_row_win;
+        Alcotest.test_case "space diagonal win" `Quick test_space_diagonal_win;
+        Alcotest.test_case "column win for O" `Quick test_column_win_for_o;
+        Alcotest.test_case "no winner initially" `Quick test_no_winner_initially;
+        Alcotest.test_case "evaluation sign conventions" `Quick test_evaluate_symmetric;
+        Alcotest.test_case "win dominates evaluation" `Quick test_evaluate_win_dominates;
+        Alcotest.test_case "diagram" `Quick test_to_string_shape;
+        QCheck_alcotest.to_alcotest prop_legal_moves_shrink;
+      ] );
+    ( "game.minimax",
+      [
+        Alcotest.test_case "position counts" `Quick test_positions_count_shallow;
+        Alcotest.test_case "paper's 249,984 positions" `Slow test_paper_position_count;
+        Alcotest.test_case "depth zero" `Quick test_minimax_depth_zero_is_eval;
+        Alcotest.test_case "takes immediate win" `Quick test_minimax_takes_immediate_win;
+        Alcotest.test_case "avoids loss" `Quick test_minimax_avoids_loss;
+        Alcotest.test_case "alpha-beta agrees" `Quick test_alpha_beta_agrees;
+      ] );
+    ( "game.parallel",
+      scheduler_cases "matches sequential" test_parallel_matches_sequential
+      @ scheduler_cases "single worker" test_parallel_single_worker
+      @ [
+          Alcotest.test_case "speedup monotone" `Quick test_parallel_speedup_monotone;
+          Alcotest.test_case "pool beats stack" `Quick test_parallel_pool_beats_stack_at_scale;
+          Alcotest.test_case "scheduler stats" `Quick test_parallel_reports_scheduler_stats;
+          Alcotest.test_case "deterministic" `Quick test_parallel_deterministic;
+          Alcotest.test_case "validates config" `Quick test_parallel_validates;
+        ] );
+  ]

@@ -1,0 +1,272 @@
+(* Tests for the hint board and the hinted search algorithm (the paper's
+   Section 5 extension). *)
+
+open Cpool
+open Cpool_sim
+
+let mk_hints ?(p = 4) () = Hints.create ~home:0 ~home_of:Fun.id ~participants:p
+
+let test_hints_validated () =
+  Alcotest.check_raises "participants" (Invalid_argument "Hints.create: participants must be positive")
+    (fun () -> ignore (Hints.create ~home:0 ~home_of:Fun.id ~participants:0))
+
+let test_announce_retract () =
+  Sim_harness.in_proc (fun () ->
+      let h = mk_hints () in
+      Alcotest.(check int) "no waiters" 0 (Hints.waiters_free h);
+      Hints.announce h ~me:2;
+      Alcotest.(check int) "one waiter" 1 (Hints.waiters_free h);
+      Alcotest.(check bool) "flag set" true (Hints.announced_free h 2);
+      Alcotest.(check bool) "retract clears" true (Hints.retract h ~me:2);
+      Alcotest.(check int) "count restored" 0 (Hints.waiters_free h);
+      Alcotest.(check bool) "second retract is a no-op" false (Hints.retract h ~me:2);
+      Alcotest.(check int) "count not double-decremented" 0 (Hints.waiters_free h))
+
+let test_claim_waiter () =
+  Sim_harness.in_proc (fun () ->
+      let h = mk_hints () in
+      Hints.announce h ~me:1;
+      Hints.announce h ~me:3;
+      (* Claim from participant 2: ring order 3, 0, 1 -> claims 3. *)
+      (match Hints.claim_waiter h ~me:2 with
+      | Some 3 -> ()
+      | Some w -> Alcotest.failf "claimed %d, expected 3" w
+      | None -> Alcotest.fail "expected a claim");
+      Alcotest.(check int) "one left" 1 (Hints.waiters_free h);
+      (match Hints.claim_waiter h ~me:2 with
+      | Some 1 -> ()
+      | _ -> Alcotest.fail "expected to claim 1");
+      Alcotest.(check bool) "nothing left" true (Hints.claim_waiter h ~me:2 = None))
+
+let test_claim_skips_self () =
+  Sim_harness.in_proc (fun () ->
+      let h = mk_hints () in
+      Hints.announce h ~me:2;
+      Alcotest.(check bool) "own flag never claimed" true (Hints.claim_waiter h ~me:2 = None);
+      Alcotest.(check bool) "still announced" true (Hints.announced_free h 2))
+
+let hinted_cfg ?(participants = 4) () =
+  { Pool.default_config with participants; kind = Pool.Hinted }
+
+let test_hinted_pool_local_ops () =
+  Sim_harness.in_proc (fun () ->
+      let pool = Pool.create (hinted_cfg ()) in
+      Pool.join pool;
+      Pool.add pool ~me:0 "x";
+      (match Pool.remove pool ~me:0 with
+      | Pool.Local "x" -> ()
+      | _ -> Alcotest.fail "expected local removal");
+      Pool.leave pool)
+
+let test_hinted_search_finds_remote () =
+  Sim_harness.in_proc (fun () ->
+      let pool = Pool.create (hinted_cfg ()) in
+      Pool.join pool;
+      Pool.join pool;
+      (* phantom, so the searcher does not abort *)
+      for i = 1 to 6 do
+        Pool.prefill_segment pool ~seg:2 i
+      done;
+      (match Pool.remove pool ~me:0 with
+      | Pool.Stolen (_, stats) ->
+        Alcotest.(check int) "stole half" 3 stats.Cpool.Steal.elements_stolen
+      | _ -> Alcotest.fail "expected steal");
+      Pool.leave pool;
+      Pool.leave pool)
+
+let test_delivery_to_waiting_searcher () =
+  (* A consumer searches an empty pool while a producer adds: the add must
+     be delivered into the consumer's segment and counted. *)
+  let e = Engine.create ~nodes:4 ~seed:3L () in
+  let pool = Pool.create (hinted_cfg ()) in
+  let got = ref None in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"consumer" (fun () ->
+        Pool.join pool;
+        (match Pool.remove pool ~me:0 with
+        | Pool.Stolen (x, _) | Pool.Local x -> got := Some x
+        | Pool.Empty _ -> ());
+        Pool.leave pool)
+  in
+  let _ =
+    Engine.spawn e ~node:1 ~name:"producer" (fun () ->
+        Pool.join pool;
+        (* Give the consumer time to start searching. *)
+        Engine.delay 2_000.0;
+        Pool.add pool ~me:1 42;
+        Pool.leave pool)
+  in
+  Sim_harness.expect_completed e;
+  Alcotest.(check (option int)) "consumer got the element" (Some 42) !got;
+  let t = Pool.totals pool in
+  Alcotest.(check int) "delivery counted" 1 t.Pool.deliveries;
+  Alcotest.(check int) "add counted" 1 t.Pool.adds
+
+let test_add_outcome_delivered () =
+  let e = Engine.create ~nodes:4 ~seed:5L () in
+  let pool = Pool.create (hinted_cfg ()) in
+  let outcome = ref Pool.Rejected in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"consumer" (fun () ->
+        Pool.join pool;
+        ignore (Pool.remove pool ~me:0);
+        Pool.leave pool)
+  in
+  let _ =
+    Engine.spawn e ~node:1 ~name:"producer" (fun () ->
+        Pool.join pool;
+        Engine.delay 2_000.0;
+        outcome := Pool.add_bounded pool ~me:1 7;
+        Pool.leave pool)
+  in
+  Sim_harness.expect_completed e;
+  match !outcome with
+  | Pool.Delivered 0 -> ()
+  | Pool.Delivered w -> Alcotest.failf "delivered to %d, expected 0" w
+  | _ -> Alcotest.fail "expected a delivery"
+
+let test_no_delivery_without_waiters () =
+  Sim_harness.in_proc (fun () ->
+      let pool = Pool.create (hinted_cfg ()) in
+      Pool.join pool;
+      Alcotest.(check bool) "plain local add" true
+        (Pool.add_bounded pool ~me:1 1 = Pool.Added_locally);
+      Alcotest.(check int) "no deliveries" 0 (Pool.totals pool).Pool.deliveries;
+      Pool.leave pool)
+
+let test_hinted_conservation () =
+  (* Mixed concurrent traffic on a hinted pool conserves elements. *)
+  let pool = ref None in
+  let _ =
+    Sim_harness.run_procs ~nodes:8 ~seed:41L 8 (fun i ->
+        let p =
+          match !pool with
+          | Some p -> p
+          | None ->
+            let p = Pool.create (hinted_cfg ~participants:8 ()) in
+            Pool.prefill p (fun j -> j) ~per_segment:3;
+            pool := Some p;
+            p
+        in
+        Pool.join p;
+        for k = 1 to 150 do
+          if k land 1 = 0 then Pool.add p ~me:i k else ignore (Pool.remove p ~me:i)
+        done;
+        Pool.leave p)
+  in
+  let p = Option.get !pool in
+  let t = Pool.totals p in
+  Alcotest.(check int) "conservation" (24 + t.Pool.adds - t.Pool.removes) (Pool.total_size p)
+
+let test_hinted_sparse_characteristics () =
+  (* The measured answer to the paper's open question: under a sparse
+     producer/consumer workload almost every add is delivered directly to a
+     waiting consumer — which forfeits the steal-half batching (elements
+     arrive one at a time instead of being banked), so hints do NOT beat
+     the plain linear algorithm. The test pins the mechanism: deliveries
+     dominate, and the per-steal haul shrinks versus linear. *)
+  let run kind =
+    let spec =
+      {
+        Cpool_workload.Driver.default_spec with
+        pool = { Pool.default_config with participants = 8; kind };
+        roles = Cpool_workload.Role.balanced_producers ~participants:8 ~producers:2;
+        total_ops = 1200;
+        initial_elements = 24;
+        seed = 77L;
+      }
+    in
+    Cpool_workload.Driver.run spec
+  in
+  let hinted = run Pool.Hinted and linear = run Pool.Linear in
+  let ht = hinted.Cpool_workload.Driver.pool_totals in
+  Alcotest.(check bool) "most adds are delivered" true
+    (ht.Pool.deliveries * 2 > ht.Pool.adds);
+  let haul r =
+    Cpool_metrics.Sample.mean r.Cpool_workload.Driver.elements_per_steal
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery forfeits batching: hinted %.2f <= linear %.2f elems/steal"
+       (haul hinted) (haul linear))
+    true
+    (haul hinted <= haul linear +. 0.01)
+
+let test_delivery_to_full_segment_falls_back () =
+  (* Bounded hinted pool: if the claimed waiter's segment is full, the hint
+     is consumed but the add falls back to the normal (local) path — the
+     element must not be lost or duplicated. *)
+  let e = Engine.create ~nodes:4 ~seed:9L () in
+  let pool =
+    Pool.create { (hinted_cfg ()) with Pool.capacity = Some 2 }
+  in
+  let outcome = ref Pool.Rejected in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"consumer" (fun () ->
+        Pool.join pool;
+        (* Fill our own segment to capacity, then empty... no: keep it full
+           so a delivery to us must fail. We search because our segment is
+           empty — so instead fill segment 0 via another participant after
+           we start searching. The simplest deterministic arrangement:
+           consumer searches with an empty segment; producer first fills
+           segment 0 to capacity remotely (spills), then adds — the claim
+           of consumer 0 then finds a full segment. *)
+        (match Pool.remove pool ~me:0 with
+        | Pool.Stolen _ | Pool.Local _ -> ()
+        | Pool.Empty _ -> ());
+        Pool.leave pool)
+  in
+  let _ =
+    Engine.spawn e ~node:1 ~name:"producer" (fun () ->
+        Pool.join pool;
+        Engine.delay 2_000.0;
+        (* Fill the consumer's segment directly (bypassing hints) so the
+           upcoming delivery attempt finds it full. *)
+        Pool.prefill_segment pool ~seg:0 901;
+        Pool.prefill_segment pool ~seg:0 902;
+        outcome := Pool.add_bounded pool ~me:1 7;
+        Pool.leave pool)
+  in
+  Sim_harness.expect_completed e;
+  (* The delivery was refused (segment 0 full), so the add landed locally;
+     the hint was consumed without effect. *)
+  (match !outcome with
+  | Pool.Added_locally -> ()
+  | Pool.Delivered _ -> Alcotest.fail "delivery should have been refused"
+  | Pool.Spilled _ -> ()
+  | Pool.Rejected -> Alcotest.fail "unexpected reject");
+  Alcotest.(check int) "no deliveries" 0 (Pool.totals pool).Pool.deliveries
+
+let test_lock_stats_accessor () =
+  Sim_harness.in_proc (fun () ->
+      let pool = Pool.create (hinted_cfg ()) in
+      Pool.join pool;
+      Pool.add pool ~me:1 ();
+      let acquisitions, contended = Pool.segment_lock_stats pool 1 in
+      Alcotest.(check bool) "lock used" true (acquisitions >= 1);
+      Alcotest.(check int) "uncontended" 0 contended;
+      Alcotest.check_raises "range"
+        (Invalid_argument "Pool.segment_lock_stats: out of range") (fun () ->
+          ignore (Pool.segment_lock_stats pool 9));
+      Pool.leave pool)
+
+let suites =
+  [
+    ( "hinted",
+      [
+        Alcotest.test_case "hints validated" `Quick test_hints_validated;
+        Alcotest.test_case "announce/retract" `Quick test_announce_retract;
+        Alcotest.test_case "claim waiter" `Quick test_claim_waiter;
+        Alcotest.test_case "claim skips self" `Quick test_claim_skips_self;
+        Alcotest.test_case "pool local ops" `Quick test_hinted_pool_local_ops;
+        Alcotest.test_case "search finds remote" `Quick test_hinted_search_finds_remote;
+        Alcotest.test_case "delivery to waiting searcher" `Quick test_delivery_to_waiting_searcher;
+        Alcotest.test_case "add outcome Delivered" `Quick test_add_outcome_delivered;
+        Alcotest.test_case "no delivery without waiters" `Quick test_no_delivery_without_waiters;
+        Alcotest.test_case "conservation" `Quick test_hinted_conservation;
+        Alcotest.test_case "sparse delivery characteristics" `Quick
+          test_hinted_sparse_characteristics;
+        Alcotest.test_case "delivery to full segment falls back" `Quick
+          test_delivery_to_full_segment_falls_back;
+        Alcotest.test_case "lock stats accessor" `Quick test_lock_stats_accessor;
+      ] );
+  ]

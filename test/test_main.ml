@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "concurrent_pools"
+    (List.concat
+       [
+         Test_util.suites;
+         Test_pqueue.suites;
+         Test_rng.suites;
+         Test_engine.suites;
+         Test_memory_lock.suites;
+         Test_segment.suites;
+         Test_termination.suites;
+         Test_search.suites;
+         Test_pool.suites;
+         Test_metrics.suites;
+         Test_workload.suites;
+         Test_game.suites;
+         Test_mcpool.suites;
+         Test_bounded.suites;
+         Test_hinted.suites;
+         Test_classed.suites;
+         Test_coverage.suites;
+         Test_validation.suites;
+         Test_backtrack.suites;
+         Test_experiments.suites;
+       ])

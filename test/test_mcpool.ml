@@ -1,0 +1,242 @@
+(* Tests for the multicore (OCaml 5 domains) concurrent pool. *)
+
+open Cpool_mc
+
+let kinds = [ ("linear", Mc_pool.Linear); ("random", Mc_pool.Random); ("tree", Mc_pool.Tree) ]
+
+(* --- Single-domain semantics --- *)
+
+let test_create_invalid () =
+  Alcotest.check_raises "segments" (Invalid_argument "Mc_pool.create: segments must be positive")
+    (fun () -> ignore (Mc_pool.create ~segments:0 () : unit Mc_pool.t))
+
+let test_register_slots () =
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let h0 = Mc_pool.register pool in
+  let h1 = Mc_pool.register pool in
+  Alcotest.(check int) "first slot" 0 (Mc_pool.slot h0);
+  Alcotest.(check int) "second slot" 1 (Mc_pool.slot h1);
+  (match Mc_pool.register pool with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected registration failure");
+  Alcotest.(check int) "segments" 2 (Mc_pool.segments pool)
+
+let test_register_at () =
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:3 () in
+  let h2 = Mc_pool.register_at pool 2 in
+  Alcotest.(check int) "explicit slot" 2 (Mc_pool.slot h2);
+  Alcotest.check_raises "reclaim" (Invalid_argument "Mc_pool.register_at: slot already claimed")
+    (fun () -> ignore (Mc_pool.register_at pool 2));
+  (* register skips the claimed slot *)
+  Alcotest.(check int) "register skips" 0 (Mc_pool.slot (Mc_pool.register pool))
+
+let test_local_roundtrip () =
+  let pool = Mc_pool.create ~segments:2 () in
+  let h = Mc_pool.register pool in
+  Mc_pool.add pool h "a";
+  Mc_pool.add pool h "b";
+  Alcotest.(check int) "size" 2 (Mc_pool.size pool);
+  Alcotest.(check (option string)) "lifo" (Some "b") (Mc_pool.try_remove_local pool h);
+  Alcotest.(check (option string)) "next" (Some "a") (Mc_pool.try_remove_local pool h);
+  Alcotest.(check (option string)) "empty" None (Mc_pool.try_remove_local pool h)
+
+let test_steal_across_slots kind () =
+  let pool = Mc_pool.create ~kind ~segments:4 () in
+  let h0 = Mc_pool.register_at pool 0 in
+  let h2 = Mc_pool.register_at pool 2 in
+  for i = 1 to 8 do
+    Mc_pool.add pool h2 i
+  done;
+  (match Mc_pool.try_remove pool h0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a stolen element");
+  Alcotest.(check int) "one steal" 1 (Mc_pool.steals pool);
+  Alcotest.(check int) "conserved" 7 (Mc_pool.size pool)
+
+let test_remove_confirms_empty kind () =
+  let pool : int Mc_pool.t = Mc_pool.create ~kind ~segments:3 () in
+  let h = Mc_pool.register pool in
+  Alcotest.(check bool) "empty pool" true (Mc_pool.remove pool h = None);
+  Mc_pool.add pool h 7;
+  Alcotest.(check (option int)) "element back" (Some 7) (Mc_pool.remove pool h)
+
+let test_try_remove_nonblocking kind () =
+  let pool : int Mc_pool.t = Mc_pool.create ~kind ~segments:4 () in
+  let h = Mc_pool.register pool in
+  Alcotest.(check (option int)) "nothing" None (Mc_pool.try_remove pool h)
+
+(* --- Multi-domain stress --- *)
+
+let test_conservation_under_domains kind () =
+  (* 4 domains, each adds [per] elements and removes [per] elements; at the
+     end the pool must be exactly empty and every element consumed once. *)
+  let domains = 4 and per = 2_000 in
+  let pool = Mc_pool.create ~kind ~segments:domains () in
+  let consumed = Array.make domains 0 in
+  let spawn i =
+    Domain.spawn (fun () ->
+        let h = Mc_pool.register_at pool i in
+        for k = 1 to per do
+          Mc_pool.add pool h ((i * per) + k);
+          if k land 1 = 0 then begin
+            (* Interleave removes to force stealing traffic. *)
+            match Mc_pool.remove pool h with
+            | Some _ -> consumed.(i) <- consumed.(i) + 1
+            | None -> ()
+          end
+        done;
+        let rec drain () =
+          match Mc_pool.remove pool h with
+          | Some _ ->
+            consumed.(i) <- consumed.(i) + 1;
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        Mc_pool.deregister pool h)
+  in
+  let ds = List.init domains spawn in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "pool drained" 0 (Mc_pool.size pool);
+  Alcotest.(check int) "every element consumed exactly once" (domains * per)
+    (Array.fold_left ( + ) 0 consumed)
+
+let test_producer_consumer_domains kind () =
+  (* 2 producers push, 2 consumers pull; totals must match. *)
+  let per = 5_000 in
+  let pool = Mc_pool.create ~kind ~segments:4 () in
+  let eaten = Atomic.make 0 in
+  (* Register every worker before any domain starts, so a fast consumer
+     cannot observe "all registered workers searching" while a producer is
+     still booting. *)
+  let handles = Array.init 4 (Mc_pool.register_at pool) in
+  let producers =
+    List.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            let h = handles.(i) in
+            for k = 1 to per do
+              Mc_pool.add pool h k
+            done;
+            Mc_pool.deregister pool h))
+  in
+  let consumers =
+    List.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            let h = handles.(2 + i) in
+            let rec eat () =
+              match Mc_pool.remove pool h with
+              | Some _ ->
+                Atomic.incr eaten;
+                eat ()
+              | None -> ()
+            in
+            eat ();
+            Mc_pool.deregister pool h))
+  in
+  List.iter Domain.join producers;
+  List.iter Domain.join consumers;
+  (* Consumers exit only when all *registered* workers are searching; the
+     producers never search, so consumers drain everything the producers
+     made before both become the only active parties. Whatever remains
+     unconsumed must still be in the pool. *)
+  Alcotest.(check int) "conservation" (2 * per) (Atomic.get eaten + Mc_pool.size pool);
+  Alcotest.(check bool) "stealing happened" true (Mc_pool.steals pool > 0)
+
+let test_work_generating_workload kind () =
+  (* Task-graph shape: each element may spawn children; all domains run
+     until global quiescence, which [remove] detects as None. *)
+  let pool = Mc_pool.create ~kind ~segments:4 () in
+  let produced = Atomic.make 0 in
+  let processed = Atomic.make 0 in
+  let seed_handle = Mc_pool.register_at pool 0 in
+  Mc_pool.add pool seed_handle 12;
+  Atomic.incr produced;
+  let worker i =
+    Domain.spawn (fun () ->
+        let h = if i = 0 then seed_handle else Mc_pool.register_at pool i in
+        let rec go () =
+          match Mc_pool.remove pool h with
+          | Some depth ->
+            Atomic.incr processed;
+            if depth > 0 then begin
+              (* Two children per task: a small binary task tree. *)
+              Mc_pool.add pool h (depth - 1);
+              Mc_pool.add pool h (depth - 1);
+              Atomic.incr produced;
+              Atomic.incr produced
+            end;
+            go ()
+          | None -> ()
+        in
+        go ();
+        Mc_pool.deregister pool h)
+  in
+  let ds = List.init 4 worker in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all tasks processed" (Atomic.get produced) (Atomic.get processed);
+  Alcotest.(check int) "binary tree of depth 12" ((2 lsl 12) - 1) (Atomic.get processed);
+  Alcotest.(check int) "pool empty" 0 (Mc_pool.size pool)
+
+let per_kind name f = List.map (fun (kn, k) -> Alcotest.test_case (name ^ " (" ^ kn ^ ")") `Quick (f k)) kinds
+
+let main_suites =
+  [
+    ( "mcpool",
+      [
+        Alcotest.test_case "create invalid" `Quick test_create_invalid;
+        Alcotest.test_case "register slots" `Quick test_register_slots;
+        Alcotest.test_case "register_at" `Quick test_register_at;
+        Alcotest.test_case "local roundtrip" `Quick test_local_roundtrip;
+      ]
+      @ per_kind "steal across slots" test_steal_across_slots
+      @ per_kind "remove confirms empty" test_remove_confirms_empty
+      @ per_kind "try_remove nonblocking" test_try_remove_nonblocking
+      @ per_kind "conservation under domains" test_conservation_under_domains
+      @ per_kind "producer/consumer domains" test_producer_consumer_domains
+      @ per_kind "work-generating workload" test_work_generating_workload );
+  ]
+
+(* --- Bounded multicore pools --- *)
+
+let test_bounded_spill_and_reject () =
+  let pool = Mc_pool.create ~capacity:2 ~segments:2 () in
+  let h0 = Mc_pool.register_at pool 0 in
+  Alcotest.(check bool) "1" true (Mc_pool.try_add pool h0 1);
+  Alcotest.(check bool) "2" true (Mc_pool.try_add pool h0 2);
+  (* Own segment full: spills to slot 1. *)
+  Alcotest.(check bool) "3 spills" true (Mc_pool.try_add pool h0 3);
+  Alcotest.(check bool) "4 spills" true (Mc_pool.try_add pool h0 4);
+  Alcotest.(check bool) "5 rejected" false (Mc_pool.try_add pool h0 5);
+  Alcotest.(check int) "size capped" 4 (Mc_pool.size pool);
+  (match Mc_pool.add pool h0 6 with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected Failure");
+  Mc_pool.deregister pool h0
+
+let test_bounded_capacity_validated () =
+  Alcotest.check_raises "capacity" (Invalid_argument "Mc_segment.make: capacity must be positive")
+    (fun () -> ignore (Mc_pool.create ~capacity:0 ~segments:2 () : int Mc_pool.t))
+
+let test_bounded_steal_capped () =
+  let pool = Mc_pool.create ~capacity:4 ~segments:2 () in
+  let h0 = Mc_pool.register_at pool 0 in
+  let h1 = Mc_pool.register_at pool 1 in
+  for i = 1 to 4 do
+    Mc_pool.add pool h1 i
+  done;
+  (* Thief empty, spare 4: a steal of ceil(4/2)=2 fits within spare+1. *)
+  Alcotest.(check bool) "steals" true (Mc_pool.try_remove pool h0 <> None);
+  Alcotest.(check int) "conserved" 3 (Mc_pool.size pool);
+  Mc_pool.deregister pool h0;
+  Mc_pool.deregister pool h1
+
+let suites =
+  main_suites
+  @ [
+    ( "mcpool.bounded",
+      [
+        Alcotest.test_case "spill and reject" `Quick test_bounded_spill_and_reject;
+        Alcotest.test_case "capacity validated" `Quick test_bounded_capacity_validated;
+        Alcotest.test_case "steal capped" `Quick test_bounded_steal_capped;
+      ] );
+  ]

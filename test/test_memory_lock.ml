@@ -1,0 +1,213 @@
+(* Tests for simulated shared memory cells and FIFO locks. *)
+
+open Cpool_sim
+
+let in_sim ?(nodes = 4) ?(seed = 1L) ?cost body =
+  let e = Engine.create ?cost ~nodes ~seed () in
+  let _ = Engine.spawn e ~node:0 ~name:"main" (fun () -> body e) in
+  match Engine.run e with
+  | Engine.Completed -> ()
+  | Engine.Deadlocked names -> Alcotest.failf "deadlock: %s" (String.concat "," names)
+  | Engine.Hit_limit -> Alcotest.fail "hit limit"
+
+let test_read_write () =
+  in_sim (fun _ ->
+      let c = Memory.make ~home:0 10 in
+      Alcotest.(check int) "initial" 10 (Memory.read c);
+      Memory.write c 20;
+      Alcotest.(check int) "written" 20 (Memory.read c);
+      Alcotest.(check int) "accesses" 3 (Memory.accesses c))
+
+let test_read_charges_time () =
+  in_sim (fun _ ->
+      let local = Memory.make ~home:0 () and remote = Memory.make ~home:2 () in
+      let t0 = Engine.clock () in
+      Memory.read local;
+      let t1 = Engine.clock () in
+      Memory.read remote;
+      let t2 = Engine.clock () in
+      Alcotest.(check (float 1e-9)) "local cost" 2.0 (t1 -. t0);
+      Alcotest.(check (float 1e-9)) "remote cost" 8.0 (t2 -. t1))
+
+let test_fetch_add () =
+  in_sim (fun _ ->
+      let c = Memory.make ~home:1 5 in
+      Alcotest.(check int) "returns old" 5 (Memory.fetch_add c 3);
+      Alcotest.(check int) "applied" 8 (Memory.peek c);
+      Alcotest.(check int) "negative delta" 8 (Memory.fetch_add c (-10));
+      Alcotest.(check int) "applied again" (-2) (Memory.peek c))
+
+let test_update () =
+  in_sim (fun _ ->
+      let c = Memory.make ~home:0 "x" in
+      let old = Memory.update c (fun s -> s ^ "y") in
+      Alcotest.(check string) "old" "x" old;
+      Alcotest.(check string) "new" "xy" (Memory.peek c))
+
+let test_compare_and_set () =
+  in_sim (fun _ ->
+      let c = Memory.make ~home:0 1 in
+      Alcotest.(check bool) "succeeds" true (Memory.compare_and_set c ~expected:1 ~desired:2);
+      Alcotest.(check bool) "fails" false (Memory.compare_and_set c ~expected:1 ~desired:3);
+      Alcotest.(check int) "value" 2 (Memory.peek c))
+
+let test_peek_poke_free () =
+  in_sim (fun _ ->
+      let c = Memory.make ~home:3 0 in
+      let t0 = Engine.clock () in
+      Memory.poke c 9;
+      Alcotest.(check int) "poked" 9 (Memory.peek c);
+      Alcotest.(check (float 0.0)) "no time" t0 (Engine.clock ());
+      Alcotest.(check int) "no accesses" 0 (Memory.accesses c))
+
+let test_fetch_add_contention_atomic () =
+  (* 8 processes each add 100 to a shared counter; every increment must
+     survive despite the interleaving that charging introduces. *)
+  let e = Engine.create ~nodes:4 ~seed:5L () in
+  let c = Memory.make ~home:0 0 in
+  for i = 0 to 7 do
+    ignore
+      (Engine.spawn e ~node:(i mod 4) ~name:(string_of_int i) (fun () ->
+           for _ = 1 to 100 do
+             ignore (Memory.fetch_add c 1)
+           done))
+  done;
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check int) "all increments applied" 800 (Memory.peek c)
+
+let test_plain_rmw_races () =
+  (* The same workload with separate read and write does lose updates —
+     demonstrating that the interleaving model is honest. *)
+  let e = Engine.create ~nodes:4 ~seed:5L () in
+  let c = Memory.make ~home:0 0 in
+  for i = 0 to 7 do
+    ignore
+      (Engine.spawn e ~node:(i mod 4) ~name:(string_of_int i) (fun () ->
+           for _ = 1 to 100 do
+             let v = Memory.read c in
+             Memory.write c (v + 1)
+           done))
+  done;
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check bool) "updates lost" true (Memory.peek c < 800)
+
+let test_lock_mutual_exclusion () =
+  let e = Engine.create ~nodes:4 ~seed:9L () in
+  let lock = Lock.make ~home:0 in
+  let inside = ref 0 in
+  let max_inside = ref 0 in
+  for i = 0 to 7 do
+    ignore
+      (Engine.spawn e ~node:(i mod 4) ~name:(string_of_int i) (fun () ->
+           for _ = 1 to 20 do
+             Lock.with_lock lock (fun () ->
+                 incr inside;
+                 max_inside := max !max_inside !inside;
+                 Engine.delay 1.0;
+                 decr inside)
+           done))
+  done;
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check int) "never two holders" 1 !max_inside;
+  Alcotest.(check int) "all acquisitions" 160 (Lock.acquisitions lock);
+  Alcotest.(check bool) "contention occurred" true (Lock.contended_acquisitions lock > 0)
+
+let test_lock_fifo_grant () =
+  let e = Engine.create ~nodes:4 ~seed:9L () in
+  let lock = Lock.make ~home:0 in
+  let order = ref [] in
+  let _ =
+    Engine.spawn e ~node:0 ~name:"holder" (fun () ->
+        Lock.acquire lock;
+        Engine.delay 100.0;
+        Lock.release lock)
+  in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e ~node:(i mod 4) ~name:(string_of_int i) (fun () ->
+           (* Stagger arrival so the FIFO order is i = 1, 2, 3. *)
+           Engine.delay (float_of_int i);
+           Lock.acquire lock;
+           order := Engine.self_name () :: !order;
+           Lock.release lock))
+  done;
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (list string)) "FIFO grant order" [ "1"; "2"; "3" ] (List.rev !order)
+
+let test_lock_reentry_rejected () =
+  in_sim (fun _ ->
+      let lock = Lock.make ~home:0 in
+      Lock.acquire lock;
+      Alcotest.check_raises "reentry" (Invalid_argument "Lock.acquire: lock already held")
+        (fun () -> Lock.acquire lock);
+      Lock.release lock)
+
+let test_release_without_hold_rejected () =
+  in_sim (fun _ ->
+      let lock = Lock.make ~home:0 in
+      Alcotest.check_raises "release free"
+        (Invalid_argument "Lock.release: lock not held by caller") (fun () ->
+          Lock.release lock))
+
+let test_with_lock_releases_on_exception () =
+  in_sim (fun _ ->
+      let lock = Lock.make ~home:0 in
+      (try Lock.with_lock lock (fun () -> failwith "inner") with Failure _ -> ());
+      Alcotest.(check bool) "released" true (Lock.holder lock = None);
+      (* Still usable. *)
+      Lock.with_lock lock (fun () -> ()))
+
+let test_lock_holder_instrumentation () =
+  in_sim (fun _ ->
+      let lock = Lock.make ~home:0 in
+      Alcotest.(check bool) "free" true (Lock.holder lock = None);
+      Lock.acquire lock;
+      Alcotest.(check bool) "held by self" true (Lock.holder lock = Some (Engine.self_pid ()));
+      Lock.release lock;
+      Alcotest.(check bool) "free again" true (Lock.holder lock = None))
+
+let test_lock_serialises_time () =
+  (* Two processes each hold the lock for 10 us starting at the same instant:
+     the second must finish at >= 20 us. *)
+  let cost =
+    { Topology.local_cost = 0.0; remote_ratio = 1.0; remote_extra = 0.0; compute_per_op = 0.0 }
+  in
+  let e = Engine.create ~cost ~nodes:2 ~seed:2L () in
+  let lock = Lock.make ~home:0 in
+  let finish = Array.make 2 0.0 in
+  for i = 0 to 1 do
+    ignore
+      (Engine.spawn e ~node:i ~name:(string_of_int i) (fun () ->
+           Lock.with_lock lock (fun () -> Engine.delay 10.0);
+           finish.(i) <- Engine.clock ()))
+  done;
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (float 1e-9)) "first" 10.0 (min finish.(0) finish.(1));
+  Alcotest.(check (float 1e-9)) "second serialised" 20.0 (max finish.(0) finish.(1))
+
+let suites =
+  [
+    ( "memory",
+      [
+        Alcotest.test_case "read/write" `Quick test_read_write;
+        Alcotest.test_case "access costs time" `Quick test_read_charges_time;
+        Alcotest.test_case "fetch_add" `Quick test_fetch_add;
+        Alcotest.test_case "update" `Quick test_update;
+        Alcotest.test_case "compare_and_set" `Quick test_compare_and_set;
+        Alcotest.test_case "peek/poke are free" `Quick test_peek_poke_free;
+        Alcotest.test_case "fetch_add atomic under contention" `Quick
+          test_fetch_add_contention_atomic;
+        Alcotest.test_case "plain read-modify-write races" `Quick test_plain_rmw_races;
+      ] );
+    ( "lock",
+      [
+        Alcotest.test_case "mutual exclusion" `Quick test_lock_mutual_exclusion;
+        Alcotest.test_case "FIFO grant order" `Quick test_lock_fifo_grant;
+        Alcotest.test_case "reentry rejected" `Quick test_lock_reentry_rejected;
+        Alcotest.test_case "release without hold" `Quick test_release_without_hold_rejected;
+        Alcotest.test_case "with_lock releases on exception" `Quick
+          test_with_lock_releases_on_exception;
+        Alcotest.test_case "holder instrumentation" `Quick test_lock_holder_instrumentation;
+        Alcotest.test_case "lock serialises virtual time" `Quick test_lock_serialises_time;
+      ] );
+  ]

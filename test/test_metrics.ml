@@ -1,0 +1,211 @@
+(* Tests for samples, histograms, traces and text rendering. *)
+
+open Cpool_metrics
+
+let feed xs =
+  let s = Sample.create () in
+  List.iter (Sample.add s) xs;
+  s
+
+let test_sample_empty () =
+  let s = Sample.create () in
+  Alcotest.(check int) "n" 0 (Sample.n s);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Sample.mean s));
+  Alcotest.(check bool) "stddev nan" true (Float.is_nan (Sample.stddev s));
+  Alcotest.(check bool) "min nan" true (Float.is_nan (Sample.min_value s));
+  Alcotest.(check bool) "percentile nan" true (Float.is_nan (Sample.percentile s 50.0))
+
+let test_sample_basic_stats () =
+  let s = feed [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check int) "n" 8 (Sample.n s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Sample.mean s);
+  (* Sample stddev with n-1: variance = 32/7. *)
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (32.0 /. 7.0)) (Sample.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Sample.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Sample.max_value s);
+  Alcotest.(check (float 1e-9)) "total" 40.0 (Sample.total s)
+
+let test_sample_single () =
+  let s = feed [ 3.5 ] in
+  Alcotest.(check (float 0.0)) "mean" 3.5 (Sample.mean s);
+  Alcotest.(check (float 0.0)) "stddev" 0.0 (Sample.stddev s);
+  Alcotest.(check (float 0.0)) "median" 3.5 (Sample.median s)
+
+let test_sample_percentiles () =
+  let s = feed [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Sample.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Sample.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "median interpolates" 2.5 (Sample.median s);
+  Alcotest.(check (float 1e-9)) "p25" 1.75 (Sample.percentile s 25.0);
+  Alcotest.check_raises "out of range" (Invalid_argument "Sample.percentile: p out of [0, 100]")
+    (fun () -> ignore (Sample.percentile s 101.0))
+
+let test_sample_add_int_and_merge () =
+  let a = Sample.create () in
+  Sample.add_int a 1;
+  Sample.add_int a 2;
+  let b = feed [ 3.0 ] in
+  let m = Sample.merge a b in
+  Alcotest.(check int) "merged n" 3 (Sample.n m);
+  Alcotest.(check (float 1e-9)) "merged mean" 2.0 (Sample.mean m);
+  (* Merge copies: mutating m must not affect a. *)
+  Sample.add m 100.0;
+  Alcotest.(check int) "a untouched" 2 (Sample.n a)
+
+let test_sample_percentile_after_add () =
+  (* The sorted cache must invalidate on add. *)
+  let s = feed [ 1.0; 3.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 2.0 (Sample.median s);
+  Sample.add s 5.0;
+  Alcotest.(check (float 1e-9)) "median updated" 3.0 (Sample.median s)
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean lies within [min, max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let s = feed xs in
+      Sample.mean s >= Sample.min_value s -. 1e-9
+      && Sample.mean s <= Sample.max_value s +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone in p" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 30) (float_bound_exclusive 10.0))
+              (pair (int_range 0 100) (int_range 0 100)))
+    (fun (xs, (p1, p2)) ->
+      let s = feed xs in
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Sample.percentile s (float_of_int lo) <= Sample.percentile s (float_of_int hi) +. 1e-9)
+
+let test_histogram_basic () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add h) [ 0.5; 1.9; 2.0; 9.9; 15.0; -3.0 ];
+  Alcotest.(check int) "total" 6 (Histogram.count h);
+  Alcotest.(check int) "bin 0 gets 0.5, 1.9 and clamped -3" 3 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1 gets 2.0" 1 (Histogram.bin_count h 1);
+  Alcotest.(check int) "last bin gets 9.9 and clamped 15" 2 (Histogram.bin_count h 4);
+  let lo, hi = Histogram.bin_bounds h 1 in
+  Alcotest.(check (float 1e-9)) "bounds lo" 2.0 lo;
+  Alcotest.(check (float 1e-9)) "bounds hi" 4.0 hi
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "bins" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0));
+  Alcotest.check_raises "range" (Invalid_argument "Histogram.create: hi must exceed lo")
+    (fun () -> ignore (Histogram.create ~lo:1.0 ~hi:1.0 ~bins:3))
+
+let test_trace_events_and_duration () =
+  let t = Trace.create ~segments:2 in
+  Trace.record t ~time:1.0 ~seg:0 ~size:3;
+  Trace.record t ~time:2.0 ~seg:1 ~size:5;
+  Trace.record t ~time:4.0 ~seg:0 ~size:1;
+  Alcotest.(check int) "count" 3 (Trace.event_count t);
+  Alcotest.(check (float 0.0)) "duration" 4.0 (Trace.duration t);
+  Alcotest.(check int) "peak" 5 (Trace.peak_size t)
+
+let test_trace_grid_carries_forward () =
+  let t = Trace.create ~segments:1 in
+  Trace.record t ~time:0.0 ~seg:0 ~size:4;
+  Trace.record t ~time:10.0 ~seg:0 ~size:2;
+  let g = Trace.grid t ~buckets:4 in
+  (* Size 4 recorded in bucket 0 carries through buckets 1-2; the drop to 2
+     lands in the last bucket. *)
+  Alcotest.(check (array int)) "carried" [| 4; 4; 4; 2 |] g.(0)
+
+let test_trace_grid_empty () =
+  let t = Trace.create ~segments:2 in
+  let g = Trace.grid t ~buckets:3 in
+  Alcotest.(check (array int)) "all zero" [| 0; 0; 0 |] g.(0)
+
+let test_trace_steal_detection () =
+  let t = Trace.create ~segments:1 in
+  (* Grow to 5, plain remove to 4, steal drops to 2. *)
+  List.iteri (fun i size -> Trace.record t ~time:(float_of_int i) ~seg:0 ~size)
+    [ 1; 2; 3; 4; 5; 4; 2 ];
+  Alcotest.(check int) "one steal seen" 1 (Trace.steals_observed t ~seg:0)
+
+let test_trace_bad_segment () =
+  let t = Trace.create ~segments:1 in
+  Alcotest.check_raises "range" (Invalid_argument "Trace.record: segment out of range")
+    (fun () -> Trace.record t ~time:0.0 ~seg:1 ~size:0)
+
+let test_table_layout () =
+  let s = Render.table ~headers:[ "a"; "bbb" ] ~rows:[ [ "1"; "2" ]; [ "10"; "20" ] ] () in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check string) "header" "a   bbb" (List.nth lines 0);
+  Alcotest.(check bool) "rule present" true (String.length (List.nth lines 1) > 0);
+  Alcotest.(check string) "row" "10  20" (List.nth lines 3)
+
+let test_table_pads_short_rows () =
+  let s = Render.table ~headers:[ "x"; "y" ] ~rows:[ [ "only" ] ] () in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_chart_renders_points () =
+  let s =
+    Render.chart ~width:40 ~height:10
+      [ ("up", [ (0.0, 0.0); (1.0, 1.0) ]); ("down", [ (0.0, 1.0); (1.0, 0.0) ]) ]
+  in
+  Alcotest.(check bool) "has first marker" true (String.contains s '*');
+  Alcotest.(check bool) "has second marker" true (String.contains s 'o');
+  Alcotest.(check bool) "has legend" true
+    (String.length s > 0
+    &&
+    let lines = String.split_on_char '\n' s in
+    List.exists (fun l -> l = "  * = up") lines)
+
+let test_chart_empty () =
+  Alcotest.(check string) "graceful" "(chart: no data)\n" (Render.chart [ ("none", []) ])
+
+let test_strip_chart () =
+  let s = Render.strip_chart ~width:8 ~labels:[| "c0"; "p1" |] [| [| 0; 0 |]; [| 4; 8 |] |] in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "two strips + footer" true (List.length lines >= 3);
+  Alcotest.(check bool) "empty row blank" true
+    (String.for_all (fun c -> c = ' ' || c = '|' || c = 'c' || c = '0') (List.nth lines 0))
+
+let test_strip_chart_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Render.strip_chart: labels/grid mismatch")
+    (fun () -> ignore (Render.strip_chart ~labels:[| "a" |] [||]))
+
+let test_float_cell () =
+  Alcotest.(check string) "nan" "-" (Render.float_cell Float.nan);
+  Alcotest.(check string) "small" "1.25" (Render.float_cell 1.25);
+  Alcotest.(check string) "mid" "12.5" (Render.float_cell 12.5);
+  Alcotest.(check string) "big" "1250" (Render.float_cell 1250.0)
+
+let suites =
+  [
+    ( "metrics.sample",
+      [
+        Alcotest.test_case "empty" `Quick test_sample_empty;
+        Alcotest.test_case "basic stats" `Quick test_sample_basic_stats;
+        Alcotest.test_case "single value" `Quick test_sample_single;
+        Alcotest.test_case "percentiles" `Quick test_sample_percentiles;
+        Alcotest.test_case "add_int and merge" `Quick test_sample_add_int_and_merge;
+        Alcotest.test_case "percentile cache invalidation" `Quick test_sample_percentile_after_add;
+        QCheck_alcotest.to_alcotest prop_mean_bounded;
+        QCheck_alcotest.to_alcotest prop_percentile_monotone;
+      ] );
+    ( "metrics.histogram",
+      [
+        Alcotest.test_case "binning and clamping" `Quick test_histogram_basic;
+        Alcotest.test_case "invalid construction" `Quick test_histogram_invalid;
+      ] );
+    ( "metrics.trace",
+      [
+        Alcotest.test_case "events and duration" `Quick test_trace_events_and_duration;
+        Alcotest.test_case "grid carries forward" `Quick test_trace_grid_carries_forward;
+        Alcotest.test_case "empty grid" `Quick test_trace_grid_empty;
+        Alcotest.test_case "steal detection" `Quick test_trace_steal_detection;
+        Alcotest.test_case "segment range" `Quick test_trace_bad_segment;
+      ] );
+    ( "metrics.render",
+      [
+        Alcotest.test_case "table layout" `Quick test_table_layout;
+        Alcotest.test_case "table pads short rows" `Quick test_table_pads_short_rows;
+        Alcotest.test_case "chart renders" `Quick test_chart_renders_points;
+        Alcotest.test_case "chart empty" `Quick test_chart_empty;
+        Alcotest.test_case "strip chart" `Quick test_strip_chart;
+        Alcotest.test_case "strip chart mismatch" `Quick test_strip_chart_mismatch;
+        Alcotest.test_case "float cell" `Quick test_float_cell;
+      ] );
+  ]

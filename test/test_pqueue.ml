@@ -1,0 +1,114 @@
+(* Tests for the simulator's event priority queue. *)
+
+open Cpool_sim
+
+let test_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Alcotest.(check int) "length" 0 (Pqueue.length q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Pqueue.peek q = None)
+
+let test_single () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~time:1.5 ~seq:0 "a";
+  Alcotest.(check int) "length" 1 (Pqueue.length q);
+  (match Pqueue.peek q with
+  | Some (t, s, v) ->
+    Alcotest.(check (float 0.0)) "time" 1.5 t;
+    Alcotest.(check int) "seq" 0 s;
+    Alcotest.(check string) "payload" "a" v
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "peek keeps" 1 (Pqueue.length q);
+  (match Pqueue.pop q with
+  | Some (_, _, v) -> Alcotest.(check string) "pop payload" "a" v
+  | None -> Alcotest.fail "expected pop");
+  Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
+
+let test_time_order () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~time:3.0 ~seq:0 "c";
+  Pqueue.add q ~time:1.0 ~seq:1 "a";
+  Pqueue.add q ~time:2.0 ~seq:2 "b";
+  let order = List.map (fun (_, _, v) -> v) (Pqueue.to_sorted_list q) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order
+
+let test_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~time:1.0 ~seq:10 "second";
+  Pqueue.add q ~time:1.0 ~seq:5 "first";
+  Pqueue.add q ~time:1.0 ~seq:20 "third";
+  let order = List.map (fun (_, _, v) -> v) (Pqueue.to_sorted_list q) in
+  Alcotest.(check (list string)) "seq breaks ties" [ "first"; "second"; "third" ] order
+
+let test_nan_rejected () =
+  let q = Pqueue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Pqueue.add: NaN time") (fun () ->
+      Pqueue.add q ~time:Float.nan ~seq:0 ())
+
+let test_clear () =
+  let q = Pqueue.create () in
+  for i = 0 to 99 do
+    Pqueue.add q ~time:(float_of_int i) ~seq:i i
+  done;
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q);
+  Pqueue.add q ~time:0.5 ~seq:0 7;
+  (match Pqueue.pop q with
+  | Some (_, _, v) -> Alcotest.(check int) "usable after clear" 7 v
+  | None -> Alcotest.fail "expected pop")
+
+let test_interleaved_growth () =
+  (* Push and pop in waves to exercise grow/shrink paths. *)
+  let q = Pqueue.create () in
+  let popped = ref [] in
+  for wave = 0 to 9 do
+    for i = 0 to 199 do
+      let key = float_of_int ((wave * 200) + ((i * 7) mod 200)) in
+      Pqueue.add q ~time:key ~seq:((wave * 200) + i) i
+    done;
+    for _ = 0 to 99 do
+      match Pqueue.pop q with
+      | Some (t, _, _) -> popped := t :: !popped
+      | None -> Alcotest.fail "unexpected empty"
+    done
+  done;
+  let remaining = List.length (Pqueue.to_sorted_list q) in
+  Alcotest.(check int) "popped count" 1000 (List.length !popped);
+  Alcotest.(check int) "remaining count" 1000 remaining
+
+let prop_sorts_any_sequence =
+  QCheck.Test.make ~name:"pqueue sorts any keyed sequence" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_nat))
+    (fun pairs ->
+      let q = Pqueue.create () in
+      List.iteri (fun i (t, _) -> Pqueue.add q ~time:t ~seq:i i) pairs;
+      let out = Pqueue.to_sorted_list q in
+      let keys = List.map (fun (t, s, _) -> (t, s)) out in
+      keys = List.sort compare keys && List.length out = List.length pairs)
+
+let prop_pop_is_minimum =
+  QCheck.Test.make ~name:"pop always returns current minimum" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iteri (fun i t -> Pqueue.add q ~time:t ~seq:i ()) times;
+      match Pqueue.pop q with
+      | None -> false
+      | Some (t, _, _) -> List.for_all (fun u -> t <= u) times)
+
+let suites =
+  [
+    ( "pqueue",
+      [
+        Alcotest.test_case "empty queue" `Quick test_empty;
+        Alcotest.test_case "single element" `Quick test_single;
+        Alcotest.test_case "time ordering" `Quick test_time_order;
+        Alcotest.test_case "FIFO on equal times" `Quick test_fifo_ties;
+        Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+        Alcotest.test_case "clear resets" `Quick test_clear;
+        Alcotest.test_case "interleaved growth" `Quick test_interleaved_growth;
+        QCheck_alcotest.to_alcotest prop_sorts_any_sequence;
+        QCheck_alcotest.to_alcotest prop_pop_is_minimum;
+      ] );
+  ]

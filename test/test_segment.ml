@@ -1,0 +1,187 @@
+(* Tests for pool segments: add/remove/steal/deposit semantics and costing. *)
+
+open Cpool_sim
+open Cpool
+
+let mk ?(home = 0) ?(id = 0) ?(profile = Segment.Counting) ?on_size_change () =
+  Segment.make ?on_size_change ~home ~id profile
+
+let test_fresh_empty () =
+  let s = mk () in
+  Alcotest.(check int) "empty" 0 (Segment.size_free s);
+  Alcotest.(check int) "id" 0 (Segment.id s);
+  Alcotest.(check int) "home" 0 (Segment.home s)
+
+let test_add_remove () =
+  Sim_harness.in_proc (fun () ->
+      let s = mk () in
+      Segment.add s "a";
+      Segment.add s "b";
+      Alcotest.(check int) "size 2" 2 (Segment.size_free s);
+      let x = Segment.try_remove s in
+      Alcotest.(check bool) "got one" true (x = Some "b" || x = Some "a");
+      Alcotest.(check int) "size 1" 1 (Segment.size_free s);
+      ignore (Segment.try_remove s);
+      Alcotest.(check bool) "empty again" true (Segment.try_remove s = None))
+
+let test_probe_costed () =
+  Sim_harness.in_proc (fun () ->
+      let local = mk ~home:0 () and remote = mk ~home:5 () in
+      let t0 = Engine.clock () in
+      Alcotest.(check int) "probe reads size" 0 (Segment.probe local);
+      let t1 = Engine.clock () in
+      ignore (Segment.probe remote);
+      let t2 = Engine.clock () in
+      Alcotest.(check (float 1e-9)) "local probe" 2.0 (t1 -. t0);
+      Alcotest.(check (float 1e-9)) "remote probe 4x" 8.0 (t2 -. t1))
+
+let test_steal_empty () =
+  Sim_harness.in_proc (fun () ->
+      let s = mk () in
+      Alcotest.(check bool) "nothing" true (Segment.steal_half s = Steal.Nothing))
+
+let test_steal_single () =
+  Sim_harness.in_proc (fun () ->
+      let s = mk () in
+      Segment.add s 7;
+      (match Segment.steal_half s with
+      | Steal.Single 7 -> ()
+      | _ -> Alcotest.fail "expected Single 7");
+      Alcotest.(check int) "drained" 0 (Segment.size_free s))
+
+let test_steal_half_counts () =
+  (* n elements -> thief takes ceil(n/2), victim keeps floor(n/2). *)
+  let steal_of n =
+    Sim_harness.in_proc (fun () ->
+        let s = mk () in
+        for i = 1 to n do
+          Segment.add s i
+        done;
+        let loot = Segment.steal_half s in
+        (Steal.loot_size loot, Segment.size_free s))
+  in
+  List.iter
+    (fun (n, expect_taken) ->
+      let taken, left = steal_of n in
+      Alcotest.(check int) (Printf.sprintf "taken of %d" n) expect_taken taken;
+      Alcotest.(check int) (Printf.sprintf "left of %d" n) (n - expect_taken) left)
+    [ (2, 1); (3, 2); (4, 2); (5, 3); (10, 5); (11, 6); (99, 50) ]
+
+let test_deposit () =
+  Sim_harness.in_proc (fun () ->
+      let s = mk () in
+      Segment.deposit s [ 1; 2; 3 ];
+      Alcotest.(check int) "deposited" 3 (Segment.size_free s);
+      Segment.deposit s [];
+      Alcotest.(check int) "empty deposit is a no-op" 3 (Segment.size_free s))
+
+let test_prefill_free () =
+  let s = mk () in
+  (* Outside any process: prefill must not need an engine. *)
+  for i = 1 to 5 do
+    Segment.prefill_one s i
+  done;
+  Alcotest.(check int) "prefilled" 5 (Segment.size_free s)
+
+let test_conservation_of_elements () =
+  Sim_harness.in_proc (fun () ->
+      let victim = mk ~home:0 ~id:0 () and thief = mk ~home:1 ~id:1 () in
+      for i = 1 to 9 do
+        Segment.add victim i
+      done;
+      match Segment.steal_half victim with
+      | Steal.Batch (x, rest) ->
+        Segment.deposit thief rest;
+        let total = 1 + Segment.size_free victim + Segment.size_free thief in
+        Alcotest.(check int) "no element lost" 9 total;
+        Alcotest.(check bool) "element real" true (x >= 1 && x <= 9)
+      | _ -> Alcotest.fail "expected Batch")
+
+let test_size_change_callback () =
+  let sizes = ref [] in
+  Sim_harness.in_proc (fun () ->
+      let s = mk ~on_size_change:(fun n -> sizes := n :: !sizes) () in
+      Segment.add s 1;
+      Segment.add s 2;
+      ignore (Segment.try_remove s);
+      Segment.deposit s [ 3; 4 ]);
+  Alcotest.(check (list int)) "sizes observed" [ 1; 2; 1; 3 ] (List.rev !sizes)
+
+let test_boxed_charges_transfer () =
+  (* Boxed profile charges one access per element moved; counting does not.
+     Compare the virtual time of stealing 10 elements. *)
+  let elapsed profile =
+    Sim_harness.in_proc (fun () ->
+        let s = mk ~home:1 ~profile () in
+        for i = 1 to 20 do
+          Segment.prefill_one s i
+        done;
+        let t0 = Engine.clock () in
+        ignore (Segment.steal_half s);
+        Engine.clock () -. t0)
+  in
+  let counting = elapsed Segment.Counting and boxed = elapsed Segment.Boxed in
+  Alcotest.(check bool)
+    (Printf.sprintf "boxed (%.1f) slower than counting (%.1f)" boxed counting)
+    true
+    (boxed -. counting = 10.0 *. 8.0)
+
+let test_remove_lifo_locality () =
+  (* The segment behaves as a stack: the most recently added element comes
+     back first (element identity does not matter to the pool, but the
+     implementation should be deterministic). *)
+  Sim_harness.in_proc (fun () ->
+      let s = mk () in
+      List.iter (Segment.add s) [ 1; 2; 3 ];
+      Alcotest.(check (option int)) "lifo" (Some 3) (Segment.try_remove s))
+
+let prop_steal_takes_ceil_half =
+  QCheck.Test.make ~name:"steal_half takes exactly ceil(n/2)" ~count:100
+    QCheck.(int_range 0 500)
+    (fun n ->
+      Sim_harness.in_proc (fun () ->
+          let s = mk () in
+          for i = 1 to n do
+            Segment.prefill_one s i
+          done;
+          let loot = Segment.steal_half s in
+          Steal.loot_size loot = (n + 1) / 2 && Segment.size_free s = n / 2))
+
+let prop_random_op_sequence_conserves =
+  (* Any interleaving of adds/removes keeps size = adds - successful removes
+     and never goes negative. *)
+  QCheck.Test.make ~name:"segment size tracks operations" ~count:100
+    QCheck.(list (option unit))
+    (fun ops ->
+      Sim_harness.in_proc (fun () ->
+          let s = mk () in
+          let balance = ref 0 in
+          List.iter
+            (function
+              | Some () ->
+                Segment.add s ();
+                incr balance
+              | None -> if Segment.try_remove s <> None then decr balance)
+            ops;
+          !balance >= 0 && Segment.size_free s = !balance))
+
+let suites =
+  [
+    ( "segment",
+      [
+        Alcotest.test_case "fresh is empty" `Quick test_fresh_empty;
+        Alcotest.test_case "add/remove" `Quick test_add_remove;
+        Alcotest.test_case "probe is costed" `Quick test_probe_costed;
+        Alcotest.test_case "steal from empty" `Quick test_steal_empty;
+        Alcotest.test_case "steal single" `Quick test_steal_single;
+        Alcotest.test_case "steal takes half" `Quick test_steal_half_counts;
+        Alcotest.test_case "deposit" `Quick test_deposit;
+        Alcotest.test_case "prefill without engine" `Quick test_prefill_free;
+        Alcotest.test_case "conservation across steal" `Quick test_conservation_of_elements;
+        Alcotest.test_case "size-change callback" `Quick test_size_change_callback;
+        Alcotest.test_case "boxed charges transfer" `Quick test_boxed_charges_transfer;
+        Alcotest.test_case "LIFO locality" `Quick test_remove_lifo_locality;
+        QCheck_alcotest.to_alcotest prop_steal_takes_ceil_half;
+        QCheck_alcotest.to_alcotest prop_random_op_sequence_conserves;
+      ] );
+  ]

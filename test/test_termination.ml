@@ -1,0 +1,54 @@
+(* Tests for the shared-count livelock detector. *)
+
+open Cpool
+
+let test_counts () =
+  Sim_harness.in_proc (fun () ->
+      let t = Termination.create ~home:0 in
+      Alcotest.(check int) "no active" 0 (Termination.active_free t);
+      Termination.join t;
+      Termination.join t;
+      Alcotest.(check int) "two active" 2 (Termination.active_free t);
+      Termination.begin_search t;
+      Alcotest.(check int) "one searching" 1 (Termination.searching_free t);
+      Alcotest.(check bool) "not all searching" false (Termination.should_abort t);
+      Termination.begin_search t;
+      Alcotest.(check bool) "all searching" true (Termination.should_abort t);
+      Termination.end_search t;
+      Termination.end_search t;
+      Termination.leave t;
+      Termination.leave t;
+      Alcotest.(check int) "none left" 0 (Termination.active_free t))
+
+let test_abort_when_participants_leave () =
+  (* A searcher must abort once everyone else has left, even though not
+     everyone is searching. *)
+  Sim_harness.in_proc (fun () ->
+      let t = Termination.create ~home:0 in
+      Termination.join t;
+      (* A second participant joins and leaves. *)
+      Termination.join t;
+      Termination.leave t;
+      Termination.begin_search t;
+      Alcotest.(check bool) "sole survivor searching" true (Termination.should_abort t);
+      Termination.end_search t)
+
+let test_searching_excess_is_abort () =
+  (* searching > active (transiently possible when a leave races a search)
+     still reads as abort rather than wedging. *)
+  Sim_harness.in_proc (fun () ->
+      let t = Termination.create ~home:0 in
+      Termination.join t;
+      Termination.begin_search t;
+      Termination.begin_search t;
+      Alcotest.(check bool) "excess aborts" true (Termination.should_abort t))
+
+let suites =
+  [
+    ( "termination",
+      [
+        Alcotest.test_case "counts" `Quick test_counts;
+        Alcotest.test_case "abort when others leave" `Quick test_abort_when_participants_leave;
+        Alcotest.test_case "excess searchers abort" `Quick test_searching_excess_is_abort;
+      ] );
+  ]

@@ -1,0 +1,111 @@
+(* Tests for the growable array underlying segments and work lists. *)
+
+open Cpool_util
+
+let test_empty () =
+  let v : int Vec.t = Vec.create () in
+  Alcotest.(check int) "length" 0 (Vec.length v);
+  Alcotest.(check bool) "is_empty" true (Vec.is_empty v);
+  Alcotest.(check bool) "pop none" true (Vec.pop v = None);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Vec.pop_exn: empty") (fun () ->
+      ignore (Vec.pop_exn v))
+
+let test_push_pop_order () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Vec.length v);
+  Alcotest.(check (option int)) "lifo 3" (Some 3) (Vec.pop v);
+  Alcotest.(check (option int)) "lifo 2" (Some 2) (Vec.pop v);
+  Alcotest.(check (option int)) "lifo 1" (Some 1) (Vec.pop v);
+  Alcotest.(check bool) "drained" true (Vec.is_empty v)
+
+let test_of_list_to_list () =
+  let v = Vec.of_list [ "a"; "b"; "c" ] in
+  Alcotest.(check (list string)) "roundtrip" [ "a"; "b"; "c" ] (Vec.to_list v)
+
+let test_get_set_bounds () =
+  let v = Vec.of_list [ 10; 20 ] in
+  Alcotest.(check int) "get" 20 (Vec.get v 1);
+  Vec.set v 0 99;
+  Alcotest.(check int) "set" 99 (Vec.get v 0);
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 2));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set: index out of bounds") (fun () ->
+      Vec.set v (-1) 0)
+
+let test_take_last () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "takes most recent first" [ 5; 4 ] (Vec.take_last v 2);
+  Alcotest.(check int) "shrunk" 3 (Vec.length v);
+  Alcotest.(check (list int)) "over-take clamps" [ 3; 2; 1 ] (Vec.take_last v 10);
+  Alcotest.(check bool) "now empty" true (Vec.is_empty v)
+
+let test_append_list_and_clear () =
+  let v = Vec.create () in
+  Vec.append_list v [ 1; 2 ];
+  Vec.append_list v [ 3 ];
+  Alcotest.(check (list int)) "appended" [ 1; 2; 3 ] (Vec.to_list v);
+  Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Vec.is_empty v);
+  Vec.push v 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (Vec.to_list v)
+
+let test_iter_order () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  let seen = ref [] in
+  Vec.iter (fun x -> seen := x :: !seen) v;
+  Alcotest.(check (list int)) "index order" [ 1; 2; 3 ] (List.rev !seen)
+
+let test_swap_remove () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "removes requested" 2 (Vec.swap_remove v 1);
+  Alcotest.(check (list int)) "last swapped in" [ 1; 4; 3 ] (Vec.to_list v);
+  Alcotest.(check int) "remove last" 3 (Vec.swap_remove v 2);
+  Alcotest.(check (list int)) "tail removal" [ 1; 4 ] (Vec.to_list v);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.swap_remove: index out of bounds")
+    (fun () -> ignore (Vec.swap_remove v 5))
+
+let test_growth () =
+  let v = Vec.create () in
+  for i = 1 to 10_000 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 10_000 (Vec.length v);
+  Alcotest.(check int) "first" 1 (Vec.get v 0);
+  Alcotest.(check int) "last" 10_000 (Vec.get v 9_999)
+
+let prop_push_pop_roundtrip =
+  QCheck.Test.make ~name:"pushes pop in reverse order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      let rec drain acc = match Vec.pop v with None -> acc | Some x -> drain (x :: acc) in
+      drain [] = xs)
+
+let prop_take_last_conserves =
+  QCheck.Test.make ~name:"take_last conserves elements" ~count:200
+    QCheck.(pair (list small_nat) small_nat)
+    (fun (xs, k) ->
+      let v = Vec.of_list xs in
+      let taken = Vec.take_last v k in
+      List.length taken = min k (List.length xs)
+      && List.sort compare (taken @ Vec.to_list v) = List.sort compare xs)
+
+let suites =
+  [
+    ( "util.vec",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "push/pop order" `Quick test_push_pop_order;
+        Alcotest.test_case "of_list/to_list" `Quick test_of_list_to_list;
+        Alcotest.test_case "get/set bounds" `Quick test_get_set_bounds;
+        Alcotest.test_case "take_last" `Quick test_take_last;
+        Alcotest.test_case "append/clear" `Quick test_append_list_and_clear;
+        Alcotest.test_case "iter order" `Quick test_iter_order;
+        Alcotest.test_case "swap_remove" `Quick test_swap_remove;
+        Alcotest.test_case "growth" `Quick test_growth;
+        QCheck_alcotest.to_alcotest prop_push_pop_roundtrip;
+        QCheck_alcotest.to_alcotest prop_take_last_conserves;
+      ] );
+  ]

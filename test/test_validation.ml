@@ -1,0 +1,130 @@
+(* Validation of the simulator against closed-form expectations: perfect
+   parallelism for independent work, serialisation bounds for a shared
+   lock, and throughput consistency of the experiment driver. *)
+
+open Cpool_sim
+
+let test_independent_work_is_parallel () =
+  (* P processes each doing W us of local compute finish at exactly W. *)
+  let e = Engine.create ~nodes:8 ~seed:1L () in
+  for i = 0 to 7 do
+    ignore (Engine.spawn e ~node:i ~name:(string_of_int i) (fun () -> Engine.delay 1000.0))
+  done;
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  Alcotest.(check (float 1e-9)) "perfect overlap" 1000.0 (Engine.now e)
+
+let test_lock_serialisation_bound () =
+  (* P x N critical sections of h us: the makespan is at least P*N*h (the
+     serial floor) and, with FIFO handoff, within the floor plus lock
+     overheads (2 accesses per acquisition for the holder). *)
+  let p = 4 and n = 25 in
+  let h = 20.0 in
+  let e = Engine.create ~nodes:p ~seed:2L () in
+  let lock = Lock.make ~home:0 in
+  for i = 0 to p - 1 do
+    ignore
+      (Engine.spawn e ~node:i ~name:(string_of_int i) (fun () ->
+           for _ = 1 to n do
+             Lock.with_lock lock (fun () -> Engine.delay h)
+           done))
+  done;
+  Alcotest.(check bool) "completed" true (Engine.run e = Engine.Completed);
+  let serial_floor = float_of_int (p * n) *. h in
+  let makespan = Engine.now e in
+  Alcotest.(check bool)
+    (Printf.sprintf "makespan %.0f >= serial floor %.0f" makespan serial_floor)
+    true (makespan >= serial_floor);
+  (* Overhead per handoff is bounded by a few accesses (~16 us each side). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "makespan %.0f within overheads of floor" makespan)
+    true
+    (makespan <= serial_floor +. (float_of_int (p * n) *. 40.0))
+
+let test_driver_throughput_consistency () =
+  (* At a sufficient mix there is no contention to speak of: the run's
+     duration should be close to total_ops * mean_op_time / participants. *)
+  let participants = 8 in
+  let spec =
+    {
+      Cpool_workload.Driver.default_spec with
+      pool = { Cpool.Pool.default_config with participants };
+      roles = Cpool_workload.Role.uniform_mix ~participants ~add_percent:70;
+      total_ops = 2000;
+      initial_elements = 80;
+    }
+  in
+  let r = Cpool_workload.Driver.run spec in
+  let mean_op = Cpool_metrics.Sample.mean r.Cpool_workload.Driver.op_time in
+  let predicted = 2000.0 *. mean_op /. float_of_int participants in
+  let ratio = r.Cpool_workload.Driver.duration /. predicted in
+  Alcotest.(check bool)
+    (Printf.sprintf "duration %.0f within 25%% of predicted %.0f (ratio %.2f)"
+       r.Cpool_workload.Driver.duration predicted ratio)
+    true
+    (ratio > 0.8 && ratio < 1.25)
+
+let test_speedup_scales_with_compute () =
+  (* The application's speedup at fixed workers improves as per-task compute
+     grows relative to scheduling overheads — the basic Amdahl shape. *)
+  let board = Cpool_game.Board.play Cpool_game.Board.empty 0 in
+  let speedup leaf_cost =
+    let run workers =
+      (Cpool_game.Parallel.analyse ~board
+         {
+           Cpool_game.Parallel.default_config with
+           workers;
+           plies = 1;
+           leaf_cost;
+           expand_cost = 2.0;
+         })
+        .Cpool_game.Parallel.duration
+    in
+    run 1 /. run 8
+  in
+  let cheap = speedup 50.0 and costly = speedup 2000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup grows with grain: %.2f < %.2f" cheap costly)
+    true (cheap < costly);
+  Alcotest.(check bool) "costly grain near-linear" true (costly > 6.0)
+
+(* --- Golden regression pin --- *)
+
+let test_golden_run () =
+  (* A fully deterministic reference run; these exact numbers pin the cost
+     model and scheduling order. If a deliberate model change moves them,
+     update the constants and re-derive the EXPERIMENTS.md numbers too. *)
+  let spec =
+    {
+      Cpool_workload.Driver.default_spec with
+      pool = { Cpool.Pool.default_config with participants = 16; kind = Cpool.Pool.Tree };
+      roles = Cpool_workload.Role.uniform_mix ~participants:16 ~add_percent:30;
+      total_ops = 1000;
+      initial_elements = 64;
+      seed = 12345L;
+    }
+  in
+  let r = Cpool_workload.Driver.run spec in
+  let t = r.Cpool_workload.Driver.pool_totals in
+  Alcotest.(check int) "adds" 262 t.Cpool.Pool.adds;
+  Alcotest.(check int) "removes" 326 t.Cpool.Pool.removes;
+  Alcotest.(check int) "steals" 127 t.Cpool.Pool.steals;
+  Alcotest.(check int) "aborts" 412 r.Cpool_workload.Driver.aborts;
+  Alcotest.(check int) "segments examined" 9455 t.Cpool.Pool.segments_examined;
+  Alcotest.(check int) "elements stolen" 131 t.Cpool.Pool.elements_stolen;
+  Alcotest.(check (float 0.001)) "duration" 33766.0 r.Cpool_workload.Driver.duration
+
+let suites =
+  [
+    ( "validation",
+      [
+        Alcotest.test_case "independent work overlaps perfectly" `Quick
+          test_independent_work_is_parallel;
+        Alcotest.test_case "lock serialisation bound" `Quick test_lock_serialisation_bound;
+        Alcotest.test_case "driver throughput consistency" `Quick
+          test_driver_throughput_consistency;
+        Alcotest.test_case "speedup scales with compute grain" `Quick
+          test_speedup_scales_with_compute;
+        Alcotest.test_case "golden reference run" `Quick test_golden_run;
+      ] );
+  ]
+
