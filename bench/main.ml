@@ -195,6 +195,91 @@ let run_domain_throughput () =
     ];
   print_newline ()
 
+(* --- Part 4: sim vs real — the paper's steal statistics on both pools --- *)
+
+(* The simulator reproduces the paper's numbers; the Mc_stats telemetry now
+   reports the same quantities from the real OCaml 5 pool. Both sides run a
+   balanced producer/consumer workload (half the participants produce, half
+   consume), so the rows are directly comparable in shape: sparse consumers
+   must steal often and in both worlds the batching of steal-half keeps
+   elements-per-steal well above 1. Times differ by design (virtual us vs
+   wall clock), so only the count-based columns are tabulated. *)
+
+let real_producer_consumer ~kind ~domains ~per =
+  let pool = Cpool_mc.Mc_pool.create ~kind ~segments:domains () in
+  let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
+  let producers = domains / 2 in
+  let removes = Atomic.make 0 in
+  let ds =
+    List.init domains (fun i ->
+        Domain.spawn (fun () ->
+            let h = handles.(i) in
+            if i < producers then
+              for k = 1 to per do
+                Cpool_mc.Mc_pool.add pool h k
+              done
+            else begin
+              let rec eat () =
+                match Cpool_mc.Mc_pool.remove pool h with
+                | Some _ ->
+                  Atomic.incr removes;
+                  eat ()
+                | None -> ()
+              in
+              eat ()
+            end;
+            Cpool_mc.Mc_pool.deregister pool h))
+  in
+  List.iter Domain.join ds;
+  Cpool_mc.Mc_pool.stats pool
+
+let run_sim_vs_real cfg =
+  print_endline "==== sim vs real: steal statistics (balanced producers/consumers) ====";
+  let domains = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let fc = Cpool_metrics.Render.float_cell in
+  let rows =
+    List.concat_map
+      (fun (name, sim_kind, mc_kind) ->
+        let sim =
+          Steal_stats.run ~kind:sim_kind
+            ~producer_counts:[ cfg.Exp_config.participants / 2 ]
+            cfg
+        in
+        let cell = (List.hd sim.Steal_stats.rows).Steal_stats.balanced in
+        let real = real_producer_consumer ~kind:mc_kind ~domains ~per:4_000 in
+        [
+          [
+            name;
+            Printf.sprintf "sim (%d procs)" cfg.Exp_config.participants;
+            fc (100.0 *. cell.Steal_stats.steal_fraction);
+            fc cell.Steal_stats.segments_per_steal;
+            fc cell.Steal_stats.elements_per_steal;
+          ];
+          [
+            name;
+            Printf.sprintf "real (%d domains)" domains;
+            fc (100.0 *. Cpool_mc.Mc_stats.steal_fraction real);
+            fc (Cpool_mc.Mc_stats.mean_segments_per_steal real);
+            fc (Cpool_mc.Mc_stats.mean_elements_per_steal real);
+          ];
+        ])
+      [
+        ("linear", Cpool.Pool.Linear, Cpool_mc.Mc_pool.Linear);
+        ("random", Cpool.Pool.Random, Cpool_mc.Mc_pool.Random);
+        ("tree", Cpool.Pool.Tree, Cpool_mc.Mc_pool.Tree);
+      ]
+  in
+  print_endline
+    (Cpool_metrics.Render.table
+       ~headers:[ "kind"; "pool"; "% removes stealing"; "segs/steal"; "elems/steal" ]
+       ~rows ());
+  print_endline
+    "(real domains interleave unfairly, unlike the simulator's virtual time: a \
+     consumer that catches up spin-searches the momentarily empty pool, so every \
+     probe until its next successful steal counts toward segs/steal, and \
+     steal-half over the producer's accumulated backlog raises elems/steal.)";
+  print_newline ()
+
 let () =
   let paper, micro, names = parse_args () in
   let cfg = if paper then Exp_config.paper else Exp_config.quick in
@@ -202,6 +287,7 @@ let () =
   run_experiments cfg names;
   if micro then begin
     run_micro ();
-    run_domain_throughput ()
+    run_domain_throughput ();
+    run_sim_vs_real cfg
   end;
   print_endline "bench done"

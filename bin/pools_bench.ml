@@ -1,9 +1,12 @@
-(* Command-line driver: regenerate any paper experiment.
+(* Command-line driver: regenerate any paper experiment, or soak-test the
+   real multicore pool.
 
    Examples:
      pools_bench list
      pools_bench run fig2 fig7 --preset quick
      pools_bench run all --trials 10
+     pools_bench mc-stress --domains 8 --seconds 2
+     pools_bench mc-stress --kind tree --mode bounded --capacity 32
 *)
 
 open Cmdliner
@@ -110,9 +113,133 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available experiments") Term.(const list $ const ())
 
+(* --- mc-stress: multi-domain soak of the real pool, with invariants --- *)
+
+let kind_conv =
+  let parse = function
+    | "linear" -> Ok (Some Cpool_mc.Mc_pool.Linear)
+    | "random" -> Ok (Some Cpool_mc.Mc_pool.Random)
+    | "tree" -> Ok (Some Cpool_mc.Mc_pool.Tree)
+    | "all" -> Ok None
+    | s -> Error (`Msg (Printf.sprintf "unknown kind %S (expected linear, random, tree or all)" s))
+  in
+  let print fmt = function
+    | Some k -> Format.pp_print_string fmt (Cpool_mc.Mc_stress.kind_name k)
+    | None -> Format.pp_print_string fmt "all"
+  in
+  Arg.conv (parse, print)
+
+let mode_conv =
+  let parse = function
+    | ("both" | "bounded" | "unbounded") as s -> Ok s
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (expected both, bounded or unbounded)" s))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let mc_stress_cmd =
+  let domains =
+    let doc = "Worker domains (= pool segments). Defaults to the recommended domain count." in
+    Arg.(value & opt (some int) None & info [ "domains"; "d" ] ~docv:"N" ~doc)
+  in
+  let seconds =
+    let doc = "Seconds of mixed operations per configuration cell." in
+    Arg.(value & opt float 1.0 & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
+  in
+  let stress_kind =
+    let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree) or $(b,all)." in
+    Arg.(value & opt kind_conv None & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
+  in
+  let mode =
+    let doc = "Capacity regime: $(b,unbounded), $(b,bounded) or $(b,both)." in
+    Arg.(value & opt mode_conv "both" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let capacity =
+    let doc = "Per-segment capacity for the bounded cells." in
+    Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let add_bias =
+    let doc = "Probability an operation is an add (0..1)." in
+    Arg.(value & opt float 0.5 & info [ "add-bias" ] ~docv:"P" ~doc)
+  in
+  let initial =
+    let doc = "Elements prefilled across the segments." in
+    Arg.(value & opt int 128 & info [ "initial" ] ~docv:"N" ~doc)
+  in
+  let no_churn =
+    Arg.(value & flag & info [ "no-churn" ] ~doc:"Disable register/deregister churn.")
+  in
+  let stress_seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Base random seed.")
+  in
+  let run domains seconds kind mode capacity add_bias initial no_churn seed =
+    let domains =
+      match domains with
+      | Some d -> d
+      | None -> min 8 (max 2 (Domain.recommended_domain_count ()))
+    in
+    if domains < 1 then `Error (true, "--domains must be at least 1")
+    else if capacity < 1 then `Error (true, "--capacity must be at least 1")
+    else if seconds <= 0.0 then `Error (true, "--seconds must be positive")
+    else
+    let kinds =
+      match kind with
+      | Some k -> [ k ]
+      | None -> [ Cpool_mc.Mc_pool.Linear; Cpool_mc.Mc_pool.Random; Cpool_mc.Mc_pool.Tree ]
+    in
+    let capacities =
+      match mode with
+      | "unbounded" -> [ None ]
+      | "bounded" -> [ Some capacity ]
+      | _ -> [ None; Some capacity ]
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun kind ->
+        List.iter
+          (fun capacity ->
+            let cfg =
+              {
+                Cpool_mc.Mc_stress.domains;
+                seconds;
+                kind;
+                capacity;
+                add_bias;
+                initial;
+                churn = not no_churn;
+                seed;
+              }
+            in
+            let report = Cpool_mc.Mc_stress.run cfg in
+            print_endline (Cpool_mc.Mc_stress.render report);
+            if not (Cpool_mc.Mc_stress.passed report) then incr failures)
+          capacities)
+      kinds;
+    if !failures = 0 then `Ok ()
+    else `Error (false, Printf.sprintf "%d stress cell(s) violated invariants" !failures)
+  in
+  let doc = "Soak-test the real multicore pool and check its invariants" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a randomized multi-domain add/remove mix (with optional \
+         register/deregister churn) against every selected search algorithm, \
+         bounded and unbounded, then drains to quiescence. Checks element \
+         conservation, per-segment count consistency, the capacity bound (watched \
+         concurrently), slot-leak freedom, and that the per-domain telemetry agrees \
+         with ground truth. Exits non-zero if any invariant is violated.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "mc-stress" ~doc ~man)
+    Term.(
+      ret
+        (const run $ domains $ seconds $ stress_kind $ mode $ capacity $ add_bias $ initial
+       $ no_churn $ stress_seed))
+
 let main =
   let doc = "Concurrent pools (Kotz & Ellis 1989) experiment driver" in
   let info = Cmd.info "pools_bench" ~version:"1.0.0" ~doc in
-  Cmd.group info [ run_cmd; list_cmd ]
+  Cmd.group info [ run_cmd; list_cmd; mc_stress_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Repo verification: build, tier-1 tests, and a short multicore stress smoke
+# with invariant checks (conservation, capacity bound, slot lifecycle).
+# Uses only packages a standard dev switch already has; exits non-zero on
+# any failure. CI runs exactly this script.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest (tier-1) =="
+dune runtest
+
+echo "== mc-stress smoke (all kinds, bounded + unbounded) =="
+dune exec bin/pools_bench.exe -- mc-stress --domains 4 --seconds 0.5 --capacity 32
+
+echo "check.sh: all green"

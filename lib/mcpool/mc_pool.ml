@@ -12,6 +12,7 @@ type 'a t = {
   segs : 'a Mc_segment.t array;
   registration : Mutex.t;
   claimed : bool array;
+  mutable handle_stats : Mc_stats.t list; (* every handle ever claimed; under [registration] *)
   searching : int Atomic.t;
   registered : int Atomic.t;
   steal_count : int Atomic.t;
@@ -22,6 +23,9 @@ type 'a t = {
 type handle = {
   pool_slot : int;
   rng : Cpool_util.Rng.t;
+  stats : Mc_stats.t;
+  mutable hunt_probes : int; (* segments examined since the current hunt began *)
+  mutable active : bool;
   mutable last_found : int;
   mutable last_leaf : int;
   mutable my_round : int;
@@ -50,6 +54,7 @@ let create ?(kind = Linear) ?(seed = 42L) ?capacity ~segments () =
     segs = Array.init segments (fun id -> Mc_segment.make ?capacity ~id ());
     registration = Mutex.create ();
     claimed = Array.make segments false;
+    handle_stats = [];
     searching = Atomic.make 0;
     registered = Atomic.make 0;
     steal_count = Atomic.make 0;
@@ -65,6 +70,9 @@ let mk_handle t slot =
   {
     pool_slot = slot;
     rng = Cpool_util.Rng.create (Int64.add t.seed (Int64.of_int slot));
+    stats = Mc_stats.create ();
+    hunt_probes = 0;
+    active = true;
     last_found = slot;
     last_leaf = slot;
     my_round = 1;
@@ -73,18 +81,20 @@ let mk_handle t slot =
 
 let claim t pick =
   Mutex.lock t.registration;
-  let slot =
+  let h =
     match pick () with
     | exception e ->
       Mutex.unlock t.registration;
       raise e
     | slot ->
       t.claimed.(slot) <- true;
+      let h = mk_handle t slot in
+      t.handle_stats <- h.stats :: t.handle_stats;
       Mutex.unlock t.registration;
-      slot
+      h
   in
   Atomic.incr t.registered;
-  mk_handle t slot
+  h
 
 let register t =
   claim t (fun () ->
@@ -105,24 +115,52 @@ let register_at t i =
 let slot h = h.pool_slot
 
 let deregister t h =
-  ignore h;
+  Mutex.lock t.registration;
+  if not h.active then begin
+    Mutex.unlock t.registration;
+    invalid_arg "Mc_pool.deregister: handle already deregistered"
+  end;
+  h.active <- false;
+  (* Release the slot, or register/deregister churn leaks slots until every
+     registration fails with "all slots claimed". *)
+  t.claimed.(h.pool_slot) <- false;
+  Mutex.unlock t.registration;
   Atomic.decr t.registered
+
+let claimed_count t =
+  Mutex.lock t.registration;
+  let n = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.claimed in
+  Mutex.unlock t.registration;
+  n
+
+let registered t = Atomic.get t.registered
 
 let try_add t h x =
   match t.bound with
   | None ->
     Mc_segment.add t.segs.(h.pool_slot) x;
+    Mc_stats.note_add h.stats;
     true
   | Some _ ->
-    if Mc_segment.try_add t.segs.(h.pool_slot) x then true
+    if Mc_segment.try_add t.segs.(h.pool_slot) x then begin
+      Mc_stats.note_add h.stats;
+      true
+    end
     else begin
       (* Spill around the ring to the first segment with room. *)
       let p = Array.length t.segs in
       let rec spill i =
-        if i = p then false
+        if i = p then begin
+          Mc_stats.note_add_fail h.stats;
+          false
+        end
         else begin
           let pos = (h.pool_slot + i) mod p in
-          if Mc_segment.spare t.segs.(pos) > 0 && Mc_segment.try_add t.segs.(pos) x then true
+          if Mc_segment.spare t.segs.(pos) > 0 && Mc_segment.try_add t.segs.(pos) x
+          then begin
+            Mc_stats.note_spill h.stats;
+            true
+          end
           else spill (i + 1)
         end
       in
@@ -131,36 +169,66 @@ let try_add t h x =
 
 let add t h x = if not (try_add t h x) then failwith "Mc_pool.add: pool is full"
 
-let try_remove_local t h = Mc_segment.try_remove t.segs.(h.pool_slot)
-
-(* Bank a steal's remainder into our own segment and return the element. *)
-let land_loot t h pos = function
-  | Cpool.Steal.Nothing -> None
-  | Cpool.Steal.Single x ->
-    Atomic.incr t.steal_count;
-    h.last_found <- pos;
-    h.last_leaf <- pos;
+let try_remove_local t h =
+  match Mc_segment.try_remove t.segs.(h.pool_slot) with
+  | Some x ->
+    Mc_stats.note_local_remove h.stats;
     Some x
-  | Cpool.Steal.Batch (x, rest) ->
-    Atomic.incr t.steal_count;
-    h.last_found <- pos;
-    h.last_leaf <- pos;
-    Mc_segment.deposit t.segs.(h.pool_slot) rest;
-    Some x
+  | None -> None
 
-let max_take t h =
-  match t.bound with
-  | None -> max_int
-  | Some _ -> 1 + Mc_segment.spare t.segs.(h.pool_slot)
+let record_steal t h pos ~elements =
+  Atomic.incr t.steal_count;
+  h.last_found <- pos;
+  h.last_leaf <- pos;
+  Mc_stats.note_steal h.stats ~probes:h.hunt_probes ~elements;
+  h.hunt_probes <- 0
 
+(* Examine segment [pos]; on success bank the steal's remainder into our own
+   segment and return the element. On a bounded pool the room is reserved
+   before the steal, so the bank always fits and no segment ever exceeds its
+   capacity — the seed version sized the take from an unlocked [spare] read
+   and then deposited unconditionally, so two racing thieves (or a thief
+   racing spill-adds) could overfill a segment. *)
 let attempt_steal t h pos =
-  if Mc_segment.size t.segs.(pos) > 0 then
-    land_loot t h pos (Mc_segment.steal_half ~max_take:(max_take t h) t.segs.(pos))
-  else None
+  let victim = t.segs.(pos) in
+  h.hunt_probes <- h.hunt_probes + 1;
+  Mc_stats.note_probe h.stats;
+  if Mc_segment.size victim = 0 then None
+  else
+    match t.bound with
+    | None -> (
+      match Mc_segment.steal_half victim with
+      | Cpool.Steal.Nothing -> None
+      | Cpool.Steal.Single x ->
+        record_steal t h pos ~elements:1;
+        Some x
+      | Cpool.Steal.Batch (x, rest) ->
+        (match Mc_segment.deposit t.segs.(h.pool_slot) rest with
+        | [] -> ()
+        | _ :: _ -> assert false (* unbounded deposit never rejects *));
+        record_steal t h pos ~elements:(1 + List.length rest);
+        Some x)
+    | Some _ ->
+      let own = t.segs.(h.pool_slot) in
+      let want = (Mc_segment.size victim + 1) / 2 in
+      let reserved = Mc_segment.reserve own (max 0 (want - 1)) in
+      (match Mc_segment.steal_half ~max_take:(reserved + 1) victim with
+      | Cpool.Steal.Nothing ->
+        Mc_segment.refill own ~reserved [];
+        None
+      | Cpool.Steal.Single x ->
+        Mc_segment.refill own ~reserved [];
+        record_steal t h pos ~elements:1;
+        Some x
+      | Cpool.Steal.Batch (x, rest) ->
+        Mc_segment.refill own ~reserved rest;
+        record_steal t h pos ~elements:(1 + List.length rest);
+        Some x)
 
 (* One full deterministic pass over every segment; the confirmation step
    before reporting the pool empty. *)
 let sweep t h =
+  Mc_stats.note_sweep h.stats;
   let p = Array.length t.segs in
   let rec go i =
     if i = p then None
@@ -251,6 +319,7 @@ and tree_pass t h =
   visit_leaf start
 
 let try_remove t h =
+  h.hunt_probes <- 0;
   match try_remove_local t h with
   | Some x -> Some x
   | None -> (
@@ -259,6 +328,7 @@ let try_remove t h =
     | None -> sweep t h)
 
 let remove t h =
+  h.hunt_probes <- 0;
   match try_remove_local t h with
   | Some x -> Some x
   | None ->
@@ -275,9 +345,12 @@ let remove t h =
           (* Everyone is searching: a clean sweep proves the pool empty. *)
           match sweep t h with
           | Some x -> finish (Some x)
-          | None -> finish None
+          | None ->
+            Mc_stats.note_empty_confirm h.stats;
+            finish None
         end
         else begin
+          Mc_stats.note_spin h.stats;
           Domain.cpu_relax ();
           hunt ()
         end
@@ -286,4 +359,16 @@ let remove t h =
 
 let size t = Array.fold_left (fun acc s -> acc + Mc_segment.size s) 0 t.segs
 
+let segment_sizes t = Array.map Mc_segment.size t.segs
+
 let steals t = Atomic.get t.steal_count
+
+let stats_of_handle h = h.stats
+
+let stats t =
+  Mutex.lock t.registration;
+  let all = t.handle_stats in
+  Mutex.unlock t.registration;
+  Mc_stats.merge_all all
+
+let check_segments t = Array.for_all Mc_segment.invariant_ok t.segs

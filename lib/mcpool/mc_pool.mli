@@ -27,9 +27,10 @@ val create : ?kind:kind -> ?seed:int64 -> ?capacity:int -> segments:int -> unit 
     defaults to [Linear]; [seed] (default [42L]) drives the [Random]
     search's probe sequence deterministically per handle; [capacity]
     bounds each segment (default unbounded) — full adds spill to the first
-    segment with room and steals cap their take at the thief's spare
-    capacity + 1. Raises [Invalid_argument] if [segments <= 0] or
-    [capacity <= 0]. *)
+    segment with room, and a thief reserves spare room in its own segment
+    before stealing so the banked remainder always fits (no segment ever
+    exceeds its capacity, even transiently). Raises [Invalid_argument] if
+    [segments <= 0] or [capacity <= 0]. *)
 
 val segments : 'a t -> int
 
@@ -51,7 +52,21 @@ val deregister : 'a t -> handle -> unit
 (** [deregister t h] removes the worker from quiescence accounting: a
     worker that stops calling the pool MUST deregister, or blocked
     {!remove} calls in other workers can never conclude the pool is empty.
-    The slot stays claimed (the handle must not be used afterwards). *)
+    The slot is released for a future {!register} (the seed version leaked
+    it, so register/deregister churn eventually exhausted every slot); the
+    handle must not be used afterwards. Elements left in the segment remain
+    stealable. Raises [Invalid_argument] if [h] was already
+    deregistered. *)
+
+val claimed_count : 'a t -> int
+(** [claimed_count t] is how many slots are currently claimed (taken under
+    the registration lock; exact whenever no registration is mid-flight).
+    After every worker deregisters it must be [0] — the stress harness's
+    slot-leak invariant. *)
+
+val registered : 'a t -> int
+(** [registered t] is the current number of registered workers (a racy
+    snapshot). *)
 
 val add : 'a t -> handle -> 'a -> unit
 (** [add t h x] inserts [x] into [h]'s segment (spilling on a bounded
@@ -79,6 +94,28 @@ val try_remove : 'a t -> handle -> 'a option
 val size : 'a t -> int
 (** [size t] sums segment sizes (a racy snapshot). *)
 
+val segment_sizes : 'a t -> int array
+(** [segment_sizes t] snapshots every segment's occupied capacity
+    lock-free. On a bounded pool no entry can exceed the capacity, at any
+    moment — the invariant the stress harness watches concurrently. *)
+
 val steals : 'a t -> int
 (** [steals t] counts successful steals so far (monotonic, approximate
     under heavy contention only in its read timing). *)
+
+(** {2 Telemetry and checking} *)
+
+val stats_of_handle : handle -> Mc_stats.t
+(** [stats_of_handle h] is the worker's live telemetry. Only [h]'s domain
+    writes it; other domains may read it racily or merge it after the
+    worker quiesces. *)
+
+val stats : 'a t -> Mc_stats.t
+(** [stats t] merges the telemetry of every handle the pool ever issued
+    (including deregistered ones) into a fresh snapshot, so totals are
+    conserved across register/deregister churn. Exact at quiescence, racy
+    while workers are running. *)
+
+val check_segments : 'a t -> bool
+(** [check_segments t] verifies every segment's count/content/capacity
+    invariant (see {!Mc_segment.invariant_ok}); call at quiescence. *)

@@ -3,7 +3,9 @@ type 'a t = {
   bound : int option;
   mutex : Mutex.t;
   items : 'a Cpool_util.Vec.t;
-  count : int Atomic.t; (* mirrors [Vec.length items]; read lock-free *)
+  count : int Atomic.t;
+      (* Vec.length items + outstanding reservations; read lock-free,
+         written only under [mutex]. Never exceeds [bound]. *)
 }
 
 let make ?capacity ~id () =
@@ -20,6 +22,8 @@ let make ?capacity ~id () =
 
 let id s = s.seg_id
 
+let capacity s = s.bound
+
 let size s = Atomic.get s.count
 
 let with_lock s f =
@@ -32,18 +36,22 @@ let with_lock s f =
     Mutex.unlock s.mutex;
     raise e
 
+(* All count updates are relative, so reservations (count > Vec length)
+   survive interleaved adds/steals on the same segment. *)
+let shift_count s d = Atomic.set s.count (Atomic.get s.count + d)
+
 let add s x =
   with_lock s (fun () ->
       Cpool_util.Vec.push s.items x;
-      Atomic.incr s.count)
+      shift_count s 1)
 
 let try_add s x =
   with_lock s (fun () ->
       match s.bound with
-      | Some c when Cpool_util.Vec.length s.items >= c -> false
+      | Some c when Atomic.get s.count >= c -> false
       | Some _ | None ->
         Cpool_util.Vec.push s.items x;
-        Atomic.incr s.count;
+        shift_count s 1;
         true)
 
 let spare s =
@@ -55,7 +63,7 @@ let try_remove s =
     with_lock s (fun () ->
         match Cpool_util.Vec.pop s.items with
         | Some x ->
-          Atomic.decr s.count;
+          shift_count s (-1);
           Some x
         | None -> None)
 
@@ -66,13 +74,13 @@ let steal_half ?(max_take = max_int) s =
       if n = 0 then Cpool.Steal.Nothing
       else if n = 1 then begin
         let x = Cpool_util.Vec.pop_exn s.items in
-        Atomic.decr s.count;
+        shift_count s (-1);
         Cpool.Steal.Single x
       end
       else begin
         let h = min ((n + 1) / 2) max_take in
         let taken = Cpool_util.Vec.take_last s.items h in
-        Atomic.set s.count (n - h);
+        shift_count s (-h);
         match taken with
         | x :: rest -> Cpool.Steal.Batch (x, rest)
         | [] -> assert false
@@ -80,8 +88,45 @@ let steal_half ?(max_take = max_int) s =
 
 let deposit s xs =
   match xs with
-  | [] -> ()
+  | [] -> []
   | _ ->
     with_lock s (fun () ->
+        match s.bound with
+        | None ->
+          Cpool_util.Vec.append_list s.items xs;
+          shift_count s (List.length xs);
+          []
+        | Some c ->
+          let room = max 0 (c - Atomic.get s.count) in
+          let rec split taken i = function
+            | rest when i = room -> (List.rev taken, rest)
+            | [] -> (List.rev taken, [])
+            | x :: rest -> split (x :: taken) (i + 1) rest
+          in
+          let fits, rejected = split [] 0 xs in
+          Cpool_util.Vec.append_list s.items fits;
+          shift_count s (List.length fits);
+          rejected)
+
+let reserve s k =
+  if k < 0 then invalid_arg "Mc_segment.reserve: negative reservation";
+  if k = 0 then 0
+  else
+    with_lock s (fun () ->
+        let r = min k (spare s) in
+        shift_count s r;
+        r)
+
+let refill s ~reserved xs =
+  let n = List.length xs in
+  if n > reserved then invalid_arg "Mc_segment.refill: more elements than reserved";
+  if reserved = 0 then ()
+  else
+    with_lock s (fun () ->
         Cpool_util.Vec.append_list s.items xs;
-        Atomic.set s.count (Cpool_util.Vec.length s.items))
+        shift_count s (n - reserved))
+
+let invariant_ok s =
+  with_lock s (fun () ->
+      let c = Atomic.get s.count and len = Cpool_util.Vec.length s.items in
+      c = len && match s.bound with None -> true | Some b -> c <= b)

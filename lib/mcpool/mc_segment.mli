@@ -3,7 +3,16 @@
     A mutex-protected stack with an atomically readable size, so searching
     domains can probe without taking the lock (the same probe-then-lock
     discipline as the simulated pool). Safe for concurrent use from any
-    number of domains. *)
+    number of domains.
+
+    On a bounded segment the atomic count is the source of truth for
+    capacity: it equals the stored element count plus any outstanding
+    {!reserve}d headroom and never exceeds the capacity. Every mutation
+    adjusts it relatively under the lock, so the bound holds at every
+    instant — there is no window in which concurrent deposits or adds can
+    overshoot it (the seed version set the count absolutely from the vector
+    length, which both erased reservations and let [deposit] blow through
+    the bound). *)
 
 type 'a t
 
@@ -13,15 +22,21 @@ val make : ?capacity:int -> id:int -> unit -> 'a t
 
 val id : 'a t -> int
 
+val capacity : 'a t -> int option
+(** [capacity s] is the bound given at creation, if any. *)
+
 val size : 'a t -> int
-(** [size s] is an atomic snapshot of the element count (may be stale by
-    the time it is used — callers re-check under the lock). *)
+(** [size s] is an atomic snapshot of the occupied capacity: stored
+    elements plus outstanding reservations (may be stale by the time it is
+    used — callers re-check under the lock). *)
 
 val add : 'a t -> 'a -> unit
-(** [add s x] inserts unconditionally (steal banking ignores capacity). *)
+(** [add s x] inserts unconditionally, ignoring any capacity (only safe on
+    unbounded segments; the pool uses it for unbounded steal banking). *)
 
 val try_add : 'a t -> 'a -> bool
-(** [try_add s x] inserts unless that would exceed the capacity. *)
+(** [try_add s x] inserts unless that would exceed the capacity, counting
+    reserved headroom as occupied. *)
 
 val spare : 'a t -> int
 (** [spare s] is the remaining capacity ([max_int] when unbounded). *)
@@ -35,5 +50,28 @@ val steal_half : ?max_take:int -> 'a t -> 'a Cpool.Steal.loot
     [Nothing] for [n = 0]. The caller deposits the remainder into its own
     segment afterwards — victim and thief are never locked together. *)
 
-val deposit : 'a t -> 'a list -> unit
-(** [deposit s xs] adds every element of [xs] under one lock acquisition. *)
+val deposit : 'a t -> 'a list -> 'a list
+(** [deposit s xs] adds elements of [xs] under one lock acquisition, up to
+    the segment's remaining capacity, and returns the rejected overflow in
+    order (always [[]] when unbounded). Callers on a bounded pool either
+    re-spill the overflow or, better, pre-{!reserve} the room so rejection
+    cannot happen. *)
+
+val reserve : 'a t -> int -> int
+(** [reserve s k] claims up to [k] units of spare capacity and returns the
+    amount actually claimed (all of [k] when unbounded). Reserved units
+    count as occupied until the matching {!refill}. A thief reserves room
+    in its own segment {e before} stealing, so the banked remainder always
+    fits — capacity can never be exceeded, even transiently. Raises
+    [Invalid_argument] if [k < 0]. *)
+
+val refill : 'a t -> reserved:int -> 'a list -> unit
+(** [refill s ~reserved xs] stores [xs] into previously reserved room and
+    releases the unused remainder of the reservation. Raises
+    [Invalid_argument] if [List.length xs > reserved]. *)
+
+val invariant_ok : 'a t -> bool
+(** [invariant_ok s] checks, under the lock, that the atomic count matches
+    the stored element count and respects the capacity. Only meaningful at
+    quiescence (no outstanding reservations); the stress harness calls it
+    after every run. *)

@@ -1,0 +1,159 @@
+let bucket_limit = 512
+
+type t = {
+  mutable adds : int;
+  mutable spills : int;
+  mutable add_fails : int;
+  mutable local_removes : int;
+  mutable steals : int;
+  mutable elements_stolen : int;
+  mutable segments_examined : int;
+  mutable steal_probes : int; (* probes attributed to successful steals *)
+  mutable sweeps : int;
+  mutable empty_confirms : int;
+  mutable spins : int;
+  segs_per_steal : int array;
+  elems_per_steal : int array;
+}
+
+let create () =
+  {
+    adds = 0;
+    spills = 0;
+    add_fails = 0;
+    local_removes = 0;
+    steals = 0;
+    elements_stolen = 0;
+    segments_examined = 0;
+    steal_probes = 0;
+    sweeps = 0;
+    empty_confirms = 0;
+    spins = 0;
+    segs_per_steal = Array.make (bucket_limit + 1) 0;
+    elems_per_steal = Array.make (bucket_limit + 1) 0;
+  }
+
+let bump buckets v =
+  let i = if v < 0 then 0 else min v bucket_limit in
+  buckets.(i) <- buckets.(i) + 1
+
+let note_add s = s.adds <- s.adds + 1
+
+let note_spill s = s.spills <- s.spills + 1
+
+let note_add_fail s = s.add_fails <- s.add_fails + 1
+
+let note_local_remove s = s.local_removes <- s.local_removes + 1
+
+let note_probe s = s.segments_examined <- s.segments_examined + 1
+
+let note_steal s ~probes ~elements =
+  s.steals <- s.steals + 1;
+  s.elements_stolen <- s.elements_stolen + elements;
+  s.steal_probes <- s.steal_probes + probes;
+  bump s.segs_per_steal probes;
+  bump s.elems_per_steal elements
+
+let note_sweep s = s.sweeps <- s.sweeps + 1
+
+let note_empty_confirm s = s.empty_confirms <- s.empty_confirms + 1
+
+let note_spin s = s.spins <- s.spins + 1
+
+let removes s = s.local_removes + s.steals
+
+let merge a b =
+  let s = create () in
+  let blit dst src = Array.iteri (fun i n -> dst.(i) <- dst.(i) + n) src in
+  s.adds <- a.adds + b.adds;
+  s.spills <- a.spills + b.spills;
+  s.add_fails <- a.add_fails + b.add_fails;
+  s.local_removes <- a.local_removes + b.local_removes;
+  s.steals <- a.steals + b.steals;
+  s.elements_stolen <- a.elements_stolen + b.elements_stolen;
+  s.segments_examined <- a.segments_examined + b.segments_examined;
+  s.steal_probes <- a.steal_probes + b.steal_probes;
+  s.sweeps <- a.sweeps + b.sweeps;
+  s.empty_confirms <- a.empty_confirms + b.empty_confirms;
+  s.spins <- a.spins + b.spins;
+  blit s.segs_per_steal a.segs_per_steal;
+  blit s.segs_per_steal b.segs_per_steal;
+  blit s.elems_per_steal a.elems_per_steal;
+  blit s.elems_per_steal b.elems_per_steal;
+  s
+
+let merge_all ts = List.fold_left merge (create ()) ts
+
+let counters s =
+  Cpool_metrics.Counters.of_list
+    [
+      ("adds", s.adds);
+      ("spill adds", s.spills);
+      ("rejected adds", s.add_fails);
+      ("local removes", s.local_removes);
+      ("steals", s.steals);
+      ("elements stolen", s.elements_stolen);
+      ("segments examined", s.segments_examined);
+      ("sweeps", s.sweeps);
+      ("empty confirmations", s.empty_confirms);
+      ("retry spins", s.spins);
+    ]
+
+let sample_of buckets =
+  let sample = Cpool_metrics.Sample.create () in
+  Array.iteri
+    (fun v n ->
+      for _ = 1 to n do
+        Cpool_metrics.Sample.add_int sample v
+      done)
+    buckets;
+  sample
+
+let segments_per_steal s = sample_of s.segs_per_steal
+
+let elements_per_steal s = sample_of s.elems_per_steal
+
+let mean_segments_per_steal s =
+  if s.steals = 0 then Float.nan
+  else float_of_int s.steal_probes /. float_of_int s.steals
+
+let mean_elements_per_steal s =
+  if s.steals = 0 then Float.nan
+  else float_of_int s.elements_stolen /. float_of_int s.steals
+
+let steal_fraction s =
+  let r = removes s in
+  if r = 0 then Float.nan else float_of_int s.steals /. float_of_int r
+
+let table_headers =
+  [
+    "worker"; "adds"; "spills"; "rejects"; "local rm"; "steals"; "elems stolen";
+    "segs/steal"; "elems/steal"; "sweeps"; "confirms"; "spins";
+  ]
+
+let table_row name s =
+  [
+    name;
+    string_of_int s.adds;
+    string_of_int s.spills;
+    string_of_int s.add_fails;
+    string_of_int s.local_removes;
+    string_of_int s.steals;
+    string_of_int s.elements_stolen;
+    Cpool_metrics.Render.float_cell (mean_segments_per_steal s);
+    Cpool_metrics.Render.float_cell (mean_elements_per_steal s);
+    string_of_int s.sweeps;
+    string_of_int s.empty_confirms;
+    string_of_int s.spins;
+  ]
+
+let render_table ?title named =
+  let rows = List.map (fun (name, s) -> table_row name s) named in
+  let rows =
+    match named with
+    | [] | [ _ ] -> rows
+    | _ -> rows @ [ table_row "TOTAL" (merge_all (List.map snd named)) ]
+  in
+  Cpool_metrics.Render.table ?title ~headers:table_headers ~rows ()
+
+let render ?title s = render_table ?title [ ("all", s) ]

@@ -1,0 +1,90 @@
+(** Per-worker telemetry for the multicore pool.
+
+    Each {!Mc_pool.handle} owns one [Mc_stats.t] and bumps plain mutable
+    counters on the hot path — no atomics, no cross-domain sharing, so the
+    instrumentation costs a handful of unshared stores per operation. The
+    read side ({!merge}, {!counters}, the samples) converts snapshots into
+    {!Cpool_metrics} values on demand, giving the real pool the same steal
+    statistics the paper reports for the simulator: steal frequency,
+    segments examined per steal, elements stolen per steal.
+
+    Reading another domain's live stats is safe (all fields are word-sized)
+    but yields a racy snapshot; merge after the workers have quiesced for
+    exact totals. Per-steal distributions are bucketed exactly up to
+    {!bucket_limit} and clamp above it — the means come from exact running
+    totals and are never clamped. *)
+
+type t
+
+val bucket_limit : int
+(** Largest per-steal observation recorded exactly in the distributions
+    (larger values clamp into the top bucket). *)
+
+val create : unit -> t
+
+(** {2 Hot-path recording (called by [Mc_pool])} *)
+
+val note_add : t -> unit
+(** A successful add into the worker's own segment. *)
+
+val note_spill : t -> unit
+(** A successful add that spilled to another segment (bounded pools). *)
+
+val note_add_fail : t -> unit
+(** An add rejected because every segment was full. *)
+
+val note_local_remove : t -> unit
+(** A successful remove from the worker's own segment. *)
+
+val note_probe : t -> unit
+(** One remote segment examined during a steal search. *)
+
+val note_steal : t -> probes:int -> elements:int -> unit
+(** A successful steal that examined [probes] segments since the hunt
+    began and obtained [elements] elements (the returned one plus the
+    banked remainder). *)
+
+val note_sweep : t -> unit
+(** One full confirmation sweep over every segment. *)
+
+val note_empty_confirm : t -> unit
+(** A blocking remove that concluded the pool empty. *)
+
+val note_spin : t -> unit
+(** One [Domain.cpu_relax] retry while waiting for quiescence. *)
+
+(** {2 Reading and merging} *)
+
+val removes : t -> int
+(** [removes s] is all successful removes: local + stolen. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh sum of both; neither argument is modified. *)
+
+val merge_all : t list -> t
+
+val counters : t -> Cpool_metrics.Counters.t
+(** Every scalar counter as a merge-friendly labelled set. *)
+
+val segments_per_steal : t -> Cpool_metrics.Sample.t
+(** Distribution of segments examined per successful steal (the paper's
+    Section 4.2 metric), reconstructed from the buckets. *)
+
+val elements_per_steal : t -> Cpool_metrics.Sample.t
+(** Distribution of elements obtained per steal (Figure 7's metric). *)
+
+val mean_segments_per_steal : t -> float
+(** Exact mean from running totals ([nan] with no steals). *)
+
+val mean_elements_per_steal : t -> float
+
+val steal_fraction : t -> float
+(** Fraction of successful removes that required a steal ([nan] with no
+    removes). *)
+
+val render : ?title:string -> t -> string
+(** One-row summary table via {!Cpool_metrics.Render}. *)
+
+val render_table : ?title:string -> (string * t) list -> string
+(** Per-worker telemetry table, one row per named stats plus a TOTAL row
+    when there are several. *)

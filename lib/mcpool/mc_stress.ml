@@ -1,0 +1,278 @@
+type config = {
+  domains : int;
+  seconds : float;
+  kind : Mc_pool.kind;
+  capacity : int option;
+  add_bias : float;
+  initial : int;
+  churn : bool;
+  seed : int;
+}
+
+let default =
+  {
+    domains = 4;
+    seconds = 1.0;
+    kind = Mc_pool.Linear;
+    capacity = None;
+    add_bias = 0.5;
+    initial = 128;
+    churn = true;
+    seed = 42;
+  }
+
+let kind_name = function
+  | Mc_pool.Linear -> "linear"
+  | Mc_pool.Random -> "random"
+  | Mc_pool.Tree -> "tree"
+
+let config_name cfg =
+  Printf.sprintf "%s/%s" (kind_name cfg.kind)
+    (match cfg.capacity with
+    | None -> "unbounded"
+    | Some c -> Printf.sprintf "capacity=%d" c)
+
+type report = {
+  config : config;
+  duration : float;
+  ops : int;
+  initial_added : int;
+  adds_ok : int;
+  adds_rejected : int;
+  removes_ok : int;
+  steals : int;
+  per_worker : (string * Mc_stats.t) list;
+  merged : Mc_stats.t; (* pool-wide, including the initial fill and churned-away handles *)
+  violations : string list;
+}
+
+let passed r = r.violations = []
+
+type worker_tally = {
+  mutable w_ops : int;
+  mutable w_adds : int;
+  mutable w_rejects : int;
+  mutable w_removes : int;
+  mutable w_stats : Mc_stats.t list; (* stats of handles this worker retired *)
+}
+
+let validate cfg =
+  if cfg.domains <= 0 then invalid_arg "Mc_stress.run: domains must be positive";
+  if cfg.seconds < 0.0 then invalid_arg "Mc_stress.run: seconds must be non-negative";
+  if cfg.add_bias < 0.0 || cfg.add_bias > 1.0 then
+    invalid_arg "Mc_stress.run: add_bias must be in [0, 1]";
+  if cfg.initial < 0 then invalid_arg "Mc_stress.run: initial must be non-negative"
+
+(* Prefill by registering each slot in turn, so elements spread evenly and
+   the fill itself exercises register/deregister. *)
+let prefill pool cfg =
+  let p = Mc_pool.segments pool in
+  let per_slot =
+    let share = (cfg.initial + p - 1) / p in
+    match cfg.capacity with None -> share | Some c -> min share c
+  in
+  let added = ref 0 in
+  for s = 0 to p - 1 do
+    let h = Mc_pool.register_at pool s in
+    let quota = min per_slot (cfg.initial - !added) in
+    for _ = 1 to quota do
+      if Mc_pool.try_add pool h !added then incr added
+    done;
+    Mc_pool.deregister pool h
+  done;
+  !added
+
+let worker pool cfg tally i barrier deadline =
+  let rng = Cpool_util.Rng.create (Int64.of_int ((cfg.seed * 7919) + i)) in
+  let add_threshold = int_of_float (cfg.add_bias *. 1_000_000.0) in
+  let h = ref (Mc_pool.register_at pool i) in
+  (* Everyone registers before anyone operates, so quiescence accounting
+     never sees a partially started fleet. *)
+  Atomic.decr barrier;
+  while Atomic.get barrier > 0 do
+    Domain.cpu_relax ()
+  done;
+  let churning = cfg.churn && i land 1 = 1 in
+  let running = ref true in
+  while !running do
+    for _ = 1 to 64 do
+      tally.w_ops <- tally.w_ops + 1;
+      if Cpool_util.Rng.int rng 1_000_000 < add_threshold then begin
+        if Mc_pool.try_add pool !h tally.w_ops then tally.w_adds <- tally.w_adds + 1
+        else tally.w_rejects <- tally.w_rejects + 1
+      end
+      else
+        match Mc_pool.try_remove pool !h with
+        | Some _ -> tally.w_removes <- tally.w_removes + 1
+        | None -> ()
+    done;
+    if churning && tally.w_ops land 4095 < 64 then begin
+      (* Retire this identity and claim a fresh slot: the lifecycle churn
+         that leaked slots in the seed version. *)
+      tally.w_stats <- Mc_pool.stats_of_handle !h :: tally.w_stats;
+      Mc_pool.deregister pool !h;
+      h := Mc_pool.register pool
+    end;
+    if Unix.gettimeofday () >= deadline then running := false
+  done;
+  (* Drain phase: blocking removes until the pool confirms empty. *)
+  let rec drain () =
+    match Mc_pool.remove pool !h with
+    | Some _ ->
+      tally.w_removes <- tally.w_removes + 1;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  tally.w_stats <- Mc_pool.stats_of_handle !h :: tally.w_stats;
+  Mc_pool.deregister pool !h
+
+let run cfg =
+  validate cfg;
+  let pool : int Mc_pool.t =
+    Mc_pool.create ~kind:cfg.kind ?capacity:cfg.capacity ~segments:cfg.domains ()
+  in
+  let initial_added = prefill pool cfg in
+  let tallies =
+    Array.init cfg.domains (fun _ ->
+        { w_ops = 0; w_adds = 0; w_rejects = 0; w_removes = 0; w_stats = [] })
+  in
+  let barrier = Atomic.make cfg.domains in
+  let stop_watch = Atomic.make false in
+  let capacity_violations = Atomic.make 0 in
+  (* A dedicated watcher polls segment sizes concurrently: on a bounded pool
+     the capacity invariant must hold at every instant, not just at the end. *)
+  let watcher =
+    match cfg.capacity with
+    | None -> None
+    | Some c ->
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get stop_watch) do
+               Array.iter
+                 (fun size -> if size > c then Atomic.incr capacity_violations)
+                 (Mc_pool.segment_sizes pool);
+               Domain.cpu_relax ()
+             done))
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. cfg.seconds in
+  let ds =
+    List.init cfg.domains (fun i ->
+        Domain.spawn (fun () -> worker pool cfg tallies.(i) i barrier deadline))
+  in
+  List.iter Domain.join ds;
+  let duration = Unix.gettimeofday () -. t0 in
+  Atomic.set stop_watch true;
+  Option.iter Domain.join watcher;
+  let per_worker =
+    Array.to_list
+      (Array.mapi
+         (fun i tally -> (Printf.sprintf "d%d" i, Mc_stats.merge_all tally.w_stats))
+         tallies)
+  in
+  let merged = Mc_pool.stats pool in
+  let sum f = Array.fold_left (fun acc tally -> acc + f tally) 0 tallies in
+  let adds_ok = sum (fun w -> w.w_adds) in
+  let removes_ok = sum (fun w -> w.w_removes) in
+  let violations = ref [] in
+  let check name ok detail = if not ok then violations := (name ^ ": " ^ detail) :: !violations in
+  check "conservation"
+    (initial_added + adds_ok = removes_ok && Mc_pool.size pool = 0)
+    (Printf.sprintf "initial %d + adds %d <> removes %d (+ %d left in pool)" initial_added
+       adds_ok removes_ok (Mc_pool.size pool));
+  check "segment consistency" (Mc_pool.check_segments pool)
+    "atomic count <> stored elements (or above capacity)";
+  check "capacity bound"
+    (Atomic.get capacity_violations = 0)
+    (Printf.sprintf "%d over-capacity sightings by the watcher" (Atomic.get capacity_violations));
+  check "slot leak" (Mc_pool.claimed_count pool = 0)
+    (Printf.sprintf "%d slots still claimed after every deregister" (Mc_pool.claimed_count pool));
+  check "slot reuse"
+    (let h = Mc_pool.register pool in
+     let ok = Mc_pool.slot h >= 0 in
+     Mc_pool.deregister pool h;
+     ok)
+    "register after churn failed";
+  check "registered accounting" (Mc_pool.registered pool = 0)
+    (Printf.sprintf "%d workers still registered" (Mc_pool.registered pool));
+  (* The telemetry must agree with the ground truth the tallies recorded. *)
+  check "telemetry: removes"
+    (Mc_stats.removes merged = removes_ok)
+    (Printf.sprintf "stats %d <> tally %d" (Mc_stats.removes merged) removes_ok);
+  check "telemetry: adds"
+    (Cpool_metrics.Counters.get (Mc_stats.counters merged) "adds"
+     + Cpool_metrics.Counters.get (Mc_stats.counters merged) "spill adds"
+     = initial_added + adds_ok)
+    "stats adds+spills <> tally adds";
+  check "telemetry: steals"
+    (Cpool_metrics.Counters.get (Mc_stats.counters merged) "steals" = Mc_pool.steals pool)
+    (Printf.sprintf "stats %d <> pool counter %d"
+       (Cpool_metrics.Counters.get (Mc_stats.counters merged) "steals")
+       (Mc_pool.steals pool));
+  {
+    config = cfg;
+    duration;
+    ops = sum (fun w -> w.w_ops);
+    initial_added;
+    adds_ok;
+    adds_rejected = sum (fun w -> w.w_rejects);
+    removes_ok;
+    steals = Mc_pool.steals pool;
+    per_worker;
+    merged;
+    violations = List.rev !violations;
+  }
+
+let elements_histogram r =
+  let sample = Mc_stats.elements_per_steal r.merged in
+  let hi = Float.max 8.0 (Cpool_metrics.Sample.max_value sample) in
+  let h = Cpool_metrics.Histogram.create ~lo:0.0 ~hi:(hi +. 1.0) ~bins:8 in
+  List.iter (Cpool_metrics.Histogram.add h) (Cpool_metrics.Sample.values sample);
+  h
+
+let render r =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "--- mc-stress %s: %d domains, %.2fs%s ---" (config_name r.config) r.config.domains
+    r.duration
+    (if r.config.churn then ", churn on" else "");
+  line "%d ops (%.0f ops/s): %d+%d adds (%d rejected), %d removes, %d steals" r.ops
+    (float_of_int r.ops /. Float.max 1e-9 r.duration)
+    r.initial_added r.adds_ok r.adds_rejected r.removes_ok r.steals;
+  Buffer.add_string buf (Mc_stats.render_table ~title:"per-domain telemetry" r.per_worker);
+  Buffer.add_char buf '\n';
+  let segs = Mc_stats.segments_per_steal r.merged in
+  let elems = Mc_stats.elements_per_steal r.merged in
+  let dist name sample =
+    [
+      name;
+      Cpool_metrics.Render.float_cell (Cpool_metrics.Sample.mean sample);
+      Cpool_metrics.Render.float_cell (Cpool_metrics.Sample.median sample);
+      Cpool_metrics.Render.float_cell (Cpool_metrics.Sample.percentile sample 95.0);
+      Cpool_metrics.Render.float_cell (Cpool_metrics.Sample.max_value sample);
+    ]
+  in
+  Buffer.add_string buf
+    (Cpool_metrics.Render.table ~title:"steal distributions (pool-wide)"
+       ~headers:[ "metric"; "mean"; "p50"; "p95"; "max" ]
+       ~rows:[ dist "segments examined/steal" segs; dist "elements stolen/steal" elems ]
+       ());
+  Buffer.add_char buf '\n';
+  if not (Cpool_metrics.Sample.is_empty elems) then begin
+    Buffer.add_string buf
+      (Cpool_metrics.Render.table ~title:"elements stolen per steal"
+         ~headers:[ "range"; "steals" ]
+         ~rows:
+           (List.map
+              (fun (range, n) -> [ range; string_of_int n ])
+              (Cpool_metrics.Histogram.to_rows (elements_histogram r)))
+         ());
+    Buffer.add_char buf '\n'
+  end;
+  (match r.violations with
+  | [] -> line "invariants: conservation, segment consistency, capacity bound, slot lifecycle all OK"
+  | vs ->
+    line "INVARIANT VIOLATIONS:";
+    List.iter (fun v -> line "  %s" v) vs);
+  Buffer.contents buf

@@ -1,0 +1,72 @@
+(** Multi-domain soak harness with invariant checking for {!Mc_pool}.
+
+    Spawns one worker domain per segment; each runs a randomized add/remove
+    mix against the wall clock, optionally cycling its registration
+    (churn), then drains the pool to quiescence through blocking removes.
+    A concurrent watcher domain polls segment sizes on bounded pools, so
+    the capacity bound is checked at every instant, not just after the
+    fact. After the run the harness verifies:
+
+    - {b conservation} — every element added (prefill included) was removed
+      exactly once and the pool drained to empty;
+    - {b segment consistency} — each segment's atomic count equals its
+      stored element count and respects the capacity;
+    - {b capacity bound} — the watcher never saw a segment above its
+      capacity;
+    - {b slot lifecycle} — no claimed slots leak across register/deregister
+      churn, a fresh registration still succeeds, and the registered-worker
+      count returns to zero;
+    - {b telemetry agreement} — the merged {!Mc_stats} counters match the
+      ground-truth tallies and the pool's own steal counter.
+
+    Stress/invariant harnesses of this shape (rather than unit tests
+    alone) are how concurrent structures with capacity invariants are
+    validated in practice; cf. Blelloch & Wei 2020 on bounded concurrent
+    allocation and Kułakowski 2015 on concurrent-array validation. *)
+
+type config = {
+  domains : int;  (** Worker domains = pool segments. *)
+  seconds : float;  (** Wall-clock length of the mixed-op phase. *)
+  kind : Mc_pool.kind;
+  capacity : int option;  (** Per-segment bound; [None] = unbounded. *)
+  add_bias : float;  (** Probability an operation is an add, in [0, 1]. *)
+  initial : int;  (** Elements prefilled across the segments. *)
+  churn : bool;  (** Odd-numbered workers re-register every ~4096 ops. *)
+  seed : int;
+}
+
+val default : config
+(** 4 domains, 1 s, linear, unbounded, 50% adds, 128 initial, churn on. *)
+
+val kind_name : Mc_pool.kind -> string
+
+val config_name : config -> string
+(** E.g. ["linear/capacity=64"] — the cell label used by the CLI. *)
+
+type report = {
+  config : config;
+  duration : float;  (** Measured wall-clock of the mixed-op phase + drain. *)
+  ops : int;  (** Operation attempts across all workers. *)
+  initial_added : int;
+  adds_ok : int;
+  adds_rejected : int;
+  removes_ok : int;  (** Successful removes, drain included. *)
+  steals : int;
+  per_worker : (string * Mc_stats.t) list;  (** One entry per worker domain. *)
+  merged : Mc_stats.t;
+      (** Pool-wide telemetry: every handle ever issued, prefill included. *)
+  violations : string list;  (** Empty iff every invariant held. *)
+}
+
+val run : config -> report
+(** [run cfg] executes one soak cell. Raises [Invalid_argument] on a
+    nonsensical config (non-positive domains, negative duration,
+    out-of-range bias). *)
+
+val passed : report -> bool
+(** [passed r] is [r.violations = []]. *)
+
+val render : report -> string
+(** Human-readable report: throughput, the per-domain telemetry table, the
+    pool-wide steal distributions (via {!Cpool_metrics.Render}), and the
+    invariant verdicts. *)

@@ -1,0 +1,29 @@
+type t = (string * int) list
+
+let of_list pairs =
+  List.fold_left
+    (fun acc (label, n) ->
+      let rec bump = function
+        | [] -> [ (label, n) ]
+        | (l, m) :: rest when String.equal l label -> (l, m + n) :: rest
+        | p :: rest -> p :: bump rest
+      in
+      bump acc)
+    [] pairs
+
+let to_rows t = t
+
+let labels t = List.map fst t
+
+let get t label = match List.assoc_opt label t with Some n -> n | None -> 0
+
+let merge a b = of_list (a @ b)
+
+let merge_all ts = List.fold_left merge [] ts
+
+let is_empty t = t = []
+
+let render ?title t =
+  Render.table ?title ~headers:[ "counter"; "count" ]
+    ~rows:(List.map (fun (l, n) -> [ l; string_of_int n ]) t)
+    ()

@@ -1,0 +1,34 @@
+(** Labelled event counters that merge by summation.
+
+    The snapshot type behind per-worker telemetry: each worker accumulates
+    its own plain counters privately (no sharing on the hot path), converts
+    them to a [Counters.t] on demand, and the reader merges any number of
+    snapshots into one — per-domain rows and pool-wide totals come from the
+    same data. Label order is preserved (first occurrence wins), so merged
+    tables keep a stable row order. *)
+
+type t
+
+val of_list : (string * int) list -> t
+(** [of_list pairs] builds a counter set; duplicate labels are summed,
+    keeping the first occurrence's position. *)
+
+val to_rows : t -> (string * int) list
+(** [to_rows t] lists the counters in label order, for tables. *)
+
+val labels : t -> string list
+
+val get : t -> string -> int
+(** [get t label] is the count for [label], [0] when absent. *)
+
+val merge : t -> t -> t
+(** [merge a b] sums matching labels; labels only in one side keep their
+    count. [a]'s label order comes first. *)
+
+val merge_all : t list -> t
+(** [merge_all ts] folds {!merge} over [ts] ([is_empty] result for []). *)
+
+val is_empty : t -> bool
+
+val render : ?title:string -> t -> string
+(** [render t] is a two-column ASCII table via {!Render.table}. *)

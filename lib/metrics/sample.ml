@@ -1,10 +1,19 @@
-type t = { values : float Cpool_util.Vec.t; mutable sorted : float array option }
+type t = {
+  values : float Cpool_util.Vec.t;
+  mutable nan_count : int;
+  mutable sorted : float array option;
+}
 
-let create () = { values = Cpool_util.Vec.create (); sorted = None }
+let create () = { values = Cpool_util.Vec.create (); nan_count = 0; sorted = None }
 
 let add s x =
-  Cpool_util.Vec.push s.values x;
-  s.sorted <- None
+  if Float.is_nan x then s.nan_count <- s.nan_count + 1
+  else begin
+    Cpool_util.Vec.push s.values x;
+    s.sorted <- None
+  end
+
+let nan_count s = s.nan_count
 
 let add_int s n = add s (float_of_int n)
 
@@ -40,7 +49,7 @@ let sorted s =
   | Some a -> a
   | None ->
     let a = Array.of_list (Cpool_util.Vec.to_list s.values) in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     s.sorted <- Some a;
     a
 
@@ -69,4 +78,5 @@ let merge a b =
   let s = create () in
   Cpool_util.Vec.iter (add s) a.values;
   Cpool_util.Vec.iter (add s) b.values;
+  s.nan_count <- a.nan_count + b.nan_count;
   s

@@ -10,7 +10,15 @@ val create : unit -> t
 (** [create ()] is an empty sample. *)
 
 val add : t -> float -> unit
-(** [add s x] records the observation [x]. *)
+(** [add s x] records the observation [x]. A NaN observation is excluded
+    from the sample (it would otherwise poison every statistic — with the
+    former polymorphic sort a single NaN silently corrupted all
+    percentiles) and flagged in {!nan_count} instead. *)
+
+val nan_count : t -> int
+(** [nan_count s] is how many NaN observations were rejected by {!add}
+    (summed by {!merge}). A non-zero value marks an upstream measurement
+    problem; the remaining statistics are computed over the finite data. *)
 
 val add_int : t -> int -> unit
 (** [add_int s n] records [float_of_int n]. *)

@@ -177,6 +177,187 @@ let test_work_generating_workload kind () =
   Alcotest.(check int) "binary tree of depth 12" ((2 lsl 12) - 1) (Atomic.get processed);
   Alcotest.(check int) "pool empty" 0 (Mc_pool.size pool)
 
+(* --- Lifecycle: slot release, churn, deregister-during-drain --- *)
+
+let test_deregister_releases_slot () =
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let h0 = Mc_pool.register pool in
+  let _h1 = Mc_pool.register pool in
+  Alcotest.(check int) "both claimed" 2 (Mc_pool.claimed_count pool);
+  Mc_pool.deregister pool h0;
+  Alcotest.(check int) "slot released" 1 (Mc_pool.claimed_count pool);
+  let h0' = Mc_pool.register pool in
+  Alcotest.(check int) "freed slot reused" 0 (Mc_pool.slot h0')
+
+let test_double_deregister_rejected () =
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:1 () in
+  let h = Mc_pool.register pool in
+  Mc_pool.deregister pool h;
+  Alcotest.check_raises "double deregister"
+    (Invalid_argument "Mc_pool.deregister: handle already deregistered") (fun () ->
+      Mc_pool.deregister pool h)
+
+let test_register_deregister_churn () =
+  (* Regression for the slot leak: the seed version never cleared
+     [claimed] on deregister, so the second cycle here already failed with
+     "all slots claimed". *)
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let keeper = Mc_pool.register pool in
+  for i = 1 to 1_000 do
+    let h = Mc_pool.register pool in
+    Mc_pool.add pool h i;
+    (match Mc_pool.try_remove pool h with
+    | Some _ -> ()
+    | None -> Alcotest.fail "churn cycle lost its element");
+    Mc_pool.deregister pool h
+  done;
+  Alcotest.(check int) "only the keeper remains" 1 (Mc_pool.claimed_count pool);
+  Alcotest.(check int) "registered count back to one" 1 (Mc_pool.registered pool);
+  Alcotest.(check int) "pool empty" 0 (Mc_pool.size pool);
+  Mc_pool.deregister pool keeper;
+  Alcotest.(check int) "all slots free" 0 (Mc_pool.claimed_count pool)
+
+let test_concurrent_churn () =
+  (* Four domains cycle registration concurrently on a shared pool; the
+     registration mutex must keep claims exact and leak-free. *)
+  let cycles = 250 in
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:8 () in
+  let ds =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to cycles do
+              let h = Mc_pool.register pool in
+              Mc_pool.add pool h ((d * cycles) + i);
+              (match Mc_pool.try_remove pool h with
+              | Some _ -> ()
+              | None -> failwith "lost element under churn");
+              Mc_pool.deregister pool h
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no claimed slots leak" 0 (Mc_pool.claimed_count pool);
+  Alcotest.(check int) "no registered workers leak" 0 (Mc_pool.registered pool);
+  Alcotest.(check bool) "segments consistent" true (Mc_pool.check_segments pool)
+
+let test_deregister_while_draining kind () =
+  (* The termination protocol under deregistration: two drainers block in
+     [remove] while a third registered worker sits idle — searching (2) <
+     registered (3), so neither drainer may conclude the pool empty. Once
+     the idle worker deregisters, searching >= registered and both must
+     return None. A regression here either hangs (None never concluded) or
+     loses elements (None concluded too early). *)
+  let elements = 500 in
+  let pool : int Mc_pool.t = Mc_pool.create ~kind ~segments:4 () in
+  let producer = Mc_pool.register_at pool 0 in
+  for i = 1 to elements do
+    Mc_pool.add pool producer i
+  done;
+  let eaten = Atomic.make 0 in
+  let drainers =
+    List.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            let h = Mc_pool.register_at pool (1 + i) in
+            let rec eat () =
+              match Mc_pool.remove pool h with
+              | Some _ ->
+                Atomic.incr eaten;
+                eat ()
+              | None -> ()
+            in
+            eat ();
+            Mc_pool.deregister pool h))
+  in
+  (* Let the drainers reach the spin loop with a drained pool, then retire
+     the idle producer mid-drain. *)
+  while Mc_pool.size pool > 0 do
+    Domain.cpu_relax ()
+  done;
+  Mc_pool.deregister pool producer;
+  List.iter Domain.join drainers;
+  Alcotest.(check int) "every element consumed exactly once" elements (Atomic.get eaten);
+  Alcotest.(check int) "no one left registered" 0 (Mc_pool.registered pool);
+  Alcotest.(check int) "no claimed slots leak" 0 (Mc_pool.claimed_count pool)
+
+(* --- Telemetry --- *)
+
+let test_stats_counters () =
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let h0 = Mc_pool.register_at pool 0 in
+  let h1 = Mc_pool.register_at pool 1 in
+  for i = 1 to 4 do
+    Mc_pool.add pool h0 i
+  done;
+  (match Mc_pool.try_remove_local pool h0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a local remove");
+  (* h1 is empty: this remove must steal 2 of h0's remaining 3 elements. *)
+  (match Mc_pool.try_remove pool h1 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a steal");
+  let c0 = Mc_stats.counters (Mc_pool.stats_of_handle h0) in
+  let c1 = Mc_stats.counters (Mc_pool.stats_of_handle h1) in
+  Alcotest.(check int) "h0 adds" 4 (Cpool_metrics.Counters.get c0 "adds");
+  Alcotest.(check int) "h0 local removes" 1 (Cpool_metrics.Counters.get c0 "local removes");
+  Alcotest.(check int) "h1 made no adds" 0 (Cpool_metrics.Counters.get c1 "adds");
+  Alcotest.(check int) "h1 steals" 1 (Cpool_metrics.Counters.get c1 "steals");
+  Alcotest.(check int) "h1 stole two elements" 2
+    (Cpool_metrics.Counters.get c1 "elements stolen");
+  let segs = Mc_stats.segments_per_steal (Mc_pool.stats_of_handle h1) in
+  Alcotest.(check int) "one steal in the distribution" 1 (Cpool_metrics.Sample.n segs);
+  (* The linear pass examined h1's own (empty) segment, then stole from
+     segment 0: two segments examined for this steal. *)
+  Alcotest.(check (float 1e-9)) "segments examined for it" 2.0 (Cpool_metrics.Sample.mean segs);
+  Alcotest.(check (float 1e-9)) "mean elements per steal" 2.0
+    (Mc_stats.mean_elements_per_steal (Mc_pool.stats_of_handle h1))
+
+let test_stats_survive_churn () =
+  (* Pool-level stats merge every handle ever issued, so totals are
+     conserved across register/deregister churn. *)
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  for i = 1 to 10 do
+    let h = Mc_pool.register pool in
+    Mc_pool.add pool h i;
+    ignore (Mc_pool.try_remove pool h : int option);
+    Mc_pool.deregister pool h
+  done;
+  let merged = Mc_pool.stats pool in
+  let c = Mc_stats.counters merged in
+  Alcotest.(check int) "adds accumulated" 10 (Cpool_metrics.Counters.get c "adds");
+  Alcotest.(check int) "removes accumulated" 10 (Mc_stats.removes merged)
+
+let test_stats_render () =
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:1 () in
+  let h = Mc_pool.register pool in
+  Mc_pool.add pool h 1;
+  ignore (Mc_pool.try_remove_local pool h : int option);
+  let table =
+    Mc_stats.render_table [ ("d0", Mc_pool.stats_of_handle h); ("d1", Mc_stats.create ()) ]
+  in
+  Alcotest.(check bool) "has per-worker row" true
+    (String.length table > 0 && String.sub table 0 6 = "worker");
+  Alcotest.(check bool) "has total row" true
+    (List.exists
+       (fun l -> String.length l >= 5 && String.sub l 0 5 = "TOTAL")
+       (String.split_on_char '\n' table))
+
+(* --- The stress harness itself (smoke) --- *)
+
+let test_stress_harness kind () =
+  let cfg =
+    {
+      Mc_stress.default with
+      Mc_stress.domains = 4;
+      seconds = 0.05;
+      kind;
+      capacity = Some 16;
+      initial = 32;
+    }
+  in
+  let r = Mc_stress.run cfg in
+  Alcotest.(check (list string)) "no invariant violations" [] r.Mc_stress.violations;
+  Alcotest.(check bool) "did some work" true (r.Mc_stress.ops > 0);
+  Alcotest.(check bool) "renders" true (String.length (Mc_stress.render r) > 0)
+
 let per_kind name f = List.map (fun (kn, k) -> Alcotest.test_case (name ^ " (" ^ kn ^ ")") `Quick (f k)) kinds
 
 let main_suites =
@@ -224,19 +405,122 @@ let test_bounded_steal_capped () =
   for i = 1 to 4 do
     Mc_pool.add pool h1 i
   done;
-  (* Thief empty, spare 4: a steal of ceil(4/2)=2 fits within spare+1. *)
+  (* Thief empty, spare 4: a steal of ceil(4/2)=2 fits the reservation. *)
   Alcotest.(check bool) "steals" true (Mc_pool.try_remove pool h0 <> None);
   Alcotest.(check int) "conserved" 3 (Mc_pool.size pool);
+  Alcotest.(check bool) "segments consistent" true (Mc_pool.check_segments pool);
   Mc_pool.deregister pool h0;
   Mc_pool.deregister pool h1
+
+let test_bounded_capacity_never_exceeded kind () =
+  (* Regression for the capacity race: steals used to size their take from
+     an unlocked [spare] read and then deposit unconditionally, so racing
+     thieves could push a segment past its bound. A watcher domain polls
+     every segment's occupied capacity throughout an add-heavy
+     multi-domain run: the bound must hold at every instant. *)
+  let domains = 4 and capacity = 8 and per = 10_000 in
+  let pool = Mc_pool.create ~kind ~capacity ~segments:domains () in
+  let handles = Array.init domains (Mc_pool.register_at pool) in
+  let stop = Atomic.make false in
+  let over_capacity = Atomic.make 0 in
+  let watcher =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Array.iter
+            (fun size -> if size > capacity then Atomic.incr over_capacity)
+            (Mc_pool.segment_sizes pool);
+          Domain.cpu_relax ()
+        done)
+  in
+  let added = Atomic.make 0 and removed = Atomic.make 0 in
+  let ds =
+    List.init domains (fun i ->
+        Domain.spawn (fun () ->
+            let h = handles.(i) in
+            for k = 1 to per do
+              (* Add-heavy (2 adds : 1 remove) keeps segments pinned at the
+                 bound, maximising spills and capped steals. *)
+              if k mod 3 < 2 then begin
+                if Mc_pool.try_add pool h k then Atomic.incr added
+              end
+              else
+                match Mc_pool.try_remove pool h with
+                | Some _ -> Atomic.incr removed
+                | None -> ()
+            done;
+            let rec drain () =
+              match Mc_pool.remove pool h with
+              | Some _ ->
+                Atomic.incr removed;
+                drain ()
+              | None -> ()
+            in
+            drain ();
+            Mc_pool.deregister pool h))
+  in
+  List.iter Domain.join ds;
+  Atomic.set stop true;
+  Domain.join watcher;
+  Alcotest.(check int) "capacity never exceeded" 0 (Atomic.get over_capacity);
+  Alcotest.(check int) "conservation" (Atomic.get added) (Atomic.get removed);
+  Alcotest.(check int) "drained" 0 (Mc_pool.size pool);
+  Alcotest.(check bool) "segments consistent" true (Mc_pool.check_segments pool)
+
+(* --- Segment-level capacity primitives --- *)
+
+let test_segment_deposit_overflow () =
+  let s : int Mc_segment.t = Mc_segment.make ~capacity:3 ~id:0 () in
+  Alcotest.(check bool) "fill one" true (Mc_segment.try_add s 1);
+  Alcotest.(check (list int)) "rejects past the bound" [ 12 ]
+    (Mc_segment.deposit s [ 10; 11; 12 ]);
+  Alcotest.(check int) "filled to capacity" 3 (Mc_segment.size s);
+  Alcotest.(check bool) "consistent" true (Mc_segment.invariant_ok s);
+  let u : int Mc_segment.t = Mc_segment.make ~id:1 () in
+  Alcotest.(check (list int)) "unbounded never rejects" []
+    (Mc_segment.deposit u [ 1; 2; 3 ])
+
+let test_segment_reserve_refill () =
+  let s : int Mc_segment.t = Mc_segment.make ~capacity:4 ~id:0 () in
+  Alcotest.(check bool) "one stored" true (Mc_segment.try_add s 1);
+  Alcotest.(check int) "reservation capped by spare" 3 (Mc_segment.reserve s 10);
+  Alcotest.(check int) "reservation occupies capacity" 4 (Mc_segment.size s);
+  Alcotest.(check bool) "adds see no room" false (Mc_segment.try_add s 2);
+  Mc_segment.refill s ~reserved:3 [ 7; 8 ];
+  Alcotest.(check int) "unused reservation released" 3 (Mc_segment.size s);
+  Alcotest.(check bool) "consistent after refill" true (Mc_segment.invariant_ok s);
+  Alcotest.check_raises "overfull refill"
+    (Invalid_argument "Mc_segment.refill: more elements than reserved") (fun () ->
+      Mc_segment.refill s ~reserved:1 [ 1; 2 ]);
+  Alcotest.check_raises "negative reservation"
+    (Invalid_argument "Mc_segment.reserve: negative reservation") (fun () ->
+      ignore (Mc_segment.reserve s (-1)))
 
 let suites =
   main_suites
   @ [
+    ( "mcpool.lifecycle",
+      [
+        Alcotest.test_case "deregister releases slot" `Quick test_deregister_releases_slot;
+        Alcotest.test_case "double deregister rejected" `Quick test_double_deregister_rejected;
+        Alcotest.test_case "register/deregister churn x1000" `Quick
+          test_register_deregister_churn;
+        Alcotest.test_case "concurrent churn" `Quick test_concurrent_churn;
+      ]
+      @ per_kind "deregister while draining" test_deregister_while_draining );
+    ( "mcpool.stats",
+      [
+        Alcotest.test_case "per-handle counters" `Quick test_stats_counters;
+        Alcotest.test_case "pool stats survive churn" `Quick test_stats_survive_churn;
+        Alcotest.test_case "telemetry table" `Quick test_stats_render;
+      ]
+      @ per_kind "stress harness smoke" test_stress_harness );
     ( "mcpool.bounded",
       [
         Alcotest.test_case "spill and reject" `Quick test_bounded_spill_and_reject;
         Alcotest.test_case "capacity validated" `Quick test_bounded_capacity_validated;
         Alcotest.test_case "steal capped" `Quick test_bounded_steal_capped;
-      ] );
+        Alcotest.test_case "deposit overflow" `Quick test_segment_deposit_overflow;
+        Alcotest.test_case "reserve and refill" `Quick test_segment_reserve_refill;
+      ]
+      @ per_kind "capacity never exceeded" test_bounded_capacity_never_exceeded );
   ]

@@ -59,6 +59,43 @@ let test_sample_percentile_after_add () =
   Sample.add s 5.0;
   Alcotest.(check (float 1e-9)) "median updated" 3.0 (Sample.median s)
 
+let test_sample_nan_flagged () =
+  (* Regression: percentiles used to sort with polymorphic [compare], so a
+     single NaN observation silently corrupted every percentile. NaN is now
+     excluded and flagged instead. *)
+  let s = feed [ 5.0; Float.nan; 1.0; 3.0 ] in
+  Alcotest.(check int) "nan excluded from n" 3 (Sample.n s);
+  Alcotest.(check int) "nan flagged" 1 (Sample.nan_count s);
+  Alcotest.(check (float 1e-9)) "median uncorrupted" 3.0 (Sample.median s);
+  Alcotest.(check (float 1e-9)) "p100 uncorrupted" 5.0 (Sample.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "mean over finite data" 3.0 (Sample.mean s);
+  Alcotest.(check (float 1e-9)) "max uncorrupted" 5.0 (Sample.max_value s);
+  let m = Sample.merge s (feed [ Float.nan ]) in
+  Alcotest.(check int) "merge sums nan flags" 2 (Sample.nan_count m);
+  Alcotest.(check int) "merge keeps finite data" 3 (Sample.n m)
+
+let test_counters_basics () =
+  let c = Counters.of_list [ ("adds", 2); ("steals", 1); ("adds", 3) ] in
+  Alcotest.(check int) "duplicates sum" 5 (Counters.get c "adds");
+  Alcotest.(check int) "get" 1 (Counters.get c "steals");
+  Alcotest.(check int) "absent is zero" 0 (Counters.get c "spills");
+  Alcotest.(check (list string)) "first occurrence keeps order" [ "adds"; "steals" ]
+    (Counters.labels c);
+  Alcotest.(check bool) "not empty" false (Counters.is_empty c)
+
+let test_counters_merge () =
+  let a = Counters.of_list [ ("adds", 2); ("steals", 1) ] in
+  let b = Counters.of_list [ ("steals", 4); ("spins", 7) ] in
+  let m = Counters.merge a b in
+  Alcotest.(check (list (pair string int))) "sums matching, appends new"
+    [ ("adds", 2); ("steals", 5); ("spins", 7) ]
+    (Counters.to_rows m);
+  let all = Counters.merge_all [ a; b; b ] in
+  Alcotest.(check int) "merge_all" 9 (Counters.get all "steals");
+  Alcotest.(check bool) "merge_all of none is empty" true (Counters.is_empty (Counters.merge_all []));
+  Alcotest.(check bool) "renders a table" true
+    (String.length (Counters.render ~title:"t" m) > 0)
+
 let prop_mean_bounded =
   QCheck.Test.make ~name:"mean lies within [min, max]" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0))
@@ -182,8 +219,14 @@ let suites =
         Alcotest.test_case "percentiles" `Quick test_sample_percentiles;
         Alcotest.test_case "add_int and merge" `Quick test_sample_add_int_and_merge;
         Alcotest.test_case "percentile cache invalidation" `Quick test_sample_percentile_after_add;
+        Alcotest.test_case "nan flagged not absorbed" `Quick test_sample_nan_flagged;
         QCheck_alcotest.to_alcotest prop_mean_bounded;
         QCheck_alcotest.to_alcotest prop_percentile_monotone;
+      ] );
+    ( "metrics.counters",
+      [
+        Alcotest.test_case "labels and sums" `Quick test_counters_basics;
+        Alcotest.test_case "merge" `Quick test_counters_merge;
       ] );
     ( "metrics.histogram",
       [
