@@ -13,6 +13,12 @@ dune build
 echo "== dune runtest (tier-1) =="
 dune runtest
 
+echo "== pools_lint (concurrency-discipline static analysis) =="
+dune exec bin/pools_lint.exe -- check lib
+
+echo "== pools_lint interleave (exhaustive Mc_segment schedule check) =="
+dune exec bin/pools_lint.exe -- interleave
+
 echo "== mc-stress smoke (all kinds, bounded + unbounded) =="
 dune exec bin/pools_bench.exe -- mc-stress --domains 4 --seconds 0.5 --capacity 32
 

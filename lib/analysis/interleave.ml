@@ -1,0 +1,163 @@
+(* The production segment logic on the instrumented primitives: the checker
+   exercises the shipped code, not a model of it. *)
+module M = Cpool_mc.Mc_segment_core.Make (Sched.Prim)
+
+type scenario = { name : string; instance : unit -> Sched.instance }
+
+let failf name fmt = Printf.ksprintf (fun m -> failwith (name ^ ": " ^ m)) fmt
+
+(* Always-invariant: the atomic count (stored + reservations) respects the
+   bound at every primitive step — the property PR 1's races violated. *)
+let bound_ok name seg () =
+  let count, _stored = M.debug_counts seg in
+  if count < 0 then failf name "count went negative (%d)" count;
+  match M.capacity seg with
+  | Some b when count > b -> failf name "capacity exceeded: count %d > bound %d" count b
+  | Some _ | None -> ()
+
+let all_of checks () = List.iter (fun f -> f ()) checks
+
+(* Quiescent invariant: with no thread mid-operation, the count equals the
+   stored length (no reservation leaked) and invariant_ok agrees. *)
+let quiescent name seg =
+  let count, stored = M.debug_counts seg in
+  if count <> stored then
+    failf name "reservation leaked: count %d <> stored %d at quiescence" count stored;
+  if not (M.invariant_ok seg) then failf name "invariant_ok failed at quiescence"
+
+let stored seg = snd (M.debug_counts seg)
+
+(* Two threads race try_add on a capacity-2 segment: the bound must hold at
+   every step and exactly the successful adds must be stored. *)
+let try_add_capacity () =
+  let name = "try-add capacity race" in
+  let seg = M.make ~capacity:2 ~id:0 () in
+  let ok = Array.make 2 0 in
+  let adder tid xs () =
+    List.iter (fun x -> if M.try_add seg x then ok.(tid) <- ok.(tid) + 1) xs
+  in
+  {
+    Sched.threads = [ adder 0 [ 1; 2 ]; adder 1 [ 3 ] ];
+    check_step = bound_ok name seg;
+    check_final =
+      (fun () ->
+        quiescent name seg;
+        let n = stored seg in
+        if ok.(0) + ok.(1) <> n then
+          failf name "successful adds %d <> stored %d" (ok.(0) + ok.(1)) n;
+        if n <> 2 then failf name "expected the segment full (2), stored %d" n);
+  }
+
+(* A thief (steal_half + deposit into its own segment, the unbounded pool
+   path) races an adder on the victim: no element is lost or duplicated. *)
+let steal_vs_add () =
+  let name = "steal_half vs add conservation" in
+  let victim = M.make ~id:0 () in
+  let own = M.make ~id:1 () in
+  List.iter (M.add victim) [ 1; 2; 3 ];
+  let returned = ref 0 in
+  let thief () =
+    match M.steal_half victim with
+    | Cpool.Steal.Nothing -> ()
+    | Cpool.Steal.Single _ -> returned := 1
+    | Cpool.Steal.Batch (_, rest) ->
+      returned := 1;
+      (match M.deposit own rest with
+      | [] -> ()
+      | _ :: _ -> failf name "unbounded deposit rejected elements")
+  in
+  let adder () = M.add victim 4 in
+  {
+    Sched.threads = [ thief; adder ];
+    check_step = all_of [ bound_ok name victim; bound_ok name own ];
+    check_final =
+      (fun () ->
+        quiescent name victim;
+        quiescent name own;
+        let total = stored victim + stored own + !returned in
+        if total <> 4 then failf name "conservation broken: %d elements of 4" total);
+  }
+
+(* The bounded steal path (reserve room, steal at most that, refill) racing
+   a spill-style try_add into the thief's segment: the reservation must keep
+   the bound intact at every instant and release exactly on refill. *)
+let reserve_refill_race () =
+  let name = "reserve/refill vs try_add" in
+  let victim = M.make ~capacity:4 ~id:0 () in
+  let own = M.make ~capacity:2 ~id:1 () in
+  List.iter (fun x -> assert (M.try_add victim x)) [ 1; 2; 3 ];
+  assert (M.try_add own 10);
+  let returned = ref 0 in
+  let rival_ok = ref 0 in
+  let thief () =
+    (* Mirrors Mc_pool.attempt_steal's bounded branch. *)
+    let want = (M.size victim + 1) / 2 in
+    let reserved = M.reserve own (max 0 (want - 1)) in
+    match M.steal_half ~max_take:(reserved + 1) victim with
+    | Cpool.Steal.Nothing -> M.refill own ~reserved []
+    | Cpool.Steal.Single _ ->
+      M.refill own ~reserved [];
+      returned := 1
+    | Cpool.Steal.Batch (_, rest) ->
+      M.refill own ~reserved rest;
+      returned := 1
+  in
+  let rival () = if M.try_add own 11 then rival_ok := 1 in
+  {
+    Sched.threads = [ thief; rival ];
+    check_step = all_of [ bound_ok name victim; bound_ok name own ];
+    check_final =
+      (fun () ->
+        quiescent name victim;
+        quiescent name own;
+        let total = stored victim + stored own + !returned in
+        if total <> 4 + !rival_ok then
+          failf name "conservation broken: %d elements of %d" total (4 + !rival_ok));
+  }
+
+(* Three threads on one capacity-2 segment: two adders and a stealer. *)
+let three_way () =
+  let name = "2 adders vs stealer (3 threads)" in
+  let seg = M.make ~capacity:2 ~id:0 () in
+  assert (M.try_add seg 1);
+  let ok = Array.make 2 0 in
+  let stolen = ref 0 in
+  let adder tid x () = if M.try_add seg x then ok.(tid) <- 1 in
+  let stealer () =
+    match M.steal_half ~max_take:1 seg with
+    | Cpool.Steal.Nothing -> ()
+    | Cpool.Steal.Single _ -> stolen := 1
+    | Cpool.Steal.Batch (_, rest) -> stolen := 1 + List.length rest
+  in
+  {
+    Sched.threads = [ adder 0 2; adder 1 3; stealer ];
+    check_step = bound_ok name seg;
+    check_final =
+      (fun () ->
+        quiescent name seg;
+        let total = stored seg + !stolen in
+        if total <> 1 + ok.(0) + ok.(1) then
+          failf name "conservation broken: %d elements of %d" total
+            (1 + ok.(0) + ok.(1)));
+  }
+
+let scenarios =
+  [
+    { name = "try-add-capacity"; instance = try_add_capacity };
+    { name = "steal-vs-add"; instance = steal_vs_add };
+    { name = "reserve-refill"; instance = reserve_refill_race };
+    { name = "three-way"; instance = three_way };
+  ]
+
+let run_all ppf =
+  List.map
+    (fun sc ->
+      match Sched.explore sc.instance with
+      | n ->
+        Format.fprintf ppf "interleave: %-18s %6d schedules, all invariants hold@."
+          sc.name n;
+        (sc.name, n)
+      | exception e ->
+        failwith
+          (Printf.sprintf "interleave %s failed: %s" sc.name (Printexc.to_string e)))
+    scenarios

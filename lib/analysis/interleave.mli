@@ -1,0 +1,22 @@
+(** Interleaving scenarios for the multicore segment.
+
+    Each scenario builds a fresh segment (or victim/thief pair), runs 2–3
+    fibers of real [Mc_segment_core] operations — add, steal, reserve,
+    refill — under {!Sched.explore}, and asserts:
+    - {b capacity}: the atomic count never exceeds the bound, at {e every}
+      primitive step of {e every} schedule (reservations included);
+    - {b conservation}: once quiescent, no element was lost or duplicated
+      and no reservation leaked ([count = stored]).
+
+    This is the bug class PR 1 fixed (unreserved deposits overfilling a
+    bounded segment; absolute count writes erasing reservations), checked
+    exhaustively rather than stochastically. *)
+
+type scenario = { name : string; instance : unit -> Sched.instance }
+
+val scenarios : scenario list
+
+val run_all : Format.formatter -> (string * int) list
+(** Explores every scenario, printing one line each; returns
+    [(name, schedules)] per scenario. Raises [Failure] naming the scenario
+    on the first invariant violation or deadlock. *)

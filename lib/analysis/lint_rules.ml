@@ -1,0 +1,200 @@
+type finding = { file : string; line : int; rule : string; message : string }
+
+let raw_mutex = "raw-mutex"
+let non_atomic_rmw = "non-atomic-rmw"
+let blocking_under_lock = "blocking-under-lock"
+let ambient_random = "ambient-random"
+let missing_mli = "missing-mli"
+let bad_suppression = "bad-suppression"
+let parse_error = "parse-error"
+
+let all_rules =
+  [
+    raw_mutex;
+    non_atomic_rmw;
+    blocking_under_lock;
+    ambient_random;
+    missing_mli;
+    bad_suppression;
+    parse_error;
+  ]
+
+let compare_findings a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match compare a.line b.line with 0 -> String.compare a.rule b.rule | c -> c)
+  | c -> c
+
+let pp ppf f = Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+(* ---- longident helpers ------------------------------------------------- *)
+
+let ident_path (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( try Some (Longident.flatten txt) with _ -> None)
+  | _ -> None
+
+(* [Mutex.lock] should also match [Stdlib.Mutex.lock] and [P.Mutex.lock]:
+   compare the last two path components. *)
+let suffix2 path =
+  match List.rev path with f :: m :: _ -> Some (m, f) | [ f ] -> Some ("", f) | [] -> None
+
+let is_mutex_op path =
+  match suffix2 path with
+  | Some ("Mutex", ("lock" | "unlock")) -> true
+  | _ -> false
+
+let blocking_name path =
+  match suffix2 path with
+  | Some ("Mutex", "lock") -> Some "Mutex.lock"
+  | Some ("Unix", ("sleep" | "sleepf")) -> Some "Unix.sleep"
+  | Some ("Domain", "join") -> Some "Domain.join"
+  | Some ("Condition", "wait") -> Some "Condition.wait"
+  | Some ("Thread", ("delay" | "join")) -> Some "Thread.delay/join"
+  | _ -> None
+
+let starts_with_with name = String.length name >= 5 && String.sub name 0 5 = "with_"
+
+let is_with_helper path =
+  match List.rev path with name :: _ -> starts_with_with name | [] -> false
+
+(* Ambient [Random.*] pulls from the global, self-seeding generator; only the
+   explicitly seeded [Random.State] escapes the ban (minus make_self_init). *)
+let ambient_random_name path =
+  let rec after_random = function
+    | "Random" :: rest -> Some rest
+    | "Stdlib" :: rest -> after_random rest
+    | _ -> None
+  in
+  match after_random path with
+  | Some [ "State"; "make_self_init" ] -> Some "Random.State.make_self_init"
+  | Some ("State" :: _) -> None
+  | Some [ f ] -> Some ("Random." ^ f)
+  | Some _ | None -> None
+
+(* ---- the AST pass ------------------------------------------------------ *)
+
+let has_suffix2 e m f =
+  match ident_path e with
+  | Some p -> ( match suffix2 p with Some (m', f') -> m = m' && f = f' | None -> false)
+  | None -> false
+
+let expr_to_string e =
+  try Format.asprintf "%a" Pprintast.expression e with _ -> "<unprintable>"
+
+(* Does [value] read the same atomic that the enclosing [Atomic.set] writes?
+   Syntactic comparison via the pretty-printer: identical source prints
+   identically. *)
+let contains_get_of ~target value =
+  let tgt = expr_to_string target in
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_apply (f, (_, arg) :: _) when has_suffix2 f "Atomic" "get" ->
+      if String.equal (expr_to_string arg) tgt then found := true
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it value;
+  !found
+
+let check_structure ~file ~ban_random (str : Parsetree.structure) =
+  let findings = ref [] in
+  let add (loc : Location.t) rule message =
+    findings :=
+      { file; line = loc.loc_start.Lexing.pos_lnum; rule; message } :: !findings
+  in
+  (* Lexically enclosing let-binding names: raw Mutex.lock/unlock is legal
+     only inside a [with_*] helper, the one place allowed to speak to the
+     mutex directly. *)
+  let bindings = ref [] in
+  (* > 0 while visiting a literal (fun ...) argument of a with_* call: a
+     critical section whose body must not block. *)
+  let critical = ref 0 in
+  let in_with_helper () = List.exists starts_with_with !bindings in
+  let super = Ast_iterator.default_iterator in
+  let check_ident (e : Parsetree.expression) =
+    match ident_path e with
+    | None -> ()
+    | Some path ->
+      if is_mutex_op path && not (in_with_helper ()) then
+        add e.pexp_loc raw_mutex
+          "raw Mutex.lock/unlock outside a with_* helper; route the critical \
+           section through an exception-safe with_lock-style wrapper";
+      if !critical > 0 then begin
+        (match blocking_name path with
+        | Some name ->
+          add e.pexp_loc blocking_under_lock
+            (Printf.sprintf
+               "blocking call %s inside a with_* critical section risks deadlock; \
+                move it outside the lock"
+               name)
+        | None -> ());
+        if is_with_helper path then
+          add e.pexp_loc blocking_under_lock
+            "nested lock acquisition (with_* call) inside a with_* critical \
+             section risks deadlock; restructure to decide under one lock"
+      end;
+      if ban_random then
+        match ambient_random_name path with
+        | Some name ->
+          add e.pexp_loc ambient_random
+            (Printf.sprintf
+               "%s draws from ambient global state; all randomness here must flow \
+                through a seeded generator (Cpool_util.Rng / Cpool_sim.Rng)"
+               name)
+        | None -> ()
+  in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    check_ident e;
+    match e.pexp_desc with
+    | Pexp_apply (f, args) ->
+      (if has_suffix2 f "Atomic" "set" then
+         match args with
+         | (_, target) :: (_, value) :: _ ->
+           if contains_get_of ~target value then
+             add e.pexp_loc non_atomic_rmw
+               "non-atomic read-modify-write: Atomic.set of a value derived from \
+                Atomic.get of the same atomic; use fetch_and_add / compare_and_set \
+                or suppress with (* lint: allow non-atomic-rmw -- <reason> *)"
+         | _ -> ());
+      let callee_is_with =
+        match ident_path f with Some p -> is_with_helper p | None -> false
+      in
+      it.expr it f;
+      List.iter
+        (fun (_, (a : Parsetree.expression)) ->
+          match a.pexp_desc with
+          | (Pexp_fun _ | Pexp_function _) when callee_is_with ->
+            incr critical;
+            it.expr it a;
+            decr critical
+          | _ -> it.expr it a)
+        args
+    | _ -> super.expr it e
+  in
+  let value_binding it (vb : Parsetree.value_binding) =
+    match vb.pvb_pat.ppat_desc with
+    | Ppat_var { txt; _ } ->
+      bindings := txt :: !bindings;
+      super.value_binding it vb;
+      bindings := List.tl !bindings
+    | _ -> super.value_binding it vb
+  in
+  let it = { super with expr; value_binding } in
+  it.structure it str;
+  List.rev !findings
+
+let check_source ~file ~ban_random source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | str -> check_structure ~file ~ban_random str
+  | exception e ->
+    let line =
+      match e with
+      | Syntaxerr.Error err -> (Syntaxerr.location_of_error err).loc_start.pos_lnum
+      | _ -> 1
+    in
+    [ { file; line; rule = parse_error; message = Printexc.to_string e } ]

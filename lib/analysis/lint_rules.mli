@@ -1,0 +1,44 @@
+(** The concurrency-discipline rules, as checks over one parsed [.ml].
+
+    Rules (machine names in brackets):
+    - R1 [raw-mutex] — no raw [Mutex.lock]/[Mutex.unlock] outside a
+      [with_*]-named helper (matched on the last two path components, so
+      [Stdlib.Mutex.lock] and functor-parameter mutexes are caught too).
+    - R2 [non-atomic-rmw] — no [Atomic.set x (... Atomic.get x ...)]: the
+      read and write are separate steps, so a concurrent update between them
+      is lost. Use [fetch_and_add]/[compare_and_set], or suppress with
+      [(* lint: allow non-atomic-rmw -- <reason> *)] when a lock or
+      single-writer phase genuinely protects the window.
+    - R3 [blocking-under-lock] — no blocking call ([Mutex.lock],
+      [Unix.sleep*], [Domain.join], [Condition.wait], [Thread.delay/join])
+      or nested [with_*] call inside the literal callback of a [with_*]
+      helper.
+    - R4 [ambient-random] — no global [Random.*] (or
+      [Random.State.make_self_init]) where [ban_random] is set: the pool,
+      simulator and checker must be pure functions of their seeds.
+
+    R5 [missing-mli] is a filesystem property checked by {!Lint_driver}. *)
+
+type finding = { file : string; line : int; rule : string; message : string }
+
+val raw_mutex : string
+val non_atomic_rmw : string
+val blocking_under_lock : string
+val ambient_random : string
+val missing_mli : string
+val bad_suppression : string
+val parse_error : string
+
+val all_rules : string list
+(** Every rule name, for validating suppression comments. *)
+
+val compare_findings : finding -> finding -> int
+(** Order by file, then line, then rule. *)
+
+val pp : Format.formatter -> finding -> unit
+(** Renders ["file:line: [rule] message"]. *)
+
+val check_source : file:string -> ban_random:bool -> string -> finding list
+(** [check_source ~file ~ban_random source] parses [source] (reporting a
+    [parse-error] finding if it does not parse) and returns the raw AST-rule
+    findings, before suppression filtering. *)

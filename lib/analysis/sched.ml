@@ -1,0 +1,174 @@
+type lk = { mutable held : bool }
+
+type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Wait : lk -> unit Effect.t
+
+(* True only while the scheduler is stepping a fiber. Outside a run (scenario
+   setup, invariant probes) the shims execute directly, with no scheduling
+   points — the run is single-threaded there. *)
+let active = ref false
+
+let yield () = if !active then Effect.perform Yield
+
+module Prim = struct
+  module Atomic = struct
+    type 'a t = { mutable v : 'a }
+
+    let make v = { v }
+
+    let get r =
+      yield ();
+      r.v
+
+    let set r x =
+      yield ();
+      r.v <- x
+
+    let fetch_and_add r d =
+      yield ();
+      let old = r.v in
+      r.v <- old + d;
+      old
+  end
+
+  module Mutex = struct
+    type t = lk
+
+    let create () = { held = false }
+
+    let rec lock m =
+      if not !active then begin
+        if m.held then failwith "Sched.Mutex.lock: deadlock outside a run";
+        m.held <- true
+      end
+      else begin
+        Effect.perform Yield;
+        if m.held then begin
+          Effect.perform (Wait m);
+          lock m
+        end
+        else m.held <- true
+      end
+
+    let unlock m =
+      yield ();
+      m.held <- false
+  end
+end
+
+type status =
+  | Done
+  | Ready of (unit -> status)
+  | Waiting of lk * (unit -> status)
+
+exception Deadlock
+exception Exploded of string
+
+let fiber (f : unit -> unit) : unit -> status =
+ fun () ->
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> Done);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some
+              (fun (k : (a, status) Effect.Deep.continuation) ->
+                Ready (fun () -> Effect.Deep.continue k ()))
+          | Wait m ->
+            Some (fun k -> Waiting (m, fun () -> Effect.Deep.continue k ()))
+          | _ -> None);
+    }
+
+type instance = {
+  threads : (unit -> unit) list;
+  check_step : unit -> unit;
+  check_final : unit -> unit;
+}
+
+let max_steps = 10_000
+
+(* One complete execution. The first [forced] choices (indices into the
+   enabled-thread list) are imposed; after that the first enabled thread
+   runs. Returns the full (choice, width) trace for backtracking. *)
+let run_once ~forced inst =
+  let state = Array.of_list (List.map (fun f -> Ready (fiber f)) inst.threads) in
+  let n = Array.length state in
+  let choices = ref [] in
+  let steps = ref 0 in
+  let enabled () =
+    let rec go i acc =
+      if i < 0 then acc
+      else
+        let acc =
+          match state.(i) with
+          | Ready _ -> i :: acc
+          | Waiting (m, _) when not m.held -> i :: acc
+          | Waiting _ | Done -> acc
+        in
+        go (i - 1) acc
+    in
+    go (n - 1) []
+  in
+  let all_done () =
+    Array.for_all (function Done -> true | Ready _ | Waiting _ -> false) state
+  in
+  let rec loop forced =
+    match enabled () with
+    | [] -> if all_done () then List.rev !choices else raise Deadlock
+    | en ->
+      incr steps;
+      if !steps > max_steps then raise (Exploded "run exceeded max steps");
+      let width = List.length en in
+      let pick, forced =
+        match forced with c :: rest -> (c, rest) | [] -> (0, [])
+      in
+      let tid = List.nth en pick in
+      let resume =
+        match state.(tid) with
+        | Ready k | Waiting (_, k) -> k
+        | Done -> assert false
+      in
+      active := true;
+      let st = match resume () with
+        | st ->
+          active := false;
+          st
+        | exception e ->
+          active := false;
+          raise e
+      in
+      state.(tid) <- st;
+      inst.check_step ();
+      choices := (pick, width) :: !choices;
+      loop forced
+  in
+  let trace = loop forced in
+  inst.check_final ();
+  trace
+
+(* Bounded DFS over the schedule tree: rerun the (deterministic) instance
+   from scratch for each schedule, deepest-first backtracking over the last
+   under-explored choice point. *)
+let explore ?(max_schedules = 1_000_000) make_instance =
+  let schedules = ref 0 in
+  let rec go forced =
+    let trace = Array.of_list (run_once ~forced (make_instance ())) in
+    incr schedules;
+    if !schedules > max_schedules then raise (Exploded "too many schedules");
+    let rec back i =
+      if i < 0 then None
+      else
+        let pick, width = trace.(i) in
+        if pick + 1 < width then Some i else back (i - 1)
+    in
+    match back (Array.length trace - 1) with
+    | None -> ()
+    | Some i ->
+      let prefix = List.init i (fun j -> fst trace.(j)) @ [ fst trace.(i) + 1 ] in
+      go prefix
+  in
+  go [];
+  !schedules

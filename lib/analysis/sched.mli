@@ -1,0 +1,43 @@
+(** Deterministic bounded-DFS interleaving scheduler.
+
+    Threads are cooperative fibers (OCaml effects) whose only scheduling
+    points are the shimmed primitive operations in {!Prim}: every
+    [Atomic.get]/[set]/[fetch_and_add] and [Mutex.lock]/[unlock] yields to
+    the scheduler before executing atomically. {!explore} then enumerates
+    {e every} schedule of a terminating scenario by rerunning it from
+    scratch, forcing a different choice prefix each time — exhaustive where
+    a stochastic stress run is merely probabilistic.
+
+    A fiber attempting to lock a held mutex blocks (it is not schedulable
+    until the holder unlocks), so lock-induced pruning keeps the schedule
+    tree small; if no fiber is runnable and some are blocked, the run raises
+    {!Deadlock}. *)
+
+type lk
+
+(** Shim primitives satisfying {!Mc_prim.S}; instantiate
+    [Mc_segment_core.Make (Sched.Prim)] to run the production segment code
+    under the scheduler. Outside a run the operations execute directly, so
+    scenario setup and invariant probes can use them freely. *)
+module Prim : Cpool_mc.Mc_prim.S with type Mutex.t = lk
+
+exception Deadlock
+(** No fiber runnable, but not all are done: the schedule self-deadlocked. *)
+
+exception Exploded of string
+(** The step or schedule bound was exceeded — the scenario is too large to
+    enumerate; shrink it. *)
+
+type instance = {
+  threads : (unit -> unit) list;  (** the fibers, started in order *)
+  check_step : unit -> unit;
+      (** invariant probe, run after every primitive step; raise to fail *)
+  check_final : unit -> unit;
+      (** conservation check, run once all fibers finished; raise to fail *)
+}
+
+val explore : ?max_schedules:int -> (unit -> instance) -> int
+(** [explore make] enumerates every schedule of [make ()] (a fresh instance
+    per schedule — the scenario must be a deterministic function of its
+    construction) and returns the number of schedules explored. Any
+    exception from a fiber or a check propagates, failing the exploration. *)

@@ -79,19 +79,27 @@ let mk_handle t slot =
     started = false;
   }
 
-let claim t pick =
+(* The one place the registration mutex is taken: every caller goes through
+   here so the lock is released even when the body raises (slot scans and
+   range checks do). *)
+let with_registration t f =
   Mutex.lock t.registration;
+  match f () with
+  | v ->
+    Mutex.unlock t.registration;
+    v
+  | exception e ->
+    Mutex.unlock t.registration;
+    raise e
+
+let claim t pick =
   let h =
-    match pick () with
-    | exception e ->
-      Mutex.unlock t.registration;
-      raise e
-    | slot ->
-      t.claimed.(slot) <- true;
-      let h = mk_handle t slot in
-      t.handle_stats <- h.stats :: t.handle_stats;
-      Mutex.unlock t.registration;
-      h
+    with_registration t (fun () ->
+        let slot = pick () in
+        t.claimed.(slot) <- true;
+        let h = mk_handle t slot in
+        t.handle_stats <- h.stats :: t.handle_stats;
+        h)
   in
   Atomic.incr t.registered;
   h
@@ -115,23 +123,18 @@ let register_at t i =
 let slot h = h.pool_slot
 
 let deregister t h =
-  Mutex.lock t.registration;
-  if not h.active then begin
-    Mutex.unlock t.registration;
-    invalid_arg "Mc_pool.deregister: handle already deregistered"
-  end;
-  h.active <- false;
-  (* Release the slot, or register/deregister churn leaks slots until every
-     registration fails with "all slots claimed". *)
-  t.claimed.(h.pool_slot) <- false;
-  Mutex.unlock t.registration;
+  with_registration t (fun () ->
+      if not h.active then
+        invalid_arg "Mc_pool.deregister: handle already deregistered";
+      h.active <- false;
+      (* Release the slot, or register/deregister churn leaks slots until
+         every registration fails with "all slots claimed". *)
+      t.claimed.(h.pool_slot) <- false);
   Atomic.decr t.registered
 
 let claimed_count t =
-  Mutex.lock t.registration;
-  let n = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.claimed in
-  Mutex.unlock t.registration;
-  n
+  with_registration t (fun () ->
+      Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.claimed)
 
 let registered t = Atomic.get t.registered
 
@@ -239,6 +242,16 @@ let sweep t h =
   in
   go 0
 
+let with_node_lock tree v f =
+  Mutex.lock tree.node_locks.(v);
+  match f () with
+  | r ->
+    Mutex.unlock tree.node_locks.(v);
+    r
+  | exception e ->
+    Mutex.unlock tree.node_locks.(v);
+    raise e
+
 (* One algorithm-specific search pass; None does not mean empty, only that
    this pass failed. *)
 let rec search_pass t h =
@@ -286,19 +299,24 @@ and tree_pass t h =
       else ascend ((leaf_index j - 1) / 2) (leaf_index j)
   and ascend v child =
     let left = (2 * v) + 1 and right = (2 * v) + 2 in
-    Mutex.lock tree.node_locks.(v);
-    let left_round = Atomic.get tree.rounds.(left) in
-    let right_round = Atomic.get tree.rounds.(right) in
-    let newest = max left_round right_round in
-    if newest > h.my_round then begin
-      Mutex.unlock tree.node_locks.(v);
+    (* Decide under the node lock, recurse after releasing it — the same
+       lock scope as the hand-over-hand original, but exception-safe. *)
+    let decision =
+      with_node_lock tree v (fun () ->
+          let left_round = Atomic.get tree.rounds.(left) in
+          let right_round = Atomic.get tree.rounds.(right) in
+          let newest = max left_round right_round in
+          if newest > h.my_round then `Restart newest
+          else begin
+            Atomic.set tree.rounds.(child) h.my_round;
+            `Sibling (if child = left then right_round else left_round)
+          end)
+    in
+    match decision with
+    | `Restart newest ->
       h.my_round <- newest;
       visit_leaf h.pool_slot
-    end
-    else begin
-      Atomic.set tree.rounds.(child) h.my_round;
-      let sibling_round = if child = left then right_round else left_round in
-      Mutex.unlock tree.node_locks.(v);
+    | `Sibling sibling_round ->
       if sibling_round = h.my_round then
         if v = 0 then begin
           (* Whole tree empty this round: the pass ends. *)
@@ -307,7 +325,6 @@ and tree_pass t h =
         end
         else ascend ((v - 1) / 2) v
       else visit_leaf (h.last_leaf lxor span child)
-    end
   in
   let start =
     if h.started then h.last_leaf
@@ -366,9 +383,7 @@ let steals t = Atomic.get t.steal_count
 let stats_of_handle h = h.stats
 
 let stats t =
-  Mutex.lock t.registration;
-  let all = t.handle_stats in
-  Mutex.unlock t.registration;
+  let all = with_registration t (fun () -> t.handle_stats) in
   Mc_stats.merge_all all
 
 let check_segments t = Array.for_all Mc_segment.invariant_ok t.segs

@@ -1,0 +1,26 @@
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val fetch_and_add : int t -> int -> int
+end
+
+module type MUTEX = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+end
+
+module type S = sig
+  module Atomic : ATOMIC
+  module Mutex : MUTEX
+end
+
+module Real = struct
+  module Atomic = Atomic
+  module Mutex = Mutex
+end

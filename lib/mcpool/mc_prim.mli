@@ -1,0 +1,37 @@
+(** Synchronisation primitives the multicore segment is written against.
+
+    {!Mc_segment_core} takes these as a functor parameter so the exact same
+    segment code can run either on the hardware primitives ({!Real}) or on
+    the interleaving checker's instrumented shims
+    ([Cpool_analysis.Sched.Prim]), which turn every primitive operation into
+    a scheduling point and let a bounded DFS enumerate all interleavings. *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val fetch_and_add : int t -> int -> int
+end
+
+module type MUTEX = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+end
+
+module type S = sig
+  module Atomic : ATOMIC
+  module Mutex : MUTEX
+end
+
+(** The hardware primitives: [Stdlib.Atomic] and [Stdlib.Mutex], as plain
+    module aliases so the indirection costs nothing. *)
+module Real : sig
+  module Atomic :
+    ATOMIC with type 'a t = 'a Stdlib.Atomic.t
+  module Mutex : MUTEX with type t = Stdlib.Mutex.t
+end

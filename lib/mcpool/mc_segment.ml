@@ -1,132 +1,4 @@
-type 'a t = {
-  seg_id : int;
-  bound : int option;
-  mutex : Mutex.t;
-  items : 'a Cpool_util.Vec.t;
-  count : int Atomic.t;
-      (* Vec.length items + outstanding reservations; read lock-free,
-         written only under [mutex]. Never exceeds [bound]. *)
-}
-
-let make ?capacity ~id () =
-  (match capacity with
-  | Some c when c <= 0 -> invalid_arg "Mc_segment.make: capacity must be positive"
-  | Some _ | None -> ());
-  {
-    seg_id = id;
-    bound = capacity;
-    mutex = Mutex.create ();
-    items = Cpool_util.Vec.create ();
-    count = Atomic.make 0;
-  }
-
-let id s = s.seg_id
-
-let capacity s = s.bound
-
-let size s = Atomic.get s.count
-
-let with_lock s f =
-  Mutex.lock s.mutex;
-  match f () with
-  | v ->
-    Mutex.unlock s.mutex;
-    v
-  | exception e ->
-    Mutex.unlock s.mutex;
-    raise e
-
-(* All count updates are relative, so reservations (count > Vec length)
-   survive interleaved adds/steals on the same segment. *)
-let shift_count s d = Atomic.set s.count (Atomic.get s.count + d)
-
-let add s x =
-  with_lock s (fun () ->
-      Cpool_util.Vec.push s.items x;
-      shift_count s 1)
-
-let try_add s x =
-  with_lock s (fun () ->
-      match s.bound with
-      | Some c when Atomic.get s.count >= c -> false
-      | Some _ | None ->
-        Cpool_util.Vec.push s.items x;
-        shift_count s 1;
-        true)
-
-let spare s =
-  match s.bound with None -> max_int | Some c -> max 0 (c - Atomic.get s.count)
-
-let try_remove s =
-  if Atomic.get s.count = 0 then None
-  else
-    with_lock s (fun () ->
-        match Cpool_util.Vec.pop s.items with
-        | Some x ->
-          shift_count s (-1);
-          Some x
-        | None -> None)
-
-let steal_half ?(max_take = max_int) s =
-  if max_take < 1 then invalid_arg "Mc_segment.steal_half: max_take must be >= 1";
-  with_lock s (fun () ->
-      let n = Cpool_util.Vec.length s.items in
-      if n = 0 then Cpool.Steal.Nothing
-      else if n = 1 then begin
-        let x = Cpool_util.Vec.pop_exn s.items in
-        shift_count s (-1);
-        Cpool.Steal.Single x
-      end
-      else begin
-        let h = min ((n + 1) / 2) max_take in
-        let taken = Cpool_util.Vec.take_last s.items h in
-        shift_count s (-h);
-        match taken with
-        | x :: rest -> Cpool.Steal.Batch (x, rest)
-        | [] -> assert false
-      end)
-
-let deposit s xs =
-  match xs with
-  | [] -> []
-  | _ ->
-    with_lock s (fun () ->
-        match s.bound with
-        | None ->
-          Cpool_util.Vec.append_list s.items xs;
-          shift_count s (List.length xs);
-          []
-        | Some c ->
-          let room = max 0 (c - Atomic.get s.count) in
-          let rec split taken i = function
-            | rest when i = room -> (List.rev taken, rest)
-            | [] -> (List.rev taken, [])
-            | x :: rest -> split (x :: taken) (i + 1) rest
-          in
-          let fits, rejected = split [] 0 xs in
-          Cpool_util.Vec.append_list s.items fits;
-          shift_count s (List.length fits);
-          rejected)
-
-let reserve s k =
-  if k < 0 then invalid_arg "Mc_segment.reserve: negative reservation";
-  if k = 0 then 0
-  else
-    with_lock s (fun () ->
-        let r = min k (spare s) in
-        shift_count s r;
-        r)
-
-let refill s ~reserved xs =
-  let n = List.length xs in
-  if n > reserved then invalid_arg "Mc_segment.refill: more elements than reserved";
-  if reserved = 0 then ()
-  else
-    with_lock s (fun () ->
-        Cpool_util.Vec.append_list s.items xs;
-        shift_count s (n - reserved))
-
-let invariant_ok s =
-  with_lock s (fun () ->
-      let c = Atomic.get s.count and len = Cpool_util.Vec.length s.items in
-      c = len && match s.bound with None -> true | Some b -> c <= b)
+(* The hardware instantiation of the segment: Stdlib Atomic + Mutex.
+   All the logic lives in Mc_segment_core so the interleaving checker can
+   run the identical code on instrumented primitives. *)
+include Mc_segment_core.Make (Mc_prim.Real)

@@ -1,0 +1,37 @@
+(** The segment implementation, as a functor over {!Mc_prim.S}.
+
+    {!Mc_segment} is [Make (Mc_prim.Real)] — the hardware instantiation,
+    documented there. The interleaving checker instantiates the very same
+    code with instrumented shims ([Cpool_analysis.Sched.Prim]) whose every
+    atomic and mutex operation is a scheduling point, so the schedule
+    enumeration exercises the shipped segment logic, not a hand-written
+    model of it. *)
+
+module type SEG = sig
+  type 'a atomic
+  type mutex
+  type 'a t
+
+  val make : ?capacity:int -> id:int -> unit -> 'a t
+  val id : 'a t -> int
+  val capacity : 'a t -> int option
+  val size : 'a t -> int
+  val add : 'a t -> 'a -> unit
+  val try_add : 'a t -> 'a -> bool
+  val spare : 'a t -> int
+  val try_remove : 'a t -> 'a option
+  val steal_half : ?max_take:int -> 'a t -> 'a Cpool.Steal.loot
+  val deposit : 'a t -> 'a list -> 'a list
+  val reserve : 'a t -> int -> int
+  val refill : 'a t -> reserved:int -> 'a list -> unit
+  val invariant_ok : 'a t -> bool
+
+  val debug_counts : 'a t -> int * int
+  (** [(count, stored)]: unlocked snapshot of the atomic count and the
+      stored element count, for checker invariants ([count <= capacity] at
+      every instant; [count = stored] at quiescence). Not linearizable —
+      harness use only. *)
+end
+
+module Make (P : Mc_prim.S) :
+  SEG with type 'a atomic = 'a P.Atomic.t and type mutex = P.Mutex.t

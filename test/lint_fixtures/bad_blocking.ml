@@ -1,0 +1,13 @@
+(* R3 known-bad: blocking while holding a lock. *)
+let m1 = Mutex.create ()
+
+let m2 = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let slow_nested () =
+  with_lock m1 (fun () ->
+      Unix.sleepf 0.1;
+      with_lock m2 (fun () -> ()))

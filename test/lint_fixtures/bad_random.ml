@@ -1,0 +1,6 @@
+(* R4 known-bad: ambient randomness makes runs irreproducible. *)
+let () = Random.self_init ()
+
+let pick n = Random.int n
+
+let jitter () = Random.State.make_self_init ()

@@ -1,0 +1,9 @@
+(* R1 known-bad: raw lock/unlock leaks the mutex if the body raises. *)
+let m = Mutex.create ()
+
+let counter = ref 0
+
+let bump () =
+  Mutex.lock m;
+  incr counter;
+  Mutex.unlock m

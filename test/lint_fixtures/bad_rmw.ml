@@ -1,0 +1,5 @@
+(* R2 known-bad: a concurrent increment between the get and the set is
+   silently lost. *)
+let total = Atomic.make 0
+
+let bump d = Atomic.set total (Atomic.get total + d)

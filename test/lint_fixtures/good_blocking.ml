@@ -1,0 +1,15 @@
+(* R3 known-good: the critical section only touches state; the sleep and
+   the second lock happen outside it. *)
+let m1 = Mutex.create ()
+
+let m2 = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let staged () =
+  let a = with_lock m1 (fun () -> 1 + 2) in
+  Unix.sleepf 0.1;
+  let b = with_lock m2 (fun () -> a + 1) in
+  b

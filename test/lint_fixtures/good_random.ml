@@ -1,0 +1,6 @@
+(* R4 known-good: every draw flows through an explicitly seeded stream. *)
+let pick rng n = Cpool_util.Rng.int rng n
+
+let coin rng = Cpool_util.Rng.bool rng
+
+let replayable seed = Random.State.make [| seed |]

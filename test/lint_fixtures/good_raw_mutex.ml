@@ -1,0 +1,16 @@
+(* R1 known-good: the only raw lock/unlock lives in the with_* helper. *)
+let m = Mutex.create ()
+
+let counter = ref 0
+
+let with_lock f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
+let bump () = with_lock (fun () -> incr counter)

@@ -1,0 +1,14 @@
+(* R2 known-good: a real atomic RMW, plus a documented suppression for a
+   genuinely single-writer window. *)
+let total = Atomic.make 0
+
+let bump d = ignore (Atomic.fetch_and_add total d)
+
+let scale k =
+  (* lint: allow non-atomic-rmw -- init phase, single writer by construction *)
+  Atomic.set total (Atomic.get total * k)
+
+(* Distinct atomics on the two sides is not an RMW at all. *)
+let mirror = Atomic.make 0
+
+let publish () = Atomic.set mirror (Atomic.get total)

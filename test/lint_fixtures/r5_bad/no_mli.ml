@@ -1,0 +1,2 @@
+(* R5 known-bad: no sibling .mli. *)
+let answer = 42

@@ -22,4 +22,5 @@ let () =
          Test_validation.suites;
          Test_backtrack.suites;
          Test_experiments.suites;
+         Test_lint.suites;
        ])
