@@ -237,9 +237,142 @@ let mc_stress_cmd =
         (const run $ domains $ seconds $ stress_kind $ mode $ capacity $ add_bias $ initial
        $ no_churn $ stress_seed))
 
+(* --- mc-throughput: lock-free fast path vs all-mutex baseline --------- *)
+
+let mix_conv =
+  let parse = function
+    | "sufficient" -> Ok [ Cpool_mc.Mc_bench.Sufficient ]
+    | "sparse" -> Ok [ Cpool_mc.Mc_bench.Sparse ]
+    | "both" -> Ok [ Cpool_mc.Mc_bench.Sufficient; Cpool_mc.Mc_bench.Sparse ]
+    | s -> Error (`Msg (Printf.sprintf "unknown mix %S (expected sufficient, sparse or both)" s))
+  in
+  let print fmt = function
+    | [ m ] -> Format.pp_print_string fmt (Cpool_mc.Mc_bench.mix_name m)
+    | _ -> Format.pp_print_string fmt "both"
+  in
+  Arg.conv (parse, print)
+
+let mc_throughput_cmd =
+  let domains =
+    let doc = "Comma-separated worker-domain counts, one grid column each." in
+    Arg.(value & opt (list int) [ 2; 8 ] & info [ "domains"; "d" ] ~docv:"N,.." ~doc)
+  in
+  let seconds =
+    let doc = "Seconds of mixed operations per cell." in
+    Arg.(value & opt float 1.0 & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
+  in
+  let bench_kind =
+    let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree) or $(b,all)." in
+    Arg.(value & opt kind_conv (Some Cpool_mc.Mc_pool.Linear) & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
+  in
+  let mixes =
+    let doc = "Operation mixes: $(b,sufficient), $(b,sparse) or $(b,both)." in
+    Arg.(
+      value
+      & opt mix_conv [ Cpool_mc.Mc_bench.Sufficient; Cpool_mc.Mc_bench.Sparse ]
+      & info [ "mixes"; "m" ] ~docv:"MIX" ~doc)
+  in
+  let capacity =
+    let doc = "Per-segment capacity (omit for unbounded segments)." in
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let no_baseline =
+    Arg.(
+      value & flag
+      & info [ "no-baseline" ] ~doc:"Skip the all-mutex ($(b,fast_path:false)) twin cells.")
+  in
+  let out =
+    let doc = "Write the JSON report to $(docv) (omit to skip the file)." in
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_mcpool.json")
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let bench_seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Base random seed.")
+  in
+  let run domains seconds kind mixes capacity no_baseline out seed =
+    if List.exists (fun d -> d < 1) domains || domains = [] then
+      `Error (true, "--domains needs positive counts")
+    else if seconds <= 0.0 then `Error (true, "--seconds must be positive")
+    else if (match capacity with Some c -> c < 1 | None -> false) then
+      `Error (true, "--capacity must be at least 1")
+    else begin
+      let kinds =
+        match kind with
+        | Some k -> [ k ]
+        | None -> [ Cpool_mc.Mc_pool.Linear; Cpool_mc.Mc_pool.Random; Cpool_mc.Mc_pool.Tree ]
+      in
+      let config =
+        {
+          Cpool_mc.Mc_bench.kinds;
+          domain_counts = domains;
+          mixes;
+          baseline = not no_baseline;
+          seconds;
+          capacity;
+          seed;
+        }
+      in
+      let results = Cpool_mc.Mc_bench.run config in
+      print_string (Cpool_mc.Mc_bench.render results);
+      (match out with
+      | None -> ()
+      | Some file ->
+        let doc = Cpool_mc.Mc_bench.to_json config results in
+        let oc = open_out file in
+        output_string oc (Cpool_util.Json.to_string doc);
+        close_out oc;
+        Printf.printf "\nwrote %s (%d cells)\n" file (List.length results));
+      `Ok ()
+    end
+  in
+  let doc = "Measure mc-pool throughput: lock-free fast path vs all-mutex baseline" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs fixed-duration randomized workloads over a grid of search kind × \
+         domain count × operation mix (the paper's sufficient and sparse regimes), \
+         each cell twice — with the segments' lock-free owner path and with the \
+         all-mutex baseline — and reports ops/sec, sampled p50/p99 per-op latency, \
+         fast-path vs locked-path hit counts and the batched-steal profile. The \
+         JSON report (default $(b,BENCH_mcpool.json)) is the committed artifact.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "mc-throughput" ~doc ~man)
+    Term.(
+      ret
+        (const run $ domains $ seconds $ bench_kind $ mixes $ capacity $ no_baseline $ out
+       $ bench_seed))
+
+(* --- json-check: validate a benchmark artifact ------------------------- *)
+
+let json_check_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"JSON report to check.")
+  in
+  let run file =
+    match In_channel.with_open_bin file In_channel.input_all with
+    | exception Sys_error msg -> `Error (false, msg)
+    | source -> (
+      match Cpool_util.Json.parse source with
+      | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+      | Ok doc -> (
+        match Cpool_mc.Mc_bench.validate_json doc with
+        | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+        | Ok cells ->
+          Printf.printf "%s: valid mc-throughput report, %d cells\n" file cells;
+          `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "json-check" ~doc:"Validate an mc-throughput JSON report")
+    Term.(ret (const run $ file))
+
 let main =
   let doc = "Concurrent pools (Kotz & Ellis 1989) experiment driver" in
   let info = Cmd.info "pools_bench" ~version:"1.0.0" ~doc in
-  Cmd.group info [ run_cmd; list_cmd; mc_stress_cmd ]
+  Cmd.group info [ run_cmd; list_cmd; mc_stress_cmd; mc_throughput_cmd; json_check_cmd ]
 
 let () = exit (Cmd.eval main)

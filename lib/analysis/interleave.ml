@@ -1,5 +1,12 @@
 (* The production segment logic on the instrumented primitives: the checker
-   exercises the shipped code, not a model of it. *)
+   exercises the shipped code, not a model of it.
+
+   Ownership discipline (enforced by Mc_pool, assumed by the segment): one
+   fiber per segment plays the OWNER and is the only caller of
+   add/try_add/try_remove/deposit/reserve/refill on it; every other fiber
+   reaches that segment only through spill_add and steal_half. The
+   scenarios below respect this, because that is the protocol whose
+   interleavings we must certify. *)
 module M = Cpool_mc.Mc_segment_core.Make (Sched.Prim)
 
 type scenario = { name : string; instance : unit -> Sched.instance }
@@ -27,17 +34,24 @@ let quiescent name seg =
 
 let stored seg = snd (M.debug_counts seg)
 
-(* Two threads race try_add on a capacity-2 segment: the bound must hold at
-   every step and exactly the successful adds must be stored. *)
+let loot_list = function
+  | Cpool.Steal.Nothing -> []
+  | Cpool.Steal.Single x -> [ x ]
+  | Cpool.Steal.Batch (x, rest) -> x :: rest
+
+(* The owner's try_add racing a foreign spill_add on a capacity-2 segment:
+   the CAS capacity claims must admit exactly as many elements as fit, at
+   most one of the two paths winning the last unit. *)
 let try_add_capacity () =
   let name = "try-add capacity race" in
   let seg = M.make ~capacity:2 ~id:0 () in
   let ok = Array.make 2 0 in
-  let adder tid xs () =
-    List.iter (fun x -> if M.try_add seg x then ok.(tid) <- ok.(tid) + 1) xs
+  let owner () =
+    List.iter (fun x -> if M.try_add seg x then ok.(0) <- ok.(0) + 1) [ 1; 2 ]
   in
+  let spiller () = if M.spill_add seg 3 then ok.(1) <- 1 in
   {
-    Sched.threads = [ adder 0 [ 1; 2 ]; adder 1 [ 3 ] ];
+    Sched.threads = [ owner; spiller ];
     check_step = bound_ok name seg;
     check_final =
       (fun () ->
@@ -49,7 +63,8 @@ let try_add_capacity () =
   }
 
 (* A thief (steal_half + deposit into its own segment, the unbounded pool
-   path) races an adder on the victim: no element is lost or duplicated. *)
+   path) races the victim's owner pushing: no element is lost or
+   duplicated. *)
 let steal_vs_add () =
   let name = "steal_half vs add conservation" in
   let victim = M.make ~id:0 () in
@@ -79,10 +94,10 @@ let steal_vs_add () =
   }
 
 (* The bounded steal path (reserve room, steal at most that, refill) racing
-   a spill-style try_add into the thief's segment: the reservation must keep
+   a foreign spill_add into the thief's segment: the reservation must keep
    the bound intact at every instant and release exactly on refill. *)
 let reserve_refill_race () =
-  let name = "reserve/refill vs try_add" in
+  let name = "reserve/refill vs spill_add" in
   let victim = M.make ~capacity:4 ~id:0 () in
   let own = M.make ~capacity:2 ~id:1 () in
   List.iter (fun x -> assert (M.try_add victim x)) [ 1; 2; 3 ];
@@ -102,7 +117,7 @@ let reserve_refill_race () =
       M.refill own ~reserved rest;
       returned := 1
   in
-  let rival () = if M.try_add own 11 then rival_ok := 1 in
+  let rival () = if M.spill_add own 11 then rival_ok := 1 in
   {
     Sched.threads = [ thief; rival ];
     check_step = all_of [ bound_ok name victim; bound_ok name own ];
@@ -115,14 +130,24 @@ let reserve_refill_race () =
           failf name "conservation broken: %d elements of %d" total (4 + !rival_ok));
   }
 
-(* Three threads on one capacity-2 segment: two adders and a stealer. *)
+(* Three threads on one segment, all through the inbox: the owner popping
+   (ring dry, so the pop falls back to the inbox), a foreign spill_add, and
+   a stealer exercising steal_half's inbox-fallback branch — the one path
+   no 2-thread scenario reaches. Baseline mode ([fast_path:false], the
+   configuration the throughput benchmark compares against) keeps every
+   step mutex-serialized, which both certifies the all-mutex protocol and
+   keeps a 3-thread schedule space enumerable — the DFS has no
+   partial-order reduction, and the lock-free fast path is covered
+   exhaustively by the 2-thread scenarios above. *)
 let three_way () =
-  let name = "2 adders vs stealer (3 threads)" in
-  let seg = M.make ~capacity:2 ~id:0 () in
-  assert (M.try_add seg 1);
-  let ok = Array.make 2 0 in
+  let name = "owner pop vs spill vs inbox steal (3 threads)" in
+  let seg = M.make ~fast_path:false ~id:0 () in
+  assert (M.spill_add seg 1);
+  assert (M.spill_add seg 2);
+  let popped = ref 0 in
   let stolen = ref 0 in
-  let adder tid x () = if M.try_add seg x then ok.(tid) <- 1 in
+  let owner () = match M.try_remove seg with Some _ -> popped := 1 | None -> () in
+  let spiller () = ignore (M.spill_add seg 3) in
   let stealer () =
     match M.steal_half ~max_take:1 seg with
     | Cpool.Steal.Nothing -> ()
@@ -130,15 +155,83 @@ let three_way () =
     | Cpool.Steal.Batch (_, rest) -> stolen := 1 + List.length rest
   in
   {
-    Sched.threads = [ adder 0 2; adder 1 3; stealer ];
+    Sched.threads = [ owner; spiller; stealer ];
     check_step = bound_ok name seg;
     check_final =
       (fun () ->
         quiescent name seg;
-        let total = stored seg + !stolen in
-        if total <> 1 + ok.(0) + ok.(1) then
-          failf name "conservation broken: %d elements of %d" total
-            (1 + ok.(0) + ok.(1)));
+        (* 2 preloaded + 1 spilled, of which the stealer takes at most one
+           and the owner (never finding the segment empty) exactly one. *)
+        if !popped <> 1 then failf name "owner pop found the segment empty";
+        let total = stored seg + !popped + !stolen in
+        if total <> 3 then failf name "conservation broken: %d elements of 3" total);
+  }
+
+(* The heart of the new ring protocol: the owner's lock-free pop racing a
+   stealer's window claim on the same segment. Checked with element
+   identity, not just counts — a claim/revalidate bug would hand the same
+   element to both sides (duplication) or to neither (loss). *)
+let pop_vs_steal () =
+  let name = "owner pop vs steal-claim" in
+  let seg = M.make ~id:0 () in
+  List.iter (M.add seg) [ 1; 2; 3 ];
+  let popped = ref [] in
+  let stolen = ref [] in
+  let owner () =
+    match M.try_remove seg with Some x -> popped := [ x ] | None -> ()
+  in
+  let stealer () = stolen := loot_list (M.steal_half ~max_take:2 seg) in
+  {
+    Sched.threads = [ owner; stealer ];
+    check_step = bound_ok name seg;
+    check_final =
+      (fun () ->
+        quiescent name seg;
+        (* Drain what's left (quiescent, so direct calls are fine) and check
+           the multiset: every element accounted for exactly once. *)
+        let rec drain acc =
+          match M.try_remove seg with Some x -> drain (x :: acc) | None -> acc
+        in
+        let all = List.sort compare (!popped @ !stolen @ drain []) in
+        if all <> [ 1; 2; 3 ] then
+          failf name "elements lost or duplicated: [%s]"
+            (String.concat ";" (List.map string_of_int all)));
+  }
+
+(* An owner push racing the full bounded banking dance on two segments: the
+   victim's owner pushes while a thief reserves room in its own bounded
+   segment, steals a batch from the victim, and refills. Both bounds must
+   hold at every step and every element must survive. *)
+let push_vs_reserve () =
+  let name = "owner push vs bounded reserve/steal/refill" in
+  let victim = M.make ~capacity:3 ~id:0 () in
+  let own = M.make ~capacity:2 ~id:1 () in
+  List.iter (fun x -> assert (M.try_add victim x)) [ 1; 2 ];
+  let pushed = ref 0 in
+  let returned = ref 0 in
+  let owner () = if M.try_add victim 3 then pushed := 1 in
+  let thief () =
+    let want = (M.size victim + 1) / 2 in
+    let reserved = M.reserve own (max 0 (want - 1)) in
+    match M.steal_half ~max_take:(reserved + 1) victim with
+    | Cpool.Steal.Nothing -> M.refill own ~reserved []
+    | Cpool.Steal.Single _ ->
+      M.refill own ~reserved [];
+      returned := 1
+    | Cpool.Steal.Batch (_, rest) ->
+      M.refill own ~reserved rest;
+      returned := 1
+  in
+  {
+    Sched.threads = [ owner; thief ];
+    check_step = all_of [ bound_ok name victim; bound_ok name own ];
+    check_final =
+      (fun () ->
+        quiescent name victim;
+        quiescent name own;
+        let total = stored victim + stored own + !returned in
+        if total <> 2 + !pushed then
+          failf name "conservation broken: %d elements of %d" total (2 + !pushed));
   }
 
 let scenarios =
@@ -147,6 +240,8 @@ let scenarios =
     { name = "steal-vs-add"; instance = steal_vs_add };
     { name = "reserve-refill"; instance = reserve_refill_race };
     { name = "three-way"; instance = three_way };
+    { name = "pop-vs-steal"; instance = pop_vs_steal };
+    { name = "push-vs-reserve"; instance = push_vs_reserve };
   ]
 
 let run_all ppf =

@@ -1,16 +1,21 @@
 (** Interleaving scenarios for the multicore segment.
 
     Each scenario builds a fresh segment (or victim/thief pair), runs 2–3
-    fibers of real [Mc_segment_core] operations — add, steal, reserve,
-    refill — under {!Sched.explore}, and asserts:
+    fibers of real [Mc_segment_core] operations — owner push/pop, foreign
+    spill_add, steal-window claim, reserve, refill — under {!Sched.explore},
+    respecting the ownership discipline [Mc_pool] enforces (one owner fiber
+    per segment), and asserts:
     - {b capacity}: the atomic count never exceeds the bound, at {e every}
       primitive step of {e every} schedule (reservations included);
     - {b conservation}: once quiescent, no element was lost or duplicated
-      and no reservation leaked ([count = stored]).
+      and no reservation leaked ([count = stored]) — the pop-vs-steal
+      scenario checks element {e identity}, the failure mode of a broken
+      steal-window claim.
 
-    This is the bug class PR 1 fixed (unreserved deposits overfilling a
-    bounded segment; absolute count writes erasing reservations), checked
-    exhaustively rather than stochastically. *)
+    This covers both the bug class PR 1 fixed (unreserved deposits
+    overfilling a bounded segment) and the lock-free ring protocol's
+    characteristic races (owner pop vs steal claim; owner push vs bounded
+    reservation), checked exhaustively rather than stochastically. *)
 
 type scenario = { name : string; instance : unit -> Sched.instance }
 

@@ -81,23 +81,24 @@ let has_suffix2 e m f =
 let expr_to_string e =
   try Format.asprintf "%a" Pprintast.expression e with _ -> "<unprintable>"
 
-(* Does [value] read the same atomic that the enclosing [Atomic.set] writes?
-   Syntactic comparison via the pretty-printer: identical source prints
-   identically. *)
-let contains_get_of ~target value =
-  let tgt = expr_to_string target in
-  let found = ref false in
+(* Which atomics does [value] read? Targets are compared by pretty-printed
+   form (identical source prints identically). [lookup] resolves an
+   identifier to the targets its let-binding read — the taint environment,
+   so a get split from its set by an intermediate binding still registers. *)
+let targets_read_by ~lookup value =
+  let acc = ref [] in
   let super = Ast_iterator.default_iterator in
   let expr it (e : Parsetree.expression) =
     (match e.pexp_desc with
     | Pexp_apply (f, (_, arg) :: _) when has_suffix2 f "Atomic" "get" ->
-      if String.equal (expr_to_string arg) tgt then found := true
+      acc := expr_to_string arg :: !acc
+    | Pexp_ident { txt = Longident.Lident name; _ } -> acc := lookup name @ !acc
     | _ -> ());
     super.expr it e
   in
   let it = { super with expr } in
   it.expr it value;
-  !found
+  List.sort_uniq String.compare !acc
 
 let check_structure ~file ~ban_random (str : Parsetree.structure) =
   let findings = ref [] in
@@ -113,6 +114,12 @@ let check_structure ~file ~ban_random (str : Parsetree.structure) =
      critical section whose body must not block. *)
   let critical = ref 0 in
   let in_with_helper () = List.exists starts_with_with !bindings in
+  (* R2 taint environment: innermost-first [(variable, atomics its binding
+     read)]. A fresh binding masks an outer one, tainted or not. *)
+  let taint : (string * string list) list ref = ref [] in
+  let lookup_taint name =
+    match List.assoc_opt name !taint with Some ts -> ts | None -> []
+  in
   let super = Ast_iterator.default_iterator in
   let check_ident (e : Parsetree.expression) =
     match ident_path e with
@@ -149,15 +156,34 @@ let check_structure ~file ~ban_random (str : Parsetree.structure) =
   let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
     check_ident e;
     match e.pexp_desc with
+    | Pexp_let (_, vbs, body) ->
+      (* Visit the bindings under the outer taint, then the body with each
+         [let x = ...Atomic.get t...] recorded as x tainted by t. *)
+      List.iter (fun vb -> it.value_binding it vb) vbs;
+      let added =
+        List.filter_map
+          (fun (vb : Parsetree.value_binding) ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } ->
+              Some (txt, targets_read_by ~lookup:lookup_taint vb.pvb_expr)
+            | _ -> None)
+          vbs
+      in
+      let saved = !taint in
+      taint := added @ !taint;
+      it.expr it body;
+      taint := saved
     | Pexp_apply (f, args) ->
       (if has_suffix2 f "Atomic" "set" then
          match args with
          | (_, target) :: (_, value) :: _ ->
-           if contains_get_of ~target value then
+           let reads = targets_read_by ~lookup:lookup_taint value in
+           if List.mem (expr_to_string target) reads then
              add e.pexp_loc non_atomic_rmw
                "non-atomic read-modify-write: Atomic.set of a value derived from \
-                Atomic.get of the same atomic; use fetch_and_add / compare_and_set \
-                or suppress with (* lint: allow non-atomic-rmw -- <reason> *)"
+                Atomic.get of the same atomic (possibly via intermediate \
+                let-bindings); use fetch_and_add / compare_and_set or suppress \
+                with (* lint: allow non-atomic-rmw -- <reason> *)"
          | _ -> ());
       let callee_is_with =
         match ident_path f with Some p -> is_with_helper p | None -> false

@@ -16,6 +16,10 @@ module Prim = struct
 
     let make v = { v }
 
+    (* Padding is a hardware layout concern; under the scheduler the plain
+       cell is the whole semantics. *)
+    let make_padded = make
+
     let get r =
       yield ();
       r.v
@@ -29,6 +33,14 @@ module Prim = struct
       let old = r.v in
       r.v <- old + d;
       old
+
+    let compare_and_set r seen x =
+      yield ();
+      if r.v == seen then begin
+        r.v <- x;
+        true
+      end
+      else false
   end
 
   module Mutex = struct

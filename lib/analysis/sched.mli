@@ -2,8 +2,9 @@
 
     Threads are cooperative fibers (OCaml effects) whose only scheduling
     points are the shimmed primitive operations in {!Prim}: every
-    [Atomic.get]/[set]/[fetch_and_add] and [Mutex.lock]/[unlock] yields to
-    the scheduler before executing atomically. {!explore} then enumerates
+    [Atomic.get]/[set]/[fetch_and_add]/[compare_and_set] and
+    [Mutex.lock]/[unlock] yields to the scheduler before executing
+    atomically. {!explore} then enumerates
     {e every} schedule of a terminating scenario by rerunning it from
     scratch, forcing a different choice prefix each time — exhaustive where
     a stochastic stress run is merely probabilistic.

@@ -1,0 +1,308 @@
+type mix = Sufficient | Sparse
+
+let mix_name = function Sufficient -> "sufficient" | Sparse -> "sparse"
+
+(* The paper's regimes: sufficient mixes keep every segment stocked (adds
+   dominate and the pool is prefilled), sparse mixes run the pool dry so
+   removes mostly probe and steal. *)
+let mix_add_bias = function Sufficient -> 0.65 | Sparse -> 0.35
+
+let mix_initial_per_domain = function Sufficient -> 256 | Sparse -> 8
+
+type config = {
+  kinds : Mc_pool.kind list;
+  domain_counts : int list;
+  mixes : mix list;
+  baseline : bool;
+  seconds : float;
+  capacity : int option;
+  seed : int;
+}
+
+let default =
+  {
+    kinds = [ Mc_pool.Linear ];
+    domain_counts = [ 2; 8 ];
+    mixes = [ Sufficient; Sparse ];
+    baseline = true;
+    seconds = 1.0;
+    capacity = None;
+    seed = 42;
+  }
+
+type cell = {
+  kind : Mc_pool.kind;
+  domains : int;
+  mix : mix;
+  fast_path : bool;
+}
+
+type result = {
+  cell : cell;
+  duration : float;
+  ops : int;
+  ops_per_sec : float;
+  adds_ok : int;
+  removes_ok : int;
+  p50_us : float;
+  p99_us : float;
+  fast_ops : int;
+  locked_ops : int;
+  fast_fraction : float;
+  steals : int;
+  batched_steals : int;
+  mean_batch : float;
+}
+
+type tally = {
+  mutable t_ops : int;
+  mutable t_adds : int;
+  mutable t_removes : int;
+  t_lat : Cpool_metrics.Sample.t; (* sampled per-op latency, µs *)
+}
+
+(* Latency sampling: every [sample_every]-th batch of [batch] ops is timed
+   as a group and recorded as µs per op. Group timing is what makes
+   sub-µs operations resolve against a gettimeofday clock, while a slow
+   steal or lock inside the window still lifts that sample into the
+   tail. *)
+let batch = 16
+
+let sample_every = 8
+
+let worker pool cell ~seed tally i barrier deadline =
+  let rng = Cpool_util.Rng.create (Int64.of_int ((seed * 6007) + i)) in
+  let add_threshold = int_of_float (mix_add_bias cell.mix *. 1_000_000.0) in
+  let h = Mc_pool.register_at pool i in
+  Atomic.decr barrier;
+  while Atomic.get barrier > 0 do
+    Domain.cpu_relax ()
+  done;
+  let batches = ref 0 in
+  let running = ref true in
+  while !running do
+    incr batches;
+    let timed = !batches land (sample_every - 1) = 0 in
+    let t0 = if timed then Unix.gettimeofday () else 0.0 in
+    for _ = 1 to batch do
+      tally.t_ops <- tally.t_ops + 1;
+      if Cpool_util.Rng.int rng 1_000_000 < add_threshold then begin
+        if Mc_pool.try_add pool h tally.t_ops then tally.t_adds <- tally.t_adds + 1
+      end
+      else
+        match Mc_pool.try_remove pool h with
+        | Some _ -> tally.t_removes <- tally.t_removes + 1
+        | None -> ()
+    done;
+    if timed then begin
+      let dt = Unix.gettimeofday () -. t0 in
+      Cpool_metrics.Sample.add tally.t_lat (dt *. 1e6 /. float_of_int batch)
+    end;
+    if !batches land 15 = 0 && Unix.gettimeofday () >= deadline then running := false
+  done;
+  Mc_pool.deregister pool h
+
+let prefill pool ~capacity ~per_domain domains =
+  let quota = match capacity with None -> per_domain | Some c -> min per_domain c in
+  for s = 0 to domains - 1 do
+    let h = Mc_pool.register_at pool s in
+    for j = 1 to quota do
+      ignore (Mc_pool.try_add pool h j)
+    done;
+    Mc_pool.deregister pool h
+  done
+
+let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) cell =
+  if cell.domains <= 0 then invalid_arg "Mc_bench.run_cell: domains must be positive";
+  if seconds <= 0.0 then invalid_arg "Mc_bench.run_cell: seconds must be positive";
+  let pool : int Mc_pool.t =
+    Mc_pool.create ~kind:cell.kind ?capacity ~fast_path:cell.fast_path
+      ~segments:cell.domains ()
+  in
+  prefill pool ~capacity ~per_domain:(mix_initial_per_domain cell.mix) cell.domains;
+  let tallies =
+    Array.init cell.domains (fun _ ->
+        { t_ops = 0; t_adds = 0; t_removes = 0; t_lat = Cpool_metrics.Sample.create () })
+  in
+  let barrier = Atomic.make cell.domains in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. seconds in
+  let ds =
+    List.init cell.domains (fun i ->
+        Domain.spawn (fun () -> worker pool cell ~seed tallies.(i) i barrier deadline))
+  in
+  List.iter Domain.join ds;
+  let duration = Unix.gettimeofday () -. t0 in
+  let seg = Mc_stats.merge_all (Array.to_list (Mc_pool.segment_stats pool)) in
+  let lat =
+    Array.fold_left
+      (fun acc t -> Cpool_metrics.Sample.merge acc t.t_lat)
+      (Cpool_metrics.Sample.create ())
+      tallies
+  in
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let ops = sum (fun t -> t.t_ops) in
+  {
+    cell;
+    duration;
+    ops;
+    ops_per_sec = float_of_int ops /. Float.max 1e-9 duration;
+    adds_ok = sum (fun t -> t.t_adds);
+    removes_ok = sum (fun t -> t.t_removes);
+    p50_us = Cpool_metrics.Sample.median lat;
+    p99_us = Cpool_metrics.Sample.percentile lat 99.0;
+    fast_ops = Mc_stats.fast_path_ops seg;
+    locked_ops = Mc_stats.locked_path_ops seg;
+    fast_fraction = Mc_stats.fast_path_fraction seg;
+    steals = Mc_pool.steals pool;
+    batched_steals =
+      Cpool_metrics.Counters.get (Mc_stats.counters seg) "batched steals";
+    mean_batch = Cpool_metrics.Sample.mean (Mc_stats.steal_batch_sizes seg);
+  }
+
+let run config =
+  let protocols = if config.baseline then [ true; false ] else [ true ] in
+  List.concat_map
+    (fun kind ->
+      List.concat_map
+        (fun domains ->
+          List.concat_map
+            (fun mix ->
+              List.map
+                (fun fast_path ->
+                  run_cell ~seconds:config.seconds ~capacity:config.capacity
+                    ~seed:config.seed
+                    { kind; domains; mix; fast_path })
+                protocols)
+            config.mixes)
+        config.domain_counts)
+    config.kinds
+
+let cell_label c =
+  Printf.sprintf "%s/%dd/%s/%s" (Mc_stress.kind_name c.kind) c.domains
+    (mix_name c.mix)
+    (if c.fast_path then "fast" else "mutex")
+
+let render results =
+  let buf = Buffer.create 1024 in
+  let row r =
+    [
+      cell_label r.cell;
+      Printf.sprintf "%.0f" r.ops_per_sec;
+      Cpool_metrics.Render.float_cell r.p50_us;
+      Cpool_metrics.Render.float_cell r.p99_us;
+      Cpool_metrics.Render.float_cell (100.0 *. r.fast_fraction);
+      string_of_int r.steals;
+      string_of_int r.batched_steals;
+      Cpool_metrics.Render.float_cell r.mean_batch;
+    ]
+  in
+  Buffer.add_string buf
+    (Cpool_metrics.Render.table ~title:"mc-throughput"
+       ~headers:
+         [ "cell"; "ops/s"; "p50 µs"; "p99 µs"; "fast %"; "steals"; "batched"; "elems/batch" ]
+       ~rows:(List.map row results) ());
+  (* Speedups: pair each fast cell with its all-mutex twin. *)
+  let twins =
+    List.filter_map
+      (fun r ->
+        if not r.cell.fast_path then None
+        else
+          List.find_opt
+            (fun b -> (not b.cell.fast_path) && b.cell = { r.cell with fast_path = false })
+            results
+          |> Option.map (fun b -> (r, b)))
+      results
+  in
+  if twins <> [] then begin
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (f, b) ->
+        Buffer.add_string buf
+          (Printf.sprintf "speedup %s: %.2fx over the all-mutex baseline (%.0f vs %.0f ops/s)\n"
+             (cell_label { f.cell with fast_path = true })
+             (f.ops_per_sec /. Float.max 1e-9 b.ops_per_sec)
+             f.ops_per_sec b.ops_per_sec))
+      twins
+  end;
+  Buffer.contents buf
+
+let json_of_result r =
+  Cpool_util.Json.Assoc
+    [
+      ("kind", Cpool_util.Json.Str (Mc_stress.kind_name r.cell.kind));
+      ("domains", Cpool_util.Json.Int r.cell.domains);
+      ("mix", Cpool_util.Json.Str (mix_name r.cell.mix));
+      ("fast_path", Cpool_util.Json.Bool r.cell.fast_path);
+      ("duration_s", Cpool_util.Json.Float r.duration);
+      ("ops", Cpool_util.Json.Int r.ops);
+      ("ops_per_sec", Cpool_util.Json.Float r.ops_per_sec);
+      ("adds_ok", Cpool_util.Json.Int r.adds_ok);
+      ("removes_ok", Cpool_util.Json.Int r.removes_ok);
+      ("p50_us", Cpool_util.Json.Float r.p50_us);
+      ("p99_us", Cpool_util.Json.Float r.p99_us);
+      ("fast_ops", Cpool_util.Json.Int r.fast_ops);
+      ("locked_ops", Cpool_util.Json.Int r.locked_ops);
+      ("fast_fraction", Cpool_util.Json.Float r.fast_fraction);
+      ("steals", Cpool_util.Json.Int r.steals);
+      ("batched_steals", Cpool_util.Json.Int r.batched_steals);
+      ("mean_batch", Cpool_util.Json.Float r.mean_batch);
+    ]
+
+let to_json config results =
+  Cpool_util.Json.Assoc
+    [
+      ("benchmark", Cpool_util.Json.Str "mc-throughput");
+      ("seconds", Cpool_util.Json.Float config.seconds);
+      ( "capacity",
+        match config.capacity with
+        | None -> Cpool_util.Json.Null
+        | Some c -> Cpool_util.Json.Int c );
+      ("seed", Cpool_util.Json.Int config.seed);
+      ("cells", Cpool_util.Json.List (List.map json_of_result results));
+    ]
+
+let validate_json doc =
+  let module J = Cpool_util.Json in
+  let ( let* ) = Result.bind in
+  let field obj name =
+    match J.member name obj with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let number obj name =
+    let* v = field obj name in
+    match J.to_number v with
+    | Some _ -> Ok ()
+    | None -> Error (Printf.sprintf "field %S is not a number" name)
+  in
+  let* bench = field doc "benchmark" in
+  let* () =
+    match bench with
+    | J.Str "mc-throughput" -> Ok ()
+    | _ -> Error "field \"benchmark\" is not \"mc-throughput\""
+  in
+  let* cells = field doc "cells" in
+  match J.to_list cells with
+  | None -> Error "field \"cells\" is not a list"
+  | Some cs ->
+    let rec check i = function
+      | [] -> Ok (List.length cs)
+      | c :: rest ->
+        let* () =
+          List.fold_left
+            (fun acc name ->
+              let* () = acc in
+              Result.map_error
+                (fun e -> Printf.sprintf "cell %d: %s" i e)
+                (number c name))
+            (Ok ())
+            [
+              "domains"; "ops"; "ops_per_sec"; "fast_ops"; "locked_ops"; "steals";
+            ]
+        in
+        (match J.member "fast_path" c with
+        | Some (J.Bool _) -> check (i + 1) rest
+        | Some _ | None -> Error (Printf.sprintf "cell %d: missing boolean \"fast_path\"" i))
+    in
+    check 0 cs

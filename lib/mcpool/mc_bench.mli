@@ -1,0 +1,86 @@
+(** Fixed-duration throughput benchmark for {!Mc_pool}: the reproducible
+    baseline behind the lock-free owner fast path.
+
+    Runs a grid of cells — search kind × domain count × operation mix ×
+    segment protocol — each a wall-clock-bounded randomized add/remove
+    workload with one worker domain per segment. The two mixes follow the
+    paper's regimes: {e sufficient} (> 50% adds, prefilled, removes almost
+    always hit the owner's own segment) and {e sparse} (< 50% adds, the
+    pool runs dry and steal traffic dominates). Each (kind, domains, mix)
+    cell runs twice when [baseline] is set: once with the segments'
+    lock-free owner path and once in the all-mutex configuration
+    ([fast_path:false]), so the speedup is measured within one binary on
+    identical workloads.
+
+    Reported per cell: throughput (ops/sec), sampled per-op latency (p50
+    and p99, in µs — every 8th batch of 16 operations is timed as a group,
+    so sub-µs operations still resolve and a slow steal or lock inside the
+    window surfaces in the tail), the segments' fast-path vs locked-path
+    hit counters, and the batched-steal profile. Results serialize to JSON
+    ({!to_json}) for the committed [BENCH_mcpool.json] artifact. *)
+
+type mix = Sufficient | Sparse
+
+val mix_name : mix -> string
+(** ["sufficient"] / ["sparse"]. *)
+
+type config = {
+  kinds : Mc_pool.kind list;
+  domain_counts : int list;
+  mixes : mix list;
+  baseline : bool;  (** Also run every cell with [fast_path:false]. *)
+  seconds : float;  (** Wall-clock length of each cell's mixed-op phase. *)
+  capacity : int option;  (** Per-segment bound; [None] = unbounded. *)
+  seed : int;
+}
+
+val default : config
+(** Linear kind, 2 and 8 domains, both mixes, baseline on, 1 s cells,
+    unbounded, seed 42. *)
+
+type cell = {
+  kind : Mc_pool.kind;
+  domains : int;
+  mix : mix;
+  fast_path : bool;
+}
+
+type result = {
+  cell : cell;
+  duration : float;  (** Measured wall-clock of the mixed-op phase. *)
+  ops : int;  (** Operation attempts across all workers. *)
+  ops_per_sec : float;
+  adds_ok : int;
+  removes_ok : int;
+  p50_us : float;  (** Median sampled per-op latency, µs; [nan] if none. *)
+  p99_us : float;  (** 99th-percentile sampled per-op latency, µs. *)
+  fast_ops : int;  (** Owner pushes + pops that skipped the mutex. *)
+  locked_ops : int;  (** Owner pushes + pops that took the mutex. *)
+  fast_fraction : float;  (** fast / (fast + locked); [nan] if neither. *)
+  steals : int;
+  batched_steals : int;  (** Steals that moved >= 2 elements in one claim. *)
+  mean_batch : float;  (** Mean elements per steal batch; [nan] if no steals. *)
+}
+
+val run_cell : ?seconds:float -> ?capacity:int option -> ?seed:int -> cell -> result
+(** Run one cell. Defaults: [seconds = 1.0], [capacity = None],
+    [seed = 42]. Raises [Invalid_argument] on non-positive [domains] or
+    [seconds]. *)
+
+val run : config -> result list
+(** Run the whole grid, fast-path cells and (when [config.baseline])
+    their all-mutex twins, in a deterministic order. *)
+
+val render : result list -> string
+(** Human-readable table of every cell plus, for each (kind, domains, mix)
+    pair present in both protocols, the fast-path speedup over the
+    baseline. *)
+
+val to_json : config -> result list -> Cpool_util.Json.t
+(** The JSON document written to [BENCH_mcpool.json]: benchmark metadata
+    (grid, duration, capacity, seed) and one object per cell. *)
+
+val validate_json : Cpool_util.Json.t -> (int, string) Stdlib.result
+(** Structural check of a parsed benchmark document (the [json-check]
+    subcommand): returns the number of cells, or a description of the
+    first malformed field. *)

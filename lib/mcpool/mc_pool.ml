@@ -34,7 +34,7 @@ type handle = {
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
 
-let create ?(kind = Linear) ?(seed = 42L) ?capacity ~segments () =
+let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ~segments () =
   if segments <= 0 then invalid_arg "Mc_pool.create: segments must be positive";
   let tree =
     match kind with
@@ -51,7 +51,7 @@ let create ?(kind = Linear) ?(seed = 42L) ?capacity ~segments () =
   {
     pool_kind = kind;
     bound = capacity;
-    segs = Array.init segments (fun id -> Mc_segment.make ?capacity ~id ());
+    segs = Array.init segments (fun id -> Mc_segment.make ?capacity ~fast_path ~id ());
     registration = Mutex.create ();
     claimed = Array.make segments false;
     handle_stats = [];
@@ -158,8 +158,10 @@ let try_add t h x =
           false
         end
         else begin
+          (* Foreign segments take spill traffic through their inbox
+             ([spill_add]); only the owning domain may touch a ring. *)
           let pos = (h.pool_slot + i) mod p in
-          if Mc_segment.spare t.segs.(pos) > 0 && Mc_segment.try_add t.segs.(pos) x
+          if Mc_segment.spare t.segs.(pos) > 0 && Mc_segment.spill_add t.segs.(pos) x
           then begin
             Mc_stats.note_spill h.stats;
             true
@@ -382,8 +384,15 @@ let steals t = Atomic.get t.steal_count
 
 let stats_of_handle h = h.stats
 
+let segment_stats t =
+  Array.map (fun s -> Mc_segment.stats s) t.segs
+
 let stats t =
   let all = with_registration t (fun () -> t.handle_stats) in
-  Mc_stats.merge_all all
+  (* Handle stats carry the search-side counters, segment stats the
+     path-side ones; the field sets are disjoint, so merging double-counts
+     nothing. *)
+  let merged = Mc_stats.merge_all all in
+  Array.fold_left (fun acc s -> Mc_stats.merge acc (Mc_segment.stats s)) merged t.segs
 
 let check_segments t = Array.for_all Mc_segment.invariant_ok t.segs

@@ -22,14 +22,23 @@ type handle
 (** A worker's identity: its segment slot plus search state. Handles are
     not thread-safe; use each handle from one domain at a time. *)
 
-val create : ?kind:kind -> ?seed:int64 -> ?capacity:int -> segments:int -> unit -> 'a t
+val create :
+  ?kind:kind ->
+  ?seed:int64 ->
+  ?capacity:int ->
+  ?fast_path:bool ->
+  segments:int ->
+  unit ->
+  'a t
 (** [create ~segments ()] builds a pool with [segments] slots. [kind]
     defaults to [Linear]; [seed] (default [42L]) drives the [Random]
     search's probe sequence deterministically per handle; [capacity]
     bounds each segment (default unbounded) — full adds spill to the first
     segment with room, and a thief reserves spare room in its own segment
     before stealing so the banked remainder always fits (no segment ever
-    exceeds its capacity, even transiently). Raises [Invalid_argument] if
+    exceeds its capacity, even transiently). [fast_path] (default [true])
+    enables the segments' lock-free owner path; [~fast_path:false] is the
+    all-mutex baseline used for benchmarking. Raises [Invalid_argument] if
     [segments <= 0] or [capacity <= 0]. *)
 
 val segments : 'a t -> int
@@ -110,11 +119,16 @@ val stats_of_handle : handle -> Mc_stats.t
     writes it; other domains may read it racily or merge it after the
     worker quiesces. *)
 
+val segment_stats : 'a t -> Mc_stats.t array
+(** [segment_stats t] is each segment's live path telemetry (fast vs
+    locked ring operations, inbox adds, batched-steal sizes), indexed by
+    slot. Racy while workers run; exact at quiescence. *)
+
 val stats : 'a t -> Mc_stats.t
 (** [stats t] merges the telemetry of every handle the pool ever issued
-    (including deregistered ones) into a fresh snapshot, so totals are
-    conserved across register/deregister churn. Exact at quiescence, racy
-    while workers are running. *)
+    (including deregistered ones) and every segment's path counters into a
+    fresh snapshot, so totals are conserved across register/deregister
+    churn. Exact at quiescence, racy while workers are running. *)
 
 val check_segments : 'a t -> bool
 (** [check_segments t] verifies every segment's count/content/capacity

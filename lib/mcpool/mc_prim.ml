@@ -2,9 +2,11 @@ module type ATOMIC = sig
   type 'a t
 
   val make : 'a -> 'a t
+  val make_padded : 'a -> 'a t
   val get : 'a t -> 'a
   val set : 'a t -> 'a -> unit
   val fetch_and_add : int t -> int -> int
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
 end
 
 module type MUTEX = sig
@@ -21,6 +23,14 @@ module type S = sig
 end
 
 module Real = struct
-  module Atomic = Atomic
+  module Atomic = struct
+    include Stdlib.Atomic
+
+    (* An atomic is a one-word heap block: consecutive [make]s land on the
+       same cache line and false-share across domains. Re-homing each hot
+       atomic in an oversized block keeps them a line apart. *)
+    let make_padded v = Cpool_util.Pad.copy_as_padded (Stdlib.Atomic.make v)
+  end
+
   module Mutex = Mutex
 end

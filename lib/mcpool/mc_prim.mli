@@ -10,9 +10,20 @@ module type ATOMIC = sig
   type 'a t
 
   val make : 'a -> 'a t
+
+  val make_padded : 'a -> 'a t
+  (** Like [make], but placed so that neighbouring allocations do not share
+      its cache line (best-effort: see [Cpool_util.Pad]). Use for per-domain
+      hot atomics written from different domains. *)
+
   val get : 'a t -> 'a
   val set : 'a t -> 'a -> unit
   val fetch_and_add : int t -> int -> int
+
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  (** [compare_and_set r seen v] installs [v] iff the current value is
+      physically equal to [seen]; returns whether it did. The building block
+      for bound-exact capacity claims. *)
 end
 
 module type MUTEX = sig
@@ -28,10 +39,9 @@ module type S = sig
   module Mutex : MUTEX
 end
 
-(** The hardware primitives: [Stdlib.Atomic] and [Stdlib.Mutex], as plain
-    module aliases so the indirection costs nothing. *)
+(** The hardware primitives: [Stdlib.Atomic] and [Stdlib.Mutex];
+    [make_padded] additionally re-homes the atomic in a padded heap block. *)
 module Real : sig
-  module Atomic :
-    ATOMIC with type 'a t = 'a Stdlib.Atomic.t
+  module Atomic : ATOMIC with type 'a t = 'a Stdlib.Atomic.t
   module Mutex : MUTEX with type t = Stdlib.Mutex.t
 end

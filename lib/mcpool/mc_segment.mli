@@ -1,24 +1,32 @@
 (** One segment of the multicore concurrent pool.
 
-    A mutex-protected stack with an atomically readable size, so searching
-    domains can probe without taking the lock (the same probe-then-lock
-    discipline as the simulated pool). Safe for concurrent use from any
-    number of domains.
+    A Chase-Lev-style ring deque owned by one domain, plus a small
+    mutex-protected inbox for foreign (spill) adds. The {e owner}'s
+    {!add}/{!try_add}/{!try_remove} run lock-free on atomics alone in the
+    common case; {e stealers} serialize on the segment mutex and move up to
+    half the ring in one batched window claim. The layout and the
+    memory-ordering argument are documented in DESIGN.md.
+
+    Ownership discipline: exactly one domain at a time may call the owner
+    operations ({!add}, {!try_add}, {!try_remove}, {!deposit}, {!reserve},
+    {!refill}) on a given segment — [Mc_pool] enforces this by routing them
+    through the registered handle of the segment's slot. Any domain may call
+    {!spill_add}, {!steal_half}, {!size}, {!spare} concurrently.
 
     On a bounded segment the atomic count is the source of truth for
-    capacity: it equals the stored element count plus any outstanding
-    {!reserve}d headroom and never exceeds the capacity. Every mutation
-    adjusts it relatively under the lock, so the bound holds at every
-    instant — there is no window in which concurrent deposits or adds can
-    overshoot it (the seed version set the count absolutely from the vector
-    length, which both erased reservations and let [deposit] blow through
-    the bound). *)
+    capacity: it equals the stored element count (ring + inbox) plus any
+    outstanding {!reserve}d headroom and never exceeds the capacity — every
+    increment goes through a compare-and-set that refuses to pass the bound,
+    so the limit holds at every instant even against the lock-free owner. *)
 
 type 'a t
 
-val make : ?capacity:int -> id:int -> unit -> 'a t
+val make : ?capacity:int -> ?fast_path:bool -> id:int -> unit -> 'a t
 (** [make ~id ()] is an empty segment; [capacity] bounds it (default
-    unbounded). Raises [Invalid_argument] if [capacity <= 0]. *)
+    unbounded). [fast_path] (default [true]) enables the owner's lock-free
+    ring path; [~fast_path:false] routes every owner operation through the
+    mutex instead — the all-mutex baseline the throughput benchmark
+    compares against. Raises [Invalid_argument] if [capacity <= 0]. *)
 
 val id : 'a t -> int
 
@@ -28,34 +36,44 @@ val capacity : 'a t -> int option
 val size : 'a t -> int
 (** [size s] is an atomic snapshot of the occupied capacity: stored
     elements plus outstanding reservations (may be stale by the time it is
-    used — callers re-check under the lock). *)
+    used — callers re-check or rely on the CAS claims). *)
 
 val add : 'a t -> 'a -> unit
 (** [add s x] inserts unconditionally, ignoring any capacity (only safe on
-    unbounded segments; the pool uses it for unbounded steal banking). *)
+    unbounded segments; the pool uses it for unbounded adds and banking).
+    Owner only. *)
 
 val try_add : 'a t -> 'a -> bool
 (** [try_add s x] inserts unless that would exceed the capacity, counting
-    reserved headroom as occupied. *)
+    reserved headroom as occupied. Owner only. *)
+
+val spill_add : 'a t -> 'a -> bool
+(** [spill_add s x] inserts from a {e foreign} domain (the pool's spill
+    path): the element goes to the segment's inbox under the mutex, where
+    the owner's slow pop and stealers can find it. [false] if the segment
+    is full. Safe from any domain. *)
 
 val spare : 'a t -> int
 (** [spare s] is the remaining capacity ([max_int] when unbounded). *)
 
 val try_remove : 'a t -> 'a option
-(** [try_remove s] takes the most recently added element, if any. *)
+(** [try_remove s] takes the most recently added ring element (LIFO), or an
+    inbox element once the ring is dry. Lock-free unless the segment is
+    nearly empty, a steal is mid-claim, or the ring must grow. Owner
+    only. *)
 
 val steal_half : ?max_take:int -> 'a t -> 'a Cpool.Steal.loot
-(** [steal_half s] removes [min (ceil n/2) max_take] of the [n] elements under the lock
-    (the element to return plus a remainder batch), [Single] for [n = 1],
-    [Nothing] for [n = 0]. The caller deposits the remainder into its own
-    segment afterwards — victim and thief are never locked together. *)
+(** [steal_half s] claims [min (ceil n/2) max_take] of the [n] ring
+    elements (the oldest ones) in one batched window transfer under the
+    mutex — [Single] / [Batch] / [Nothing] as the count dictates. When the
+    ring is empty it splits the inbox instead. The caller deposits the
+    remainder into its own segment afterwards — victim and thief are never
+    locked together. Safe from any domain. *)
 
 val deposit : 'a t -> 'a list -> 'a list
-(** [deposit s xs] adds elements of [xs] under one lock acquisition, up to
+(** [deposit s xs] adds elements of [xs] with one batched publish, up to
     the segment's remaining capacity, and returns the rejected overflow in
-    order (always [[]] when unbounded). Callers on a bounded pool either
-    re-spill the overflow or, better, pre-{!reserve} the room so rejection
-    cannot happen. *)
+    order (always [[]] when unbounded). Owner only. *)
 
 val reserve : 'a t -> int -> int
 (** [reserve s k] claims up to [k] units of spare capacity and returns the
@@ -63,15 +81,23 @@ val reserve : 'a t -> int -> int
     count as occupied until the matching {!refill}. A thief reserves room
     in its own segment {e before} stealing, so the banked remainder always
     fits — capacity can never be exceeded, even transiently. Raises
-    [Invalid_argument] if [k < 0]. *)
+    [Invalid_argument] if [k < 0]. Owner only. *)
 
 val refill : 'a t -> reserved:int -> 'a list -> unit
-(** [refill s ~reserved xs] stores [xs] into previously reserved room and
-    releases the unused remainder of the reservation. Raises
-    [Invalid_argument] if [List.length xs > reserved]. *)
+(** [refill s ~reserved xs] stores [xs] into previously reserved room with
+    one batched publish and releases the unused remainder of the
+    reservation. Raises [Invalid_argument] if [List.length xs > reserved].
+    Owner only. *)
+
+val stats : 'a t -> Mc_stats.t
+(** [stats s] is the segment's live path telemetry (fast vs locked
+    pushes/pops, inbox adds, batched-steal sizes). Owner-written fields and
+    mutex-written fields never share a writer; read racily or merge at
+    quiescence. *)
 
 val invariant_ok : 'a t -> bool
 (** [invariant_ok s] checks, under the lock, that the atomic count matches
-    the stored element count and respects the capacity. Only meaningful at
+    the stored element count (ring + inbox), that no steal window is left
+    claimed, and that the capacity is respected. Only meaningful at
     quiescence (no outstanding reservations); the stress harness calls it
     after every run. *)

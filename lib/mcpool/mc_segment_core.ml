@@ -3,18 +3,20 @@ module type SEG = sig
   type mutex
   type 'a t
 
-  val make : ?capacity:int -> id:int -> unit -> 'a t
+  val make : ?capacity:int -> ?fast_path:bool -> id:int -> unit -> 'a t
   val id : 'a t -> int
   val capacity : 'a t -> int option
   val size : 'a t -> int
   val add : 'a t -> 'a -> unit
   val try_add : 'a t -> 'a -> bool
+  val spill_add : 'a t -> 'a -> bool
   val spare : 'a t -> int
   val try_remove : 'a t -> 'a option
   val steal_half : ?max_take:int -> 'a t -> 'a Cpool.Steal.loot
   val deposit : 'a t -> 'a list -> 'a list
   val reserve : 'a t -> int -> int
   val refill : 'a t -> reserved:int -> 'a list -> unit
+  val stats : 'a t -> Mc_stats.t
   val invariant_ok : 'a t -> bool
   val debug_counts : 'a t -> int * int
 end
@@ -26,26 +28,76 @@ module Make (P : Mc_prim.S) = struct
   type 'a atomic = 'a Atomic.t
   type mutex = Mutex.t
 
+  (* Ring slots hold [Obj.repr]ed elements: one physical representation
+     serves every ['a], so a vacated slot can be cleared with an immediate
+     (no dummy ['a] needed) and float elements are safe (['a array] would
+     flatten them and crash on an immediate filler). A [vacant] slot is
+     never read back as ['a]; the protocol below guarantees it. *)
+  let vacant : Obj.t = Obj.repr 0
+
+  let initial_ring = 8
+
+  (* The segment is a ring deque plus a small mutex-protected inbox.
+
+     [ring] is a power-of-two array indexed modulo its length by three
+     monotonically increasing cursors, [commit <= top <= bottom]:
+
+       [top, bottom)   elements visible for stealing (oldest at [top]);
+       [commit, top)   a steal window claimed but not yet copied out;
+       anything outside [commit, bottom) is vacant.
+
+     Roles:
+     - The OWNER (the one domain the pool assigns this segment to) pushes
+       and pops at [bottom] without the mutex; it is the only writer of
+       [bottom] and of ring slots.
+     - STEALERS serialize on [mutex]; they are the only writers of [top]
+       and [commit], and they only vacate slots, never fill them.
+     - Foreign adds (the pool's spill traffic) append to [inbox] under
+       [mutex] — two lock-free writers at [bottom] would be unsound.
+
+     [count] is the logical size: ring elements + inbox elements +
+     outstanding reservations. Increments happen before the element is
+     visible and decrements after it is taken, so [count >= stored] always;
+     on a bounded segment every increment goes through a CAS that refuses
+     to exceed the bound, so capacity holds at every instant even against
+     the lock-free owner.
+
+     Publication (OCaml 5 memory model): the owner's plain slot store is
+     made visible by the subsequent atomic [bottom] store; a stealer that
+     reads that [bottom] value therefore sees the slot contents. The same
+     edge in reverse runs through [commit]: stealers vacate slots before
+     atomically advancing [commit], and the owner checks [commit] before
+     reusing those slots. *)
   type 'a t = {
     seg_id : int;
     bound : int option;
+    fast_path : bool; (* false = all-mutex baseline, for benchmarking *)
     mutex : Mutex.t;
-    items : 'a Cpool_util.Vec.t;
+    mutable ring : Obj.t array; (* replaced only by the owner, under [mutex] *)
+    top : int Atomic.t;
+    commit : int Atomic.t;
+    bottom : int Atomic.t;
+    inbox : 'a Cpool_util.Vec.t;
     count : int Atomic.t;
-        (* Vec.length items + outstanding reservations; read lock-free,
-           written only under [mutex]. Never exceeds [bound]. *)
+    seg_stats : Mc_stats.t; (* path counters; see Mc_stats writer discipline *)
   }
 
-  let make ?capacity ~id () =
+  let make ?capacity ?(fast_path = true) ~id () =
     (match capacity with
     | Some c when c <= 0 -> invalid_arg "Mc_segment.make: capacity must be positive"
     | Some _ | None -> ());
     {
       seg_id = id;
       bound = capacity;
+      fast_path;
       mutex = Mutex.create ();
-      items = Cpool_util.Vec.create ();
-      count = Atomic.make 0;
+      ring = Array.make initial_ring vacant;
+      top = Atomic.make_padded 0;
+      commit = Atomic.make_padded 0;
+      bottom = Atomic.make_padded 0;
+      inbox = Cpool_util.Vec.create ();
+      count = Atomic.make_padded 0;
+      seg_stats = Mc_stats.create ();
     }
 
   let id s = s.seg_id
@@ -53,6 +105,11 @@ module Make (P : Mc_prim.S) = struct
   let capacity s = s.bound
 
   let size s = Atomic.get s.count
+
+  let spare s =
+    match s.bound with None -> max_int | Some c -> max 0 (c - Atomic.get s.count)
+
+  let stats s = s.seg_stats
 
   let with_lock s f =
     Mutex.lock s.mutex;
@@ -64,103 +121,281 @@ module Make (P : Mc_prim.S) = struct
       Mutex.unlock s.mutex;
       raise e
 
-  (* All count updates are relative, so reservations (count > Vec length)
-     survive interleaved adds/steals on the same segment. A true atomic RMW
-     even though every write site holds [mutex]: lock-free readers see a
-     single transition, and the update stays correct if a future write site
-     appears outside the lock. *)
   let shift_count s d = ignore (Atomic.fetch_and_add s.count d)
 
+  (* Claim up to [k] units of capacity with a CAS loop, returning the amount
+     claimed. CAS (rather than check-then-add) is what keeps the bound
+     exact: no interleaving of claimants — including the lock-free owner —
+     can push [count] past [c], even transiently. *)
+  let rec claim_up_to s ~bound:c k =
+    let cur = Atomic.get s.count in
+    let granted = min k (max 0 (c - cur)) in
+    if granted = 0 then 0
+    else if Atomic.compare_and_set s.count cur (cur + granted) then granted
+    else claim_up_to s ~bound:c k
+
+  let slot ring i = i land (Array.length ring - 1)
+
+  let take_slot ring i =
+    let x = Obj.obj ring.(i) in
+    ring.(i) <- vacant;
+    x
+
+  (* Owner-only, under [mutex]: replace the ring so [extra] more pushes fit.
+     With the lock held no steal window is in flight, so [commit = top] and
+     [top, bottom) is exactly the live range to carry over. *)
+  let grow_locked s ~extra =
+    let t = Atomic.get s.top and b = Atomic.get s.bottom in
+    let needed = b - t + extra in
+    let cap = ref (max initial_ring (Array.length s.ring)) in
+    while needed > !cap do
+      cap := 2 * !cap
+    done;
+    if !cap > Array.length s.ring then begin
+      let old = s.ring in
+      let fresh = Array.make !cap vacant in
+      for i = t to b - 1 do
+        fresh.(i land (!cap - 1)) <- old.(slot old i)
+      done;
+      s.ring <- fresh
+    end
+
+  (* Owner batch store of [n >= 1] elements, published with ONE atomic
+     [bottom] store. Room is judged against [commit], the physical free
+     boundary: a stale (small) read of [commit] only makes the check
+     conservative. Returns whether the locked path was taken. *)
+  let push_many s xs n =
+    let b = Atomic.get s.bottom in
+    let store () =
+      List.iteri (fun i x -> s.ring.(slot s.ring (b + i)) <- Obj.repr x) xs;
+      (* lint: allow non-atomic-rmw -- bottom has a single writer (the owner domain); this publishes its own read *)
+      Atomic.set s.bottom (b + n)
+    in
+    if s.fast_path && b + n - Atomic.get s.commit <= Array.length s.ring then begin
+      store ();
+      false
+    end
+    else begin
+      with_lock s (fun () ->
+          if b + n - Atomic.get s.commit > Array.length s.ring then
+            grow_locked s ~extra:n;
+          store ());
+      true
+    end
+
+  let note_push s locked =
+    if locked then Mc_stats.note_locked_push s.seg_stats
+    else Mc_stats.note_fast_push s.seg_stats
+
+  let push_one s x = note_push s (push_many s [ x ] 1)
+
   let add s x =
-    with_lock s (fun () ->
-        Cpool_util.Vec.push s.items x;
-        shift_count s 1)
+    (* Count first, store second: [count >= stored] must hold at every
+       instant or a concurrent steal's decrement could drive it negative. *)
+    shift_count s 1;
+    push_one s x
 
   let try_add s x =
+    match s.bound with
+    | None ->
+      add s x;
+      true
+    | Some c ->
+      if claim_up_to s ~bound:c 1 = 0 then false
+      else begin
+        push_one s x;
+        true
+      end
+
+  (* Foreign add (the pool's spill path): only the owner may touch the ring,
+     so other domains append to the mutex-protected inbox. Capacity is
+     claimed before the element is stored, like every other increment. *)
+  let spill_add s x =
+    let claimed =
+      match s.bound with
+      | None ->
+        shift_count s 1;
+        true
+      | Some c -> claim_up_to s ~bound:c 1 = 1
+    in
+    claimed
+    &&
+    (with_lock s (fun () ->
+         Cpool_util.Vec.push s.inbox x;
+         Mc_stats.note_inbox_add s.seg_stats);
+     true)
+
+  (* Owner slow path: pop under the mutex. With the lock held no steal is in
+     flight, so a plain bottom decrement is safe; the inbox is the fallback
+     once the ring is dry. *)
+  let pop_locked s =
     with_lock s (fun () ->
-        match s.bound with
-        | Some c when Atomic.get s.count >= c -> false
-        | Some _ | None ->
-          Cpool_util.Vec.push s.items x;
-          shift_count s 1;
-          true)
-
-  let spare s =
-    match s.bound with None -> max_int | Some c -> max 0 (c - Atomic.get s.count)
-
-  let try_remove s =
-    if Atomic.get s.count = 0 then None
-    else
-      with_lock s (fun () ->
-          match Cpool_util.Vec.pop s.items with
+        Mc_stats.note_locked_pop s.seg_stats;
+        let t = Atomic.get s.top and b = Atomic.get s.bottom in
+        if b > t then begin
+          let b' = b - 1 in
+          (* lint: allow non-atomic-rmw -- bottom's only writer is the owner, and stealers are excluded by the held mutex *)
+          Atomic.set s.bottom b';
+          let x : 'a = take_slot s.ring (slot s.ring b') in
+          shift_count s (-1);
+          Some x
+        end
+        else
+          match Cpool_util.Vec.pop s.inbox with
           | Some x ->
             shift_count s (-1);
             Some x
           | None -> None)
 
+  (* Owner fast pop: decrement [bottom] first, then look at [top]. If more
+     than one element separates them, no stealer can reach slot [b' ] (a
+     steal window never extends past the [bottom] the stealer re-reads after
+     claiming — see [steal_from_ring]), so the owner takes it with no lock.
+     Otherwise restore [bottom] and let the mutex arbitrate the tail. *)
+  let pop_fast s =
+    let b = Atomic.get s.bottom in
+    let b' = b - 1 in
+    (* lint: allow non-atomic-rmw -- bottom has a single writer (the owner domain); stealers only read it *)
+    Atomic.set s.bottom b';
+    let t = Atomic.get s.top in
+    if b' > t then begin
+      let x : 'a = take_slot s.ring (slot s.ring b') in
+      shift_count s (-1);
+      Mc_stats.note_fast_pop s.seg_stats;
+      Some x
+    end
+    else begin
+      (* lint: allow non-atomic-rmw -- restoring the owner's own decrement; no other domain writes bottom *)
+      Atomic.set s.bottom b;
+      pop_locked s
+    end
+
+  let try_remove s =
+    if Atomic.get s.count = 0 then None
+    else if s.fast_path then pop_fast s
+    else pop_locked s
+
+  (* Under [mutex]: claim a window of up to half the ring in one batched
+     transfer. The claim protocol against the lock-free owner:
+
+       1. claim:      top := t + w          (stealers own [top])
+       2. revalidate: b2 := bottom          (re-read AFTER the claim)
+       3. shrink:     top := t + w',  w' = clamp(b2 - t)
+
+     Any owner pop racing step 1 either (a) saw the new [top] and retreated
+     to the mutex we hold, or (b) its bottom decrement is ordered before
+     our step-2 read — its store precedes its [top] read, which preceded
+     our claim store (all SC atomics). Either way the final window
+     [t, t + w') and the slots owner pops touched are disjoint, so the copy
+     can proceed with no per-element synchronisation. [commit] advances
+     only after the copy, keeping owner pushes out of the window. *)
+  let steal_from_ring s max_take =
+    let t = Atomic.get s.top in
+    let b = Atomic.get s.bottom in
+    let n = b - t in
+    if n <= 0 then []
+    else begin
+      let w = min ((n + 1) / 2) max_take in
+      (* lint: allow non-atomic-rmw -- top is written only under the segment mutex, which this code holds *)
+      Atomic.set s.top (t + w);
+      let b2 = Atomic.get s.bottom in
+      let w = max 0 (min w (b2 - t)) in
+      (* lint: allow non-atomic-rmw -- top is written only under the segment mutex, which this code holds *)
+      Atomic.set s.top (t + w);
+      let out = ref [] in
+      for i = t + w - 1 downto t do
+        out := (take_slot s.ring (slot s.ring i) : 'a) :: !out
+      done;
+      Atomic.set s.commit (t + w);
+      if w > 0 then shift_count s (-w);
+      !out
+    end
+
   let steal_half ?(max_take = max_int) s =
     if max_take < 1 then invalid_arg "Mc_segment.steal_half: max_take must be >= 1";
     with_lock s (fun () ->
-        let n = Cpool_util.Vec.length s.items in
-        if n = 0 then Cpool.Steal.Nothing
-        else if n = 1 then begin
-          let x = Cpool_util.Vec.pop_exn s.items in
-          shift_count s (-1);
+        let taken = steal_from_ring s max_take in
+        let taken =
+          if taken <> [] then taken
+          else begin
+            (* Ring dry: split the spill inbox instead. *)
+            let m = Cpool_util.Vec.length s.inbox in
+            if m = 0 then []
+            else begin
+              let k = min ((m + 1) / 2) max_take in
+              let xs = Cpool_util.Vec.take_last s.inbox k in
+              shift_count s (-k);
+              xs
+            end
+          end
+        in
+        match taken with
+        | [] -> Cpool.Steal.Nothing
+        | [ x ] ->
+          Mc_stats.note_steal_batch s.seg_stats 1;
           Cpool.Steal.Single x
-        end
-        else begin
-          let h = min ((n + 1) / 2) max_take in
-          let taken = Cpool_util.Vec.take_last s.items h in
-          shift_count s (-h);
-          match taken with
-          | x :: rest -> Cpool.Steal.Batch (x, rest)
-          | [] -> assert false
-        end)
+        | x :: rest ->
+          Mc_stats.note_steal_batch s.seg_stats (1 + List.length rest);
+          Cpool.Steal.Batch (x, rest))
 
   let deposit s xs =
     match xs with
     | [] -> []
     | _ ->
-      with_lock s (fun () ->
-          match s.bound with
-          | None ->
-            Cpool_util.Vec.append_list s.items xs;
-            shift_count s (List.length xs);
-            []
-          | Some c ->
-            let room = max 0 (c - Atomic.get s.count) in
-            let rec split taken i = function
-              | rest when i = room -> (List.rev taken, rest)
+      let n = List.length xs in
+      let fits, rejected =
+        match s.bound with
+        | None ->
+          shift_count s n;
+          (xs, [])
+        | Some c ->
+          let granted = claim_up_to s ~bound:c n in
+          let rec split taken i rest =
+            if i = granted then (List.rev taken, rest)
+            else
+              match rest with
               | [] -> (List.rev taken, [])
-              | x :: rest -> split (x :: taken) (i + 1) rest
-            in
-            let fits, rejected = split [] 0 xs in
-            Cpool_util.Vec.append_list s.items fits;
-            shift_count s (List.length fits);
-            rejected)
+              | x :: tl -> split (x :: taken) (i + 1) tl
+          in
+          split [] 0 xs
+      in
+      (match fits with
+      | [] -> ()
+      | _ -> note_push s (push_many s fits (List.length fits)));
+      rejected
 
   let reserve s k =
     if k < 0 then invalid_arg "Mc_segment.reserve: negative reservation";
     if k = 0 then 0
     else
-      with_lock s (fun () ->
-          let r = min k (spare s) in
-          shift_count s r;
-          r)
+      match s.bound with
+      | None ->
+        shift_count s k;
+        k
+      | Some c -> claim_up_to s ~bound:c k
 
   let refill s ~reserved xs =
     let n = List.length xs in
     if n > reserved then invalid_arg "Mc_segment.refill: more elements than reserved";
     if reserved = 0 then ()
-    else
-      with_lock s (fun () ->
-          Cpool_util.Vec.append_list s.items xs;
-          shift_count s (n - reserved))
+    else begin
+      (match xs with
+      | [] -> ()
+      | _ -> note_push s (push_many s xs n));
+      (* Release the unused remainder of the reservation — after the store,
+         so [count >= stored] is never violated. *)
+      if n <> reserved then shift_count s (n - reserved)
+    end
+
+  let stored_now s =
+    Atomic.get s.bottom - Atomic.get s.top + Cpool_util.Vec.length s.inbox
 
   let invariant_ok s =
     with_lock s (fun () ->
-        let c = Atomic.get s.count and len = Cpool_util.Vec.length s.items in
-        c = len && match s.bound with None -> true | Some b -> c <= b)
+        let c = Atomic.get s.count in
+        c = stored_now s
+        && Atomic.get s.commit = Atomic.get s.top
+        && (match s.bound with None -> true | Some b -> c <= b))
 
-  let debug_counts s = (Atomic.get s.count, Cpool_util.Vec.length s.items)
+  let debug_counts s = (Atomic.get s.count, stored_now s)
 end

@@ -1,29 +1,33 @@
 (** The segment implementation, as a functor over {!Mc_prim.S}.
 
     {!Mc_segment} is [Make (Mc_prim.Real)] — the hardware instantiation,
-    documented there. The interleaving checker instantiates the very same
+    where the operations, the ring protocol and the ownership discipline
+    are documented. The interleaving checker instantiates the very same
     code with instrumented shims ([Cpool_analysis.Sched.Prim]) whose every
     atomic and mutex operation is a scheduling point, so the schedule
-    enumeration exercises the shipped segment logic, not a hand-written
-    model of it. *)
+    enumeration exercises the shipped segment logic — including the
+    lock-free owner fast path and the steal-window claim — not a
+    hand-written model of it. *)
 
 module type SEG = sig
   type 'a atomic
   type mutex
   type 'a t
 
-  val make : ?capacity:int -> id:int -> unit -> 'a t
+  val make : ?capacity:int -> ?fast_path:bool -> id:int -> unit -> 'a t
   val id : 'a t -> int
   val capacity : 'a t -> int option
   val size : 'a t -> int
   val add : 'a t -> 'a -> unit
   val try_add : 'a t -> 'a -> bool
+  val spill_add : 'a t -> 'a -> bool
   val spare : 'a t -> int
   val try_remove : 'a t -> 'a option
   val steal_half : ?max_take:int -> 'a t -> 'a Cpool.Steal.loot
   val deposit : 'a t -> 'a list -> 'a list
   val reserve : 'a t -> int -> int
   val refill : 'a t -> reserved:int -> 'a list -> unit
+  val stats : 'a t -> Mc_stats.t
   val invariant_ok : 'a t -> bool
 
   val debug_counts : 'a t -> int * int

@@ -12,26 +12,47 @@ type t = {
   mutable sweeps : int;
   mutable empty_confirms : int;
   mutable spins : int;
+  (* Segment-side path counters: which protocol path each ring operation
+     took. Fast/locked push/pop fields are written only by the segment's
+     owner domain; inbox/steal fields only under the segment mutex — no two
+     domains ever write the same field. *)
+  mutable fast_pushes : int;
+  mutable locked_pushes : int;
+  mutable fast_pops : int;
+  mutable locked_pops : int;
+  mutable inbox_adds : int;
+  mutable batched_steals : int; (* steal transfers that moved >= 2 elements at once *)
   segs_per_steal : int array;
   elems_per_steal : int array;
+  batch_sizes : int array; (* elements moved per successful steal transfer *)
 }
 
 let create () =
-  {
-    adds = 0;
-    spills = 0;
-    add_fails = 0;
-    local_removes = 0;
-    steals = 0;
-    elements_stolen = 0;
-    segments_examined = 0;
-    steal_probes = 0;
-    sweeps = 0;
-    empty_confirms = 0;
-    spins = 0;
-    segs_per_steal = Array.make (bucket_limit + 1) 0;
-    elems_per_steal = Array.make (bucket_limit + 1) 0;
-  }
+  (* Padded: each domain's record must not share a cache line with its
+     neighbour's, or the hot-path counter stores false-share. *)
+  Cpool_util.Pad.copy_as_padded
+    {
+      adds = 0;
+      spills = 0;
+      add_fails = 0;
+      local_removes = 0;
+      steals = 0;
+      elements_stolen = 0;
+      segments_examined = 0;
+      steal_probes = 0;
+      sweeps = 0;
+      empty_confirms = 0;
+      spins = 0;
+      fast_pushes = 0;
+      locked_pushes = 0;
+      fast_pops = 0;
+      locked_pops = 0;
+      inbox_adds = 0;
+      batched_steals = 0;
+      segs_per_steal = Array.make (bucket_limit + 1) 0;
+      elems_per_steal = Array.make (bucket_limit + 1) 0;
+      batch_sizes = Array.make (bucket_limit + 1) 0;
+    }
 
 let bump buckets v =
   let i = if v < 0 then 0 else min v bucket_limit in
@@ -60,6 +81,20 @@ let note_empty_confirm s = s.empty_confirms <- s.empty_confirms + 1
 
 let note_spin s = s.spins <- s.spins + 1
 
+let note_fast_push s = s.fast_pushes <- s.fast_pushes + 1
+
+let note_locked_push s = s.locked_pushes <- s.locked_pushes + 1
+
+let note_fast_pop s = s.fast_pops <- s.fast_pops + 1
+
+let note_locked_pop s = s.locked_pops <- s.locked_pops + 1
+
+let note_inbox_add s = s.inbox_adds <- s.inbox_adds + 1
+
+let note_steal_batch s n =
+  if n >= 2 then s.batched_steals <- s.batched_steals + 1;
+  bump s.batch_sizes n
+
 let removes s = s.local_removes + s.steals
 
 let merge a b =
@@ -76,10 +111,18 @@ let merge a b =
   s.sweeps <- a.sweeps + b.sweeps;
   s.empty_confirms <- a.empty_confirms + b.empty_confirms;
   s.spins <- a.spins + b.spins;
+  s.fast_pushes <- a.fast_pushes + b.fast_pushes;
+  s.locked_pushes <- a.locked_pushes + b.locked_pushes;
+  s.fast_pops <- a.fast_pops + b.fast_pops;
+  s.locked_pops <- a.locked_pops + b.locked_pops;
+  s.inbox_adds <- a.inbox_adds + b.inbox_adds;
+  s.batched_steals <- a.batched_steals + b.batched_steals;
   blit s.segs_per_steal a.segs_per_steal;
   blit s.segs_per_steal b.segs_per_steal;
   blit s.elems_per_steal a.elems_per_steal;
   blit s.elems_per_steal b.elems_per_steal;
+  blit s.batch_sizes a.batch_sizes;
+  blit s.batch_sizes b.batch_sizes;
   s
 
 let merge_all ts = List.fold_left merge (create ()) ts
@@ -97,6 +140,12 @@ let counters s =
       ("sweeps", s.sweeps);
       ("empty confirmations", s.empty_confirms);
       ("retry spins", s.spins);
+      ("fast-path pushes", s.fast_pushes);
+      ("locked pushes", s.locked_pushes);
+      ("fast-path pops", s.fast_pops);
+      ("locked pops", s.locked_pops);
+      ("inbox adds", s.inbox_adds);
+      ("batched steals", s.batched_steals);
     ]
 
 let sample_of buckets =
@@ -112,6 +161,16 @@ let sample_of buckets =
 let segments_per_steal s = sample_of s.segs_per_steal
 
 let elements_per_steal s = sample_of s.elems_per_steal
+
+let steal_batch_sizes s = sample_of s.batch_sizes
+
+let fast_path_ops s = s.fast_pushes + s.fast_pops
+
+let locked_path_ops s = s.locked_pushes + s.locked_pops + s.inbox_adds
+
+let fast_path_fraction s =
+  let total = fast_path_ops s + locked_path_ops s in
+  if total = 0 then Float.nan else float_of_int (fast_path_ops s) /. float_of_int total
 
 let mean_segments_per_steal s =
   if s.steals = 0 then Float.nan
@@ -146,6 +205,43 @@ let table_row name s =
     string_of_int s.empty_confirms;
     string_of_int s.spins;
   ]
+
+let path_table_headers =
+  [
+    "segment"; "fast push"; "locked push"; "fast pop"; "locked pop"; "inbox";
+    "batched steals"; "elems/batch"; "fast %";
+  ]
+
+let mean_batch_size s =
+  let total = ref 0 and n = ref 0 in
+  Array.iteri
+    (fun v k ->
+      total := !total + (v * k);
+      n := !n + k)
+    s.batch_sizes;
+  if !n = 0 then Float.nan else float_of_int !total /. float_of_int !n
+
+let path_row name s =
+  [
+    name;
+    string_of_int s.fast_pushes;
+    string_of_int s.locked_pushes;
+    string_of_int s.fast_pops;
+    string_of_int s.locked_pops;
+    string_of_int s.inbox_adds;
+    string_of_int s.batched_steals;
+    Cpool_metrics.Render.float_cell (mean_batch_size s);
+    Cpool_metrics.Render.float_cell (100.0 *. fast_path_fraction s);
+  ]
+
+let render_path_table ?title named =
+  let rows = List.map (fun (name, s) -> path_row name s) named in
+  let rows =
+    match named with
+    | [] | [ _ ] -> rows
+    | _ -> rows @ [ path_row "TOTAL" (merge_all (List.map snd named)) ]
+  in
+  Cpool_metrics.Render.table ?title ~headers:path_table_headers ~rows ()
 
 let render_table ?title named =
   let rows = List.map (fun (name, s) -> table_row name s) named in

@@ -53,6 +53,36 @@ val note_empty_confirm : t -> unit
 val note_spin : t -> unit
 (** One [Domain.cpu_relax] retry while waiting for quiescence. *)
 
+(** {2 Segment-side path counters (called by [Mc_segment])}
+
+    These record which protocol path each ring operation took, making the
+    lock-free fast path observable rather than asserted. Fast/locked
+    push/pop are bumped only by the segment's owner domain; inbox and steal
+    counters only under the segment mutex, so no field has two concurrent
+    writers. *)
+
+val note_fast_push : t -> unit
+(** An owner push that published with atomics only (no mutex). *)
+
+val note_locked_push : t -> unit
+(** An owner push (or batch) that took the mutex (ring growth, or the
+    all-mutex baseline mode). *)
+
+val note_fast_pop : t -> unit
+(** An owner pop satisfied from the ring without the mutex. *)
+
+val note_locked_pop : t -> unit
+(** An owner pop that fell back to the mutex (contended tail, inbox drain,
+    empty ring, or baseline mode). *)
+
+val note_inbox_add : t -> unit
+(** A foreign (spill) add appended to the segment's inbox under the mutex. *)
+
+val note_steal_batch : t -> int -> unit
+(** [note_steal_batch s n] records one steal transfer that moved [n >= 1]
+    elements in a single batched claim; [n >= 2] also counts as a batched
+    steal. *)
+
 (** {2 Reading and merging} *)
 
 val removes : t -> int
@@ -73,6 +103,20 @@ val segments_per_steal : t -> Cpool_metrics.Sample.t
 val elements_per_steal : t -> Cpool_metrics.Sample.t
 (** Distribution of elements obtained per steal (Figure 7's metric). *)
 
+val steal_batch_sizes : t -> Cpool_metrics.Sample.t
+(** Distribution of elements moved per single batched steal transfer,
+    recorded on the victim segment's side. *)
+
+val fast_path_ops : t -> int
+(** Owner operations completed without the mutex. *)
+
+val locked_path_ops : t -> int
+(** Operations that took the mutex: locked pushes/pops plus inbox adds. *)
+
+val fast_path_fraction : t -> float
+(** [fast_path_ops / (fast_path_ops + locked_path_ops)]; [nan] when no path
+    was recorded. *)
+
 val mean_segments_per_steal : t -> float
 (** Exact mean from running totals ([nan] with no steals). *)
 
@@ -88,3 +132,8 @@ val render : ?title:string -> t -> string
 val render_table : ?title:string -> (string * t) list -> string
 (** Per-worker telemetry table, one row per named stats plus a TOTAL row
     when there are several. *)
+
+val render_path_table : ?title:string -> (string * t) list -> string
+(** Fast-path/locked-path table (pushes, pops, inbox adds, batched steals,
+    mean batch size, fast-path percentage), one row per named stats — used
+    with per-segment stats, where these counters live. *)

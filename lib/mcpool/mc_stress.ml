@@ -42,6 +42,7 @@ type report = {
   removes_ok : int;
   steals : int;
   per_worker : (string * Mc_stats.t) list;
+  per_segment : (string * Mc_stats.t) list; (* ring path counters, per segment *)
   merged : Mc_stats.t; (* pool-wide, including the initial fill and churned-away handles *)
   violations : string list;
 }
@@ -171,6 +172,12 @@ let run cfg =
          (fun i tally -> (Printf.sprintf "d%d" i, Mc_stats.merge_all tally.w_stats))
          tallies)
   in
+  let per_segment =
+    Array.to_list
+      (Array.mapi
+         (fun i s -> (Printf.sprintf "s%d" i, s))
+         (Mc_pool.segment_stats pool))
+  in
   let merged = Mc_pool.stats pool in
   let sum f = Array.fold_left (fun acc tally -> acc + f tally) 0 tallies in
   let adds_ok = sum (fun w -> w.w_adds) in
@@ -220,6 +227,7 @@ let run cfg =
     removes_ok;
     steals = Mc_pool.steals pool;
     per_worker;
+    per_segment;
     merged;
     violations = List.rev !violations;
   }
@@ -241,6 +249,10 @@ let render r =
     (float_of_int r.ops /. Float.max 1e-9 r.duration)
     r.initial_added r.adds_ok r.adds_rejected r.removes_ok r.steals;
   Buffer.add_string buf (Mc_stats.render_table ~title:"per-domain telemetry" r.per_worker);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Mc_stats.render_path_table ~title:"ring fast/locked paths (per segment)"
+       r.per_segment);
   Buffer.add_char buf '\n';
   let segs = Mc_stats.segments_per_steal r.merged in
   let elems = Mc_stats.elements_per_steal r.merged in

@@ -53,6 +53,9 @@ type report = {
   removes_ok : int;  (** Successful removes, drain included. *)
   steals : int;
   per_worker : (string * Mc_stats.t) list;  (** One entry per worker domain. *)
+  per_segment : (string * Mc_stats.t) list;
+      (** Each segment's ring path counters (fast vs locked push/pop, inbox
+          adds, batched steals). *)
   merged : Mc_stats.t;
       (** Pool-wide telemetry: every handle ever issued, prefill included. *)
   violations : string list;  (** Empty iff every invariant held. *)
@@ -68,5 +71,5 @@ val passed : report -> bool
 
 val render : report -> string
 (** Human-readable report: throughput, the per-domain telemetry table, the
-    pool-wide steal distributions (via {!Cpool_metrics.Render}), and the
-    invariant verdicts. *)
+    per-segment fast/locked path table, the pool-wide steal distributions
+    (via {!Cpool_metrics.Render}), and the invariant verdicts. *)

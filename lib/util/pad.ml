@@ -1,0 +1,22 @@
+(* OCaml gives no control over allocation alignment, so "padding to a cache
+   line" here means oversizing the heap block: a copy with [pad_words] spare
+   fields keeps the next allocation at least a line away, which is what
+   stops two domains' hot records from landing on the same line. The spare
+   fields are initialised to unit by [Obj.new_block], so the GC scans them
+   harmlessly. *)
+
+let cache_line_words = 16
+
+let copy_as_padded (type a) (x : a) : a =
+  let r = Obj.repr x in
+  (* Only plain tag-0 blocks (records, tuples, refs, atomics) are safe to
+     relocate field-by-field; anything else keeps its original block. *)
+  if Obj.is_int r || Obj.tag r <> 0 then x
+  else begin
+    let n = Obj.size r in
+    let padded = Obj.new_block 0 (n + cache_line_words) in
+    for i = 0 to n - 1 do
+      Obj.set_field padded i (Obj.field r i)
+    done;
+    (Obj.obj padded : a)
+  end

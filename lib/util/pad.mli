@@ -1,0 +1,19 @@
+(** Best-effort cache-line padding for per-domain hot state.
+
+    OCaml cannot force alignment, but it can keep two domains' hot records
+    out of the {e same} line: {!copy_as_padded} reallocates a record (or any
+    plain tag-0 block, including ['a Atomic.t]) into a heap block oversized
+    by {!cache_line_words}, so neighbouring allocations — typically the next
+    domain's counterpart record — start at least a cache line later. This is
+    the technique multicore libraries use to kill false sharing between
+    per-domain atomics allocated back to back. *)
+
+val cache_line_words : int
+(** Spare words appended to a padded block — 16 words = 128 bytes, covering
+    a 64-byte line plus the adjacent-line prefetcher's pair. *)
+
+val copy_as_padded : 'a -> 'a
+(** [copy_as_padded x] is a shallow copy of [x] in an oversized heap block.
+    Mutable fields stay mutable; the copy is the value to retain (the
+    original is garbage). Immediates and non-tag-0 blocks (closures, float
+    arrays, …) are returned unchanged. *)

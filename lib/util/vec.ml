@@ -25,11 +25,32 @@ let of_list xs =
   List.iter (push v) xs;
   v
 
+(* Clear the just-vacated slot at [v.size] so the GC can reclaim the
+   element: without this, popped (boxed) elements stay reachable from
+   [v.data] until the slot happens to be overwritten — a space leak that
+   pins pool items for arbitrarily long. A live element serves as the
+   filler (the same trick [grow] uses); when the vector empties there is
+   none, so drop the whole backing array.
+
+   Invariant: every slot at index >= [v.size] aliases [v.data.(0)] (both
+   [push]'s initial [Array.make] and [grow] establish it for the fresh
+   tail). Operations that replace the element at index 0 must refresh the
+   whole tail ([refresh_filler]), or the out-of-range slots would keep
+   the displaced element alive. *)
+let release_slot v =
+  if v.size = 0 then v.data <- [||] else v.data.(v.size) <- v.data.(0)
+
+let refresh_filler v =
+  if v.size = 0 then v.data <- [||]
+  else Array.fill v.data v.size (Array.length v.data - v.size) v.data.(0)
+
 let pop v =
   if v.size = 0 then None
   else begin
     v.size <- v.size - 1;
-    Some v.data.(v.size)
+    let x = v.data.(v.size) in
+    release_slot v;
+    Some x
   end
 
 let pop_exn v =
@@ -45,7 +66,8 @@ let get v i =
 
 let set v i x =
   check_bounds v i "Vec.set: index out of bounds";
-  v.data.(i) <- x
+  v.data.(i) <- x;
+  if i = 0 then refresh_filler v
 
 let take_last v n =
   let n = min n v.size in
@@ -54,7 +76,9 @@ let take_last v n =
 
 let append_list v xs = List.iter (push v) xs
 
-let clear v = v.size <- 0
+let clear v =
+  v.size <- 0;
+  v.data <- [||]
 
 let to_list v = List.init v.size (fun i -> v.data.(i))
 
@@ -68,4 +92,5 @@ let swap_remove v i =
   let x = v.data.(i) in
   v.size <- v.size - 1;
   v.data.(i) <- v.data.(v.size);
+  if i = 0 then refresh_filler v else release_slot v;
   x

@@ -1,7 +1,12 @@
 (** Growable array (the stdlib gains [Dynarray] only in OCaml 5.2).
 
     Amortised O(1) push/pop at the end; used as the backing store for pool
-    segments and work lists. Not thread-safe: callers synchronise. *)
+    segments and work lists. Not thread-safe: callers synchronise.
+
+    Removal ([pop], [pop_exn], [take_last], [swap_remove], [clear]) never
+    retains a reference to a removed element: vacated slots are overwritten
+    (or the backing array dropped when the vector empties), so removed
+    elements are immediately reclaimable by the GC. *)
 
 type 'a t
 (** A growable array of ['a]. *)

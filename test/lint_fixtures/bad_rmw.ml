@@ -3,3 +3,10 @@
 let total = Atomic.make 0
 
 let bump d = Atomic.set total (Atomic.get total + d)
+
+(* Splitting the get from the set behind a let-binding is the same lost
+   update; the taint tracking must see through the intermediate name. *)
+let bump_split d =
+  let seen = Atomic.get total in
+  let next = seen + d in
+  Atomic.set total next

@@ -12,3 +12,15 @@ let scale k =
 let mirror = Atomic.make 0
 
 let publish () = Atomic.set mirror (Atomic.get total)
+
+(* Ditto through a let-binding: [x] is tainted by [total], not [mirror]. *)
+let publish_split () =
+  let x = Atomic.get total in
+  Atomic.set mirror (x + 1)
+
+(* Shadowing scrubs taint: the inner [x] no longer carries [total]. *)
+let shadowed d =
+  let x = Atomic.get total in
+  ignore x;
+  let x = d in
+  Atomic.set total x

@@ -134,9 +134,10 @@ let test_mcpool_steal_banks_remainder () =
   for i = 1 to 9 do
     Cpool_mc.Mc_pool.add pool h1 i
   done;
-  (* ceil(9/2) = 5 taken from the victim's stack top (9..5): element 9 is
-     returned, 8..5 banked locally with 5 ending on top. *)
-  Alcotest.(check (option int)) "steal returns victim's top" (Some 9)
+  (* ceil(9/2) = 5 taken from the victim's ring top — the OLDEST elements
+     (1..5), leaving the victim's recent end untouched: element 1 is
+     returned, 2..5 banked locally with 5 ending newest. *)
+  Alcotest.(check (option int)) "steal returns victim's oldest" (Some 1)
     (Cpool_mc.Mc_pool.try_remove pool h0);
   Alcotest.(check (option int)) "local after banking" (Some 5)
     (Cpool_mc.Mc_pool.try_remove_local pool h0);

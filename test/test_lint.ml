@@ -31,7 +31,9 @@ let test_r1_quiet () =
 
 let test_r2_fires () =
   let fs = lint "bad_rmw.ml" in
-  Alcotest.(check int) "one rmw" 1 (count_rule Lint_rules.non_atomic_rmw fs);
+  Alcotest.(check int)
+    "direct + let-split rmw" 2
+    (count_rule Lint_rules.non_atomic_rmw fs);
   Alcotest.(check (list string)) "only R2" [ Lint_rules.non_atomic_rmw ] (rules_of fs)
 
 let test_r2_quiet_and_suppressed () =
@@ -103,7 +105,7 @@ let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
 let test_interleave_passes () =
   let outcomes = Interleave.run_all null_ppf in
-  Alcotest.(check int) "four scenarios" 4 (List.length outcomes);
+  Alcotest.(check int) "six scenarios" 6 (List.length outcomes);
   List.iter
     (fun (name, schedules) ->
       Alcotest.(check bool) (name ^ " explored > 1 schedule") true (schedules > 1))

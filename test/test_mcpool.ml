@@ -67,11 +67,11 @@ let test_try_remove_nonblocking kind () =
 
 (* --- Multi-domain stress --- *)
 
-let test_conservation_under_domains kind () =
+let test_conservation_under_domains ?(fast_path = true) kind () =
   (* 4 domains, each adds [per] elements and removes [per] elements; at the
      end the pool must be exactly empty and every element consumed once. *)
   let domains = 4 and per = 2_000 in
-  let pool = Mc_pool.create ~kind ~segments:domains () in
+  let pool = Mc_pool.create ~kind ~fast_path ~segments:domains () in
   let consumed = Array.make domains 0 in
   let spawn i =
     Domain.spawn (fun () ->
@@ -495,9 +495,165 @@ let test_segment_reserve_refill () =
     (Invalid_argument "Mc_segment.reserve: negative reservation") (fun () ->
       ignore (Mc_segment.reserve s (-1)))
 
+(* --- Ring protocol and the fast/locked path split --- *)
+
+let test_segment_spill_add () =
+  let s : int Mc_segment.t = Mc_segment.make ~capacity:3 ~id:0 () in
+  Alcotest.(check bool) "owner add" true (Mc_segment.try_add s 1);
+  Alcotest.(check bool) "spill 1" true (Mc_segment.spill_add s 2);
+  Alcotest.(check bool) "spill 2" true (Mc_segment.spill_add s 3);
+  Alcotest.(check bool) "spill past bound rejected" false (Mc_segment.spill_add s 4);
+  Alcotest.(check int) "size" 3 (Mc_segment.size s);
+  Alcotest.(check bool) "consistent" true (Mc_segment.invariant_ok s);
+  (* All three come back out through the owner (ring first, then inbox). *)
+  let rec drain acc =
+    match Mc_segment.try_remove s with Some x -> drain (x :: acc) | None -> acc
+  in
+  Alcotest.(check (list int)) "all retrieved" [ 1; 2; 3 ] (List.sort compare (drain []));
+  let stats = Mc_segment.stats s in
+  Alcotest.(check int) "inbox adds counted" 2
+    (Cpool_metrics.Counters.get (Mc_stats.counters stats) "inbox adds")
+
+let test_segment_ring_wrap_churn () =
+  (* Push/pop churn far past the initial ring size: the cursors are
+     monotone, so the ring indices wrap many times; every element must
+     come back exactly once, interleaved with steals. *)
+  let s : int Mc_segment.t = Mc_segment.make ~id:0 () in
+  let seen = Hashtbl.create 64 in
+  let next = ref 0 in
+  let out = ref 0 in
+  for round = 1 to 200 do
+    for _ = 1 to 7 do
+      incr next;
+      Mc_segment.add s !next
+    done;
+    (match Mc_segment.steal_half ~max_take:2 s with
+    | Cpool.Steal.Nothing -> ()
+    | Cpool.Steal.Single x ->
+      incr out;
+      Hashtbl.replace seen x ()
+    | Cpool.Steal.Batch (x, rest) ->
+      List.iter
+        (fun y ->
+          incr out;
+          Hashtbl.replace seen y ())
+        (x :: rest));
+    let pops = if round mod 3 = 0 then 6 else 4 in
+    for _ = 1 to pops do
+      match Mc_segment.try_remove s with
+      | Some x ->
+        incr out;
+        Hashtbl.replace seen x ()
+      | None -> ()
+    done
+  done;
+  let rec drain () =
+    match Mc_segment.try_remove s with
+    | Some x ->
+      incr out;
+      Hashtbl.replace seen x ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "every element out exactly once" !next !out;
+  Alcotest.(check int) "no duplicates" !next (Hashtbl.length seen);
+  Alcotest.(check bool) "consistent" true (Mc_segment.invariant_ok s)
+
+let test_segment_fast_path_stats () =
+  let s : int Mc_segment.t = Mc_segment.make ~id:0 () in
+  for i = 1 to 8 do
+    Mc_segment.add s i
+  done;
+  for _ = 1 to 8 do
+    ignore (Mc_segment.try_remove s)
+  done;
+  let stats = Mc_segment.stats s in
+  let get name = Cpool_metrics.Counters.get (Mc_stats.counters stats) name in
+  (* The first pushes grow the ring under the lock; everything after is
+     lock-free. Solo pops stay lock-free except for the very last element,
+     where pop_fast cannot prove it is ahead of a stealer and arbitrates
+     through the mutex by design. *)
+  Alcotest.(check int) "all pushes counted" 8 (get "fast-path pushes" + get "locked pushes");
+  Alcotest.(check bool) "fast pushes dominate" true (get "fast-path pushes" >= 6);
+  Alcotest.(check int) "solo pops lock only for the last element" 7 (get "fast-path pops");
+  Alcotest.(check int) "last pop arbitrates via the mutex" 1 (get "locked pops");
+  Alcotest.(check bool) "fraction reflects the split" true
+    (Mc_stats.fast_path_fraction stats > 0.8)
+
+let test_segment_baseline_mode () =
+  (* fast_path:false is the benchmark's all-mutex twin: same results, all
+     owner traffic on the locked counters. *)
+  let s : int Mc_segment.t = Mc_segment.make ~fast_path:false ~id:0 () in
+  for i = 1 to 8 do
+    Mc_segment.add s i
+  done;
+  for _ = 1 to 8 do
+    ignore (Mc_segment.try_remove s)
+  done;
+  Alcotest.(check int) "empty" 0 (Mc_segment.size s);
+  let stats = Mc_segment.stats s in
+  Alcotest.(check int) "no fast ops" 0 (Mc_stats.fast_path_ops stats);
+  Alcotest.(check int) "all ops locked" 16 (Mc_stats.locked_path_ops stats)
+
+let test_segment_steal_batch_stats () =
+  let s : int Mc_segment.t = Mc_segment.make ~id:0 () in
+  for i = 1 to 8 do
+    Mc_segment.add s i
+  done;
+  (match Mc_segment.steal_half s with
+  | Cpool.Steal.Batch (_, rest) ->
+    Alcotest.(check int) "half the ring in one claim" 4 (1 + List.length rest)
+  | _ -> Alcotest.fail "expected a batch");
+  ignore (Mc_segment.steal_half ~max_take:1 s);
+  let stats = Mc_segment.stats s in
+  Alcotest.(check int) "only multi-element steals are batched" 1
+    (Cpool_metrics.Counters.get (Mc_stats.counters stats) "batched steals");
+  let sizes = Mc_stats.steal_batch_sizes stats in
+  Alcotest.(check int) "both steals sampled" 2 (Cpool_metrics.Sample.n sizes);
+  Alcotest.(check (float 0.0)) "largest batch" 4.0 (Cpool_metrics.Sample.max_value sizes)
+
+let test_pool_fast_path_off_equivalent kind () =
+  (* The baseline pool must behave identically (it is the same protocol,
+     minus the lock elision): run the conservation workload on it. *)
+  test_conservation_under_domains ~fast_path:false kind ()
+
+let test_mc_bench_smoke () =
+  let cell =
+    {
+      Cpool_mc.Mc_bench.kind = Mc_pool.Linear;
+      domains = 2;
+      mix = Cpool_mc.Mc_bench.Sufficient;
+      fast_path = true;
+    }
+  in
+  let r = Cpool_mc.Mc_bench.run_cell ~seconds:0.05 cell in
+  Alcotest.(check bool) "did work" true (r.Cpool_mc.Mc_bench.ops > 0);
+  Alcotest.(check bool) "throughput positive" true (r.Cpool_mc.Mc_bench.ops_per_sec > 0.0);
+  Alcotest.(check bool) "fast path used" true (r.Cpool_mc.Mc_bench.fast_ops > 0);
+  let config = { Cpool_mc.Mc_bench.default with seconds = 0.05; domain_counts = [ 2 ] } in
+  let doc = Cpool_mc.Mc_bench.to_json config [ r ] in
+  match Cpool_util.Json.parse (Cpool_util.Json.to_string doc) with
+  | Error e -> Alcotest.fail ("emitted JSON does not re-parse: " ^ e)
+  | Ok doc' -> (
+    match Cpool_mc.Mc_bench.validate_json doc' with
+    | Ok 1 -> ()
+    | Ok n -> Alcotest.fail (Printf.sprintf "expected 1 cell, validator saw %d" n)
+    | Error e -> Alcotest.fail ("validator rejected the artifact: " ^ e))
+
 let suites =
   main_suites
   @ [
+    ( "mcpool.ring",
+      [
+        Alcotest.test_case "spill_add capacity and retrieval" `Quick test_segment_spill_add;
+        Alcotest.test_case "ring wrap churn conserves" `Quick test_segment_ring_wrap_churn;
+        Alcotest.test_case "fast-path counters" `Quick test_segment_fast_path_stats;
+        Alcotest.test_case "all-mutex baseline mode" `Quick test_segment_baseline_mode;
+        Alcotest.test_case "batched-steal stats" `Quick test_segment_steal_batch_stats;
+        Alcotest.test_case "mc_bench smoke + JSON artifact" `Quick test_mc_bench_smoke;
+      ]
+      @ per_kind "baseline conservation under domains" test_pool_fast_path_off_equivalent );
     ( "mcpool.lifecycle",
       [
         Alcotest.test_case "deregister releases slot" `Quick test_deregister_releases_slot;

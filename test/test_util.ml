@@ -92,10 +92,104 @@ let prop_take_last_conserves =
       List.length taken = min k (List.length xs)
       && List.sort compare (taken @ Vec.to_list v) = List.sort compare xs)
 
+(* Space-leak regression: pop/pop_exn/take_last/swap_remove/clear used to
+   leave removed elements reachable from the backing array, keeping them
+   alive until the slot was overwritten by a later push. Weak pointers see
+   whether the GC can actually reclaim a removed element. *)
+let test_removal_releases_references () =
+  let v : int ref Vec.t = Vec.create () in
+  let w = Weak.create 4 in
+  (* No local bindings to the elements survive this block. *)
+  (let fill slot =
+     let r = ref slot in
+     Weak.set w slot (Some r);
+     Vec.push v r
+   in
+   List.iter fill [ 0; 1; 2; 3 ]);
+  (* pop removes r3: [r0; r1; r2]. swap_remove 0 removes r0 and moves the
+     last element into slot 0: [r2; r1]. take_last 1 removes r1: [r2]. *)
+  ignore (Vec.pop v : int ref option);
+  ignore (Vec.swap_remove v 0 : int ref);
+  ignore (Vec.take_last v 1 : int ref list);
+  Gc.full_major ();
+  let collected slot = Weak.get w slot = None in
+  Alcotest.(check bool) "popped element collected" true (collected 3);
+  Alcotest.(check bool) "swap-removed element collected" true (collected 0);
+  Alcotest.(check bool) "take_last element collected" true (collected 1);
+  Alcotest.(check bool) "remaining element alive" false (collected 2);
+  Alcotest.(check int) "one element left" 1 (Vec.length v);
+  Vec.clear v;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared element collected" true (collected 2)
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Assoc
+      [
+        ("n", Json.Int 42);
+        ("x", Json.Float 1.5);
+        ("neg", Json.Float (-0.25));
+        ("s", Json.Str "he said \"hi\"\n\t\xe2\x9c\x93");
+        ("flags", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("nested", Json.Assoc [ ("empty_list", Json.List []); ("empty_obj", Json.Assoc []) ]);
+      ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "round-trips" true (doc = doc')
+  | Error e -> Alcotest.fail ("re-parse failed: " ^ e)
+
+let test_json_nonfinite_floats_are_null () =
+  let doc = Json.List [ Json.Float Float.nan; Json.Float Float.infinity ] in
+  match Json.parse (Json.to_string doc) with
+  | Ok (Json.List [ Json.Null; Json.Null ]) -> ()
+  | Ok _ -> Alcotest.fail "expected [null, null]"
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_numbers () =
+  (match Json.parse "7" with
+  | Ok (Json.Int 7) -> ()
+  | _ -> Alcotest.fail "int");
+  match Json.parse "[7.0, 2e3, -1.5]" with
+  | Ok (Json.List [ Json.Float 7.0; Json.Float 2000.0; Json.Float (-1.5) ]) -> ()
+  | _ -> Alcotest.fail "floats"
+
+let test_json_parse_rejects () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" src)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}"; "[1 2]"; "nan" ]
+
+let test_json_accessors () =
+  let doc = Json.Assoc [ ("xs", Json.List [ Json.Int 1 ]); ("f", Json.Float 2.5) ] in
+  Alcotest.(check bool) "member hit" true (Json.member "xs" doc <> None);
+  Alcotest.(check bool) "member miss" true (Json.member "nope" doc = None);
+  Alcotest.(check bool) "to_list" true
+    (match Option.bind (Json.member "xs" doc) Json.to_list with
+    | Some [ Json.Int 1 ] -> true
+    | _ -> false);
+  Alcotest.(check bool) "to_number of int" true (Json.to_number (Json.Int 3) = Some 3.0);
+  Alcotest.(check bool) "to_number of float" true
+    (Option.bind (Json.member "f" doc) Json.to_number = Some 2.5);
+  Alcotest.(check bool) "to_number of string" true (Json.to_number (Json.Str "3") = None)
+
 let suites =
   [
+    ( "util.json",
+      [
+        Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_floats_are_null;
+        Alcotest.test_case "number parsing" `Quick test_json_parse_numbers;
+        Alcotest.test_case "rejects malformed" `Quick test_json_parse_rejects;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+      ] );
     ( "util.vec",
       [
+        Alcotest.test_case "removal releases references" `Quick
+          test_removal_releases_references;
         Alcotest.test_case "empty" `Quick test_empty;
         Alcotest.test_case "push/pop order" `Quick test_push_pop_order;
         Alcotest.test_case "of_list/to_list" `Quick test_of_list_to_list;
