@@ -115,16 +115,19 @@ let list_cmd =
 
 (* --- mc-stress: multi-domain soak of the real pool, with invariants --- *)
 
+(* One shared parser for every pool kind, via Cpool_intf.of_string — a typo
+   is a hard CLI error (non-zero exit) carrying the valid-kind list, never
+   a silently substituted default. [None] means "all". *)
 let kind_conv =
   let parse = function
-    | "linear" -> Ok (Some Cpool_mc.Mc_pool.Linear)
-    | "random" -> Ok (Some Cpool_mc.Mc_pool.Random)
-    | "tree" -> Ok (Some Cpool_mc.Mc_pool.Tree)
     | "all" -> Ok None
-    | s -> Error (`Msg (Printf.sprintf "unknown kind %S (expected linear, random, tree or all)" s))
+    | s -> (
+      match Cpool_intf.of_string s with
+      | Ok k -> Ok (Some k)
+      | Error msg -> Error (`Msg (msg ^ ", or all")))
   in
   let print fmt = function
-    | Some k -> Format.pp_print_string fmt (Cpool_mc.Mc_stress.kind_name k)
+    | Some k -> Format.pp_print_string fmt (Cpool_intf.to_string k)
     | None -> Format.pp_print_string fmt "all"
   in
   Arg.conv (parse, print)
@@ -146,7 +149,7 @@ let mc_stress_cmd =
     Arg.(value & opt float 1.0 & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
   in
   let stress_kind =
-    let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree) or $(b,all)." in
+    let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree), $(b,hinted) or $(b,all)." in
     Arg.(value & opt kind_conv None & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
   in
   let mode =
@@ -181,11 +184,7 @@ let mc_stress_cmd =
     else if capacity < 1 then `Error (true, "--capacity must be at least 1")
     else if seconds <= 0.0 then `Error (true, "--seconds must be positive")
     else
-    let kinds =
-      match kind with
-      | Some k -> [ k ]
-      | None -> [ Cpool_mc.Mc_pool.Linear; Cpool_mc.Mc_pool.Random; Cpool_mc.Mc_pool.Tree ]
-    in
+    let kinds = match kind with Some k -> [ k ] | None -> Cpool_intf.all in
     let capacities =
       match mode with
       | "unbounded" -> [ None ]
@@ -262,7 +261,7 @@ let mc_throughput_cmd =
     Arg.(value & opt float 1.0 & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
   in
   let bench_kind =
-    let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree) or $(b,all)." in
+    let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree), $(b,hinted) or $(b,all)." in
     Arg.(value & opt kind_conv (Some Cpool_mc.Mc_pool.Linear) & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
   in
   let mixes =
@@ -298,11 +297,7 @@ let mc_throughput_cmd =
     else if (match capacity with Some c -> c < 1 | None -> false) then
       `Error (true, "--capacity must be at least 1")
     else begin
-      let kinds =
-        match kind with
-        | Some k -> [ k ]
-        | None -> [ Cpool_mc.Mc_pool.Linear; Cpool_mc.Mc_pool.Random; Cpool_mc.Mc_pool.Tree ]
-      in
+      let kinds = match kind with Some k -> [ k ] | None -> Cpool_intf.all in
       let config =
         {
           Cpool_mc.Mc_bench.kinds;

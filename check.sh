@@ -22,12 +22,21 @@ dune exec bin/pools_lint.exe -- interleave
 echo "== mc-stress smoke (all kinds, bounded + unbounded) =="
 dune exec bin/pools_bench.exe -- mc-stress --domains 4 --seconds 0.5 --capacity 32
 
+echo "== mc-stress smoke (hinted hand-off under a sparse mix) =="
+dune exec bin/pools_bench.exe -- mc-stress --domains 4 --seconds 0.3 \
+  -k hinted --add-bias 0.35 --initial 32
+
 echo "== mc-throughput smoke (fast path vs all-mutex baseline) =="
 dune exec bin/pools_bench.exe -- mc-throughput --domains 2 --seconds 0.2 \
   --out BENCH_mcpool_smoke.json
 
-echo "== json-check (benchmark artifact parses and validates) =="
+echo "== mc-throughput smoke (hinted hand-off, sparse mix) =="
+dune exec bin/pools_bench.exe -- mc-throughput --domains 2 --seconds 0.2 \
+  --kind hinted --mixes sparse --out BENCH_mcpool_hinted_smoke.json
+
+echo "== json-check (benchmark artifacts parse and validate) =="
 dune exec bin/pools_bench.exe -- json-check BENCH_mcpool_smoke.json
-rm -f BENCH_mcpool_smoke.json
+dune exec bin/pools_bench.exe -- json-check BENCH_mcpool_hinted_smoke.json
+rm -f BENCH_mcpool_smoke.json BENCH_mcpool_hinted_smoke.json
 
 echo "check.sh: all green"

@@ -49,10 +49,7 @@ let run_workload ~kind ~domains =
   let elapsed = Unix.gettimeofday () -. t0 in
   (elapsed, Atomic.get processed, Cpool_mc.Mc_pool.steals pool)
 
-let kind_name = function
-  | Cpool_mc.Mc_pool.Linear -> "linear"
-  | Cpool_mc.Mc_pool.Random -> "random"
-  | Cpool_mc.Mc_pool.Tree -> "tree"
+let kind_name = Cpool_mc.Mc_pool.kind_to_string
 
 let () =
   let domains = min 8 (max 2 (Domain.recommended_domain_count ())) in

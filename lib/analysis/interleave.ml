@@ -9,6 +9,11 @@
    interleavings we must certify. *)
 module M = Cpool_mc.Mc_segment_core.Make (Sched.Prim)
 
+(* The hint board on the same instrumented primitives: the hinted hand-off
+   scenarios below compose it with M's spill inbox exactly as
+   Mc_pool.try_deliver / the parked hunt do. *)
+module H = Cpool_mc.Mc_hints.Make (Sched.Prim)
+
 type scenario = { name : string; instance : unit -> Sched.instance }
 
 let failf name fmt = Printf.ksprintf (fun m -> failwith (name ^ ": " ^ m)) fmt
@@ -234,6 +239,123 @@ let push_vs_reserve () =
           failf name "conservation broken: %d elements of %d" total (2 + !pushed));
   }
 
+(* The hinted hand-off's core race: a searcher publishing its hint and
+   retracting it (the park/unpark edge) against an adder trying to claim it
+   and deliver into the searcher's segment — Mc_pool.try_deliver vs the
+   hinted hunt, on the shipped protocol. The retract CAS and the claim CAS
+   linearize on the slot, so exactly one side must win, the element must
+   land exactly once (delivered into the searcher's segment, or added to
+   the adder's own), and the board must end Free with no waiter count
+   leaked. *)
+let hint_add_vs_park () =
+  let name = "hint add vs park/retract" in
+  let seeker = M.make ~id:0 () in
+  let adder_seg = M.make ~id:1 () in
+  let board = H.create ~slots:2 () in
+  let retracted = ref false in
+  let claimed = ref false in
+  let searcher () =
+    (* Publish, then immediately try to unpark — the tightest
+       park-then-retract window. A lost retract means the adder's delivery
+       is in flight; the post-run checks absorb it (awaiting the release
+       in-fiber would spin the DFS through unbounded schedules). *)
+    H.publish board 0;
+    match H.retract board 0 with
+    | H.Retracted -> retracted := true
+    | H.Claim_pending -> ()
+  in
+  let adder () =
+    match H.try_claim board ~from:1 with
+    | Some w ->
+      claimed := true;
+      if w <> 0 then failf name "claimed slot %d, expected 0" w;
+      if not (M.spill_add seeker 7) then failf name "unbounded spill_add rejected";
+      H.release board w
+    | None -> M.add adder_seg 7
+  in
+  {
+    Sched.threads = [ searcher; adder ];
+    check_step =
+      (fun () ->
+        bound_ok name seeker ();
+        bound_ok name adder_seg ();
+        (* The waiter count is conservative, not exact: publish stores the
+           state and bumps the count in two steps, so a claim landing in
+           between decrements first and the count transiently reads -1.
+           With one hint it can never leave [-1, 1]; it must be exactly 0
+           again at quiescence. *)
+        let w = H.waiters board in
+        if w < -1 || w > 1 then failf name "waiter count %d out of [-1, 1]" w);
+    check_final =
+      (fun () ->
+        quiescent name seeker;
+        quiescent name adder_seg;
+        if !retracted && !claimed then failf name "hint both retracted and claimed";
+        if (not !retracted) && not !claimed then
+          failf name "hint neither retracted nor claimed";
+        if H.waiters board <> 0 then
+          failf name "waiter count leaked: %d" (H.waiters board);
+        if not (H.is_free board 0) then failf name "slot 0 not Free at quiescence";
+        let delivered = stored seeker and local = stored adder_seg in
+        if delivered + local <> 1 then
+          failf name "element lost or duplicated: %d delivered + %d local" delivered
+            local;
+        if !claimed && delivered <> 1 then failf name "claim won but no delivery landed";
+        if !retracted && local <> 1 then
+          failf name "retract won but the add left its own segment");
+  }
+
+(* Two adders racing to claim the single published hint: the claim CAS must
+   admit exactly one winner — the loser falls back to its own segment, the
+   winner delivers into the parked searcher's — and the board must end Free
+   with the waiter count at zero. The searcher is already parked (the board
+   is seeded before the run), which is the state Mc_pool reaches before any
+   adder can observe the hint. *)
+let hint_double_claim () =
+  let name = "hint double-claim" in
+  let seeker = M.make ~id:0 () in
+  let seg1 = M.make ~id:1 () in
+  let seg2 = M.make ~id:2 () in
+  let board = H.create ~slots:3 () in
+  H.publish board 0;
+  let wins = Array.make 2 false in
+  let adder seg slot idx () =
+    match H.try_claim board ~from:slot with
+    | Some w ->
+      wins.(idx) <- true;
+      if w <> 0 then failf name "claimed slot %d, expected 0" w;
+      if not (M.spill_add seeker (10 + idx)) then failf name "unbounded spill_add rejected";
+      H.release board w
+    | None -> M.add seg (10 + idx)
+  in
+  {
+    Sched.threads = [ adder seg1 1 0; adder seg2 2 1 ];
+    check_step =
+      (fun () ->
+        bound_ok name seeker ();
+        (* Seeded by a pre-run publish, so both transitions are complete:
+           claims only ever decrement from a settled 1. *)
+        let w = H.waiters board in
+        if w < 0 || w > 1 then failf name "waiter count %d out of [0, 1]" w);
+    check_final =
+      (fun () ->
+        quiescent name seeker;
+        quiescent name seg1;
+        quiescent name seg2;
+        (match wins with
+        | [| true; true |] -> failf name "both adders claimed the one hint"
+        | [| false; false |] -> failf name "neither adder claimed the published hint"
+        | _ -> ());
+        if H.waiters board <> 0 then
+          failf name "waiter count leaked: %d" (H.waiters board);
+        if not (H.is_free board 0) then failf name "slot 0 not Free at quiescence";
+        if stored seeker <> 1 then
+          failf name "expected exactly one delivery, segment holds %d" (stored seeker);
+        if stored seeker + stored seg1 + stored seg2 <> 2 then
+          failf name "conservation broken: %d elements of 2"
+            (stored seeker + stored seg1 + stored seg2));
+  }
+
 let scenarios =
   [
     { name = "try-add-capacity"; instance = try_add_capacity };
@@ -242,6 +364,8 @@ let scenarios =
     { name = "three-way"; instance = three_way };
     { name = "pop-vs-steal"; instance = pop_vs_steal };
     { name = "push-vs-reserve"; instance = push_vs_reserve };
+    { name = "hint-add-vs-park"; instance = hint_add_vs_park };
+    { name = "hint-double-claim"; instance = hint_double_claim };
   ]
 
 let run_all ppf =

@@ -36,7 +36,7 @@ let spec t ?(kind = Cpool.Pool.Linear) ?(extra_remote_delay = 0.0) ?(record_trac
     Driver.pool =
       {
         Cpool.Pool.default_config with
-        participants = t.participants;
+        segments = t.participants;
         kind;
         profile = t.profile;
         remote_op_delay = extra_remote_delay;

@@ -52,7 +52,7 @@ let solve p config =
         Cpool.Pool.create
           {
             Cpool.Pool.default_config with
-            participants = config.workers;
+            segments = config.workers;
             kind;
             profile = Cpool.Segment.Boxed;
           }

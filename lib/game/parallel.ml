@@ -59,7 +59,7 @@ let analyse ?(board = Board.empty) config =
         Cpool.Pool.create
           {
             Cpool.Pool.default_config with
-            participants = config.workers;
+            segments = config.workers;
             kind;
             profile = Cpool.Segment.Boxed;
           }

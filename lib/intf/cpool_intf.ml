@@ -1,0 +1,20 @@
+type kind = Linear | Random | Tree | Hinted
+
+let all = [ Linear; Random; Tree; Hinted ]
+
+let to_string = function
+  | Linear -> "linear"
+  | Random -> "random"
+  | Tree -> "tree"
+  | Hinted -> "hinted"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "linear" -> Ok Linear
+  | "random" -> Ok Random
+  | "tree" -> Ok Tree
+  | "hinted" -> Ok Hinted
+  | _ ->
+    Error
+      (Printf.sprintf "unknown pool kind %S (valid kinds: %s)" s
+         (String.concat ", " (List.map to_string all)))

@@ -1,0 +1,25 @@
+(** The shared pool interface: one [kind] type for every pool.
+
+    Both the simulated pool ({!Cpool.Pool}) and the real multicore pool
+    ({!Cpool_mc.Mc_pool}) implement the same four search algorithms, so
+    they re-export this single [kind] — callers, CLIs and configs name an
+    algorithm once and use it against either implementation. *)
+
+type kind =
+  | Linear  (** Ring scan from the last successful segment (paper §3.1). *)
+  | Random  (** Uniform random probes (paper §3.2). *)
+  | Tree  (** Manber's tournament-tree walk (paper §3.3). *)
+  | Hinted
+      (** Linear search plus a hint board: an empty-handed searcher
+          announces itself and adders deliver elements directly into its
+          segment (paper §5). *)
+
+val all : kind list
+(** Every kind, in presentation order: [Linear; Random; Tree; Hinted]. *)
+
+val to_string : kind -> string
+(** Lowercase names: ["linear"], ["random"], ["tree"], ["hinted"]. *)
+
+val of_string : string -> (kind, string) result
+(** Case-insensitive inverse of {!to_string}; [Error] carries a message
+    listing the valid kinds. *)

@@ -52,6 +52,10 @@ type result = {
   steals : int;
   batched_steals : int;
   mean_batch : float;
+  hints_published : int;
+  hints_claimed : int;
+  hints_delivered : int;
+  hints_expired : int;
 }
 
 type tally = {
@@ -78,6 +82,14 @@ let worker pool cell ~seed tally i barrier deadline =
   while Atomic.get barrier > 0 do
     Domain.cpu_relax ()
   done;
+  (* Sparse cells use the blocking remove: the pool runs dry by design, so
+     "what does a searcher do about an empty pool" — spin-searching
+     (Linear/Random/Tree) vs parking on the hint board (Hinted) — is
+     exactly the behaviour under test. Blocking removes can stall until a
+     peer adds, so the deadline is checked every batch. Sufficient cells
+     keep the non-blocking remove and the sparser deadline check. *)
+  let blocking = cell.mix = Sparse in
+  let deadline_mask = if blocking then 0 else 15 in
   let batches = ref 0 in
   let running = ref true in
   while !running do
@@ -90,7 +102,9 @@ let worker pool cell ~seed tally i barrier deadline =
         if Mc_pool.try_add pool h tally.t_ops then tally.t_adds <- tally.t_adds + 1
       end
       else
-        match Mc_pool.try_remove pool h with
+        match
+          if blocking then Mc_pool.remove pool h else Mc_pool.try_remove pool h
+        with
         | Some _ -> tally.t_removes <- tally.t_removes + 1
         | None -> ()
     done;
@@ -98,7 +112,8 @@ let worker pool cell ~seed tally i barrier deadline =
       let dt = Unix.gettimeofday () -. t0 in
       Cpool_metrics.Sample.add tally.t_lat (dt *. 1e6 /. float_of_int batch)
     end;
-    if !batches land 15 = 0 && Unix.gettimeofday () >= deadline then running := false
+    if !batches land deadline_mask = 0 && Unix.gettimeofday () >= deadline then
+      running := false
   done;
   Mc_pool.deregister pool h
 
@@ -134,6 +149,9 @@ let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) cell =
   List.iter Domain.join ds;
   let duration = Unix.gettimeofday () -. t0 in
   let seg = Mc_stats.merge_all (Array.to_list (Mc_pool.segment_stats pool)) in
+  (* Hint counters live on the handle side; [Mc_pool.stats] merges every
+     handle ever issued (the workers just deregistered, so it is exact). *)
+  let all = Mc_pool.stats pool in
   let lat =
     Array.fold_left
       (fun acc t -> Cpool_metrics.Sample.merge acc t.t_lat)
@@ -158,6 +176,10 @@ let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) cell =
     batched_steals =
       Cpool_metrics.Counters.get (Mc_stats.counters seg) "batched steals";
     mean_batch = Cpool_metrics.Sample.mean (Mc_stats.steal_batch_sizes seg);
+    hints_published = Mc_stats.hints_published all;
+    hints_claimed = Mc_stats.hints_claimed all;
+    hints_delivered = Mc_stats.hints_delivered all;
+    hints_expired = Mc_stats.hints_expired all;
   }
 
 let run config =
@@ -195,12 +217,16 @@ let render results =
       string_of_int r.steals;
       string_of_int r.batched_steals;
       Cpool_metrics.Render.float_cell r.mean_batch;
+      string_of_int r.hints_delivered;
     ]
   in
   Buffer.add_string buf
     (Cpool_metrics.Render.table ~title:"mc-throughput"
        ~headers:
-         [ "cell"; "ops/s"; "p50 µs"; "p99 µs"; "fast %"; "steals"; "batched"; "elems/batch" ]
+         [
+           "cell"; "ops/s"; "p50 µs"; "p99 µs"; "fast %"; "steals"; "batched";
+           "elems/batch"; "deliv";
+         ]
        ~rows:(List.map row results) ());
   (* Speedups: pair each fast cell with its all-mutex twin. *)
   let twins =
@@ -225,6 +251,30 @@ let render results =
              f.ops_per_sec b.ops_per_sec))
       twins
   end;
+  (* The hinted hand-off's headline: Hinted vs Linear on otherwise
+     identical cells (the paper's §5 comparison, sparse mix being the
+     regime it targets). *)
+  let hinted_vs_linear =
+    List.filter_map
+      (fun r ->
+        if r.cell.kind <> Cpool_intf.Hinted then None
+        else
+          List.find_opt (fun l -> l.cell = { r.cell with kind = Cpool_intf.Linear }) results
+          |> Option.map (fun l -> (r, l)))
+      results
+  in
+  if hinted_vs_linear <> [] then begin
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (h, l) ->
+        Buffer.add_string buf
+          (Printf.sprintf "hinted vs linear %dd/%s/%s: %.2fx (%.0f vs %.0f ops/s)\n"
+             h.cell.domains (mix_name h.cell.mix)
+             (if h.cell.fast_path then "fast" else "mutex")
+             (h.ops_per_sec /. Float.max 1e-9 l.ops_per_sec)
+             h.ops_per_sec l.ops_per_sec))
+      hinted_vs_linear
+  end;
   Buffer.contents buf
 
 let json_of_result r =
@@ -247,6 +297,10 @@ let json_of_result r =
       ("steals", Cpool_util.Json.Int r.steals);
       ("batched_steals", Cpool_util.Json.Int r.batched_steals);
       ("mean_batch", Cpool_util.Json.Float r.mean_batch);
+      ("hints_published", Cpool_util.Json.Int r.hints_published);
+      ("hints_claimed", Cpool_util.Json.Int r.hints_claimed);
+      ("hints_delivered", Cpool_util.Json.Int r.hints_delivered);
+      ("hints_expired", Cpool_util.Json.Int r.hints_expired);
     ]
 
 let to_json config results =
@@ -299,6 +353,7 @@ let validate_json doc =
             (Ok ())
             [
               "domains"; "ops"; "ops_per_sec"; "fast_ops"; "locked_ops"; "steals";
+              "hints_published"; "hints_claimed"; "hints_delivered"; "hints_expired";
             ]
         in
         (match J.member "fast_path" c with

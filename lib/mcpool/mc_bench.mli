@@ -5,8 +5,11 @@
     segment protocol — each a wall-clock-bounded randomized add/remove
     workload with one worker domain per segment. The two mixes follow the
     paper's regimes: {e sufficient} (> 50% adds, prefilled, removes almost
-    always hit the owner's own segment) and {e sparse} (< 50% adds, the
-    pool runs dry and steal traffic dominates). Each (kind, domains, mix)
+    always hit the owner's own segment — non-blocking removes) and
+    {e sparse} (< 50% adds, the pool runs dry and steal traffic dominates —
+    {e blocking} removes, so what a searcher does about an empty pool,
+    spin-searching vs parking on the [Hinted] hint board, is part of the
+    measurement). Each (kind, domains, mix)
     cell runs twice when [baseline] is set: once with the segments'
     lock-free owner path and once in the all-mutex configuration
     ([fast_path:false]), so the speedup is measured within one binary on
@@ -60,6 +63,10 @@ type result = {
   steals : int;
   batched_steals : int;  (** Steals that moved >= 2 elements in one claim. *)
   mean_batch : float;  (** Mean elements per steal batch; [nan] if no steals. *)
+  hints_published : int;  (** Hints published by parking searchers ([Hinted]). *)
+  hints_claimed : int;  (** Hints CAS-claimed by adders. *)
+  hints_delivered : int;  (** Claims whose element landed in the parked searcher's segment. *)
+  hints_expired : int;  (** Hints retracted unclaimed (backoff or quiescence). *)
 }
 
 val run_cell : ?seconds:float -> ?capacity:int option -> ?seed:int -> cell -> result
@@ -74,7 +81,8 @@ val run : config -> result list
 val render : result list -> string
 (** Human-readable table of every cell plus, for each (kind, domains, mix)
     pair present in both protocols, the fast-path speedup over the
-    baseline. *)
+    baseline, and for each Hinted cell whose Linear twin is present, the
+    hinted-over-linear speedup. *)
 
 val to_json : config -> result list -> Cpool_util.Json.t
 (** The JSON document written to [BENCH_mcpool.json]: benchmark metadata

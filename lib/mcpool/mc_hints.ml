@@ -1,0 +1,129 @@
+(* The hint board for the Hinted search algorithm (paper Section 5), ported
+   to shared memory: one claimable slot per segment. A searcher that swept
+   every segment empty publishes its slot and parks; an adder claims a
+   published slot with one CAS and delivers its element straight into the
+   parked searcher's segment (via the segment's spill inbox), skipping its
+   own segment entirely.
+
+   The board is atomics-only — no mutex is ever held while touching it, so
+   its lock order is trivial: the only lock a hinted hand-off takes is the
+   target segment's mutex inside [spill_add], after the board transition
+   committed. Slot lifecycle:
+
+     Free --publish (owner store)--> Published
+     Published --retract (owner CAS)--> Free
+     Published --try_claim (adder CAS)--> Claimed --release (adder store)--> Free
+
+   Only the slot's owner (the one searcher registered on that segment)
+   performs Free->Published and the retract CAS; the two CASes on
+   [Published] linearize the race between a retracting searcher and a
+   claiming adder, so exactly one side wins each published hint. A slot the
+   adder holds [Claimed] is owned by that adder until its [release] store —
+   the searcher meanwhile waits for [Free] (the adder is one bounded
+   [spill_add] away from releasing, never blocked on the searcher).
+
+   [waiting] is a conservative advertisement so adders with no parked
+   searchers pay one read, not a board scan. It is bumped after the state
+   store and decremented by whichever side consumes the hint, so it can
+   momentarily disagree with the number of [Published] slots in either
+   direction; both misreadings are benign (a futile scan, or a missed
+   hand-off that falls back to a normal add). *)
+
+module type HINTS = sig
+  type t
+
+  type retract_outcome = Retracted | Claim_pending
+
+  val create : slots:int -> unit -> t
+
+  val slots : t -> int
+
+  val waiters : t -> int
+
+  val publish : t -> int -> unit
+
+  val try_claim : t -> from:int -> int option
+
+  val release : t -> int -> unit
+
+  val retract : t -> int -> retract_outcome
+
+  val is_published : t -> int -> bool
+
+  val is_free : t -> int -> bool
+
+  val published_count : t -> int
+end
+
+module Make (P : Mc_prim.S) : HINTS = struct
+  type state = Free | Published | Claimed
+
+  type t = { board : state P.Atomic.t array; waiting : int P.Atomic.t }
+
+  type retract_outcome = Retracted | Claim_pending
+
+  let create ~slots () =
+    if slots <= 0 then invalid_arg "Mc_hints.create: slots must be positive";
+    {
+      board = Array.init slots (fun _ -> P.Atomic.make_padded Free);
+      waiting = P.Atomic.make_padded 0;
+    }
+
+  let slots t = Array.length t.board
+
+  let waiters t = P.Atomic.get t.waiting
+
+  let publish t i =
+    (* Owner-only Free -> Published, so a plain store suffices. State
+       first, count second: an adder that reads the stale count either
+       scans in vain or misses this hint for one round — never claims a
+       slot that is not Published. *)
+    P.Atomic.set t.board.(i) Published;
+    ignore (P.Atomic.fetch_and_add t.waiting 1)
+
+  let try_claim t ~from =
+    let p = Array.length t.board in
+    (* Start next to the claimer's own slot (never useful to claim) and
+       take the first published hint on the ring, like the spill scan. *)
+    let rec scan k =
+      if k = p then None
+      else
+        let w = (from + k) mod p in
+        if
+          P.Atomic.get t.board.(w) == Published
+          && P.Atomic.compare_and_set t.board.(w) Published Claimed
+        then begin
+          ignore (P.Atomic.fetch_and_add t.waiting (-1));
+          Some w
+        end
+        else scan (k + 1)
+    in
+    scan 1
+
+  let release t w =
+    (* Claimed -> Free; only the adder whose CAS won holds the slot, so a
+       plain store suffices. The parked owner polls for exactly this. *)
+    P.Atomic.set t.board.(w) Free
+
+  let retract t i =
+    if P.Atomic.compare_and_set t.board.(i) Published Free then begin
+      ignore (P.Atomic.fetch_and_add t.waiting (-1));
+      Retracted
+    end
+    else
+      (* The CAS can only lose to an adder's claim: the owner must await
+         [is_free] (the adder's release) and then check its own segment —
+         a delivery may have landed. *)
+      Claim_pending
+
+  let is_published t i = P.Atomic.get t.board.(i) == Published
+
+  let is_free t i = P.Atomic.get t.board.(i) == Free
+
+  let published_count t =
+    Array.fold_left
+      (fun acc s -> if P.Atomic.get s == Published then acc + 1 else acc)
+      0 t.board
+end
+
+include Make (Mc_prim.Real)

@@ -1,4 +1,12 @@
-type kind = Linear | Random | Tree
+(* The shared algorithm type: one [kind] for the simulated and the real
+   pool, re-exported so [Mc_pool.Linear] etc. keep compiling. *)
+type kind = Cpool_intf.kind = Linear | Random | Tree | Hinted
+
+let kind_to_string = Cpool_intf.to_string
+
+let kind_of_string = Cpool_intf.of_string
+
+let all_kinds = Cpool_intf.all
 
 type tree = {
   leaves : int;
@@ -18,6 +26,7 @@ type 'a t = {
   steal_count : int Atomic.t;
   seed : int64;
   tree : tree option;
+  hints : Mc_hints.t option; (* the Hinted kind's claimable hint board *)
 }
 
 type handle = {
@@ -36,6 +45,9 @@ let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
 
 let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ~segments () =
   if segments <= 0 then invalid_arg "Mc_pool.create: segments must be positive";
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Mc_pool.create: capacity must be positive"
+  | Some _ | None -> ());
   let tree =
     match kind with
     | Tree ->
@@ -46,7 +58,12 @@ let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ~segment
           rounds = Array.init ((2 * leaves) - 1) (fun _ -> Atomic.make 0);
           node_locks = Array.init (max 0 (leaves - 1)) (fun _ -> Mutex.create ());
         }
-    | Linear | Random -> None
+    | Linear | Random | Hinted -> None
+  in
+  let hints =
+    match kind with
+    | Hinted -> Some (Mc_hints.create ~slots:segments ())
+    | Linear | Random | Tree -> None
   in
   {
     pool_kind = kind;
@@ -60,6 +77,7 @@ let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ~segment
     steal_count = Atomic.make 0;
     seed;
     tree;
+    hints;
   }
 
 let segments t = Array.length t.segs
@@ -138,7 +156,32 @@ let claimed_count t =
 
 let registered t = Atomic.get t.registered
 
+(* The Hinted hand-off's add side: claim a parked searcher and deposit
+   straight into its segment's spill inbox, skipping our own segment. The
+   cheap [waiters] read keeps the non-parked common case at one load; a
+   claim against a full bounded segment aborts the delivery (the claim is
+   still consumed — the searcher re-publishes on its next backoff round)
+   and falls through to the normal add path. *)
+let try_deliver t h x =
+  match t.hints with
+  | None -> false
+  | Some board ->
+    Mc_hints.waiters board > 0
+    && (match Mc_hints.try_claim board ~from:h.pool_slot with
+       | None -> false
+       | Some w ->
+         Mc_stats.note_hint_claimed h.stats;
+         let delivered = Mc_segment.spill_add t.segs.(w) x in
+         Mc_hints.release board w;
+         if delivered then begin
+           Mc_stats.note_hint_delivered h.stats;
+           Mc_stats.note_spill h.stats
+         end;
+         delivered)
+
 let try_add t h x =
+  if try_deliver t h x then true
+  else
   match t.bound with
   | None ->
     Mc_segment.add t.segs.(h.pool_slot) x;
@@ -259,7 +302,9 @@ let with_node_lock tree v f =
 let rec search_pass t h =
   let p = Array.length t.segs in
   match t.pool_kind with
-  | Linear ->
+  | Linear | Hinted ->
+    (* Hinted is linear search plus the hint board; the pass itself is the
+       same ring scan. *)
     let rec ring i =
       if i = p then None
       else
@@ -346,35 +391,131 @@ let try_remove t h =
     | Some x -> Some x
     | None -> sweep t h)
 
+let plain_hunt t h =
+  let rec hunt () =
+    match search_pass t h with
+    | Some x -> Some x
+    | None ->
+      if Atomic.get t.searching >= Atomic.get t.registered then begin
+        (* Everyone is searching: a clean sweep proves the pool empty. *)
+        match sweep t h with
+        | Some x -> Some x
+        | None ->
+          Mc_stats.note_empty_confirm h.stats;
+          None
+      end
+      else begin
+        Mc_stats.note_spin h.stats;
+        Domain.cpu_relax ();
+        hunt ()
+      end
+  in
+  hunt ()
+
+(* Parking discipline for the Hinted hunt. A parked searcher spins briefly
+   (a hand-off from a truly parallel adder lands within the spin window)
+   and then sleeps between polls: when domains are oversubscribed the sleep
+   is what actually hands the timeslice to the adder that will wake us. The
+   publish budget doubles, up to a cap, each time it expires with nothing
+   seen — exponential backoff between sweep rounds, so the loosely-coupled
+   regime re-sweeps at a geometric cadence instead of spinning. *)
+let park_spin_iters = 256
+
+let park_sleep_s = 5e-5
+
+let park_budget_base = 64
+
+let park_budget_cap = 4096
+
+let hinted_hunt t h board =
+  let me = h.pool_slot in
+  let rec round budget =
+    match search_pass t h with
+    | Some x -> Some x
+    | None ->
+      if Atomic.get t.searching >= Atomic.get t.registered then quiesce_unparked ()
+      else begin
+        Mc_hints.publish board me;
+        Mc_stats.note_hint_published h.stats;
+        park budget 0
+      end
+  (* Parked: our hint is on the board. Leave only through a retract (or,
+     when the retract CAS loses to a claim, through the claiming adder's
+     release) so the slot is always Free again before this hunt returns. *)
+  and park budget waited =
+    if not (Mc_hints.is_published board me) then claimed_wake budget 0
+    else if Mc_segment.size t.segs.(me) > 0 then unpark budget
+    else if Atomic.get t.searching >= Atomic.get t.registered then quiesce_parked budget
+    else if waited >= budget then expire budget
+    else begin
+      Mc_stats.note_spin h.stats;
+      if waited < park_spin_iters then Domain.cpu_relax () else Unix.sleepf park_sleep_s;
+      park budget (waited + 1)
+    end
+  and unpark budget =
+    (* Work arrived in our own segment (a plain spill, or a delivery racing
+       ahead of our poll): take the hint down first. *)
+    match Mc_hints.retract board me with
+    | Mc_hints.Retracted ->
+      Mc_stats.note_hint_expired h.stats;
+      take_local_or_resweep ()
+    | Mc_hints.Claim_pending -> claimed_wake budget 0
+  and claimed_wake budget waited =
+    (* An adder's claim beat our retract: its delivery attempt finishes in
+       a bounded number of its own steps, marked by the slot's release. *)
+    if Mc_hints.is_free board me then take_local_or_resweep ()
+    else begin
+      Mc_stats.note_spin h.stats;
+      if waited < park_spin_iters then Domain.cpu_relax () else Unix.sleepf park_sleep_s;
+      claimed_wake budget (waited + 1)
+    end
+  and expire budget =
+    match Mc_hints.retract board me with
+    | Mc_hints.Retracted ->
+      Mc_stats.note_hint_expired h.stats;
+      round (min park_budget_cap (2 * budget))
+    | Mc_hints.Claim_pending -> claimed_wake budget 0
+  and quiesce_parked budget =
+    (* Everyone is searching — but our own hint must come down before the
+       confirming sweep, or an adder-to-be could still claim it. A lost
+       retract means such an adder exists, so the pool is not quiescent
+       after all: absorb the delivery instead. *)
+    match Mc_hints.retract board me with
+    | Mc_hints.Retracted ->
+      Mc_stats.note_hint_expired h.stats;
+      quiesce_unparked ()
+    | Mc_hints.Claim_pending -> claimed_wake budget 0
+  and quiesce_unparked () =
+    match sweep t h with
+    | Some x -> Some x
+    | None ->
+      Mc_stats.note_empty_confirm h.stats;
+      None
+  and take_local_or_resweep () =
+    match try_remove_local t h with
+    | Some x -> Some x
+    | None ->
+      (* The element we woke for was stolen first (or the delivery was
+         aborted): the pool is active, so restart with a fresh budget. *)
+      round park_budget_base
+  in
+  round park_budget_base
+
 let remove t h =
   h.hunt_probes <- 0;
   match try_remove_local t h with
   | Some x -> Some x
   | None ->
     Atomic.incr t.searching;
-    let finish r =
-      Atomic.decr t.searching;
-      r
+    (* A parked hinted searcher keeps this increment: "searching empty" is
+       exactly what parking means, so quiescence detection stays exact. *)
+    let result =
+      match t.hints with
+      | Some board -> hinted_hunt t h board
+      | None -> plain_hunt t h
     in
-    let rec hunt () =
-      match search_pass t h with
-      | Some x -> finish (Some x)
-      | None ->
-        if Atomic.get t.searching >= Atomic.get t.registered then begin
-          (* Everyone is searching: a clean sweep proves the pool empty. *)
-          match sweep t h with
-          | Some x -> finish (Some x)
-          | None ->
-            Mc_stats.note_empty_confirm h.stats;
-            finish None
-        end
-        else begin
-          Mc_stats.note_spin h.stats;
-          Domain.cpu_relax ();
-          hunt ()
-        end
-    in
-    hunt ()
+    Atomic.decr t.searching;
+    result
 
 let size t = Array.fold_left (fun acc s -> acc + Mc_segment.size s) 0 t.segs
 

@@ -14,7 +14,22 @@
     empty while every registered worker was simultaneously searching — the
     natural quiescence signal for task-graph workloads. *)
 
-type kind = Linear | Random | Tree
+type kind = Cpool_intf.kind = Linear | Random | Tree | Hinted
+(** The shared algorithm type ({!Cpool_intf.kind}), re-exported so the old
+    [Mc_pool.Linear]-style constructors keep compiling. [Hinted] is linear
+    search plus a hint board ({!Mc_hints}): a searcher that sweeps every
+    segment empty publishes a claimable hint and parks, and adds deliver
+    elements straight into a parked searcher's segment before touching
+    their own (paper §5). *)
+
+val kind_to_string : kind -> string
+(** Deprecated alias for {!Cpool_intf.to_string}. *)
+
+val kind_of_string : string -> (kind, string) result
+(** Alias for {!Cpool_intf.of_string}. *)
+
+val all_kinds : kind list
+(** Alias for {!Cpool_intf.all}. *)
 
 type 'a t
 
@@ -94,7 +109,12 @@ val remove : 'a t -> handle -> 'a option
     [h]'s segment is empty; blocks (spinning politely) while the pool is
     empty but some registered worker is still active, and returns [None]
     only once every registered worker is searching and a full sweep
-    confirmed emptiness. *)
+    confirmed emptiness. On a [Hinted] pool the block parks on the hint
+    board instead of re-sweeping: the searcher publishes a claimable hint,
+    polls its own segment with exponential backoff between sweep rounds,
+    and is woken by an adder delivering straight into its segment. A parked
+    searcher still counts as "searching empty", so quiescence detection is
+    unchanged. *)
 
 val try_remove : 'a t -> handle -> 'a option
 (** [try_remove t h] is like {!remove} but never blocks: one search pass

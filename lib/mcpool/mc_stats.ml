@@ -12,6 +12,13 @@ type t = {
   mutable sweeps : int;
   mutable empty_confirms : int;
   mutable spins : int;
+  (* Hint-board counters (the [Hinted] kind). Published/expired are bumped
+     only by the parking searcher's own handle; claimed/delivered only by
+     the claiming adder's handle — per-handle single-writer like the rest. *)
+  mutable hints_published : int;
+  mutable hints_claimed : int;
+  mutable hints_delivered : int;
+  mutable hints_expired : int;
   (* Segment-side path counters: which protocol path each ring operation
      took. Fast/locked push/pop fields are written only by the segment's
      owner domain; inbox/steal fields only under the segment mutex — no two
@@ -43,6 +50,10 @@ let create () =
       sweeps = 0;
       empty_confirms = 0;
       spins = 0;
+      hints_published = 0;
+      hints_claimed = 0;
+      hints_delivered = 0;
+      hints_expired = 0;
       fast_pushes = 0;
       locked_pushes = 0;
       fast_pops = 0;
@@ -81,6 +92,14 @@ let note_empty_confirm s = s.empty_confirms <- s.empty_confirms + 1
 
 let note_spin s = s.spins <- s.spins + 1
 
+let note_hint_published s = s.hints_published <- s.hints_published + 1
+
+let note_hint_claimed s = s.hints_claimed <- s.hints_claimed + 1
+
+let note_hint_delivered s = s.hints_delivered <- s.hints_delivered + 1
+
+let note_hint_expired s = s.hints_expired <- s.hints_expired + 1
+
 let note_fast_push s = s.fast_pushes <- s.fast_pushes + 1
 
 let note_locked_push s = s.locked_pushes <- s.locked_pushes + 1
@@ -111,6 +130,10 @@ let merge a b =
   s.sweeps <- a.sweeps + b.sweeps;
   s.empty_confirms <- a.empty_confirms + b.empty_confirms;
   s.spins <- a.spins + b.spins;
+  s.hints_published <- a.hints_published + b.hints_published;
+  s.hints_claimed <- a.hints_claimed + b.hints_claimed;
+  s.hints_delivered <- a.hints_delivered + b.hints_delivered;
+  s.hints_expired <- a.hints_expired + b.hints_expired;
   s.fast_pushes <- a.fast_pushes + b.fast_pushes;
   s.locked_pushes <- a.locked_pushes + b.locked_pushes;
   s.fast_pops <- a.fast_pops + b.fast_pops;
@@ -140,6 +163,10 @@ let counters s =
       ("sweeps", s.sweeps);
       ("empty confirmations", s.empty_confirms);
       ("retry spins", s.spins);
+      ("hints published", s.hints_published);
+      ("hints claimed", s.hints_claimed);
+      ("hints delivered", s.hints_delivered);
+      ("hints expired", s.hints_expired);
       ("fast-path pushes", s.fast_pushes);
       ("locked pushes", s.locked_pushes);
       ("fast-path pops", s.fast_pops);
@@ -163,6 +190,14 @@ let segments_per_steal s = sample_of s.segs_per_steal
 let elements_per_steal s = sample_of s.elems_per_steal
 
 let steal_batch_sizes s = sample_of s.batch_sizes
+
+let hints_published s = s.hints_published
+
+let hints_claimed s = s.hints_claimed
+
+let hints_delivered s = s.hints_delivered
+
+let hints_expired s = s.hints_expired
 
 let fast_path_ops s = s.fast_pushes + s.fast_pops
 

@@ -51,7 +51,30 @@ val note_empty_confirm : t -> unit
 (** A blocking remove that concluded the pool empty. *)
 
 val note_spin : t -> unit
-(** One [Domain.cpu_relax] retry while waiting for quiescence. *)
+(** One polite retry ([Domain.cpu_relax] or a parked sleep) while waiting
+    for quiescence or a hint delivery. *)
+
+(** {2 Hint-board counters (the [Hinted] kind)}
+
+    Published and expired are bumped only by the parking searcher's own
+    handle; claimed and delivered only by the claiming adder's handle. At
+    quiescence [published = claimed + expired] (every hint is eventually
+    claimed by an adder or retracted by its searcher), and
+    [delivered <= claimed] (a claim against a full bounded segment aborts
+    the delivery). *)
+
+val note_hint_published : t -> unit
+(** A searcher that swept every segment empty published a hint and parked. *)
+
+val note_hint_claimed : t -> unit
+(** An adder CAS-claimed a published hint. *)
+
+val note_hint_delivered : t -> unit
+(** A claimed hint's element landed in the parked searcher's segment. *)
+
+val note_hint_expired : t -> unit
+(** A searcher retracted its own hint unclaimed (backoff round, local work
+    arrived, or quiescence confirmation). *)
 
 (** {2 Segment-side path counters (called by [Mc_segment])}
 
@@ -106,6 +129,14 @@ val elements_per_steal : t -> Cpool_metrics.Sample.t
 val steal_batch_sizes : t -> Cpool_metrics.Sample.t
 (** Distribution of elements moved per single batched steal transfer,
     recorded on the victim segment's side. *)
+
+val hints_published : t -> int
+
+val hints_claimed : t -> int
+
+val hints_delivered : t -> int
+
+val hints_expired : t -> int
 
 val fast_path_ops : t -> int
 (** Owner operations completed without the mutex. *)

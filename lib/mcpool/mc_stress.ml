@@ -21,10 +21,7 @@ let default =
     seed = 42;
   }
 
-let kind_name = function
-  | Mc_pool.Linear -> "linear"
-  | Mc_pool.Random -> "random"
-  | Mc_pool.Tree -> "tree"
+let kind_name = Cpool_intf.to_string
 
 let config_name cfg =
   Printf.sprintf "%s/%s" (kind_name cfg.kind)
@@ -217,6 +214,21 @@ let run cfg =
     (Printf.sprintf "stats %d <> pool counter %d"
        (Cpool_metrics.Counters.get (Mc_stats.counters merged) "steals")
        (Mc_pool.steals pool));
+  if cfg.kind = Mc_pool.Hinted then begin
+    (* Hint-board accounting: at quiescence every published hint was either
+       claimed by an adder or retracted (expired) by its searcher, and a
+       delivery requires a claim. *)
+    check "telemetry: hints"
+      (Mc_stats.hints_published merged
+      = Mc_stats.hints_claimed merged + Mc_stats.hints_expired merged)
+      (Printf.sprintf "published %d <> claimed %d + expired %d"
+         (Mc_stats.hints_published merged) (Mc_stats.hints_claimed merged)
+         (Mc_stats.hints_expired merged));
+    check "telemetry: hint deliveries"
+      (Mc_stats.hints_delivered merged <= Mc_stats.hints_claimed merged)
+      (Printf.sprintf "delivered %d > claimed %d" (Mc_stats.hints_delivered merged)
+         (Mc_stats.hints_claimed merged))
+  end;
   {
     config = cfg;
     duration;
@@ -250,6 +262,14 @@ let render r =
     r.initial_added r.adds_ok r.adds_rejected r.removes_ok r.steals;
   Buffer.add_string buf (Mc_stats.render_table ~title:"per-domain telemetry" r.per_worker);
   Buffer.add_char buf '\n';
+  if r.config.kind = Mc_pool.Hinted then begin
+    line "hint board: %d published, %d claimed, %d delivered, %d expired"
+      (Mc_stats.hints_published r.merged)
+      (Mc_stats.hints_claimed r.merged)
+      (Mc_stats.hints_delivered r.merged)
+      (Mc_stats.hints_expired r.merged);
+    Buffer.add_char buf '\n'
+  end;
   Buffer.add_string buf
     (Mc_stats.render_path_table ~title:"ring fast/locked paths (per segment)"
        r.per_segment);

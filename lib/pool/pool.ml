@@ -1,19 +1,19 @@
 open Cpool_sim
 
-type kind = Linear | Random | Tree | Hinted
+(* The shared algorithm type: one [kind] for the simulated and the real
+   pool, re-exported so [Pool.Linear] etc. keep compiling. *)
+type kind = Cpool_intf.kind = Linear | Random | Tree | Hinted
 
-let kind_to_string = function
-  | Linear -> "linear"
-  | Random -> "random"
-  | Tree -> "tree"
-  | Hinted -> "hinted"
+let kind_to_string = Cpool_intf.to_string
+
+let kind_of_string = Cpool_intf.of_string
 
 let all_kinds = [ Linear; Random; Tree ]
 
 let all_kinds_extended = all_kinds @ [ Hinted ]
 
 type config = {
-  participants : int;
+  segments : int;
   kind : kind;
   profile : Segment.profile;
   add_overhead : float;
@@ -23,9 +23,11 @@ type config = {
   locking_probes : bool;
 }
 
+let participants cfg = cfg.segments
+
 let default_config =
   {
-    participants = 16;
+    segments = 16;
     kind = Linear;
     profile = Segment.Counting;
     add_overhead = 64.0;
@@ -66,10 +68,13 @@ type 'a removal = Local of 'a | Stolen of 'a * Steal.stats | Empty of Steal.stat
 
 type add_outcome = Added_locally | Spilled of int | Delivered of int | Rejected
 
-let create ?(on_size_change = fun ~seg:_ ~size:_ -> ()) ?(home_of = Fun.id) cfg =
-  if cfg.participants <= 0 then invalid_arg "Pool.create: participants must be positive";
+let create ?(on_size_change = fun ~seg:_ ~size:_ -> ()) ?(home_of = Fun.id) (cfg : config) =
+  if cfg.segments <= 0 then invalid_arg "Pool.create: segments must be positive";
+  (match cfg.capacity with
+  | Some c when c <= 0 -> invalid_arg "Pool.create: capacity must be positive"
+  | Some _ | None -> ());
   let segments =
-    Array.init cfg.participants (fun i ->
+    Array.init cfg.segments (fun i ->
         Segment.make
           ~on_size_change:(fun size -> on_size_change ~seg:i ~size)
           ?capacity:cfg.capacity ~locking_probes:cfg.locking_probes ~home:(home_of i) ~id:i
@@ -80,7 +85,7 @@ let create ?(on_size_change = fun ~seg:_ ~size:_ -> ()) ?(home_of = Fun.id) cfg 
   let termination = Termination.create ~home:(home_of 0) in
   let hints =
     match cfg.kind with
-    | Hinted -> Some (Hints.create ~home:(home_of 0) ~home_of ~participants:cfg.participants)
+    | Hinted -> Some (Hints.create ~home:(home_of 0) ~home_of ~participants:cfg.segments)
     | Linear | Random | Tree -> None
   in
   let strategy =
@@ -132,7 +137,7 @@ let join t = Termination.join t.termination
 let leave t = Termination.leave t.termination
 
 let check_me t me name =
-  if me < 0 || me >= t.cfg.participants then invalid_arg (name ^ ": participant out of range")
+  if me < 0 || me >= t.cfg.segments then invalid_arg (name ^ ": participant out of range")
 
 (* A hinted add first checks the waiter count; on a hit it claims a waiter
    and deposits straight into that searcher's segment. *)
@@ -185,7 +190,7 @@ let add_bounded t ~me x =
       (* The local segment is full: spill around the ring to the first
          segment with spare capacity (probe costed, then a locked
          re-check, mirroring the steal search's probe-then-lock). *)
-      let p = t.cfg.participants in
+      let p = t.cfg.segments in
       let rec spill i =
         if i = p then begin
           t.stats <- { t.stats with rejected_adds = t.stats.rejected_adds + 1 };
@@ -255,12 +260,12 @@ let prefill t f ~per_segment =
     t.segments
 
 let prefill_segment t ~seg x =
-  if seg < 0 || seg >= t.cfg.participants then
+  if seg < 0 || seg >= t.cfg.segments then
     invalid_arg "Pool.prefill_segment: out of range";
   Segment.prefill_one t.segments.(seg) x
 
 let size_of_segment t i =
-  if i < 0 || i >= t.cfg.participants then invalid_arg "Pool.size_of_segment: out of range";
+  if i < 0 || i >= t.cfg.segments then invalid_arg "Pool.size_of_segment: out of range";
   Segment.size_free t.segments.(i)
 
 let total_size t = Array.fold_left (fun acc s -> acc + Segment.size_free s) 0 t.segments
@@ -268,5 +273,5 @@ let total_size t = Array.fold_left (fun acc s -> acc + Segment.size_free s) 0 t.
 let totals t = t.stats
 
 let segment_lock_stats t i =
-  if i < 0 || i >= t.cfg.participants then invalid_arg "Pool.segment_lock_stats: out of range";
+  if i < 0 || i >= t.cfg.segments then invalid_arg "Pool.segment_lock_stats: out of range";
   Segment.lock_stats t.segments.(i)

@@ -7,25 +7,27 @@
     Section 2). All operations must run inside the owning participant's
     simulated process. *)
 
-type kind =
-  | Linear
-  | Random
-  | Tree
-  | Hinted
-      (** The paper's Section 5 extension: linear search plus a hint board —
-          searchers announce themselves and adders deliver elements
-          directly into a waiting searcher's segment (see {!Hints}). *)
+type kind = Cpool_intf.kind = Linear | Random | Tree | Hinted
+(** The shared algorithm type ({!Cpool_intf.kind}), re-exported so the old
+    [Pool.Linear]-style constructors keep compiling. [Hinted] is the
+    paper's Section 5 extension: linear search plus a hint board —
+    searchers announce themselves and adders deliver elements directly
+    into a waiting searcher's segment (see {!Hints}). *)
 
 val kind_to_string : kind -> string
+(** Deprecated alias for {!Cpool_intf.to_string}. *)
+
+val kind_of_string : string -> (kind, string) result
+(** Alias for {!Cpool_intf.of_string}. *)
 
 val all_kinds : kind list
 (** The paper's three algorithms: [Linear; Random; Tree]. *)
 
 val all_kinds_extended : kind list
-(** {!all_kinds} plus [Hinted]. *)
+(** {!all_kinds} plus [Hinted] (= {!Cpool_intf.all}). *)
 
 type config = {
-  participants : int;  (** Number of segments = processes, one per node. *)
+  segments : int;  (** Number of segments = participants, one per node. *)
   kind : kind;  (** Search algorithm for steals. *)
   profile : Segment.profile;
       (** [Counting] reproduces the paper's simplified segments; [Boxed]
@@ -59,8 +61,13 @@ type config = {
           (atomic read). See the [lockprobe] experiment. *)
 }
 
+val participants : config -> int
+(** Deprecated accessor for the old field name: [participants cfg] is
+    [cfg.segments]. The real pool's {!Mc_pool.create} already said
+    [~segments]; the record field now matches it. *)
+
 val default_config : config
-(** 16 participants, [Linear], [Counting], overheads calibrated to the
+(** 16 segments, [Linear], [Counting], overheads calibrated to the
     paper's reported uncontended operation times. *)
 
 type 'a t
@@ -95,7 +102,8 @@ val create :
     costs charged). [home_of] maps participant index to node (default:
     identity — participant [i]'s segment lives on node [i]).
     [on_size_change ~seg ~size] fires after every segment mutation, for the
-    Figure 3-6 traces. Raises [Invalid_argument] if [participants <= 0]. *)
+    Figure 3-6 traces. Raises [Invalid_argument] if [segments <= 0] or
+    [capacity <= 0] (the same validation {!Mc_pool.create} applies). *)
 
 val config : 'a t -> config
 

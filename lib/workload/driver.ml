@@ -82,7 +82,7 @@ let validate_phase p k (ops, roles) =
 
 (* The core: run [phases] back to back on one pool. *)
 let execute spec phases =
-  let p = spec.pool.Pool.participants in
+  let p = spec.pool.Pool.segments in
   List.iteri (validate_phase p) phases;
   if spec.initial_elements < 0 then invalid_arg "Driver.run: negative initial fill";
   let engine = Engine.create ~cost:spec.cost ~nodes:p ~seed:spec.seed () in
@@ -217,7 +217,7 @@ let execute spec phases =
   (!results, all_totals, Engine.now engine, pool)
 
 let run spec =
-  if Array.length spec.roles <> spec.pool.Pool.participants then
+  if Array.length spec.roles <> spec.pool.Pool.segments then
     invalid_arg "Driver.run: one role per participant required";
   if spec.total_ops < 0 then invalid_arg "Driver.run: negative quota";
   match execute spec [ (spec.total_ops, spec.roles) ] with
@@ -229,7 +229,7 @@ let run spec =
       pool_totals = all_totals;
       duration = now;
       final_sizes =
-        Array.init spec.pool.Pool.participants (Cpool.Pool.size_of_segment pool);
+        Array.init spec.pool.Pool.segments (Cpool.Pool.size_of_segment pool);
     }
   | _ -> assert false
 

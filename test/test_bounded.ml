@@ -4,8 +4,8 @@
 
 open Cpool
 
-let bounded_cfg ?(participants = 4) ?(kind = Pool.Linear) ~capacity () =
-  { Pool.default_config with participants; kind; capacity = Some capacity }
+let bounded_cfg ?(segments = 4) ?(kind = Pool.Linear) ~capacity () =
+  { Pool.default_config with segments; kind; capacity = Some capacity }
 
 let test_segment_capacity_validated () =
   Alcotest.check_raises "zero" (Invalid_argument "Segment.make: capacity must be positive")
@@ -63,7 +63,7 @@ let test_pool_add_spills () =
 
 let test_pool_add_rejects_when_full () =
   Sim_harness.in_proc (fun () ->
-      let pool = Pool.create (bounded_cfg ~participants:2 ~capacity:1 ()) in
+      let pool = Pool.create (bounded_cfg ~segments:2 ~capacity:1 ()) in
       Pool.join pool;
       ignore (Pool.add_bounded pool ~me:0 1);
       ignore (Pool.add_bounded pool ~me:0 2);
@@ -78,7 +78,7 @@ let test_pool_add_rejects_when_full () =
 
 let test_pool_unbounded_never_spills () =
   Sim_harness.in_proc (fun () ->
-      let pool = Pool.create { Pool.default_config with participants = 2 } in
+      let pool = Pool.create { Pool.default_config with segments = 2 } in
       Pool.join pool;
       for i = 1 to 100 do
         Alcotest.(check bool) "local" true (Pool.add_bounded pool ~me:0 i = Pool.Added_locally)
@@ -127,7 +127,7 @@ let test_bounded_conservation kind () =
           match !pool with
           | Some p -> p
           | None ->
-            let p = Pool.create (bounded_cfg ~participants:total ~kind ~capacity:5 ()) in
+            let p = Pool.create (bounded_cfg ~segments:total ~kind ~capacity:5 ()) in
             pool := Some p;
             p
         in

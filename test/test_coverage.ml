@@ -80,7 +80,7 @@ let test_driver_abort_time_sampled () =
   let spec =
     {
       Cpool_workload.Driver.default_spec with
-      pool = { Cpool.Pool.default_config with participants = 4 };
+      pool = { Cpool.Pool.default_config with segments = 4 };
       roles = Cpool_workload.Role.contiguous_producers ~participants:4 ~producers:0;
       total_ops = 60;
       initial_elements = 8;
@@ -152,7 +152,7 @@ let test_pool_trace_monotone_times () =
         Cpool.Pool.create
           ~on_size_change:(fun ~seg:_ ~size:_ ->
             events := Cpool_sim.Engine.clock () :: !events)
-          { Cpool.Pool.default_config with participants = 2 }
+          { Cpool.Pool.default_config with segments = 2 }
       in
       Cpool.Pool.join pool;
       for i = 1 to 5 do

@@ -45,8 +45,8 @@ let test_claim_skips_self () =
       Alcotest.(check bool) "own flag never claimed" true (Hints.claim_waiter h ~me:2 = None);
       Alcotest.(check bool) "still announced" true (Hints.announced_free h 2))
 
-let hinted_cfg ?(participants = 4) () =
-  { Pool.default_config with participants; kind = Pool.Hinted }
+let hinted_cfg ?(segments = 4) () =
+  { Pool.default_config with segments; kind = Pool.Hinted }
 
 let test_hinted_pool_local_ops () =
   Sim_harness.in_proc (fun () ->
@@ -143,7 +143,7 @@ let test_hinted_conservation () =
           match !pool with
           | Some p -> p
           | None ->
-            let p = Pool.create (hinted_cfg ~participants:8 ()) in
+            let p = Pool.create (hinted_cfg ~segments:8 ()) in
             Pool.prefill p (fun j -> j) ~per_segment:3;
             pool := Some p;
             p
@@ -169,7 +169,7 @@ let test_hinted_sparse_characteristics () =
     let spec =
       {
         Cpool_workload.Driver.default_spec with
-        pool = { Pool.default_config with participants = 8; kind };
+        pool = { Pool.default_config with segments = 8; kind };
         roles = Cpool_workload.Role.balanced_producers ~participants:8 ~producers:2;
         total_ops = 1200;
         initial_elements = 24;

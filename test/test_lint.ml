@@ -105,7 +105,7 @@ let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
 let test_interleave_passes () =
   let outcomes = Interleave.run_all null_ppf in
-  Alcotest.(check int) "six scenarios" 6 (List.length outcomes);
+  Alcotest.(check int) "eight scenarios" 8 (List.length outcomes);
   List.iter
     (fun (name, schedules) ->
       Alcotest.(check bool) (name ^ " explored > 1 schedule") true (schedules > 1))

@@ -2,7 +2,13 @@
 
 open Cpool_mc
 
-let kinds = [ ("linear", Mc_pool.Linear); ("random", Mc_pool.Random); ("tree", Mc_pool.Tree) ]
+let kinds =
+  [
+    ("linear", Mc_pool.Linear);
+    ("random", Mc_pool.Random);
+    ("tree", Mc_pool.Tree);
+    ("hinted", Mc_pool.Hinted);
+  ]
 
 (* --- Single-domain semantics --- *)
 
@@ -358,12 +364,141 @@ let test_stress_harness kind () =
   Alcotest.(check bool) "did some work" true (r.Mc_stress.ops > 0);
   Alcotest.(check bool) "renders" true (String.length (Mc_stress.render r) > 0)
 
+(* --- Hinted hand-off --- *)
+
+let test_kind_round_trip () =
+  List.iter
+    (fun k ->
+      let s = Cpool_intf.to_string k in
+      match Cpool_intf.of_string s with
+      | Ok k' -> Alcotest.(check bool) (s ^ " round-trips") true (k = k')
+      | Error e -> Alcotest.fail e)
+    Cpool_intf.all;
+  (match Mc_pool.kind_of_string "HINTED" with
+  | Ok Mc_pool.Hinted -> ()
+  | _ -> Alcotest.fail "of_string must be case-insensitive");
+  match Mc_pool.kind_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "expected an error for an unknown kind"
+  | Error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+      at 0
+    in
+    let mentions_valid = contains msg "valid kinds" in
+    Alcotest.(check bool) "error lists the valid kinds" true mentions_valid
+
+let test_hinted_remove_none_on_quiescence () =
+  (* A lone registered searcher on an empty hinted pool must abort with
+     None (not park forever), and the abort must leave the hint board fully
+     retracted: published = claimed + expired. *)
+  let pool : int Mc_pool.t = Mc_pool.create ~kind:Mc_pool.Hinted ~segments:4 () in
+  let h = Mc_pool.register pool in
+  Alcotest.(check (option int)) "empty pool" None (Mc_pool.remove pool h);
+  Mc_pool.add pool h 7;
+  Alcotest.(check (option int)) "element back" (Some 7) (Mc_pool.remove pool h);
+  Alcotest.(check (option int)) "empty again" None (Mc_pool.remove pool h);
+  let s = Mc_pool.stats pool in
+  Alcotest.(check int) "board settled: published = claimed + expired"
+    (Mc_stats.hints_published s)
+    (Mc_stats.hints_claimed s + Mc_stats.hints_expired s);
+  Mc_pool.deregister pool h
+
+let test_hinted_quiescence_under_domains () =
+  (* Two domains both hunting an empty pool: each must see the other as
+     "searching empty" (parked counts) and abort, rather than deadlock. *)
+  let pool : int Mc_pool.t = Mc_pool.create ~kind:Mc_pool.Hinted ~segments:2 () in
+  let handles = Array.init 2 (Mc_pool.register_at pool) in
+  let ds =
+    List.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            let r = Mc_pool.remove pool handles.(i) in
+            Mc_pool.deregister pool handles.(i);
+            r))
+  in
+  List.iter
+    (fun d -> Alcotest.(check (option int)) "abort on empty" None (Domain.join d))
+    ds
+
+let test_hinted_parked_searcher_woken () =
+  (* The tentpole scenario: a consumer parks on the hint board, a remote
+     producer's add claims the hint and deposits straight into the
+     consumer's segment. Repeat enough rounds that at least one add lands
+     while the searcher is parked. *)
+  let rounds = 20 in
+  let pool : int Mc_pool.t = Mc_pool.create ~kind:Mc_pool.Hinted ~segments:2 () in
+  let h0 = Mc_pool.register_at pool 0 in
+  let h1 = Mc_pool.register_at pool 1 in
+  let got = Atomic.make 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        for _ = 1 to rounds do
+          match Mc_pool.remove pool h0 with
+          | Some _ -> Atomic.incr got
+          | None -> ()
+        done;
+        Mc_pool.deregister pool h0)
+  in
+  for k = 1 to rounds do
+    (* Give the searcher time to publish a hint before adding, so the add
+       exercises the claim-and-deliver path; the bound keeps the test from
+       hanging if the searcher is between publications. *)
+    let rec await i =
+      if
+        i < 2_000
+        && Atomic.get got < k
+        && Mc_stats.hints_published (Mc_pool.stats pool) < k
+      then begin
+        Unix.sleepf 1e-4;
+        await (i + 1)
+      end
+    in
+    await 0;
+    Mc_pool.add pool h1 k
+  done;
+  Domain.join consumer;
+  Alcotest.(check int) "every remove satisfied" rounds (Atomic.get got);
+  let s = Mc_pool.stats pool in
+  Alcotest.(check bool) "hints were published" true (Mc_stats.hints_published s >= 1);
+  Alcotest.(check bool) "at least one hand-off delivered" true
+    (Mc_stats.hints_delivered s >= 1);
+  Alcotest.(check bool) "delivered <= claimed" true
+    (Mc_stats.hints_delivered s <= Mc_stats.hints_claimed s);
+  Mc_pool.deregister pool h1
+
+let test_hinted_sparse_stress_cell () =
+  (* A sparse mix (35% adds) keeps searchers hungry, so the hint board is
+     exercised under churn; the harness checks conservation, capacity and
+     the hint accounting identities after the run. *)
+  let cfg =
+    {
+      Mc_stress.default with
+      Mc_stress.domains = 4;
+      seconds = 0.1;
+      kind = Mc_pool.Hinted;
+      add_bias = 0.35;
+      initial = 32;
+    }
+  in
+  let r = Mc_stress.run cfg in
+  Alcotest.(check (list string)) "no invariant violations" [] r.Mc_stress.violations;
+  Alcotest.(check bool) "did some work" true (r.Mc_stress.ops > 0)
+
 let per_kind name f = List.map (fun (kn, k) -> Alcotest.test_case (name ^ " (" ^ kn ^ ")") `Quick (f k)) kinds
 
 let main_suites =
   [
     ( "mcpool",
       [
+        Alcotest.test_case "kind round-trip" `Quick test_kind_round_trip;
+        Alcotest.test_case "hinted: None on quiescence" `Quick
+          test_hinted_remove_none_on_quiescence;
+        Alcotest.test_case "hinted: quiescence under domains" `Quick
+          test_hinted_quiescence_under_domains;
+        Alcotest.test_case "hinted: parked searcher woken by remote add" `Quick
+          test_hinted_parked_searcher_woken;
+        Alcotest.test_case "hinted: sparse stress cell" `Quick
+          test_hinted_sparse_stress_cell;
         Alcotest.test_case "create invalid" `Quick test_create_invalid;
         Alcotest.test_case "register slots" `Quick test_register_slots;
         Alcotest.test_case "register_at" `Quick test_register_at;
@@ -395,7 +530,7 @@ let test_bounded_spill_and_reject () =
   Mc_pool.deregister pool h0
 
 let test_bounded_capacity_validated () =
-  Alcotest.check_raises "capacity" (Invalid_argument "Mc_segment.make: capacity must be positive")
+  Alcotest.check_raises "capacity" (Invalid_argument "Mc_pool.create: capacity must be positive")
     (fun () -> ignore (Mc_pool.create ~capacity:0 ~segments:2 () : int Mc_pool.t))
 
 let test_bounded_steal_capped () =

@@ -4,8 +4,8 @@
 open Cpool_sim
 open Cpool
 
-let cfg ?(participants = 4) ?(kind = Pool.Linear) () =
-  { Pool.default_config with participants; kind }
+let cfg ?(segments = 4) ?(kind = Pool.Linear) () =
+  { Pool.default_config with segments; kind }
 
 let test_local_add_remove () =
   Sim_harness.in_proc (fun () ->
@@ -54,7 +54,7 @@ let test_remove_aborts_on_truly_empty_pool () =
       Alcotest.(check int) "abort counted" 1 t.Pool.aborts)
 
 let test_prefill () =
-  let pool = Pool.create (cfg ~participants:16 ()) in
+  let pool = Pool.create (cfg ~segments:16 ()) in
   Pool.prefill pool (fun i -> i) ~per_segment:20;
   Alcotest.(check int) "320 elements" 320 (Pool.total_size pool);
   for i = 0 to 15 do
@@ -70,9 +70,14 @@ let test_participant_range_checked () =
         (Invalid_argument "Pool.remove: participant out of range") (fun () ->
           ignore (Pool.remove pool ~me:(-1))))
 
+let test_deprecated_participants_accessor () =
+  (* The old name survives as a read-only accessor for the renamed field. *)
+  Alcotest.(check int) "participants mirrors segments" 12
+    (Pool.participants { Pool.default_config with Pool.segments = 12 })
+
 let test_bad_config_rejected () =
-  Alcotest.check_raises "participants" (Invalid_argument "Pool.create: participants must be positive")
-    (fun () -> ignore (Pool.create (cfg ~participants:0 ())))
+  Alcotest.check_raises "segments" (Invalid_argument "Pool.create: segments must be positive")
+    (fun () -> ignore (Pool.create (cfg ~segments:0 ())))
 
 let test_trace_callback () =
   let events = ref [] in
@@ -98,7 +103,7 @@ let concurrent_workload ?(participants = 8) ?(ops = 200) ?(add_percent = 50) ~ki
           match !pool with
           | Some p -> p
           | None ->
-            let p = Pool.create (cfg ~participants ~kind ()) in
+            let p = Pool.create (cfg ~segments:participants ~kind ()) in
             Pool.prefill p (fun j -> j) ~per_segment:5;
             pool := Some p;
             p
@@ -206,6 +211,8 @@ let suites =
         Alcotest.test_case "prefill" `Quick test_prefill;
         Alcotest.test_case "participant range" `Quick test_participant_range_checked;
         Alcotest.test_case "bad config" `Quick test_bad_config_rejected;
+        Alcotest.test_case "deprecated participants accessor" `Quick
+          test_deprecated_participants_accessor;
         Alcotest.test_case "trace callback" `Quick test_trace_callback;
         Alcotest.test_case "sufficient mix stays local" `Quick test_sufficient_local_only;
         Alcotest.test_case "deterministic totals" `Quick test_deterministic_runs;

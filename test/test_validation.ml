@@ -47,7 +47,7 @@ let test_driver_throughput_consistency () =
   let spec =
     {
       Cpool_workload.Driver.default_spec with
-      pool = { Cpool.Pool.default_config with participants };
+      pool = { Cpool.Pool.default_config with segments = participants };
       roles = Cpool_workload.Role.uniform_mix ~participants ~add_percent:70;
       total_ops = 2000;
       initial_elements = 80;
@@ -96,7 +96,7 @@ let test_golden_run () =
   let spec =
     {
       Cpool_workload.Driver.default_spec with
-      pool = { Cpool.Pool.default_config with participants = 16; kind = Cpool.Pool.Tree };
+      pool = { Cpool.Pool.default_config with segments = 16; kind = Cpool.Pool.Tree };
       roles = Cpool_workload.Role.uniform_mix ~participants:16 ~add_percent:30;
       total_ops = 1000;
       initial_elements = 64;

@@ -61,16 +61,16 @@ let test_effective_mix () =
 
 (* --- Driver --- *)
 
-let quick_spec ?(participants = 8) ?(kind = Pool.Linear) ?(roles = None) ?(total_ops = 400)
+let quick_spec ?(segments = 8) ?(kind = Pool.Linear) ?(roles = None) ?(total_ops = 400)
     ?(initial_elements = 40) ?(seed = 42L) ?(record_trace = false) () =
   let roles =
     match roles with
     | Some r -> r
-    | None -> Role.uniform_mix ~participants ~add_percent:50
+    | None -> Role.uniform_mix ~participants:segments ~add_percent:50
   in
   {
     Driver.default_spec with
-    pool = { Pool.default_config with participants; kind };
+    pool = { Pool.default_config with segments; kind };
     roles;
     total_ops;
     initial_elements;
@@ -160,11 +160,11 @@ let test_uncontended_calibration () =
      ~70 us adds and ~110 us removes (Section 4.3). *)
   let spec =
     {
-      (quick_spec ~participants:1 ~total_ops:100 ~initial_elements:10
+      (quick_spec ~segments:1 ~total_ops:100 ~initial_elements:10
          ~roles:(Some (Role.uniform_mix ~participants:1 ~add_percent:50))
          ())
       with
-      pool = { Pool.default_config with participants = 1 };
+      pool = { Pool.default_config with segments = 1 };
     }
   in
   let r = Driver.run spec in
@@ -197,7 +197,7 @@ let test_run_trials_and_mean_of () =
 (* --- phased runs --- *)
 
 let test_phases_basic () =
-  let spec = quick_spec ~participants:4 ~total_ops:0 () in
+  let spec = quick_spec ~segments:4 ~total_ops:0 () in
   let results =
     Driver.run_phases spec
       [
@@ -230,7 +230,7 @@ let test_phases_empty_rejected () =
       ignore (Driver.run_phases spec []))
 
 let test_phases_role_length_checked () =
-  let spec = quick_spec ~participants:4 () in
+  let spec = quick_spec ~segments:4 () in
   Alcotest.check_raises "phase 1 roles"
     (Invalid_argument "Driver: phase 1 needs one role per participant") (fun () ->
       ignore
@@ -242,7 +242,7 @@ let test_phases_role_length_checked () =
 
 let test_phases_deterministic () =
   let run () =
-    let spec = quick_spec ~participants:4 ~seed:9L () in
+    let spec = quick_spec ~segments:4 ~seed:9L () in
     Driver.run_phases spec
       [
         (150, Role.uniform_mix ~participants:4 ~add_percent:70);
@@ -255,7 +255,7 @@ let test_phases_deterministic () =
 let test_phases_single_equals_run_shape () =
   (* One phase through run_phases matches the plain run on the measured
      sample counts (totals bookkeeping differs only in pool-level counters). *)
-  let spec = quick_spec ~participants:4 ~seed:21L () in
+  let spec = quick_spec ~segments:4 ~seed:21L () in
   let phased =
     List.hd
       (Driver.run_phases spec [ (400, Role.uniform_mix ~participants:4 ~add_percent:50) ])
