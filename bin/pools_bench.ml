@@ -174,7 +174,15 @@ let mc_stress_cmd =
   let stress_seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Base random seed.")
   in
-  let run domains seconds kind mode capacity add_bias initial no_churn seed =
+  let stress_trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record per-domain event traces and cross-check the event-derived \
+             steal/hint counts against the merged telemetry (extra invariants).")
+  in
+  let run domains seconds kind mode capacity add_bias initial no_churn seed trace =
     let domains =
       match domains with
       | Some d -> d
@@ -206,6 +214,7 @@ let mc_stress_cmd =
                 initial;
                 churn = not no_churn;
                 seed;
+                trace;
               }
             in
             let report = Cpool_mc.Mc_stress.run cfg in
@@ -234,7 +243,7 @@ let mc_stress_cmd =
     Term.(
       ret
         (const run $ domains $ seconds $ stress_kind $ mode $ capacity $ add_bias $ initial
-       $ no_churn $ stress_seed))
+       $ no_churn $ stress_seed $ stress_trace))
 
 (* --- mc-throughput: lock-free fast path vs all-mutex baseline --------- *)
 
@@ -290,7 +299,15 @@ let mc_throughput_cmd =
   let bench_seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Base random seed.")
   in
-  let run domains seconds kind mixes capacity no_baseline out seed =
+  let trace_out =
+    let doc =
+      "Trace every worker and write Chrome trace-event JSON to $(docv) (one Chrome \
+       process per cell; load at ui.perfetto.dev). Tracing adds a per-event \
+       timestamp cost — leave it off for committed throughput numbers."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run domains seconds kind mixes capacity no_baseline out seed trace_out =
     if List.exists (fun d -> d < 1) domains || domains = [] then
       `Error (true, "--domains needs positive counts")
     else if seconds <= 0.0 then `Error (true, "--seconds must be positive")
@@ -307,6 +324,7 @@ let mc_throughput_cmd =
           seconds;
           capacity;
           seed;
+          trace = trace_out <> None;
         }
       in
       let results = Cpool_mc.Mc_bench.run config in
@@ -319,6 +337,19 @@ let mc_throughput_cmd =
         output_string oc (Cpool_util.Json.to_string doc);
         close_out oc;
         Printf.printf "\nwrote %s (%d cells)\n" file (List.length results));
+      (match trace_out with
+      | None -> ()
+      | Some file ->
+        let doc = Cpool_mc.Mc_bench.to_chrome results in
+        let events =
+          List.fold_left
+            (fun acc r -> acc + Cpool_mc.Mc_trace.total_recorded r.Cpool_mc.Mc_bench.traces)
+            0 results
+        in
+        let oc = open_out file in
+        output_string oc (Cpool_util.Json.to_string doc);
+        close_out oc;
+        Printf.printf "wrote %s (%d events recorded)\n" file events);
       `Ok ()
     end
   in
@@ -340,7 +371,131 @@ let mc_throughput_cmd =
     Term.(
       ret
         (const run $ domains $ seconds $ bench_kind $ mixes $ capacity $ no_baseline $ out
-       $ bench_seed))
+       $ bench_seed $ trace_out))
+
+(* --- mc-trace: trace a real run and replay the paper's strip charts --- *)
+
+let mc_trace_cmd =
+  let domains =
+    let doc = "Worker domains (= pool segments). Defaults to the recommended domain count." in
+    Arg.(value & opt (some int) None & info [ "domains"; "d" ] ~docv:"N" ~doc)
+  in
+  let seconds =
+    let doc = "Seconds of mixed operations to trace." in
+    Arg.(value & opt float 1.0 & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
+  in
+  let trace_kind =
+    let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree) or $(b,hinted)." in
+    Arg.(
+      value
+      & opt kind_conv (Some Cpool_mc.Mc_pool.Hinted)
+      & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
+  in
+  let capacity =
+    let doc = "Per-segment capacity (omit for unbounded segments)." in
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let add_bias =
+    let doc = "Probability an operation is an add (0..1); < 0.5 is the sparse regime." in
+    Arg.(value & opt float 0.4 & info [ "add-bias" ] ~docv:"P" ~doc)
+  in
+  let initial =
+    let doc = "Elements prefilled across the segments." in
+    Arg.(value & opt int 128 & info [ "initial" ] ~docv:"N" ~doc)
+  in
+  let trace_seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Base random seed.")
+  in
+  let out =
+    let doc = "Write Chrome trace-event JSON to $(docv) (load at ui.perfetto.dev)." in
+    Arg.(
+      value & opt (some string) (Some "TRACE_mcpool.json") & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let buckets =
+    let doc = "Time buckets of the segment-size strip chart." in
+    Arg.(value & opt int 72 & info [ "buckets" ] ~docv:"N" ~doc)
+  in
+  let run domains seconds kind capacity add_bias initial seed out buckets =
+    let domains =
+      match domains with
+      | Some d -> d
+      | None -> min 8 (max 2 (Domain.recommended_domain_count ()))
+    in
+    if domains < 1 then `Error (true, "--domains must be at least 1")
+    else if seconds <= 0.0 then `Error (true, "--seconds must be positive")
+    else if buckets < 1 then `Error (true, "--buckets must be at least 1")
+    else if (match capacity with Some c -> c < 1 | None -> false) then
+      `Error (true, "--capacity must be at least 1")
+    else begin
+      let kind = match kind with Some k -> k | None -> Cpool_mc.Mc_pool.Hinted in
+      let cfg =
+        {
+          Cpool_mc.Mc_stress.domains;
+          seconds;
+          kind;
+          capacity;
+          add_bias;
+          initial;
+          churn = false;
+          seed;
+          trace = true;
+        }
+      in
+      let report = Cpool_mc.Mc_stress.run cfg in
+      print_endline (Cpool_mc.Mc_stress.render report);
+      let traces = report.Cpool_mc.Mc_stress.traces in
+      let counts = Cpool_mc.Mc_trace.counts traces in
+      print_endline
+        (Cpool_metrics.Render.table ~title:"event counts (drop-proof totals)"
+           ~headers:[ "event"; "count" ]
+           ~rows:
+             (List.filter_map
+                (fun (tag, n) ->
+                  if n = 0 then None
+                  else Some [ Cpool_mc.Mc_trace.tag_name tag; string_of_int n ])
+                counts)
+           ());
+      let series = Cpool_mc.Mc_trace.size_series ~segments:domains traces in
+      let grid = Cpool_metrics.Trace.grid series ~buckets in
+      let labels = Array.init domains (fun i -> Printf.sprintf "seg%d" i) in
+      print_endline
+        (Cpool_metrics.Render.strip_chart
+           ~title:
+             (Printf.sprintf "segment size over time (%s, add-bias %.2f)"
+                (Cpool_mc.Mc_stress.kind_name kind) add_bias)
+           ~labels grid);
+      (match out with
+      | None -> ()
+      | Some file ->
+        let doc = Cpool_mc.Mc_trace.to_chrome traces in
+        let oc = open_out file in
+        output_string oc (Cpool_util.Json.to_string doc);
+        close_out oc;
+        Printf.printf "wrote %s (%d events recorded, %d overwritten)\n" file
+          (Cpool_mc.Mc_trace.total_recorded traces)
+          (Cpool_mc.Mc_trace.total_dropped traces));
+      if Cpool_mc.Mc_stress.passed report then `Ok ()
+      else `Error (false, "traced run violated invariants (see report above)")
+    end
+  in
+  let doc = "Trace a real mc-pool run and replay the paper's segment-size charts" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs one traced mc-stress cell (churn off), cross-checks the event-derived \
+         steal/hint counts against the merged telemetry, prints the drop-proof \
+         per-event totals and the segment-size-over-time strip chart (the paper's \
+         Figures 3-6, from a real run instead of the simulator), and writes Chrome \
+         trace-event JSON for Perfetto. Exits non-zero if any invariant is violated.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "mc-trace" ~doc ~man)
+    Term.(
+      ret
+        (const run $ domains $ seconds $ trace_kind $ capacity $ add_bias $ initial
+       $ trace_seed $ out $ buckets))
 
 (* --- json-check: validate a benchmark artifact ------------------------- *)
 
@@ -354,20 +509,28 @@ let json_check_cmd =
     | source -> (
       match Cpool_util.Json.parse source with
       | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
-      | Ok doc -> (
-        match Cpool_mc.Mc_bench.validate_json doc with
-        | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
-        | Ok cells ->
-          Printf.printf "%s: valid mc-throughput report, %d cells\n" file cells;
-          `Ok ()))
+      | Ok doc ->
+        if Cpool_util.Json.member "traceEvents" doc <> None then (
+          match Cpool_mc.Mc_trace.validate_chrome doc with
+          | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+          | Ok events ->
+            Printf.printf "%s: valid Chrome trace, %d events\n" file events;
+            `Ok ())
+        else (
+          match Cpool_mc.Mc_bench.validate_json doc with
+          | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+          | Ok cells ->
+            Printf.printf "%s: valid mc-throughput report, %d cells\n" file cells;
+            `Ok ()))
   in
   Cmd.v
-    (Cmd.info "json-check" ~doc:"Validate an mc-throughput JSON report")
+    (Cmd.info "json-check" ~doc:"Validate an mc-throughput or Chrome trace JSON report")
     Term.(ret (const run $ file))
 
 let main =
   let doc = "Concurrent pools (Kotz & Ellis 1989) experiment driver" in
   let info = Cmd.info "pools_bench" ~version:"1.0.0" ~doc in
-  Cmd.group info [ run_cmd; list_cmd; mc_stress_cmd; mc_throughput_cmd; json_check_cmd ]
+  Cmd.group info
+    [ run_cmd; list_cmd; mc_stress_cmd; mc_throughput_cmd; mc_trace_cmd; json_check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -34,9 +34,14 @@ echo "== mc-throughput smoke (hinted hand-off, sparse mix) =="
 dune exec bin/pools_bench.exe -- mc-throughput --domains 2 --seconds 0.2 \
   --kind hinted --mixes sparse --out BENCH_mcpool_hinted_smoke.json
 
+echo "== mc-trace smoke (traced run, event/telemetry reconciliation) =="
+dune exec bin/pools_bench.exe -- mc-trace --domains 3 --seconds 0.3 \
+  --add-bias 0.4 --initial 32 --out TRACE_mcpool_smoke.json
+
 echo "== json-check (benchmark artifacts parse and validate) =="
 dune exec bin/pools_bench.exe -- json-check BENCH_mcpool_smoke.json
 dune exec bin/pools_bench.exe -- json-check BENCH_mcpool_hinted_smoke.json
-rm -f BENCH_mcpool_smoke.json BENCH_mcpool_hinted_smoke.json
+dune exec bin/pools_bench.exe -- json-check TRACE_mcpool_smoke.json
+rm -f BENCH_mcpool_smoke.json BENCH_mcpool_hinted_smoke.json TRACE_mcpool_smoke.json
 
 echo "check.sh: all green"

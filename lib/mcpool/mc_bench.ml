@@ -17,6 +17,7 @@ type config = {
   seconds : float;
   capacity : int option;
   seed : int;
+  trace : bool;
 }
 
 let default =
@@ -28,6 +29,7 @@ let default =
     seconds = 1.0;
     capacity = None;
     seed = 42;
+    trace = false;
   }
 
 type cell = {
@@ -56,6 +58,7 @@ type result = {
   hints_claimed : int;
   hints_delivered : int;
   hints_expired : int;
+  traces : Mc_trace.t list;
 }
 
 type tally = {
@@ -66,17 +69,25 @@ type tally = {
 }
 
 (* Latency sampling: every [sample_every]-th batch of [batch] ops is timed
-   as a group and recorded as µs per op. Group timing is what makes
-   sub-µs operations resolve against a gettimeofday clock, while a slow
-   steal or lock inside the window still lifts that sample into the
-   tail. *)
+   as a group and recorded as µs per op. Group timing is what makes sub-µs
+   operations resolve, while a slow steal or lock inside the window still
+   lifts that sample into the tail. All timing reads the monotonic
+   [Cpool_util.Clock] — wall-clock ([Unix.gettimeofday]) jumps under NTP
+   steps fed negative batch latencies into [Sample.add] and moved the run
+   deadline. Each worker's sampling phase is drawn from its seeded [Rng]:
+   a fixed phase (always the [sample_every]-th batch) aliases with
+   periodic steal/backoff cycles and biases the latency distribution. *)
 let batch = 16
 
 let sample_every = 8
 
-let worker pool cell ~seed tally i barrier deadline =
+(* The phase mask below requires it. *)
+let () = assert (sample_every > 0 && sample_every land (sample_every - 1) = 0)
+
+let worker pool cell ~seed tally i barrier deadline_ns =
   let rng = Cpool_util.Rng.create (Int64.of_int ((seed * 6007) + i)) in
   let add_threshold = int_of_float (mix_add_bias cell.mix *. 1_000_000.0) in
+  let sample_phase = Cpool_util.Rng.int rng sample_every in
   let h = Mc_pool.register_at pool i in
   Atomic.decr barrier;
   while Atomic.get barrier > 0 do
@@ -94,8 +105,8 @@ let worker pool cell ~seed tally i barrier deadline =
   let running = ref true in
   while !running do
     incr batches;
-    let timed = !batches land (sample_every - 1) = 0 in
-    let t0 = if timed then Unix.gettimeofday () else 0.0 in
+    let timed = (!batches + sample_phase) land (sample_every - 1) = 0 in
+    let t0 = if timed then Cpool_util.Clock.now_ns () else 0 in
     for _ = 1 to batch do
       tally.t_ops <- tally.t_ops + 1;
       if Cpool_util.Rng.int rng 1_000_000 < add_threshold then begin
@@ -109,11 +120,15 @@ let worker pool cell ~seed tally i barrier deadline =
         | None -> ()
     done;
     if timed then begin
-      let dt = Unix.gettimeofday () -. t0 in
-      Cpool_metrics.Sample.add tally.t_lat (dt *. 1e6 /. float_of_int batch)
+      let dt_ns = Cpool_util.Clock.now_ns () - t0 in
+      (* A negative delta is impossible on a monotonic source; the guard
+         survives the gettimeofday fallback on clockless platforms. *)
+      if dt_ns >= 0 then
+        Cpool_metrics.Sample.add tally.t_lat
+          (float_of_int dt_ns /. 1e3 /. float_of_int batch)
     end;
-    if !batches land deadline_mask = 0 && Unix.gettimeofday () >= deadline then
-      running := false
+    if !batches land deadline_mask = 0 && Cpool_util.Clock.now_ns () >= deadline_ns
+    then running := false
   done;
   Mc_pool.deregister pool h
 
@@ -127,11 +142,11 @@ let prefill pool ~capacity ~per_domain domains =
     Mc_pool.deregister pool h
   done
 
-let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) cell =
+let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) ?(trace = false) cell =
   if cell.domains <= 0 then invalid_arg "Mc_bench.run_cell: domains must be positive";
   if seconds <= 0.0 then invalid_arg "Mc_bench.run_cell: seconds must be positive";
   let pool : int Mc_pool.t =
-    Mc_pool.create ~kind:cell.kind ?capacity ~fast_path:cell.fast_path
+    Mc_pool.create ~kind:cell.kind ?capacity ~fast_path:cell.fast_path ~trace
       ~segments:cell.domains ()
   in
   prefill pool ~capacity ~per_domain:(mix_initial_per_domain cell.mix) cell.domains;
@@ -140,14 +155,14 @@ let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) cell =
         { t_ops = 0; t_adds = 0; t_removes = 0; t_lat = Cpool_metrics.Sample.create () })
   in
   let barrier = Atomic.make cell.domains in
-  let t0 = Unix.gettimeofday () in
-  let deadline = t0 +. seconds in
+  let t0_ns = Cpool_util.Clock.now_ns () in
+  let deadline_ns = t0_ns + Cpool_util.Clock.ns_of_s seconds in
   let ds =
     List.init cell.domains (fun i ->
-        Domain.spawn (fun () -> worker pool cell ~seed tallies.(i) i barrier deadline))
+        Domain.spawn (fun () -> worker pool cell ~seed tallies.(i) i barrier deadline_ns))
   in
   List.iter Domain.join ds;
-  let duration = Unix.gettimeofday () -. t0 in
+  let duration = Cpool_util.Clock.elapsed_s ~since_ns:t0_ns in
   let seg = Mc_stats.merge_all (Array.to_list (Mc_pool.segment_stats pool)) in
   (* Hint counters live on the handle side; [Mc_pool.stats] merges every
      handle ever issued (the workers just deregistered, so it is exact). *)
@@ -180,6 +195,7 @@ let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) cell =
     hints_claimed = Mc_stats.hints_claimed all;
     hints_delivered = Mc_stats.hints_delivered all;
     hints_expired = Mc_stats.hints_expired all;
+    traces = Mc_pool.traces pool;
   }
 
 let run config =
@@ -193,7 +209,7 @@ let run config =
               List.map
                 (fun fast_path ->
                   run_cell ~seconds:config.seconds ~capacity:config.capacity
-                    ~seed:config.seed
+                    ~seed:config.seed ~trace:config.trace
                     { kind; domains; mix; fast_path })
                 protocols)
             config.mixes)
@@ -204,6 +220,10 @@ let cell_label c =
   Printf.sprintf "%s/%dd/%s/%s" (Mc_stress.kind_name c.kind) c.domains
     (mix_name c.mix)
     (if c.fast_path then "fast" else "mutex")
+
+let to_chrome results =
+  Mc_trace.to_chrome_labeled
+    (List.map (fun r -> (cell_label r.cell, r.traces)) results)
 
 let render results =
   let buf = Buffer.create 1024 in

@@ -35,11 +35,14 @@ type config = {
   seconds : float;  (** Wall-clock length of each cell's mixed-op phase. *)
   capacity : int option;  (** Per-segment bound; [None] = unbounded. *)
   seed : int;
+  trace : bool;
+      (** Give every worker an {!Mc_trace} event ring (adds a per-event
+          timestamp cost; off for the committed throughput numbers). *)
 }
 
 val default : config
 (** Linear kind, 2 and 8 domains, both mixes, baseline on, 1 s cells,
-    unbounded, seed 42. *)
+    unbounded, seed 42, tracing off. *)
 
 type cell = {
   kind : Mc_pool.kind;
@@ -67,12 +70,14 @@ type result = {
   hints_claimed : int;  (** Hints CAS-claimed by adders. *)
   hints_delivered : int;  (** Claims whose element landed in the parked searcher's segment. *)
   hints_expired : int;  (** Hints retracted unclaimed (backoff or quiescence). *)
+  traces : Mc_trace.t list;  (** Per-handle event rings; empty unless traced. *)
 }
 
-val run_cell : ?seconds:float -> ?capacity:int option -> ?seed:int -> cell -> result
+val run_cell :
+  ?seconds:float -> ?capacity:int option -> ?seed:int -> ?trace:bool -> cell -> result
 (** Run one cell. Defaults: [seconds = 1.0], [capacity = None],
-    [seed = 42]. Raises [Invalid_argument] on non-positive [domains] or
-    [seconds]. *)
+    [seed = 42], [trace = false]. Raises [Invalid_argument] on
+    non-positive [domains] or [seconds]. *)
 
 val run : config -> result list
 (** Run the whole grid, fast-path cells and (when [config.baseline])
@@ -87,6 +92,12 @@ val render : result list -> string
 val to_json : config -> result list -> Cpool_util.Json.t
 (** The JSON document written to [BENCH_mcpool.json]: benchmark metadata
     (grid, duration, capacity, seed) and one object per cell. *)
+
+val to_chrome : result list -> Cpool_util.Json.t
+(** Chrome trace-event JSON of a traced run: one Chrome process per cell
+    (named by its cell label), one track per worker domain — the
+    [mc-throughput --trace] output. Meaningful only when the cells ran
+    with [trace]. *)
 
 val validate_json : Cpool_util.Json.t -> (int, string) Stdlib.result
 (** Structural check of a parsed benchmark document (the [json-check]

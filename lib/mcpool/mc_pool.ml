@@ -21,18 +21,22 @@ type 'a t = {
   registration : Mutex.t;
   claimed : bool array;
   mutable handle_stats : Mc_stats.t list; (* every handle ever claimed; under [registration] *)
+  mutable handle_traces : Mc_trace.t list; (* ditto, when tracing is on *)
   searching : int Atomic.t;
   registered : int Atomic.t;
   steal_count : int Atomic.t;
   seed : int64;
   tree : tree option;
   hints : Mc_hints.t option; (* the Hinted kind's claimable hint board *)
+  trace_on : bool;
+  trace_capacity : int;
 }
 
 type handle = {
   pool_slot : int;
   rng : Cpool_util.Rng.t;
   stats : Mc_stats.t;
+  tracer : Mc_trace.t; (* [Mc_trace.disabled] unless the pool traces *)
   mutable hunt_probes : int; (* segments examined since the current hunt began *)
   mutable active : bool;
   mutable last_found : int;
@@ -43,11 +47,13 @@ type handle = {
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
 
-let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ~segments () =
+let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ?(trace = false)
+    ?(trace_capacity = 8192) ~segments () =
   if segments <= 0 then invalid_arg "Mc_pool.create: segments must be positive";
   (match capacity with
   | Some c when c <= 0 -> invalid_arg "Mc_pool.create: capacity must be positive"
   | Some _ | None -> ());
+  if trace_capacity <= 0 then invalid_arg "Mc_pool.create: trace_capacity must be positive";
   let tree =
     match kind with
     | Tree ->
@@ -72,12 +78,15 @@ let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ~segment
     registration = Mutex.create ();
     claimed = Array.make segments false;
     handle_stats = [];
+    handle_traces = [];
     searching = Atomic.make 0;
     registered = Atomic.make 0;
     steal_count = Atomic.make 0;
     seed;
     tree;
     hints;
+    trace_on = trace;
+    trace_capacity;
   }
 
 let segments t = Array.length t.segs
@@ -89,6 +98,9 @@ let mk_handle t slot =
     pool_slot = slot;
     rng = Cpool_util.Rng.create (Int64.add t.seed (Int64.of_int slot));
     stats = Mc_stats.create ();
+    tracer =
+      (if t.trace_on then Mc_trace.create ~capacity:t.trace_capacity ~domain:slot ()
+       else Mc_trace.disabled);
     hunt_probes = 0;
     active = true;
     last_found = slot;
@@ -117,6 +129,7 @@ let claim t pick =
         t.claimed.(slot) <- true;
         let h = mk_handle t slot in
         t.handle_stats <- h.stats :: t.handle_stats;
+        if t.trace_on then t.handle_traces <- h.tracer :: t.handle_traces;
         h)
   in
   Atomic.incr t.registered;
@@ -171,11 +184,17 @@ let try_deliver t h x =
        | None -> false
        | Some w ->
          Mc_stats.note_hint_claimed h.stats;
+         Mc_trace.record h.tracer Mc_trace.Hint_claim ~a1:w ~a2:0;
          let delivered = Mc_segment.spill_add t.segs.(w) x in
          Mc_hints.release board w;
          if delivered then begin
            Mc_stats.note_hint_delivered h.stats;
-           Mc_stats.note_spill h.stats
+           Mc_stats.note_spill h.stats;
+           if Mc_trace.enabled h.tracer then begin
+             Mc_trace.record h.tracer Mc_trace.Hint_deliver ~a1:w ~a2:0;
+             Mc_trace.record h.tracer Mc_trace.Spill ~a1:w
+               ~a2:(Mc_segment.size t.segs.(w))
+           end
          end;
          delivered)
 
@@ -186,10 +205,16 @@ let try_add t h x =
   | None ->
     Mc_segment.add t.segs.(h.pool_slot) x;
     Mc_stats.note_add h.stats;
+    if Mc_trace.enabled h.tracer then
+      Mc_trace.record h.tracer Mc_trace.Add ~a1:h.pool_slot
+        ~a2:(Mc_segment.size t.segs.(h.pool_slot));
     true
   | Some _ ->
     if Mc_segment.try_add t.segs.(h.pool_slot) x then begin
       Mc_stats.note_add h.stats;
+      if Mc_trace.enabled h.tracer then
+        Mc_trace.record h.tracer Mc_trace.Add ~a1:h.pool_slot
+          ~a2:(Mc_segment.size t.segs.(h.pool_slot));
       true
     end
     else begin
@@ -207,6 +232,9 @@ let try_add t h x =
           if Mc_segment.spare t.segs.(pos) > 0 && Mc_segment.spill_add t.segs.(pos) x
           then begin
             Mc_stats.note_spill h.stats;
+            if Mc_trace.enabled h.tracer then
+              Mc_trace.record h.tracer Mc_trace.Spill ~a1:pos
+                ~a2:(Mc_segment.size t.segs.(pos));
             true
           end
           else spill (i + 1)
@@ -221,6 +249,9 @@ let try_remove_local t h =
   match Mc_segment.try_remove t.segs.(h.pool_slot) with
   | Some x ->
     Mc_stats.note_local_remove h.stats;
+    if Mc_trace.enabled h.tracer then
+      Mc_trace.record h.tracer Mc_trace.Remove ~a1:h.pool_slot
+        ~a2:(Mc_segment.size t.segs.(h.pool_slot));
     Some x
   | None -> None
 
@@ -229,6 +260,7 @@ let record_steal t h pos ~elements =
   h.last_found <- pos;
   h.last_leaf <- pos;
   Mc_stats.note_steal h.stats ~probes:h.hunt_probes ~elements;
+  Mc_trace.record h.tracer Mc_trace.Steal_claim ~a1:pos ~a2:elements;
   h.hunt_probes <- 0
 
 (* Examine segment [pos]; on success bank the steal's remainder into our own
@@ -241,7 +273,9 @@ let attempt_steal t h pos =
   let victim = t.segs.(pos) in
   h.hunt_probes <- h.hunt_probes + 1;
   Mc_stats.note_probe h.stats;
-  if Mc_segment.size victim = 0 then None
+  let vsize = Mc_segment.size victim in
+  Mc_trace.record h.tracer Mc_trace.Steal_probe ~a1:pos ~a2:vsize;
+  if vsize = 0 then None
   else
     match t.bound with
     | None -> (
@@ -254,7 +288,9 @@ let attempt_steal t h pos =
         (match Mc_segment.deposit t.segs.(h.pool_slot) rest with
         | [] -> ()
         | _ :: _ -> assert false (* unbounded deposit never rejects *));
-        record_steal t h pos ~elements:(1 + List.length rest);
+        let banked = List.length rest in
+        Mc_trace.record h.tracer Mc_trace.Steal_transfer ~a1:h.pool_slot ~a2:banked;
+        record_steal t h pos ~elements:(1 + banked);
         Some x)
     | Some _ ->
       let own = t.segs.(h.pool_slot) in
@@ -270,13 +306,16 @@ let attempt_steal t h pos =
         Some x
       | Cpool.Steal.Batch (x, rest) ->
         Mc_segment.refill own ~reserved rest;
-        record_steal t h pos ~elements:(1 + List.length rest);
+        let banked = List.length rest in
+        Mc_trace.record h.tracer Mc_trace.Steal_transfer ~a1:h.pool_slot ~a2:banked;
+        record_steal t h pos ~elements:(1 + banked);
         Some x)
 
 (* One full deterministic pass over every segment; the confirmation step
    before reporting the pool empty. *)
 let sweep t h =
   Mc_stats.note_sweep h.stats;
+  Mc_trace.record h.tracer Mc_trace.Sweep ~a1:h.pool_slot ~a2:0;
   let p = Array.length t.segs in
   let rec go i =
     if i = p then None
@@ -437,6 +476,10 @@ let hinted_hunt t h board =
       else begin
         Mc_hints.publish board me;
         Mc_stats.note_hint_published h.stats;
+        if Mc_trace.enabled h.tracer then begin
+          Mc_trace.record h.tracer Mc_trace.Hint_publish ~a1:me ~a2:0;
+          Mc_trace.record h.tracer Mc_trace.Park ~a1:me ~a2:budget
+        end;
         park budget 0
       end
   (* Parked: our hint is on the board. Leave only through a retract (or,
@@ -458,6 +501,7 @@ let hinted_hunt t h board =
     match Mc_hints.retract board me with
     | Mc_hints.Retracted ->
       Mc_stats.note_hint_expired h.stats;
+      Mc_trace.record h.tracer Mc_trace.Hint_expire ~a1:me ~a2:0;
       take_local_or_resweep ()
     | Mc_hints.Claim_pending -> claimed_wake budget 0
   and claimed_wake budget waited =
@@ -473,6 +517,10 @@ let hinted_hunt t h board =
     match Mc_hints.retract board me with
     | Mc_hints.Retracted ->
       Mc_stats.note_hint_expired h.stats;
+      if Mc_trace.enabled h.tracer then begin
+        Mc_trace.record h.tracer Mc_trace.Hint_expire ~a1:me ~a2:0;
+        Mc_trace.record h.tracer Mc_trace.Wake ~a1:me ~a2:0
+      end;
       round (min park_budget_cap (2 * budget))
     | Mc_hints.Claim_pending -> claimed_wake budget 0
   and quiesce_parked budget =
@@ -483,6 +531,10 @@ let hinted_hunt t h board =
     match Mc_hints.retract board me with
     | Mc_hints.Retracted ->
       Mc_stats.note_hint_expired h.stats;
+      if Mc_trace.enabled h.tracer then begin
+        Mc_trace.record h.tracer Mc_trace.Hint_expire ~a1:me ~a2:0;
+        Mc_trace.record h.tracer Mc_trace.Wake ~a1:me ~a2:0
+      end;
       quiesce_unparked ()
     | Mc_hints.Claim_pending -> claimed_wake budget 0
   and quiesce_unparked () =
@@ -492,6 +544,7 @@ let hinted_hunt t h board =
       Mc_stats.note_empty_confirm h.stats;
       None
   and take_local_or_resweep () =
+    Mc_trace.record h.tracer Mc_trace.Wake ~a1:me ~a2:0;
     match try_remove_local t h with
     | Some x -> Some x
     | None ->
@@ -524,6 +577,12 @@ let segment_sizes t = Array.map Mc_segment.size t.segs
 let steals t = Atomic.get t.steal_count
 
 let stats_of_handle h = h.stats
+
+let tracing t = t.trace_on
+
+let trace_of_handle h = h.tracer
+
+let traces t = with_registration t (fun () -> t.handle_traces)
 
 let segment_stats t =
   Array.map (fun s -> Mc_segment.stats s) t.segs

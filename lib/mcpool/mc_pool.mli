@@ -42,6 +42,8 @@ val create :
   ?seed:int64 ->
   ?capacity:int ->
   ?fast_path:bool ->
+  ?trace:bool ->
+  ?trace_capacity:int ->
   segments:int ->
   unit ->
   'a t
@@ -53,8 +55,12 @@ val create :
     before stealing so the banked remainder always fits (no segment ever
     exceeds its capacity, even transiently). [fast_path] (default [true])
     enables the segments' lock-free owner path; [~fast_path:false] is the
-    all-mutex baseline used for benchmarking. Raises [Invalid_argument] if
-    [segments <= 0] or [capacity <= 0]. *)
+    all-mutex baseline used for benchmarking. [trace] (default [false])
+    gives every handle a per-domain {!Mc_trace} event ring of
+    [trace_capacity] slots (default [8192], rounded up to a power of two);
+    when off, handles share the no-op {!Mc_trace.disabled} tracer and pay
+    one predictable branch per recording site. Raises [Invalid_argument]
+    if [segments <= 0], [capacity <= 0] or [trace_capacity <= 0]. *)
 
 val segments : 'a t -> int
 
@@ -138,6 +144,20 @@ val stats_of_handle : handle -> Mc_stats.t
 (** [stats_of_handle h] is the worker's live telemetry. Only [h]'s domain
     writes it; other domains may read it racily or merge it after the
     worker quiesces. *)
+
+val tracing : 'a t -> bool
+(** [tracing t] is whether the pool was created with [~trace:true]. *)
+
+val trace_of_handle : handle -> Mc_trace.t
+(** [trace_of_handle h] is the worker's event ring ({!Mc_trace.disabled}
+    on an untraced pool). Single-writer: read it after [h]'s domain
+    quiesces. *)
+
+val traces : 'a t -> Mc_trace.t list
+(** [traces t] is every tracer the pool ever issued (deregistered handles
+    included, mirroring {!stats}); empty on an untraced pool. Merge with
+    {!Mc_trace.merge} / export with {!Mc_trace.to_chrome} after the
+    workers quiesce. *)
 
 val segment_stats : 'a t -> Mc_stats.t array
 (** [segment_stats t] is each segment's live path telemetry (fast vs

@@ -7,6 +7,7 @@ type config = {
   initial : int;
   churn : bool;
   seed : int;
+  trace : bool;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     initial = 128;
     churn = true;
     seed = 42;
+    trace = false;
   }
 
 let kind_name = Cpool_intf.to_string
@@ -41,6 +43,7 @@ type report = {
   per_worker : (string * Mc_stats.t) list;
   per_segment : (string * Mc_stats.t) list; (* ring path counters, per segment *)
   merged : Mc_stats.t; (* pool-wide, including the initial fill and churned-away handles *)
+  traces : Mc_trace.t list; (* every handle's event ring; empty unless cfg.trace *)
   violations : string list;
 }
 
@@ -111,7 +114,7 @@ let worker pool cfg tally i barrier deadline =
       Mc_pool.deregister pool !h;
       h := Mc_pool.register pool
     end;
-    if Unix.gettimeofday () >= deadline then running := false
+    if Cpool_util.Clock.now_ns () >= deadline then running := false
   done;
   (* Drain phase: blocking removes until the pool confirms empty. *)
   let rec drain () =
@@ -128,7 +131,8 @@ let worker pool cfg tally i barrier deadline =
 let run cfg =
   validate cfg;
   let pool : int Mc_pool.t =
-    Mc_pool.create ~kind:cfg.kind ?capacity:cfg.capacity ~segments:cfg.domains ()
+    Mc_pool.create ~kind:cfg.kind ?capacity:cfg.capacity ~trace:cfg.trace
+      ~segments:cfg.domains ()
   in
   let initial_added = prefill pool cfg in
   let tallies =
@@ -153,14 +157,14 @@ let run cfg =
                Domain.cpu_relax ()
              done))
   in
-  let t0 = Unix.gettimeofday () in
-  let deadline = t0 +. cfg.seconds in
+  let t0_ns = Cpool_util.Clock.now_ns () in
+  let deadline_ns = t0_ns + Cpool_util.Clock.ns_of_s cfg.seconds in
   let ds =
     List.init cfg.domains (fun i ->
-        Domain.spawn (fun () -> worker pool cfg tallies.(i) i barrier deadline))
+        Domain.spawn (fun () -> worker pool cfg tallies.(i) i barrier deadline_ns))
   in
   List.iter Domain.join ds;
-  let duration = Unix.gettimeofday () -. t0 in
+  let duration = Cpool_util.Clock.elapsed_s ~since_ns:t0_ns in
   Atomic.set stop_watch true;
   Option.iter Domain.join watcher;
   let per_worker =
@@ -214,6 +218,35 @@ let run cfg =
     (Printf.sprintf "stats %d <> pool counter %d"
        (Cpool_metrics.Counters.get (Mc_stats.counters merged) "steals")
        (Mc_pool.steals pool));
+  let traces = Mc_pool.traces pool in
+  if cfg.trace then begin
+    (* The tracer's drop-proof per-tag totals must agree with [Mc_stats]
+       exactly: both are single-writer counters bumped at the same source
+       lines, so any divergence is a lost event or a miswired hook. *)
+    let ev_counts = Mc_trace.counts traces in
+    let ev_args = Mc_trace.arg_totals traces in
+    let ev tag = List.assoc tag ev_counts in
+    let ev_sum tag = List.assoc tag ev_args in
+    let stat name = Cpool_metrics.Counters.get (Mc_stats.counters merged) name in
+    let reconcile label derived counter =
+      check ("trace: " ^ label) (derived = counter)
+        (Printf.sprintf "event-derived %d <> stats %d" derived counter)
+    in
+    reconcile "steals" (ev Mc_trace.Steal_claim) (stat "steals");
+    reconcile "elements stolen" (ev_sum Mc_trace.Steal_claim) (stat "elements stolen");
+    reconcile "probes" (ev Mc_trace.Steal_probe) (stat "segments examined");
+    reconcile "adds" (ev Mc_trace.Add) (stat "adds");
+    reconcile "spills" (ev Mc_trace.Spill) (stat "spill adds");
+    reconcile "local removes" (ev Mc_trace.Remove) (stat "local removes");
+    reconcile "sweeps" (ev Mc_trace.Sweep) (stat "sweeps");
+    reconcile "hints published" (ev Mc_trace.Hint_publish) (Mc_stats.hints_published merged);
+    reconcile "hints claimed" (ev Mc_trace.Hint_claim) (Mc_stats.hints_claimed merged);
+    reconcile "hints delivered" (ev Mc_trace.Hint_deliver) (Mc_stats.hints_delivered merged);
+    reconcile "hints expired" (ev Mc_trace.Hint_expire) (Mc_stats.hints_expired merged);
+    (* Every park resolves: a searcher never returns from a hunt with its
+       hint still on the board. *)
+    reconcile "park/wake balance" (ev Mc_trace.Park) (ev Mc_trace.Wake)
+  end;
   if cfg.kind = Mc_pool.Hinted then begin
     (* Hint-board accounting: at quiescence every published hint was either
        claimed by an adder or retracted (expired) by its searcher, and a
@@ -241,6 +274,7 @@ let run cfg =
     per_worker;
     per_segment;
     merged;
+    traces;
     violations = List.rev !violations;
   }
 
@@ -260,6 +294,10 @@ let render r =
   line "%d ops (%.0f ops/s): %d+%d adds (%d rejected), %d removes, %d steals" r.ops
     (float_of_int r.ops /. Float.max 1e-9 r.duration)
     r.initial_added r.adds_ok r.adds_rejected r.removes_ok r.steals;
+  if r.config.trace then
+    line "trace: %d events recorded, %d overwritten by ring overflow"
+      (Mc_trace.total_recorded r.traces)
+      (Mc_trace.total_dropped r.traces);
   Buffer.add_string buf (Mc_stats.render_table ~title:"per-domain telemetry" r.per_worker);
   Buffer.add_char buf '\n';
   if r.config.kind = Mc_pool.Hinted then begin

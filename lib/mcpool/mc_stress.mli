@@ -17,7 +17,12 @@
       churn, a fresh registration still succeeds, and the registered-worker
       count returns to zero;
     - {b telemetry agreement} — the merged {!Mc_stats} counters match the
-      ground-truth tallies and the pool's own steal counter.
+      ground-truth tallies and the pool's own steal counter;
+    - {b trace agreement} (with [trace] on) — the {!Mc_trace} event-derived
+      per-tag totals (steals, elements stolen, probes, adds, spills, local
+      removes, sweeps, every hint counter) exactly match the merged
+      {!Mc_stats}, and every park resolved with a wake. The totals are
+      drop-proof, so the checks hold even when the rings overflowed.
 
     Stress/invariant harnesses of this shape (rather than unit tests
     alone) are how concurrent structures with capacity invariants are
@@ -33,10 +38,12 @@ type config = {
   initial : int;  (** Elements prefilled across the segments. *)
   churn : bool;  (** Odd-numbered workers re-register every ~4096 ops. *)
   seed : int;
+  trace : bool;  (** Trace every handle and cross-check events vs stats. *)
 }
 
 val default : config
-(** 4 domains, 1 s, linear, unbounded, 50% adds, 128 initial, churn on. *)
+(** 4 domains, 1 s, linear, unbounded, 50% adds, 128 initial, churn on,
+    tracing off. *)
 
 val kind_name : Mc_pool.kind -> string
 
@@ -58,6 +65,9 @@ type report = {
           adds, batched steals). *)
   merged : Mc_stats.t;
       (** Pool-wide telemetry: every handle ever issued, prefill included. *)
+  traces : Mc_trace.t list;
+      (** Every handle's event ring (empty unless [config.trace]); export
+          with {!Mc_trace.to_chrome} — the [mc-trace] subcommand's path. *)
   violations : string list;  (** Empty iff every invariant held. *)
 }
 

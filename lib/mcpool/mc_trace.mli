@@ -1,0 +1,151 @@
+(** Per-handle, lock-free event tracer for the multicore pool.
+
+    {!Mc_stats} says {e how many} steals, hints and spills a run made;
+    this module says {e when}. Each {!Mc_pool} handle owns one tracer: a
+    fixed-capacity ring of [(monotonic_ns, tag, a1, a2)] records written
+    with plain unshared stores by the handle's domain only — the same
+    single-writer discipline as {!Mc_stats}, so recording allocates
+    nothing and takes no lock (Blelloch-Wei-style constant-time per-thread
+    slots). Timestamps come from {!Cpool_util.Clock}.
+
+    When the ring is full the oldest record is overwritten and a drop
+    counter advances — truncation is never silent ({!dropped}), and the
+    per-tag running totals ({!count}, {!arg_total}) keep counting through
+    overflow, so event-derived steal/hint counts reconcile exactly with
+    {!Mc_stats} no matter how small the ring was.
+
+    A disabled tracer ({!disabled}) records nothing: {!record} checks one
+    flag and returns, so untraced runs pay a single predictable branch per
+    recording site.
+
+    After quiescence, {!merge} sorts the per-domain rings into one
+    timeline, {!to_chrome} emits Chrome trace-event JSON (one [tid] track
+    per domain; loadable in Perfetto), and {!size_series} rebuilds the
+    simulator-compatible segment-size-over-time {!Cpool_metrics.Trace.t}
+    so the paper's Figures 3-6 can be drawn from real runs. *)
+
+(** What happened. The two integer payloads [a1]/[a2] per tag:
+    - [Add], [Remove], [Spill]: segment touched, its size after the op;
+    - [Steal_probe]: segment examined, its observed size;
+    - [Steal_claim]: victim segment, elements taken (kept + banked);
+    - [Steal_transfer]: thief's own segment, elements banked into it;
+    - [Sweep]: the sweeper's slot, 0;
+    - [Hint_publish], [Hint_expire], [Park], [Wake]: the searcher's slot, 0
+      (for [Park]: the poll budget this round);
+    - [Hint_claim], [Hint_deliver]: the claimed (parked searcher's) slot, 0. *)
+type tag =
+  | Add
+  | Remove
+  | Spill
+  | Steal_probe
+  | Steal_claim
+  | Steal_transfer
+  | Sweep
+  | Hint_publish
+  | Hint_claim
+  | Hint_deliver
+  | Hint_expire
+  | Park
+  | Wake
+
+val all_tags : tag list
+
+val tag_name : tag -> string
+(** Stable kebab-case name (the Chrome event [name] field). *)
+
+type t
+
+val create : ?capacity:int -> domain:int -> unit -> t
+(** [create ~domain ()] is an enabled tracer whose events carry [domain]
+    as their timeline track (the handle's slot). [capacity] (default
+    [8192]) is rounded up to a power of two. Raises [Invalid_argument] if
+    [capacity <= 0]. *)
+
+val disabled : t
+(** The shared no-op tracer: {!record} on it stores nothing, and every
+    reader sees an empty, zero-count tracer. *)
+
+val enabled : t -> bool
+
+val domain : t -> int
+
+val capacity : t -> int
+(** Ring slots ([0] for {!disabled}). *)
+
+val record : t -> tag -> a1:int -> a2:int -> unit
+(** Stamp {!Cpool_util.Clock.now_ns} and append one record, overwriting
+    the oldest when full. Single writer: only the owning domain may call
+    it. No allocation, no lock, one enabled-flag branch when disabled. *)
+
+val recorded : t -> int
+(** Total records ever written (monotonic; survives overflow). *)
+
+val dropped : t -> int
+(** Records overwritten by ring overflow ([recorded - capacity] when
+    positive). *)
+
+val count : t -> tag -> int
+(** Drop-proof running total of records with this tag. *)
+
+val arg_total : t -> tag -> int
+(** Drop-proof running sum of the [a2] payloads of this tag — e.g.
+    [arg_total t Steal_claim] is the total elements this handle stole. *)
+
+type event = {
+  ts_ns : int;  (** {!Cpool_util.Clock} monotonic stamp. *)
+  ev_domain : int;  (** The recording tracer's {!domain}. *)
+  tag : tag;
+  a1 : int;
+  a2 : int;
+}
+
+val events : t -> event list
+(** Surviving ring contents, oldest first (at most {!capacity}; the newest
+    {!capacity} of {!recorded}). Read after the owner quiesces. *)
+
+val merge : t list -> event list
+(** All surviving events of every tracer, sorted by timestamp (ties by
+    domain) into one timeline. *)
+
+val counts : t list -> (tag * int) list
+(** Summed drop-proof {!count} per tag over the tracers, every tag listed. *)
+
+val arg_totals : t list -> (tag * int) list
+(** Summed drop-proof {!arg_total} per tag. *)
+
+val total_recorded : t list -> int
+
+val total_dropped : t list -> int
+
+(** {2 Exporters} *)
+
+val to_chrome : ?pid:int -> t list -> Cpool_util.Json.t
+(** Chrome trace-event JSON (the [{"traceEvents": [...]}] envelope):
+    every merged event becomes an instant event ([ph = "i"]) on track
+    [tid = domain] of process [pid] (default [1]), with [ts] in
+    microseconds rebased to the earliest event; size-carrying tags
+    ([Add]/[Remove]/[Spill]/[Steal_probe]) additionally emit a counter
+    event ([ph = "C"], name ["seg<i> size"]) so Perfetto draws the
+    segment-size-over-time curves directly. Load via [ui.perfetto.dev]. *)
+
+val to_chrome_groups : (int * t list) list -> Cpool_util.Json.t
+(** Like {!to_chrome} for several pools in one file: each [(pid, tracers)]
+    group becomes one Chrome process (the throughput benchmark maps one
+    grid cell per pid). *)
+
+val to_chrome_labeled : (string * t list) list -> Cpool_util.Json.t
+(** {!to_chrome_groups} with pids assigned [1..n] in order and a
+    [process_name] metadata event per group, so Perfetto shows each
+    group's label (e.g. a benchmark cell name). *)
+
+val validate_chrome : Cpool_util.Json.t -> (int, string) Stdlib.result
+(** Structural check of a parsed Chrome trace document (the [json-check]
+    subcommand): every entry of ["traceEvents"] must carry [name]/[ph]
+    strings and numeric [ts]/[pid]/[tid]. Returns the event count. *)
+
+val size_series : segments:int -> t list -> Cpool_metrics.Trace.t
+(** Replay the merged size observations ([Add]/[Remove]/[Spill]/
+    [Steal_probe]) into a simulator-compatible {!Cpool_metrics.Trace.t}
+    (time in seconds from the first event), ready for
+    {!Cpool_metrics.Trace.grid} and the Figures 3-6 strip charts. Raises
+    [Invalid_argument] if an event names a segment [>= segments]. *)

@@ -1,0 +1,7 @@
+external now_ns : unit -> int = "cpool_clock_now_ns" [@@noalloc]
+
+let now_s () = float_of_int (now_ns ()) *. 1e-9
+
+let elapsed_s ~since_ns = Float.max 0.0 (float_of_int (now_ns () - since_ns) *. 1e-9)
+
+let ns_of_s s = int_of_float (Float.round (s *. 1e9))

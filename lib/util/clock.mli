@@ -1,0 +1,31 @@
+(** Shared monotonic clock.
+
+    Wall-clock time ([Unix.gettimeofday]) jumps when NTP steps the clock,
+    which turns benchmark latency samples negative and moves run deadlines
+    — the bug class this module exists to remove. {!now_ns} reads
+    [CLOCK_MONOTONIC] (Mtime-style monotonic ticks) through a [@@noalloc]
+    C stub, falling back to [gettimeofday] only on platforms without a
+    monotonic source; callers that must survive that fallback keep a
+    defensive negative-delta guard.
+
+    Timestamps are nanoseconds since an {e arbitrary} epoch as a native
+    [int] (63 bits: ~146 years), so differences are plain integer
+    subtraction with no allocation — cheap enough for per-event trace
+    stamping ({!Mc_trace}-style fixed-slot buffers) and per-batch
+    benchmark timing. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since an arbitrary epoch. Never decreases on
+    platforms with a monotonic clock; comparable only within one process
+    run. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds (same arbitrary epoch). *)
+
+val elapsed_s : since_ns:int -> float
+(** [elapsed_s ~since_ns] is the seconds elapsed since the earlier
+    {!now_ns} reading [since_ns]; clamped to [0.] so a fallback clock step
+    can never yield a negative duration. *)
+
+val ns_of_s : float -> int
+(** [ns_of_s s] converts a duration in seconds to nanoseconds (rounded). *)

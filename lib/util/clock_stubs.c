@@ -1,0 +1,46 @@
+/* Monotonic clock for the benchmark and tracing layers.
+ *
+ * Returns nanoseconds since an arbitrary epoch as an unboxed OCaml int
+ * (63 bits on 64-bit platforms: enough for ~146 years of uptime), so the
+ * binding can be [@@noalloc] and safe to call on hot paths.
+ *
+ * CLOCK_MONOTONIC is immune to NTP steps and settimeofday; where it is
+ * unavailable the stub degrades to gettimeofday, and the OCaml callers
+ * keep their defensive negative-delta guards for exactly that case. */
+
+#include <caml/mlvalues.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+#else
+#include <time.h>
+#include <sys/time.h>
+#endif
+
+CAMLprim value cpool_clock_now_ns(value unit)
+{
+  (void)unit;
+#if defined(_WIN32)
+  {
+    static LARGE_INTEGER freq;
+    LARGE_INTEGER now;
+    if (freq.QuadPart == 0)
+      QueryPerformanceFrequency(&freq);
+    QueryPerformanceCounter(&now);
+    return Val_long((intnat)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+  }
+#else
+#if defined(CLOCK_MONOTONIC)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+  }
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return Val_long((intnat)tv.tv_sec * 1000000000 + (intnat)tv.tv_usec * 1000);
+  }
+#endif
+}

@@ -15,6 +15,7 @@ let () =
          Test_workload.suites;
          Test_game.suites;
          Test_mcpool.suites;
+         Test_trace.suites;
          Test_bounded.suites;
          Test_hinted.suites;
          Test_classed.suites;
