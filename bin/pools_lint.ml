@@ -60,8 +60,10 @@ let run_rules () =
   List.iter print_endline
     [
       "raw-mutex            R1: Mutex.lock/unlock only inside with_* helpers";
-      "non-atomic-rmw       R2: no Atomic.set x (... Atomic.get x ...); use \
-       fetch_and_add/compare_and_set";
+      "non-atomic-rmw       R2: no Atomic.set x (... Atomic.get x ...), and no \
+       get-then-set-constant in one function body; use \
+       fetch_and_add/compare_and_set/exchange (CAS-retry loops are the \
+       sanctioned idiom)";
       "blocking-under-lock  R3: no blocking call inside a with_* critical section";
       "ambient-random       R4: no global Random.* in lib/pool, lib/sim, \
        lib/mcpool, lib/analysis";

@@ -17,7 +17,15 @@ echo "== pools_lint (concurrency-discipline static analysis) =="
 dune exec bin/pools_lint.exe -- check lib
 
 echo "== pools_lint interleave (exhaustive Mc_segment schedule check) =="
-dune exec bin/pools_lint.exe -- interleave
+# The scenario corpus must include the lock-free steal/MPSC races (11 as of
+# the CAS-stealing PR); a shrinking count means a scenario was lost, not run.
+interleave_out=$(dune exec bin/pools_lint.exe -- interleave)
+echo "$interleave_out"
+scenarios=$(echo "$interleave_out" | sed -n 's/^pools_lint interleave: \([0-9]*\) scenarios.*/\1/p')
+if [ -z "$scenarios" ] || [ "$scenarios" -lt 11 ]; then
+  echo "check.sh: expected >= 11 interleave scenarios, saw '${scenarios:-none}'" >&2
+  exit 1
+fi
 
 echo "== mc-stress smoke (all kinds, bounded + unbounded) =="
 dune exec bin/pools_bench.exe -- mc-stress --domains 4 --seconds 0.5 --capacity 32

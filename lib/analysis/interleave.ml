@@ -135,19 +135,21 @@ let reserve_refill_race () =
           failf name "conservation broken: %d elements of %d" total (4 + !rival_ok));
   }
 
-(* Three threads on one segment, all through the inbox: the owner popping
-   (ring dry, so the pop falls back to the inbox), a foreign spill_add, and
-   a stealer exercising steal_half's inbox-fallback branch — the one path
-   no 2-thread scenario reaches. Baseline mode ([fast_path:false], the
+(* Three threads on one segment: the owner popping, a foreign spill_add,
+   and a stealer that may hit either the ring or steal_half's
+   inbox-fallback branch. Baseline mode ([fast_path:false], the
    configuration the throughput benchmark compares against) keeps every
-   step mutex-serialized, which both certifies the all-mutex protocol and
+   operation mutex-serialized, which both certifies the all-mutex twin and
    keeps a 3-thread schedule space enumerable — the DFS has no
    partial-order reduction, and the lock-free fast path is covered
-   exhaustively by the 2-thread scenarios above. *)
+   exhaustively by the 2-thread scenarios above and below. One element is
+   preloaded into the ring and one into the inbox, so the stealer's
+   ring-claim and inbox-pop branches, the owner's direct claim and its
+   exchange-drain are all reachable depending on the schedule. *)
 let three_way () =
   let name = "owner pop vs spill vs inbox steal (3 threads)" in
   let seg = M.make ~fast_path:false ~id:0 () in
-  assert (M.spill_add seg 1);
+  assert (M.try_add seg 1);
   assert (M.spill_add seg 2);
   let popped = ref 0 in
   let stolen = ref 0 in
@@ -170,6 +172,106 @@ let three_way () =
         if !popped <> 1 then failf name "owner pop found the segment empty";
         let total = stored seg + !popped + !stolen in
         if total <> 3 then failf name "conservation broken: %d elements of 3" total);
+  }
+
+(* Two stealers racing CAS claims of the same ring front: the loot sets
+   must be disjoint and conservation must hold — a claim-arbitration bug
+   would hand an element to both thieves (the CAS succeeding twice from
+   the same [top]) or strand one below the advanced cursor. *)
+let steal_vs_steal () =
+  let name = "steal vs steal CAS race" in
+  let seg = M.make ~id:0 () in
+  List.iter (M.add seg) [ 1; 2; 3; 4 ];
+  let loots = Array.make 2 [] in
+  let thief i () = loots.(i) <- loot_list (M.steal_half ~max_take:2 seg) in
+  {
+    Sched.threads = [ thief 0; thief 1 ];
+    check_step = bound_ok name seg;
+    check_final =
+      (fun () ->
+        quiescent name seg;
+        let disjoint =
+          List.for_all (fun x -> not (List.mem x loots.(1))) loots.(0)
+        in
+        if not disjoint then
+          failf name "loot not disjoint: [%s] vs [%s]"
+            (String.concat ";" (List.map string_of_int loots.(0)))
+            (String.concat ";" (List.map string_of_int loots.(1)));
+        let rec drain acc =
+          match M.try_remove seg with Some x -> drain (x :: acc) | None -> acc
+        in
+        let all = List.sort compare (loots.(0) @ loots.(1) @ drain []) in
+        if all <> [ 1; 2; 3; 4 ] then
+          failf name "elements lost or duplicated: [%s]"
+            (String.concat ";" (List.map string_of_int all)));
+  }
+
+(* The one-element boundary: an owner pop and a steal racing for the last
+   ring element. Both sides claim the same front window with the same CAS,
+   so exactly one must win the element and the other must walk away with
+   nothing — no duplication, no loss, no deadlock. *)
+let pop_vs_steal_one () =
+  let name = "one-element owner/stealer boundary" in
+  let seg = M.make ~id:0 () in
+  M.add seg 42;
+  let popped = ref [] in
+  let stolen = ref [] in
+  let owner () =
+    match M.try_remove seg with Some x -> popped := [ x ] | None -> ()
+  in
+  let stealer () = stolen := loot_list (M.steal_half ~max_take:1 seg) in
+  {
+    Sched.threads = [ owner; stealer ];
+    check_step = bound_ok name seg;
+    check_final =
+      (fun () ->
+        quiescent name seg;
+        (match (!popped, !stolen) with
+        | [ 42 ], [] | [], [ 42 ] -> ()
+        | [], [] -> failf name "element lost: neither side took it"
+        | _ ->
+          failf name "element duplicated: popped [%s], stolen [%s]"
+            (String.concat ";" (List.map string_of_int !popped))
+            (String.concat ";" (List.map string_of_int !stolen)));
+        if stored seg <> 0 then failf name "segment not empty at quiescence");
+  }
+
+(* The MPSC inbox under fire: a foreign spiller CAS-pushing two elements
+   while the owner's pop exchange-drains the stack into the ring. The
+   drain must never lose a concurrent push (the exchange takes the whole
+   stack or leaves the push for the next round), and every element must
+   end exactly once in popped + stored. *)
+let mpsc_push_vs_drain () =
+  let name = "MPSC push vs exchange-drain" in
+  let seg = M.make ~id:0 () in
+  assert (M.spill_add seg 1);
+  let popped = ref [] in
+  let spilled = ref 1 in
+  let owner () =
+    match M.try_remove seg with Some x -> popped := [ x ] | None -> ()
+  in
+  let spiller () =
+    if M.spill_add seg 2 then incr spilled;
+    if M.spill_add seg 3 then incr spilled
+  in
+  {
+    Sched.threads = [ owner; spiller ];
+    check_step = bound_ok name seg;
+    check_final =
+      (fun () ->
+        quiescent name seg;
+        (* The inbox held an element before the run, so the owner's pop
+           must drain and succeed regardless of the schedule. *)
+        if !popped = [] then failf name "owner pop lost the drained elements";
+        let rec drain acc =
+          match M.try_remove seg with Some x -> drain (x :: acc) | None -> acc
+        in
+        let all = List.sort compare (!popped @ drain []) in
+        let expect = List.init !spilled (fun i -> i + 1) in
+        if all <> expect then
+          failf name "elements lost or duplicated: [%s] of %d spills"
+            (String.concat ";" (List.map string_of_int all))
+            !spilled);
   }
 
 (* The heart of the new ring protocol: the owner's lock-free pop racing a
@@ -363,6 +465,9 @@ let scenarios =
     { name = "reserve-refill"; instance = reserve_refill_race };
     { name = "three-way"; instance = three_way };
     { name = "pop-vs-steal"; instance = pop_vs_steal };
+    { name = "steal-vs-steal"; instance = steal_vs_steal };
+    { name = "pop-vs-steal-one"; instance = pop_vs_steal_one };
+    { name = "mpsc-push-drain"; instance = mpsc_push_vs_drain };
     { name = "push-vs-reserve"; instance = push_vs_reserve };
     { name = "hint-add-vs-park"; instance = hint_add_vs_park };
     { name = "hint-double-claim"; instance = hint_double_claim };

@@ -81,6 +81,43 @@ let has_suffix2 e m f =
 let expr_to_string e =
   try Format.asprintf "%a" Pprintast.expression e with _ -> "<unprintable>"
 
+(* A "blind" stored value: a literal constant or (possibly constant-carrying)
+   constructor — the shape of a check-then-act reset like
+   [Atomic.set flag false] after a read of [flag]. Computed values are judged
+   by the taint rule instead, so an unrelated store such as
+   [Atomic.set t x] stays out of the order-aware check. *)
+let rec is_blind_store (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true
+  | Pexp_construct (_, Some arg) -> is_blind_store arg
+  | Pexp_tuple es -> List.for_all is_blind_store es
+  | _ -> false
+
+(* First arguments of every [compare_and_set] under [item], pretty-printed:
+   the atomics this structure item already drives through the CAS-retry
+   idiom. A target on this list is exempt from R2 — the item demonstrably
+   knows the retry discipline for that atomic, so a plain store next to the
+   loop (the publish after a won race, the reset on the fallback arm) is a
+   deliberate choice, not an overlooked lost update. This is what keeps the
+   lock-free segment's claim loops clean without blanket suppressions. *)
+let cas_targets_in (item : Parsetree.structure_item) =
+  let acc = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_apply (f, (_, arg) :: _)
+      when (match ident_path f with
+           | Some p -> ( match suffix2 p with Some (_, "compare_and_set") -> true | _ -> false)
+           | None -> false) ->
+      acc := expr_to_string arg :: !acc
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure_item it item;
+  List.sort_uniq String.compare !acc
+
 (* Which atomics does [value] read? Targets are compared by pretty-printed
    form (identical source prints identically). [lookup] resolves an
    identifier to the targets its let-binding read — the taint environment,
@@ -120,6 +157,14 @@ let check_structure ~file ~ban_random (str : Parsetree.structure) =
   let lookup_taint name =
     match List.assoc_opt name !taint with Some ts -> ts | None -> []
   in
+  (* R2 order pass: atomics already [Atomic.get]-read earlier in the current
+     function body, in traversal (= source) order. Scoped to the innermost
+     [fun]: a get inside a spawned closure does not order against a set in
+     the enclosing body, and vice versa — crossing that boundary is a
+     different program point in time, not a get-then-set window. *)
+  let seen_gets : string list ref = ref [] in
+  (* Atomics the current structure item drives via [compare_and_set]. *)
+  let cas_sanctioned : string list ref = ref [] in
   let super = Ast_iterator.default_iterator in
   let check_ident (e : Parsetree.expression) =
     match ident_path e with
@@ -173,17 +218,36 @@ let check_structure ~file ~ban_random (str : Parsetree.structure) =
       taint := added @ !taint;
       it.expr it body;
       taint := saved
+    | Pexp_fun _ | Pexp_function _ ->
+      let saved = !seen_gets in
+      seen_gets := [];
+      super.expr it e;
+      seen_gets := saved
     | Pexp_apply (f, args) ->
+      (match args with
+      | (_, arg) :: _ when has_suffix2 f "Atomic" "get" ->
+        seen_gets := expr_to_string arg :: !seen_gets
+      | _ -> ());
       (if has_suffix2 f "Atomic" "set" then
          match args with
          | (_, target) :: (_, value) :: _ ->
-           let reads = targets_read_by ~lookup:lookup_taint value in
-           if List.mem (expr_to_string target) reads then
-             add e.pexp_loc non_atomic_rmw
-               "non-atomic read-modify-write: Atomic.set of a value derived from \
-                Atomic.get of the same atomic (possibly via intermediate \
-                let-bindings); use fetch_and_add / compare_and_set or suppress \
-                with (* lint: allow non-atomic-rmw -- <reason> *)"
+           let tstr = expr_to_string target in
+           if not (List.mem tstr !cas_sanctioned) then begin
+             let reads = targets_read_by ~lookup:lookup_taint value in
+             if List.mem tstr reads then
+               add e.pexp_loc non_atomic_rmw
+                 "non-atomic read-modify-write: Atomic.set of a value derived from \
+                  Atomic.get of the same atomic (possibly via intermediate \
+                  let-bindings); use fetch_and_add / compare_and_set or suppress \
+                  with (* lint: allow non-atomic-rmw -- <reason> *)"
+             else if is_blind_store value && List.mem tstr !seen_gets then
+               add e.pexp_loc non_atomic_rmw
+                 "racy get-then-set: this function reads the atomic with \
+                  Atomic.get and later overwrites it with a constant, so a \
+                  concurrent update between the two steps is silently lost; \
+                  use Atomic.exchange or a compare_and_set retry loop, or \
+                  suppress with (* lint: allow non-atomic-rmw -- <reason> *)"
+           end
          | _ -> ());
       let callee_is_with =
         match ident_path f with Some p -> is_with_helper p | None -> false
@@ -208,7 +272,15 @@ let check_structure ~file ~ban_random (str : Parsetree.structure) =
       bindings := List.tl !bindings
     | _ -> super.value_binding it vb
   in
-  let it = { super with expr; value_binding } in
+  let structure_item it (si : Parsetree.structure_item) =
+    (* Per-item R2 state: prescan the item for CAS-driven atomics, start the
+       get-order pass fresh. Nested items (module bodies) rescan for their
+       own, narrower window — expressions only ever live in leaf items. *)
+    cas_sanctioned := cas_targets_in si;
+    seen_gets := [];
+    super.structure_item it si
+  in
+  let it = { super with expr; value_binding; structure_item } in
   it.structure it str;
   List.rev !findings
 

@@ -6,7 +6,15 @@
       [Stdlib.Mutex.lock] and functor-parameter mutexes are caught too).
     - R2 [non-atomic-rmw] — no [Atomic.set x (... Atomic.get x ...)]: the
       read and write are separate steps, so a concurrent update between them
-      is lost. Use [fetch_and_add]/[compare_and_set], or suppress with
+      is lost. Also order-aware: an [Atomic.get x] earlier in the same
+      function body followed by a blind constant store [Atomic.set x c] is a
+      check-then-act with the same lost-update window. Both checks stand
+      down for atomics the enclosing structure item drives through
+      [compare_and_set] — the CAS-retry idiom is the sanctioned
+      read-modify-write, and a plain store next to such a loop is a
+      deliberate publish. Gets inside a nested [fun] do not order against
+      sets outside it (and vice versa): a closure runs at an unrelated time.
+      Use [fetch_and_add]/[compare_and_set]/[exchange], or suppress with
       [(* lint: allow non-atomic-rmw -- <reason> *)] when a lock or
       single-writer phase genuinely protects the window.
     - R3 [blocking-under-lock] — no blocking call ([Mutex.lock],

@@ -28,6 +28,12 @@ module Prim = struct
       yield ();
       r.v <- x
 
+    let exchange r x =
+      yield ();
+      let old = r.v in
+      r.v <- x;
+      old
+
     let fetch_and_add r d =
       yield ();
       let old = r.v in

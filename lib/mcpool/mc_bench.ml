@@ -43,6 +43,7 @@ type result = {
   cell : cell;
   duration : float;
   ops : int;
+  ops_attempted : int;
   ops_per_sec : float;
   adds_ok : int;
   removes_ok : int;
@@ -132,6 +133,9 @@ let worker pool cell ~seed tally i barrier deadline_ns =
   done;
   Mc_pool.deregister pool h
 
+(* Returns the number of add attempts it made: prefill pushes note paths on
+   the segment stats like any other op, so the attempt count must join the
+   workers' in the [ops_attempted] accounting. *)
 let prefill pool ~capacity ~per_domain domains =
   let quota = match capacity with None -> per_domain | Some c -> min per_domain c in
   for s = 0 to domains - 1 do
@@ -140,7 +144,8 @@ let prefill pool ~capacity ~per_domain domains =
       ignore (Mc_pool.try_add pool h j)
     done;
     Mc_pool.deregister pool h
-  done
+  done;
+  quota * domains
 
 let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) ?(trace = false) cell =
   if cell.domains <= 0 then invalid_arg "Mc_bench.run_cell: domains must be positive";
@@ -149,7 +154,9 @@ let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) ?(trace = false) c
     Mc_pool.create ~kind:cell.kind ?capacity ~fast_path:cell.fast_path ~trace
       ~segments:cell.domains ()
   in
-  prefill pool ~capacity ~per_domain:(mix_initial_per_domain cell.mix) cell.domains;
+  let prefill_attempts =
+    prefill pool ~capacity ~per_domain:(mix_initial_per_domain cell.mix) cell.domains
+  in
   let tallies =
     Array.init cell.domains (fun _ ->
         { t_ops = 0; t_adds = 0; t_removes = 0; t_lat = Cpool_metrics.Sample.create () })
@@ -179,6 +186,7 @@ let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) ?(trace = false) c
     cell;
     duration;
     ops;
+    ops_attempted = ops + prefill_attempts;
     ops_per_sec = float_of_int ops /. Float.max 1e-9 duration;
     adds_ok = sum (fun t -> t.t_adds);
     removes_ok = sum (fun t -> t.t_removes);
@@ -188,9 +196,11 @@ let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) ?(trace = false) c
     locked_ops = Mc_stats.locked_path_ops seg;
     fast_fraction = Mc_stats.fast_path_fraction seg;
     steals = Mc_pool.steals pool;
+    (* Batch telemetry lives on the thief's handle now, so it comes from
+       the merged handle stats, not the (victim) segment stats. *)
     batched_steals =
-      Cpool_metrics.Counters.get (Mc_stats.counters seg) "batched steals";
-    mean_batch = Cpool_metrics.Sample.mean (Mc_stats.steal_batch_sizes seg);
+      Cpool_metrics.Counters.get (Mc_stats.counters all) "batched steals";
+    mean_batch = Cpool_metrics.Sample.mean (Mc_stats.steal_batch_sizes all);
     hints_published = Mc_stats.hints_published all;
     hints_claimed = Mc_stats.hints_claimed all;
     hints_delivered = Mc_stats.hints_delivered all;
@@ -306,6 +316,7 @@ let json_of_result r =
       ("fast_path", Cpool_util.Json.Bool r.cell.fast_path);
       ("duration_s", Cpool_util.Json.Float r.duration);
       ("ops", Cpool_util.Json.Int r.ops);
+      ("ops_attempted", Cpool_util.Json.Int r.ops_attempted);
       ("ops_per_sec", Cpool_util.Json.Float r.ops_per_sec);
       ("adds_ok", Cpool_util.Json.Int r.adds_ok);
       ("removes_ok", Cpool_util.Json.Int r.removes_ok);
@@ -372,9 +383,30 @@ let validate_json doc =
                 (number c name))
             (Ok ())
             [
-              "domains"; "ops"; "ops_per_sec"; "fast_ops"; "locked_ops"; "steals";
-              "hints_published"; "hints_claimed"; "hints_delivered"; "hints_expired";
+              "domains"; "ops"; "ops_attempted"; "ops_per_sec"; "fast_ops";
+              "locked_ops"; "steals"; "hints_published"; "hints_claimed";
+              "hints_delivered"; "hints_expired";
             ]
+        in
+        (* Counter-accounting identities: the path counters count a subset
+           of the attempted operations, so an artifact where they exceed
+           the attempts is self-contradictory (the seed shipped one such
+           cell: fast_ops > ops). *)
+        let get name =
+          match J.member name c with Some v -> J.to_number v | None -> None
+        in
+        let* () =
+          match (get "fast_ops", get "locked_ops", get "ops", get "ops_attempted") with
+          | Some f, Some l, Some o, Some a ->
+            if f +. l > a then
+              Error
+                (Printf.sprintf
+                   "cell %d: fast_ops %.0f + locked_ops %.0f > ops_attempted %.0f" i f
+                   l a)
+            else if o > a then
+              Error (Printf.sprintf "cell %d: ops %.0f > ops_attempted %.0f" i o a)
+            else Ok ()
+          | _ -> Error (Printf.sprintf "cell %d: path counters are not numbers" i)
         in
         (match J.member "fast_path" c with
         | Some (J.Bool _) -> check (i + 1) rest

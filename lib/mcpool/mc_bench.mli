@@ -54,7 +54,13 @@ type cell = {
 type result = {
   cell : cell;
   duration : float;  (** Measured wall-clock of the mixed-op phase. *)
-  ops : int;  (** Operation attempts across all workers. *)
+  ops : int;  (** Operation attempts across all workers (throughput numerator). *)
+  ops_attempted : int;
+      (** [ops] plus the prefill's add attempts — the full population of
+          operations that can note a fast or locked path, so
+          [fast_ops + locked_ops <= ops_attempted] always holds (the seed
+          artifact compared [fast_ops] against [ops] alone and shipped a
+          cell with [fast_ops > ops]). *)
   ops_per_sec : float;
   adds_ok : int;
   removes_ok : int;
@@ -102,4 +108,7 @@ val to_chrome : result list -> Cpool_util.Json.t
 val validate_json : Cpool_util.Json.t -> (int, string) Stdlib.result
 (** Structural check of a parsed benchmark document (the [json-check]
     subcommand): returns the number of cells, or a description of the
-    first malformed field. *)
+    first malformed field. Beyond field presence it enforces the
+    counter-accounting identities
+    [fast_ops + locked_ops <= ops_attempted] and [ops <= ops_attempted]
+    per cell, so a self-contradictory artifact fails the check. *)

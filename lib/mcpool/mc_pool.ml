@@ -192,6 +192,7 @@ let try_deliver t h x =
            Mc_stats.note_spill h.stats;
            if Mc_trace.enabled h.tracer then begin
              Mc_trace.record h.tracer Mc_trace.Hint_deliver ~a1:w ~a2:0;
+             Mc_trace.record h.tracer Mc_trace.Mpsc_push ~a1:w ~a2:0;
              Mc_trace.record h.tracer Mc_trace.Spill ~a1:w
                ~a2:(Mc_segment.size t.segs.(w))
            end
@@ -232,9 +233,11 @@ let try_add t h x =
           if Mc_segment.spare t.segs.(pos) > 0 && Mc_segment.spill_add t.segs.(pos) x
           then begin
             Mc_stats.note_spill h.stats;
-            if Mc_trace.enabled h.tracer then
+            if Mc_trace.enabled h.tracer then begin
+              Mc_trace.record h.tracer Mc_trace.Mpsc_push ~a1:pos ~a2:0;
               Mc_trace.record h.tracer Mc_trace.Spill ~a1:pos
-                ~a2:(Mc_segment.size t.segs.(pos));
+                ~a2:(Mc_segment.size t.segs.(pos))
+            end;
             true
           end
           else spill (i + 1)
@@ -246,12 +249,24 @@ let try_add t h x =
 let add t h x = if not (try_add t h x) then failwith "Mc_pool.add: pool is full"
 
 let try_remove_local t h =
-  match Mc_segment.try_remove t.segs.(h.pool_slot) with
+  let seg = t.segs.(h.pool_slot) in
+  let traced = Mc_trace.enabled h.tracer in
+  (* The drain counters are owner-written plain fields and this handle IS
+     the owner, so the before/after delta is exact, not racy: it detects
+     whether this pop folded the spill inbox into the ring. *)
+  let sstats = Mc_segment.stats seg in
+  let drains0 = if traced then Mc_stats.inbox_drains sstats else 0 in
+  let drained0 = if traced then Mc_stats.inbox_drained sstats else 0 in
+  let r = Mc_segment.try_remove seg in
+  if traced && Mc_stats.inbox_drains sstats > drains0 then
+    Mc_trace.record h.tracer Mc_trace.Mpsc_drain ~a1:h.pool_slot
+      ~a2:(Mc_stats.inbox_drained sstats - drained0);
+  match r with
   | Some x ->
     Mc_stats.note_local_remove h.stats;
-    if Mc_trace.enabled h.tracer then
+    if traced then
       Mc_trace.record h.tracer Mc_trace.Remove ~a1:h.pool_slot
-        ~a2:(Mc_segment.size t.segs.(h.pool_slot));
+        ~a2:(Mc_segment.size seg);
     Some x
   | None -> None
 
@@ -260,6 +275,9 @@ let record_steal t h pos ~elements =
   h.last_found <- pos;
   h.last_leaf <- pos;
   Mc_stats.note_steal h.stats ~probes:h.hunt_probes ~elements;
+  (* The transfer-size sample lives on the thief's handle (single writer);
+     the victim segment cannot record it without a serialization point. *)
+  Mc_stats.note_steal_batch h.stats elements;
   Mc_trace.record h.tracer Mc_trace.Steal_claim ~a1:pos ~a2:elements;
   h.hunt_probes <- 0
 

@@ -5,6 +5,7 @@ module type ATOMIC = sig
   val make_padded : 'a -> 'a t
   val get : 'a t -> 'a
   val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
   val fetch_and_add : int t -> int -> int
   val compare_and_set : 'a t -> 'a -> 'a -> bool
 end

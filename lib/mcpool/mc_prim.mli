@@ -18,6 +18,12 @@ module type ATOMIC = sig
 
   val get : 'a t -> 'a
   val set : 'a t -> 'a -> unit
+
+  val exchange : 'a t -> 'a -> 'a
+  (** [exchange r v] installs [v] and returns the previous value, atomically.
+      The single-step drain of the MPSC spill inbox: the owner swaps the
+      whole stack for [[]] without a window where pushes could be lost. *)
+
   val fetch_and_add : int t -> int -> int
 
   val compare_and_set : 'a t -> 'a -> 'a -> bool

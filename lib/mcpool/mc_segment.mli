@@ -1,11 +1,15 @@
 (** One segment of the multicore concurrent pool.
 
-    A Chase-Lev-style ring deque owned by one domain, plus a small
-    mutex-protected inbox for foreign (spill) adds. The {e owner}'s
-    {!add}/{!try_add}/{!try_remove} run lock-free on atomics alone in the
-    common case; {e stealers} serialize on the segment mutex and move up to
-    half the ring in one batched window claim. The layout and the
-    memory-ordering argument are documented in DESIGN.md.
+    A lock-free SPMC FIFO ring owned by one domain, plus a lock-free MPSC
+    inbox (Treiber stack) for foreign (spill) adds. The {e owner} pushes at
+    the back of the ring with plain stores published by one atomic bump of
+    [bottom]; {e every} consumer — the owner's pop and any number of
+    concurrent stealers — takes from the front by copying a window and
+    committing it with a single CAS on [top] (stealers claim up to half the
+    ring in one such batched claim). No operation takes a mutex on the
+    default fast path; the segment mutex exists only for the
+    [~fast_path:false] all-mutex baseline twin. The layout and the
+    memory-ordering argument are documented in DESIGN.md §12.
 
     Ownership discipline: exactly one domain at a time may call the owner
     operations ({!add}, {!try_add}, {!try_remove}, {!deposit}, {!reserve},
@@ -23,10 +27,12 @@ type 'a t
 
 val make : ?capacity:int -> ?fast_path:bool -> id:int -> unit -> 'a t
 (** [make ~id ()] is an empty segment; [capacity] bounds it (default
-    unbounded). [fast_path] (default [true]) enables the owner's lock-free
-    ring path; [~fast_path:false] routes every owner operation through the
-    mutex instead — the all-mutex baseline the throughput benchmark
-    compares against. Raises [Invalid_argument] if [capacity <= 0]. *)
+    unbounded). [fast_path] (default [true]) enables the lock-free
+    protocol; [~fast_path:false] routes every operation — owner, spiller
+    and stealer alike — through the segment mutex instead, running the same
+    cursor code with each CAS uncontended: the all-mutex baseline the
+    throughput benchmark compares against. Raises [Invalid_argument] if
+    [capacity <= 0]. *)
 
 val id : 'a t -> int
 
@@ -49,26 +55,31 @@ val try_add : 'a t -> 'a -> bool
 
 val spill_add : 'a t -> 'a -> bool
 (** [spill_add s x] inserts from a {e foreign} domain (the pool's spill
-    path): the element goes to the segment's inbox under the mutex, where
-    the owner's slow pop and stealers can find it. [false] if the segment
-    is full. Safe from any domain. *)
+    path): the element is CAS-pushed onto the segment's MPSC inbox — no
+    lock, any number of concurrent spillers. The owner folds the inbox into
+    its ring when the ring runs dry, preserving arrival order (spill
+    traffic is FIFO end-to-end); stealers can also lift inbox elements
+    directly. [false] if the segment is full. Safe from any domain. *)
 
 val spare : 'a t -> int
 (** [spare s] is the remaining capacity ([max_int] when unbounded). *)
 
 val try_remove : 'a t -> 'a option
-(** [try_remove s] takes the most recently added ring element (LIFO), or an
-    inbox element once the ring is dry. Lock-free unless the segment is
-    nearly empty, a steal is mid-claim, or the ring must grow. Owner
+(** [try_remove s] takes the {e oldest} stored element (FIFO): the front of
+    the ring, refilled from the spill inbox when the ring runs dry. Always
+    lock-free: the take commits with one CAS on the front cursor, shared
+    with stealers. (The pool is unordered — FIFO is a property of this
+    implementation, pinned by tests, not of the pool interface.) Owner
     only. *)
 
 val steal_half : ?max_take:int -> 'a t -> 'a Cpool.Steal.loot
 (** [steal_half s] claims [min (ceil n/2) max_take] of the [n] ring
-    elements (the oldest ones) in one batched window transfer under the
-    mutex — [Single] / [Batch] / [Nothing] as the count dictates. When the
-    ring is empty it splits the inbox instead. The caller deposits the
-    remainder into its own segment afterwards — victim and thief are never
-    locked together. Safe from any domain. *)
+    elements (the oldest ones) with one batched CAS claim of the front
+    window — no lock, concurrent stealers race on the CAS and retry.
+    [Single] / [Batch] / [Nothing] as the count dictates. When the ring is
+    empty it lifts up to half the spill inbox instead, one CAS-pop per
+    cell. The caller deposits the remainder into its own segment
+    afterwards — victim and thief never serialize. Safe from any domain. *)
 
 val deposit : 'a t -> 'a list -> 'a list
 (** [deposit s xs] adds elements of [xs] with one batched publish, up to
@@ -89,15 +100,20 @@ val refill : 'a t -> reserved:int -> 'a list -> unit
     reservation. Raises [Invalid_argument] if [List.length xs > reserved].
     Owner only. *)
 
+val inbox_length : 'a t -> int
+(** [inbox_length s] is a racy snapshot of the spill-inbox length (walks
+    the stack; telemetry and tests only). *)
+
 val stats : 'a t -> Mc_stats.t
 (** [stats s] is the segment's live path telemetry (fast vs locked
-    pushes/pops, inbox adds, batched-steal sizes). Owner-written fields and
-    mutex-written fields never share a writer; read racily or merge at
-    quiescence. *)
+    pushes/pops, inbox adds/drains, CAS retries). Owner-written fields have
+    a single writer; cross-domain fields are atomic inside [Mc_stats]; read
+    racily or merge at quiescence. *)
 
 val invariant_ok : 'a t -> bool
-(** [invariant_ok s] checks, under the lock, that the atomic count matches
-    the stored element count (ring + inbox), that no steal window is left
-    claimed, and that the capacity is respected. Only meaningful at
-    quiescence (no outstanding reservations); the stress harness calls it
-    after every run. *)
+(** [invariant_ok s] checks that the atomic count matches the stored
+    element count (ring + inbox), that the cursors satisfy
+    [scrub <= top <= bottom], and that the capacity is respected. Lock-free
+    and only meaningful at quiescence (no thread mid-operation, no
+    outstanding reservations); the stress harness calls it after every
+    run. *)

@@ -16,6 +16,7 @@ module type SEG = sig
   val deposit : 'a t -> 'a list -> 'a list
   val reserve : 'a t -> int -> int
   val refill : 'a t -> reserved:int -> 'a list -> unit
+  val inbox_length : 'a t -> int
   val stats : 'a t -> Mc_stats.t
   val invariant_ok : 'a t -> bool
   val debug_counts : 'a t -> int * int
@@ -37,47 +38,75 @@ module Make (P : Mc_prim.S) = struct
 
   let initial_ring = 8
 
-  (* The segment is a ring deque plus a small mutex-protected inbox.
+  (* The segment is a lock-free SPMC FIFO ring plus a lock-free MPSC inbox.
+     No operation takes the mutex when [fast_path] is on; the mutex exists
+     only for the [fast_path:false] all-mutex baseline twin the throughput
+     benchmark compares against.
 
-     [ring] is a power-of-two array indexed modulo its length by three
-     monotonically increasing cursors, [commit <= top <= bottom]:
+     [ring] is a power-of-two array indexed modulo its length by two
+     monotonically non-decreasing cursors, [top <= bottom]:
 
-       [top, bottom)   elements visible for stealing (oldest at [top]);
-       [commit, top)   a steal window claimed but not yet copied out;
-       anything outside [commit, bottom) is vacant.
+       [top, bottom)   live elements, oldest at [top].
 
      Roles:
-     - The OWNER (the one domain the pool assigns this segment to) pushes
-       and pops at [bottom] without the mutex; it is the only writer of
-       [bottom] and of ring slots.
-     - STEALERS serialize on [mutex]; they are the only writers of [top]
-       and [commit], and they only vacate slots, never fill them.
-     - Foreign adds (the pool's spill traffic) append to [inbox] under
-       [mutex] — two lock-free writers at [bottom] would be unsound.
+     - The OWNER (the one domain the pool assigns this segment to) is the
+       only writer of [bottom] and of ring slots: it stores a batch with
+       plain writes and publishes it with one atomic [fetch_and_add] on
+       [bottom]. [bottom] never decreases — the owner does not pop at the
+       back.
+     - ALL consumers — the owner's pop and every stealer — take from the
+       FRONT by the same copy-then-claim protocol: read [t = top] and
+       [b = bottom], copy slots [t, t + w) into a private buffer, then
+       CAS [top : t -> t + w]. The CAS is the commit point; a failed CAS
+       discards the buffer and retries. Consequently owner pops are FIFO
+       (oldest first) — pools are unordered, so locality of the old LIFO
+       pop is traded for a protocol with one cursor CAS and no
+       claim/revalidate window.
+     - FOREIGN ADDS (the pool's spill traffic) CAS-push onto [inbox], a
+       Treiber stack of list cells. The owner drains it with a single
+       [exchange] when its ring runs dry, reversing the batch so spill
+       traffic stays FIFO end-to-end (push order = drain order = ring pop
+       order). Stealers that find the ring dry may CAS-pop single cells —
+       cells are fresh blocks, never re-pushed, so the physical-equality
+       CAS cannot ABA.
+
+     Why a torn copy is harmless: a consumer's copy races only the owner
+     overwriting slots for indices [>= bottom]. The owner's room check
+     bounds its writes to [x < top_read + length ring] for some [top_read]
+     it observed; for such a write to alias a slot in a pending window
+     [t, t + w) (all indices [< bottom <= x]), the index gap must be at
+     least [length ring], forcing [top_read > t] — so [top] already moved
+     past [t] and that window's CAS must fail. The garbage copy is held
+     only as [Obj.t] and discarded, never converted.
+
+     Ring growth is lock-free too: the owner builds a fresh array, copies
+     the live range, and publishes it with one atomic exchange of [ring].
+     Consumers snapshot [ring] once per attempt, AFTER reading the cursors:
+     [bottom] is monotone, so every index in the snapshot's [t, b) window
+     is present in whichever array version the consumer sees (the swap
+     copies [<= top .. bottom) and later owner pushes store into the new
+     array before publishing [bottom]).
+
+     Space discipline: consumed slots keep their (dead) element reachable
+     until cleared. Stealers never write slots, so the owner lazily vacates
+     [scrub, top) during its own operations — skipping slots already
+     recycled for a newer index — mirroring [Vec.release_slot].
 
      [count] is the logical size: ring elements + inbox elements +
      outstanding reservations. Increments happen before the element is
      visible and decrements after it is taken, so [count >= stored] always;
      on a bounded segment every increment goes through a CAS that refuses
-     to exceed the bound, so capacity holds at every instant even against
-     the lock-free owner.
-
-     Publication (OCaml 5 memory model): the owner's plain slot store is
-     made visible by the subsequent atomic [bottom] store; a stealer that
-     reads that [bottom] value therefore sees the slot contents. The same
-     edge in reverse runs through [commit]: stealers vacate slots before
-     atomically advancing [commit], and the owner checks [commit] before
-     reusing those slots. *)
+     to exceed the bound, so capacity holds at every instant. *)
   type 'a t = {
     seg_id : int;
     bound : int option;
     fast_path : bool; (* false = all-mutex baseline, for benchmarking *)
     mutex : Mutex.t;
-    mutable ring : Obj.t array; (* replaced only by the owner, under [mutex] *)
+    ring : Obj.t array Atomic.t; (* swapped only by the owner, on growth *)
     top : int Atomic.t;
-    commit : int Atomic.t;
     bottom : int Atomic.t;
-    inbox : 'a Cpool_util.Vec.t;
+    mutable scrub : int; (* owner-only: slots [scrub, top) may need clearing *)
+    inbox : 'a list Atomic.t; (* MPSC Treiber stack of spilled elements *)
     count : int Atomic.t;
     seg_stats : Mc_stats.t; (* path counters; see Mc_stats writer discipline *)
   }
@@ -91,11 +120,11 @@ module Make (P : Mc_prim.S) = struct
       bound = capacity;
       fast_path;
       mutex = Mutex.create ();
-      ring = Array.make initial_ring vacant;
+      ring = Atomic.make_padded (Array.make initial_ring vacant);
       top = Atomic.make_padded 0;
-      commit = Atomic.make_padded 0;
       bottom = Atomic.make_padded 0;
-      inbox = Cpool_util.Vec.create ();
+      scrub = 0;
+      inbox = Atomic.make_padded [];
       count = Atomic.make_padded 0;
       seg_stats = Mc_stats.create ();
     }
@@ -111,6 +140,8 @@ module Make (P : Mc_prim.S) = struct
 
   let stats s = s.seg_stats
 
+  let inbox_length s = List.length (Atomic.get s.inbox)
+
   let with_lock s f =
     Mutex.lock s.mutex;
     match f () with
@@ -120,6 +151,12 @@ module Make (P : Mc_prim.S) = struct
     | exception e ->
       Mutex.unlock s.mutex;
       raise e
+
+  (* Every public operation runs through [serialized]: a no-op with the
+     fast path on, the segment mutex otherwise. Under the mutex the same
+     cursor code runs with every CAS uncontended, so the baseline measures
+     the cost of serialization itself, not a second algorithm. *)
+  let serialized s f = if s.fast_path then f () else with_lock s f
 
   let shift_count s d = ignore (Atomic.fetch_and_add s.count d)
 
@@ -136,266 +173,298 @@ module Make (P : Mc_prim.S) = struct
 
   let slot ring i = i land (Array.length ring - 1)
 
-  let take_slot ring i =
-    let x = Obj.obj ring.(i) in
-    ring.(i) <- vacant;
-    x
+  (* Owner-only, lazy space-leak control: clear ring slots whose elements
+     were claimed, so the GC can reclaim them (the Vec.release_slot
+     discipline). A slot whose index was already recycled by a newer push
+     (index < bottom - length) holds that newer element and must be left
+     alone; a stealer's in-flight copy of a slot cleared here belongs to a
+     window [top] has already passed, i.e. to a doomed CAS. *)
+  let scrub_consumed s =
+    let t = Atomic.get s.top in
+    if s.scrub < t then begin
+      let ring = Atomic.get s.ring in
+      let b = Atomic.get s.bottom in
+      let from = max s.scrub (b - Array.length ring) in
+      for i = from to t - 1 do
+        ring.(slot ring i) <- vacant
+      done;
+      s.scrub <- t
+    end
 
-  (* Owner-only, under [mutex]: replace the ring so [extra] more pushes fit.
-     With the lock held no steal window is in flight, so [commit = top] and
-     [top, bottom) is exactly the live range to carry over. *)
-  let grow_locked s ~extra =
+  (* Owner-only lock-free ring replacement: build the fresh array, copy the
+     live range, publish with one atomic swap. A consumer still holding the
+     old array is unharmed — the owner never writes the old array again, and
+     the [top] CAS decides whether its copy was current. A stale (small)
+     read of [top] here only copies extra already-dead slots. *)
+  let grow s ~extra =
+    let old = Atomic.get s.ring in
     let t = Atomic.get s.top and b = Atomic.get s.bottom in
-    let needed = b - t + extra in
-    let cap = ref (max initial_ring (Array.length s.ring)) in
-    while needed > !cap do
+    let cap = ref (max initial_ring (2 * Array.length old)) in
+    while b - t + extra > !cap do
       cap := 2 * !cap
     done;
-    if !cap > Array.length s.ring then begin
-      let old = s.ring in
-      let fresh = Array.make !cap vacant in
-      for i = t to b - 1 do
-        fresh.(i land (!cap - 1)) <- old.(slot old i)
-      done;
-      s.ring <- fresh
-    end
+    let fresh = Array.make !cap vacant in
+    for i = t to b - 1 do
+      fresh.(i land (!cap - 1)) <- old.(slot old i)
+    done;
+    s.scrub <- t;
+    ignore (Atomic.exchange s.ring fresh);
+    fresh
 
   (* Owner batch store of [n >= 1] elements, published with ONE atomic
-     [bottom] store. Room is judged against [commit], the physical free
-     boundary: a stale (small) read of [commit] only makes the check
-     conservative. Returns whether the locked path was taken. *)
+     add on [bottom] — [bottom]'s single writer is the owner, so the add
+     is a store of [b + n], and the atomic write is what makes the plain
+     slot stores visible to any consumer that reads the new [bottom].
+     Room is judged against a fresh [top] read; a stale (small) value only
+     makes the check conservative (grows early, never overwrites live). *)
   let push_many s xs n =
+    scrub_consumed s;
     let b = Atomic.get s.bottom in
-    let store () =
-      List.iteri (fun i x -> s.ring.(slot s.ring (b + i)) <- Obj.repr x) xs;
-      (* lint: allow non-atomic-rmw -- bottom has a single writer (the owner domain); this publishes its own read *)
-      Atomic.set s.bottom (b + n)
+    let ring = Atomic.get s.ring in
+    let ring =
+      if b + n - Atomic.get s.top <= Array.length ring then ring
+      else grow s ~extra:n
     in
-    if s.fast_path && b + n - Atomic.get s.commit <= Array.length s.ring then begin
-      store ();
-      false
-    end
-    else begin
-      with_lock s (fun () ->
-          if b + n - Atomic.get s.commit > Array.length s.ring then
-            grow_locked s ~extra:n;
-          store ());
-      true
-    end
+    List.iteri (fun i x -> ring.(slot ring (b + i)) <- Obj.repr x) xs;
+    ignore (Atomic.fetch_and_add s.bottom n)
 
-  let note_push s locked =
-    if locked then Mc_stats.note_locked_push s.seg_stats
-    else Mc_stats.note_fast_push s.seg_stats
+  let note_push s =
+    if s.fast_path then Mc_stats.note_fast_push s.seg_stats
+    else Mc_stats.note_locked_push s.seg_stats
 
-  let push_one s x = note_push s (push_many s [ x ] 1)
+  let push_one s x =
+    push_many s [ x ] 1;
+    note_push s
 
   let add s x =
-    (* Count first, store second: [count >= stored] must hold at every
-       instant or a concurrent steal's decrement could drive it negative. *)
-    shift_count s 1;
-    push_one s x
+    serialized s (fun () ->
+        (* Count first, store second: [count >= stored] must hold at every
+           instant or a concurrent steal's decrement could drive it
+           negative. *)
+        shift_count s 1;
+        push_one s x)
 
   let try_add s x =
-    match s.bound with
-    | None ->
-      add s x;
-      true
-    | Some c ->
-      if claim_up_to s ~bound:c 1 = 0 then false
-      else begin
-        push_one s x;
-        true
-      end
+    serialized s (fun () ->
+        match s.bound with
+        | None ->
+          shift_count s 1;
+          push_one s x;
+          true
+        | Some c ->
+          if claim_up_to s ~bound:c 1 = 0 then false
+          else begin
+            push_one s x;
+            true
+          end)
 
-  (* Foreign add (the pool's spill path): only the owner may touch the ring,
-     so other domains append to the mutex-protected inbox. Capacity is
+  (* Foreign add (the pool's spill path): only the owner may touch the
+     ring, so other domains CAS-push onto the MPSC inbox. Capacity is
      claimed before the element is stored, like every other increment. *)
-  let spill_add s x =
-    let claimed =
-      match s.bound with
-      | None ->
-        shift_count s 1;
-        true
-      | Some c -> claim_up_to s ~bound:c 1 = 1
-    in
-    claimed
-    &&
-    (with_lock s (fun () ->
-         Cpool_util.Vec.push s.inbox x;
-         Mc_stats.note_inbox_add s.seg_stats);
-     true)
-
-  (* Owner slow path: pop under the mutex. With the lock held no steal is in
-     flight, so a plain bottom decrement is safe; the inbox is the fallback
-     once the ring is dry. *)
-  let pop_locked s =
-    with_lock s (fun () ->
-        Mc_stats.note_locked_pop s.seg_stats;
-        let t = Atomic.get s.top and b = Atomic.get s.bottom in
-        if b > t then begin
-          let b' = b - 1 in
-          (* lint: allow non-atomic-rmw -- bottom's only writer is the owner, and stealers are excluded by the held mutex *)
-          Atomic.set s.bottom b';
-          let x : 'a = take_slot s.ring (slot s.ring b') in
-          shift_count s (-1);
-          Some x
-        end
-        else
-          match Cpool_util.Vec.pop s.inbox with
-          | Some x ->
-            shift_count s (-1);
-            Some x
-          | None -> None)
-
-  (* Owner fast pop: decrement [bottom] first, then look at [top]. If more
-     than one element separates them, no stealer can reach slot [b' ] (a
-     steal window never extends past the [bottom] the stealer re-reads after
-     claiming — see [steal_from_ring]), so the owner takes it with no lock.
-     Otherwise restore [bottom] and let the mutex arbitrate the tail. *)
-  let pop_fast s =
-    let b = Atomic.get s.bottom in
-    let b' = b - 1 in
-    (* lint: allow non-atomic-rmw -- bottom has a single writer (the owner domain); stealers only read it *)
-    Atomic.set s.bottom b';
-    let t = Atomic.get s.top in
-    if b' > t then begin
-      let x : 'a = take_slot s.ring (slot s.ring b') in
-      shift_count s (-1);
-      Mc_stats.note_fast_pop s.seg_stats;
-      Some x
-    end
+  let rec mpsc_push s x =
+    let seen = Atomic.get s.inbox in
+    if Atomic.compare_and_set s.inbox seen (x :: seen) then ()
     else begin
-      (* lint: allow non-atomic-rmw -- restoring the owner's own decrement; no other domain writes bottom *)
-      Atomic.set s.bottom b;
-      pop_locked s
+      Mc_stats.note_mpsc_retry s.seg_stats;
+      mpsc_push s x
     end
+
+  let spill_add s x =
+    serialized s (fun () ->
+        let claimed =
+          match s.bound with
+          | None ->
+            shift_count s 1;
+            true
+          | Some c -> claim_up_to s ~bound:c 1 = 1
+        in
+        claimed
+        && begin
+          mpsc_push s x;
+          Mc_stats.note_inbox_add s.seg_stats;
+          true
+        end)
+
+  (* Take up to [want] elements from the ring front with one CAS on [top].
+     Copy-then-claim: slots are read into a private [Obj.t] buffer FIRST;
+     the CAS is the commit point; a failed CAS discards the buffer (which
+     may hold garbage from a raced overwrite — see the overwrite note on
+     the type) and retries; only after success are the copies converted.
+     The ring snapshot comes AFTER the cursor reads so a concurrent swap
+     cannot hide indices of [t, b) from it ([bottom] is monotone). *)
+  let rec claim_ring : 'a. 'a t -> want:int -> halve:bool -> 'a list =
+    fun s ~want ~halve ->
+     let t = Atomic.get s.top in
+     let b = Atomic.get s.bottom in
+     let n = b - t in
+     if n <= 0 then []
+     else begin
+       let w = min (if halve then (n + 1) / 2 else n) want in
+       let ring = Atomic.get s.ring in
+       let buf = Array.make w vacant in
+       for i = 0 to w - 1 do
+         buf.(i) <- ring.(slot ring (t + i))
+       done;
+       if Atomic.compare_and_set s.top t (t + w) then begin
+         shift_count s (-w);
+         List.init w (fun i -> (Obj.obj buf.(i) : 'a))
+       end
+       else begin
+         Mc_stats.note_top_cas_retry s.seg_stats;
+         claim_ring s ~want ~halve
+       end
+     end
+
+  (* Owner drain: swap the whole MPSC stack out in one exchange, reverse it
+     back to arrival order, and batch it into the FIFO ring — spill traffic
+     is consumed oldest-first end-to-end. [count] is untouched: the
+     elements only move between the two stores it already covers. *)
+  let drain_inbox s =
+    match Atomic.exchange s.inbox [] with
+    | [] -> 0
+    | xs ->
+      let xs = List.rev xs in
+      let n = List.length xs in
+      push_many s xs n;
+      Mc_stats.note_inbox_drain s.seg_stats ~elements:n;
+      n
+
+  let rec pop s =
+    match claim_ring s ~want:1 ~halve:false with
+    | x :: _ -> Some x
+    | [] -> if drain_inbox s = 0 then None else pop s
+
+  let note_pop s =
+    if s.fast_path then Mc_stats.note_fast_pop s.seg_stats
+    else Mc_stats.note_locked_pop s.seg_stats
 
   let try_remove s =
-    if Atomic.get s.count = 0 then None
-    else if s.fast_path then pop_fast s
-    else pop_locked s
+    serialized s (fun () ->
+        if Atomic.get s.count = 0 then begin
+          (* Idle moment: finish clearing consumed slots (a no-op when
+             already clean), so a drained segment pins no dead elements. *)
+          scrub_consumed s;
+          None
+        end
+        else
+          match pop s with
+          | Some _ as r ->
+            note_pop s;
+            r
+          | None ->
+            scrub_consumed s;
+            None)
 
-  (* Under [mutex]: claim a window of up to half the ring in one batched
-     transfer. The claim protocol against the lock-free owner:
+  (* Steal fallback when the ring is dry: lift single cells off the MPSC
+     stack. Cells are fresh blocks and never re-pushed, so the
+     physical-equality CAS cannot ABA; losing a race to the owner's
+     exchange-drain just ends the walk early. *)
+  let rec mpsc_pop s =
+    match Atomic.get s.inbox with
+    | [] -> None
+    | x :: tl as seen ->
+      if Atomic.compare_and_set s.inbox seen tl then Some x
+      else begin
+        Mc_stats.note_mpsc_retry s.seg_stats;
+        mpsc_pop s
+      end
 
-       1. claim:      top := t + w          (stealers own [top])
-       2. revalidate: b2 := bottom          (re-read AFTER the claim)
-       3. shrink:     top := t + w',  w' = clamp(b2 - t)
-
-     Any owner pop racing step 1 either (a) saw the new [top] and retreated
-     to the mutex we hold, or (b) its bottom decrement is ordered before
-     our step-2 read — its store precedes its [top] read, which preceded
-     our claim store (all SC atomics). Either way the final window
-     [t, t + w') and the slots owner pops touched are disjoint, so the copy
-     can proceed with no per-element synchronisation. [commit] advances
-     only after the copy, keeping owner pushes out of the window. *)
-  let steal_from_ring s max_take =
-    let t = Atomic.get s.top in
-    let b = Atomic.get s.bottom in
-    let n = b - t in
-    if n <= 0 then []
+  let steal_inbox s max_take =
+    let m = List.length (Atomic.get s.inbox) in
+    if m = 0 then []
     else begin
-      let w = min ((n + 1) / 2) max_take in
-      (* lint: allow non-atomic-rmw -- top is written only under the segment mutex, which this code holds *)
-      Atomic.set s.top (t + w);
-      let b2 = Atomic.get s.bottom in
-      let w = max 0 (min w (b2 - t)) in
-      (* lint: allow non-atomic-rmw -- top is written only under the segment mutex, which this code holds *)
-      Atomic.set s.top (t + w);
-      let out = ref [] in
-      for i = t + w - 1 downto t do
-        out := (take_slot s.ring (slot s.ring i) : 'a) :: !out
-      done;
-      Atomic.set s.commit (t + w);
-      if w > 0 then shift_count s (-w);
-      !out
+      let k = min ((m + 1) / 2) max_take in
+      let rec take acc k =
+        if k = 0 then List.rev acc
+        else
+          match mpsc_pop s with
+          | None -> List.rev acc
+          | Some x ->
+            shift_count s (-1);
+            take (x :: acc) (k - 1)
+      in
+      take [] k
     end
 
   let steal_half ?(max_take = max_int) s =
     if max_take < 1 then invalid_arg "Mc_segment.steal_half: max_take must be >= 1";
-    with_lock s (fun () ->
-        let taken = steal_from_ring s max_take in
-        let taken =
-          if taken <> [] then taken
-          else begin
-            (* Ring dry: split the spill inbox instead. *)
-            let m = Cpool_util.Vec.length s.inbox in
-            if m = 0 then []
-            else begin
-              let k = min ((m + 1) / 2) max_take in
-              let xs = Cpool_util.Vec.take_last s.inbox k in
-              shift_count s (-k);
-              xs
-            end
-          end
-        in
+    serialized s (fun () ->
+        let taken = claim_ring s ~want:max_take ~halve:true in
+        let taken = if taken <> [] then taken else steal_inbox s max_take in
         match taken with
         | [] -> Cpool.Steal.Nothing
-        | [ x ] ->
-          Mc_stats.note_steal_batch s.seg_stats 1;
-          Cpool.Steal.Single x
-        | x :: rest ->
-          Mc_stats.note_steal_batch s.seg_stats (1 + List.length rest);
-          Cpool.Steal.Batch (x, rest))
+        | [ x ] -> Cpool.Steal.Single x
+        | x :: rest -> Cpool.Steal.Batch (x, rest))
 
   let deposit s xs =
     match xs with
     | [] -> []
     | _ ->
       let n = List.length xs in
-      let fits, rejected =
-        match s.bound with
-        | None ->
-          shift_count s n;
-          (xs, [])
-        | Some c ->
-          let granted = claim_up_to s ~bound:c n in
-          let rec split taken i rest =
-            if i = granted then (List.rev taken, rest)
-            else
-              match rest with
-              | [] -> (List.rev taken, [])
-              | x :: tl -> split (x :: taken) (i + 1) tl
+      serialized s (fun () ->
+          let fits, rejected =
+            match s.bound with
+            | None ->
+              shift_count s n;
+              (xs, [])
+            | Some c ->
+              let granted = claim_up_to s ~bound:c n in
+              let rec split taken i rest =
+                if i = granted then (List.rev taken, rest)
+                else
+                  match rest with
+                  | [] -> (List.rev taken, [])
+                  | x :: tl -> split (x :: taken) (i + 1) tl
+              in
+              split [] 0 xs
           in
-          split [] 0 xs
-      in
-      (match fits with
-      | [] -> ()
-      | _ -> note_push s (push_many s fits (List.length fits)));
-      rejected
+          (match fits with
+          | [] -> ()
+          | _ ->
+            push_many s fits (List.length fits);
+            note_push s);
+          rejected)
 
   let reserve s k =
     if k < 0 then invalid_arg "Mc_segment.reserve: negative reservation";
     if k = 0 then 0
     else
-      match s.bound with
-      | None ->
-        shift_count s k;
-        k
-      | Some c -> claim_up_to s ~bound:c k
+      serialized s (fun () ->
+          match s.bound with
+          | None ->
+            shift_count s k;
+            k
+          | Some c -> claim_up_to s ~bound:c k)
 
   let refill s ~reserved xs =
     let n = List.length xs in
     if n > reserved then invalid_arg "Mc_segment.refill: more elements than reserved";
     if reserved = 0 then ()
-    else begin
-      (match xs with
-      | [] -> ()
-      | _ -> note_push s (push_many s xs n));
-      (* Release the unused remainder of the reservation — after the store,
-         so [count >= stored] is never violated. *)
-      if n <> reserved then shift_count s (n - reserved)
-    end
+    else
+      serialized s (fun () ->
+          (match xs with
+          | [] -> ()
+          | _ ->
+            push_many s xs n;
+            note_push s);
+          (* Release the unused remainder of the reservation — after the
+             store, so [count >= stored] is never violated. *)
+          if n <> reserved then shift_count s (n - reserved))
 
   let stored_now s =
-    Atomic.get s.bottom - Atomic.get s.top + Cpool_util.Vec.length s.inbox
+    Atomic.get s.bottom - Atomic.get s.top + List.length (Atomic.get s.inbox)
 
+  (* Quiescent-only: with no thread mid-operation there is nothing to
+     stabilize with the mutex — the cursors and the count are read
+     directly. [top <= bottom] is the cursor invariant ([bottom] is
+     monotone and a claim never exceeds [bottom - top]); [scrub <= top]
+     because the scrub cursor only chases [top]. *)
   let invariant_ok s =
-    with_lock s (fun () ->
-        let c = Atomic.get s.count in
-        c = stored_now s
-        && Atomic.get s.commit = Atomic.get s.top
-        && (match s.bound with None -> true | Some b -> c <= b))
+    let t = Atomic.get s.top and b = Atomic.get s.bottom in
+    let c = Atomic.get s.count in
+    t <= b && s.scrub <= t
+    && c = stored_now s
+    && match s.bound with None -> true | Some bd -> c <= bd
 
   let debug_counts s = (Atomic.get s.count, stored_now s)
 end

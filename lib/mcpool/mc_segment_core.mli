@@ -6,8 +6,8 @@
     code with instrumented shims ([Cpool_analysis.Sched.Prim]) whose every
     atomic and mutex operation is a scheduling point, so the schedule
     enumeration exercises the shipped segment logic — including the
-    lock-free owner fast path and the steal-window claim — not a
-    hand-written model of it. *)
+    copy-then-CAS front-window claim shared by owner pops and stealers, and
+    the MPSC inbox push/drain — not a hand-written model of it. *)
 
 module type SEG = sig
   type 'a atomic
@@ -27,6 +27,10 @@ module type SEG = sig
   val deposit : 'a t -> 'a list -> 'a list
   val reserve : 'a t -> int -> int
   val refill : 'a t -> reserved:int -> 'a list -> unit
+
+  val inbox_length : 'a t -> int
+  (** Racy snapshot of the MPSC spill-inbox length (walks the stack). *)
+
   val stats : 'a t -> Mc_stats.t
   val invariant_ok : 'a t -> bool
 

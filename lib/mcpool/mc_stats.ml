@@ -20,14 +20,25 @@ type t = {
   mutable hints_delivered : int;
   mutable hints_expired : int;
   (* Segment-side path counters: which protocol path each ring operation
-     took. Fast/locked push/pop fields are written only by the segment's
-     owner domain; inbox/steal fields only under the segment mutex — no two
-     domains ever write the same field. *)
+     took. Fast/locked push/pop and the drain counters are written only by
+     the segment's owner domain (plain stores are enough); the remaining
+     segment counters are bumped by whichever domain performed the
+     operation — foreign spillers and stealers race on them, so they are
+     genuine atomics ([Stdlib.Atomic], not the functor's shims: telemetry
+     is not part of the verified protocol and must not add scheduling
+     points to the interleave checker). *)
   mutable fast_pushes : int;
   mutable locked_pushes : int;
   mutable fast_pops : int;
   mutable locked_pops : int;
-  mutable inbox_adds : int;
+  mutable inbox_drains : int; (* owner inbox-to-ring transfers *)
+  mutable inbox_drained : int; (* elements moved by those transfers *)
+  inbox_adds : int Stdlib.Atomic.t; (* successful MPSC pushes, any domain *)
+  top_cas_retries : int Stdlib.Atomic.t; (* failed claims of the ring's top cursor *)
+  mpsc_retries : int Stdlib.Atomic.t; (* failed CASes on the inbox stack *)
+  (* Steal-batch counters are bumped by the thief's own handle (single
+     writer), not the victim segment — with lock-free stealing the victim
+     side has no serialization point to hide racy plain increments behind. *)
   mutable batched_steals : int; (* steal transfers that moved >= 2 elements at once *)
   segs_per_steal : int array;
   elems_per_steal : int array;
@@ -58,7 +69,11 @@ let create () =
       locked_pushes = 0;
       fast_pops = 0;
       locked_pops = 0;
-      inbox_adds = 0;
+      inbox_drains = 0;
+      inbox_drained = 0;
+      inbox_adds = Stdlib.Atomic.make 0;
+      top_cas_retries = Stdlib.Atomic.make 0;
+      mpsc_retries = Stdlib.Atomic.make 0;
       batched_steals = 0;
       segs_per_steal = Array.make (bucket_limit + 1) 0;
       elems_per_steal = Array.make (bucket_limit + 1) 0;
@@ -108,7 +123,25 @@ let note_fast_pop s = s.fast_pops <- s.fast_pops + 1
 
 let note_locked_pop s = s.locked_pops <- s.locked_pops + 1
 
-let note_inbox_add s = s.inbox_adds <- s.inbox_adds + 1
+let note_inbox_add s = Stdlib.Atomic.incr s.inbox_adds
+
+let note_top_cas_retry s = Stdlib.Atomic.incr s.top_cas_retries
+
+let note_mpsc_retry s = Stdlib.Atomic.incr s.mpsc_retries
+
+let note_inbox_drain s ~elements =
+  s.inbox_drains <- s.inbox_drains + 1;
+  s.inbox_drained <- s.inbox_drained + elements
+
+let inbox_adds s = Stdlib.Atomic.get s.inbox_adds
+
+let top_cas_retries s = Stdlib.Atomic.get s.top_cas_retries
+
+let mpsc_retries s = Stdlib.Atomic.get s.mpsc_retries
+
+let inbox_drains s = s.inbox_drains
+
+let inbox_drained s = s.inbox_drained
 
 let note_steal_batch s n =
   if n >= 2 then s.batched_steals <- s.batched_steals + 1;
@@ -138,7 +171,11 @@ let merge a b =
   s.locked_pushes <- a.locked_pushes + b.locked_pushes;
   s.fast_pops <- a.fast_pops + b.fast_pops;
   s.locked_pops <- a.locked_pops + b.locked_pops;
-  s.inbox_adds <- a.inbox_adds + b.inbox_adds;
+  s.inbox_drains <- a.inbox_drains + b.inbox_drains;
+  s.inbox_drained <- a.inbox_drained + b.inbox_drained;
+  Stdlib.Atomic.set s.inbox_adds (inbox_adds a + inbox_adds b);
+  Stdlib.Atomic.set s.top_cas_retries (top_cas_retries a + top_cas_retries b);
+  Stdlib.Atomic.set s.mpsc_retries (mpsc_retries a + mpsc_retries b);
   s.batched_steals <- a.batched_steals + b.batched_steals;
   blit s.segs_per_steal a.segs_per_steal;
   blit s.segs_per_steal b.segs_per_steal;
@@ -171,7 +208,11 @@ let counters s =
       ("locked pushes", s.locked_pushes);
       ("fast-path pops", s.fast_pops);
       ("locked pops", s.locked_pops);
-      ("inbox adds", s.inbox_adds);
+      ("inbox adds", inbox_adds s);
+      ("inbox drains", s.inbox_drains);
+      ("inbox drained", s.inbox_drained);
+      ("top CAS retries", top_cas_retries s);
+      ("mpsc retries", mpsc_retries s);
       ("batched steals", s.batched_steals);
     ]
 
@@ -201,7 +242,10 @@ let hints_expired s = s.hints_expired
 
 let fast_path_ops s = s.fast_pushes + s.fast_pops
 
-let locked_path_ops s = s.locked_pushes + s.locked_pops + s.inbox_adds
+(* Spill (inbox) adds are no longer counted here: they are single-CAS
+   lock-free pushes now, so only operations that actually took the segment
+   mutex — the [fast_path:false] baseline — belong in the locked bucket. *)
+let locked_path_ops s = s.locked_pushes + s.locked_pops
 
 let fast_path_fraction s =
   let total = fast_path_ops s + locked_path_ops s in
@@ -244,7 +288,7 @@ let table_row name s =
 let path_table_headers =
   [
     "segment"; "fast push"; "locked push"; "fast pop"; "locked pop"; "inbox";
-    "batched steals"; "elems/batch"; "fast %";
+    "drains"; "cas retries"; "mpsc retries"; "fast %";
   ]
 
 let mean_batch_size s =
@@ -263,9 +307,10 @@ let path_row name s =
     string_of_int s.locked_pushes;
     string_of_int s.fast_pops;
     string_of_int s.locked_pops;
-    string_of_int s.inbox_adds;
-    string_of_int s.batched_steals;
-    Cpool_metrics.Render.float_cell (mean_batch_size s);
+    string_of_int (inbox_adds s);
+    string_of_int s.inbox_drains;
+    string_of_int (top_cas_retries s);
+    string_of_int (mpsc_retries s);
     Cpool_metrics.Render.float_cell (100.0 *. fast_path_fraction s);
   ]
 

@@ -80,31 +80,46 @@ val note_hint_expired : t -> unit
 
     These record which protocol path each ring operation took, making the
     lock-free fast path observable rather than asserted. Fast/locked
-    push/pop are bumped only by the segment's owner domain; inbox and steal
-    counters only under the segment mutex, so no field has two concurrent
-    writers. *)
+    push/pop and the drain counters are bumped only by the segment's owner
+    domain (plain stores); inbox adds and the CAS-retry counters are bumped
+    by whichever domain performed the operation and are backed by real
+    atomics, so the lock-free spill and steal paths can report without a
+    serialization point to hide behind. *)
 
 val note_fast_push : t -> unit
 (** An owner push that published with atomics only (no mutex). *)
 
 val note_locked_push : t -> unit
-(** An owner push (or batch) that took the mutex (ring growth, or the
-    all-mutex baseline mode). *)
+(** An owner push (or batch) under the all-mutex baseline mode
+    ([fast_path:false]). *)
 
 val note_fast_pop : t -> unit
-(** An owner pop satisfied from the ring without the mutex. *)
+(** A successful owner pop completed without the mutex. *)
 
 val note_locked_pop : t -> unit
-(** An owner pop that fell back to the mutex (contended tail, inbox drain,
-    empty ring, or baseline mode). *)
+(** A successful owner pop under the all-mutex baseline mode. *)
 
 val note_inbox_add : t -> unit
-(** A foreign (spill) add appended to the segment's inbox under the mutex. *)
+(** A foreign (spill) add CAS-pushed onto the segment's MPSC inbox.
+    Atomic: any domain may spill. *)
+
+val note_top_cas_retry : t -> unit
+(** A failed CAS claim of the ring's [top] cursor (contended pop or steal);
+    the operation retried. Atomic: owner and stealers race on it. *)
+
+val note_mpsc_retry : t -> unit
+(** A failed CAS on the MPSC inbox stack (push or steal-pop); the operation
+    retried. Atomic: any domain. *)
+
+val note_inbox_drain : t -> elements:int -> unit
+(** The owner swapped the whole inbox stack into the ring in one exchange,
+    moving [elements] elements. Owner-only. *)
 
 val note_steal_batch : t -> int -> unit
 (** [note_steal_batch s n] records one steal transfer that moved [n >= 1]
     elements in a single batched claim; [n >= 2] also counts as a batched
-    steal. *)
+    steal. Bumped on the {e thief's own handle} (single writer), not the
+    victim segment. *)
 
 (** {2 Reading and merging} *)
 
@@ -142,11 +157,31 @@ val fast_path_ops : t -> int
 (** Owner operations completed without the mutex. *)
 
 val locked_path_ops : t -> int
-(** Operations that took the mutex: locked pushes/pops plus inbox adds. *)
+(** Operations that took the segment mutex — only the [fast_path:false]
+    baseline produces these now. Inbox adds are single-CAS lock-free and no
+    longer count as locked. *)
 
 val fast_path_fraction : t -> float
 (** [fast_path_ops / (fast_path_ops + locked_path_ops)]; [nan] when no path
     was recorded. *)
+
+val inbox_adds : t -> int
+(** Successful MPSC inbox pushes (foreign spill adds). *)
+
+val inbox_drains : t -> int
+(** Owner exchange-drains of the inbox into the ring. *)
+
+val inbox_drained : t -> int
+(** Elements moved by those drains. *)
+
+val top_cas_retries : t -> int
+(** Failed CAS claims of the ring's [top] cursor. *)
+
+val mpsc_retries : t -> int
+(** Failed CASes on the MPSC inbox stack. *)
+
+val mean_batch_size : t -> float
+(** Mean elements moved per steal transfer ([nan] with none recorded). *)
 
 val mean_segments_per_steal : t -> float
 (** Exact mean from running totals ([nan] with no steals). *)
@@ -165,6 +200,6 @@ val render_table : ?title:string -> (string * t) list -> string
     when there are several. *)
 
 val render_path_table : ?title:string -> (string * t) list -> string
-(** Fast-path/locked-path table (pushes, pops, inbox adds, batched steals,
-    mean batch size, fast-path percentage), one row per named stats — used
-    with per-segment stats, where these counters live. *)
+(** Fast-path/locked-path table (pushes, pops, inbox adds/drains, CAS
+    retries, fast-path percentage), one row per named stats — used with
+    per-segment stats, where these counters live. *)

@@ -51,6 +51,7 @@ let passed r = r.violations = []
 
 type worker_tally = {
   mutable w_ops : int;
+  mutable w_drains : int; (* drain-phase remove attempts, not in [w_ops] *)
   mutable w_adds : int;
   mutable w_rejects : int;
   mutable w_removes : int;
@@ -118,6 +119,7 @@ let worker pool cfg tally i barrier deadline =
   done;
   (* Drain phase: blocking removes until the pool confirms empty. *)
   let rec drain () =
+    tally.w_drains <- tally.w_drains + 1;
     match Mc_pool.remove pool !h with
     | Some _ ->
       tally.w_removes <- tally.w_removes + 1;
@@ -137,7 +139,7 @@ let run cfg =
   let initial_added = prefill pool cfg in
   let tallies =
     Array.init cfg.domains (fun _ ->
-        { w_ops = 0; w_adds = 0; w_rejects = 0; w_removes = 0; w_stats = [] })
+        { w_ops = 0; w_drains = 0; w_adds = 0; w_rejects = 0; w_removes = 0; w_stats = [] })
   in
   let barrier = Atomic.make cfg.domains in
   let stop_watch = Atomic.make false in
@@ -218,6 +220,29 @@ let run cfg =
     (Printf.sprintf "stats %d <> pool counter %d"
        (Cpool_metrics.Counters.get (Mc_stats.counters merged) "steals")
        (Mc_pool.steals pool));
+  (* Path-accounting identity: every worker-loop iteration, prefill add and
+     drain-phase remove performs at most one ring operation that notes a
+     fast or locked path, so the path counters can never exceed the ground
+     truth of attempted operations (the bug the seed artifact shipped:
+     fast_ops > ops because the two sides counted different populations). *)
+  let fast = Mc_stats.fast_path_ops merged in
+  let locked = Mc_stats.locked_path_ops merged in
+  let ops_attempted =
+    initial_added + sum (fun w -> w.w_ops) + sum (fun w -> w.w_drains)
+  in
+  check "telemetry: path accounting"
+    (fast + locked <= ops_attempted)
+    (Printf.sprintf "fast %d + locked %d > attempted %d" fast locked ops_attempted);
+  (* Every pool-level spill lands in an MPSC inbox and nowhere else, and a
+     drain can only move what a spill put there. *)
+  let stat name = Cpool_metrics.Counters.get (Mc_stats.counters merged) name in
+  check "telemetry: spills = inbox adds"
+    (stat "spill adds" = stat "inbox adds")
+    (Printf.sprintf "spill adds %d <> inbox adds %d" (stat "spill adds")
+       (stat "inbox adds"));
+  check "telemetry: inbox drained"
+    (stat "inbox drained" <= stat "inbox adds")
+    (Printf.sprintf "drained %d > added %d" (stat "inbox drained") (stat "inbox adds"));
   let traces = Mc_pool.traces pool in
   if cfg.trace then begin
     (* The tracer's drop-proof per-tag totals must agree with [Mc_stats]
@@ -243,6 +268,11 @@ let run cfg =
     reconcile "hints claimed" (ev Mc_trace.Hint_claim) (Mc_stats.hints_claimed merged);
     reconcile "hints delivered" (ev Mc_trace.Hint_deliver) (Mc_stats.hints_delivered merged);
     reconcile "hints expired" (ev Mc_trace.Hint_expire) (Mc_stats.hints_expired merged);
+    (* MPSC telemetry: every traced lock-free spill push and every owner
+       exchange-drain has a matching segment counter bump. *)
+    reconcile "mpsc pushes" (ev Mc_trace.Mpsc_push) (stat "inbox adds");
+    reconcile "mpsc drains" (ev Mc_trace.Mpsc_drain) (stat "inbox drains");
+    reconcile "mpsc drained elements" (ev_sum Mc_trace.Mpsc_drain) (stat "inbox drained");
     (* Every park resolves: a searcher never returns from a hunt with its
        hint still on the board. *)
     reconcile "park/wake balance" (ev Mc_trace.Park) (ev Mc_trace.Wake)

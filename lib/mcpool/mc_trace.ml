@@ -12,11 +12,14 @@ type tag =
   | Hint_expire
   | Park
   | Wake
+  | Mpsc_push
+  | Mpsc_drain
 
 let all_tags =
   [
     Add; Remove; Spill; Steal_probe; Steal_claim; Steal_transfer; Sweep;
     Hint_publish; Hint_claim; Hint_deliver; Hint_expire; Park; Wake;
+    Mpsc_push; Mpsc_drain;
   ]
 
 let tag_index = function
@@ -33,6 +36,8 @@ let tag_index = function
   | Hint_expire -> 10
   | Park -> 11
   | Wake -> 12
+  | Mpsc_push -> 13
+  | Mpsc_drain -> 14
 
 let tag_of_index = function
   | 0 -> Add
@@ -48,6 +53,8 @@ let tag_of_index = function
   | 10 -> Hint_expire
   | 11 -> Park
   | 12 -> Wake
+  | 13 -> Mpsc_push
+  | 14 -> Mpsc_drain
   | _ -> invalid_arg "Mc_trace.tag_of_index"
 
 let tag_count = List.length all_tags
@@ -66,6 +73,8 @@ let tag_name = function
   | Hint_expire -> "hint-expire"
   | Park -> "park"
   | Wake -> "wake"
+  | Mpsc_push -> "mpsc-push"
+  | Mpsc_drain -> "mpsc-drain"
 
 type t = {
   on : bool;
@@ -191,7 +200,7 @@ let observed_size e =
   match e.tag with
   | Add | Remove | Spill | Steal_probe -> Some (e.a1, e.a2)
   | Steal_claim | Steal_transfer | Sweep | Hint_publish | Hint_claim
-  | Hint_deliver | Hint_expire | Park | Wake ->
+  | Hint_deliver | Hint_expire | Park | Wake | Mpsc_push | Mpsc_drain ->
     None
 
 let chrome_us ~t0 e = float_of_int (e.ts_ns - t0) /. 1e3

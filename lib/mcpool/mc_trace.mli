@@ -32,7 +32,10 @@
     - [Sweep]: the sweeper's slot, 0;
     - [Hint_publish], [Hint_expire], [Park], [Wake]: the searcher's slot, 0
       (for [Park]: the poll budget this round);
-    - [Hint_claim], [Hint_deliver]: the claimed (parked searcher's) slot, 0. *)
+    - [Hint_claim], [Hint_deliver]: the claimed (parked searcher's) slot, 0;
+    - [Mpsc_push]: the target segment of a lock-free spill push, 0;
+    - [Mpsc_drain]: the owner's segment, elements folded from the inbox
+      into the ring by that exchange-drain. *)
 type tag =
   | Add
   | Remove
@@ -47,6 +50,8 @@ type tag =
   | Hint_expire
   | Park
   | Wake
+  | Mpsc_push
+  | Mpsc_drain
 
 val all_tags : tag list
 

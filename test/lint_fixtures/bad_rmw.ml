@@ -10,3 +10,11 @@ let bump_split d =
   let seen = Atomic.get total in
   let next = seen + d in
   Atomic.set total next
+
+(* Order-aware R2: a check-then-act reset. The read and the constant store
+   are separate steps, so a concurrent bump between them is wiped out even
+   though the stored value derives from nothing. *)
+let drain_if_positive () =
+  let n = Atomic.get total in
+  if n > 0 then Atomic.set total 0;
+  n

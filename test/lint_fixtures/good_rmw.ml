@@ -24,3 +24,31 @@ let shadowed d =
   ignore x;
   let x = d in
   Atomic.set total x
+
+(* The CAS-retry idiom: get + compare_and_set in a loop is the sanctioned
+   read-modify-write — no plain store involved, nothing to flag. *)
+let rec bump_cas d =
+  let cur = Atomic.get total in
+  if not (Atomic.compare_and_set total cur (cur + d)) then bump_cas d
+
+(* A compare_and_set on [total] in this item sanctions the fallback blind
+   store: the item demonstrably drives this atomic through the CAS
+   discipline, so the constant reset is a deliberate publish, not an
+   overlooked check-then-act window. *)
+let drain_or_clear () =
+  let n = Atomic.get total in
+  if Atomic.compare_and_set total n 0 then n
+  else begin
+    Atomic.set total 0;
+    n
+  end
+
+(* A get inside a spawned closure does not order against a set in the
+   enclosing body: the two run at unrelated times, and the store is the
+   signal the closure polls for. *)
+let stop_flag = Atomic.make false
+
+let signal_watcher () =
+  let d = Domain.spawn (fun () -> while not (Atomic.get stop_flag) do Domain.cpu_relax () done) in
+  Atomic.set stop_flag true;
+  Domain.join d

@@ -134,12 +134,13 @@ let test_mcpool_steal_banks_remainder () =
   for i = 1 to 9 do
     Cpool_mc.Mc_pool.add pool h1 i
   done;
-  (* ceil(9/2) = 5 taken from the victim's ring top — the OLDEST elements
-     (1..5), leaving the victim's recent end untouched: element 1 is
-     returned, 2..5 banked locally with 5 ending newest. *)
+  (* ceil(9/2) = 5 claimed from the victim's ring front — the OLDEST
+     elements (1..5), leaving the victim's recent end untouched: element 1
+     is returned, 2..5 banked locally in arrival order, so the thief's own
+     FIFO pop sees 2 first. *)
   Alcotest.(check (option int)) "steal returns victim's oldest" (Some 1)
     (Cpool_mc.Mc_pool.try_remove pool h0);
-  Alcotest.(check (option int)) "local after banking" (Some 5)
+  Alcotest.(check (option int)) "local after banking" (Some 2)
     (Cpool_mc.Mc_pool.try_remove_local pool h0);
   Alcotest.(check int) "conserved" 7 (Cpool_mc.Mc_pool.size pool)
 

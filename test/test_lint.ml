@@ -32,13 +32,14 @@ let test_r1_quiet () =
 let test_r2_fires () =
   let fs = lint "bad_rmw.ml" in
   Alcotest.(check int)
-    "direct + let-split rmw" 2
+    "direct + let-split + get-then-set rmw" 3
     (count_rule Lint_rules.non_atomic_rmw fs);
   Alcotest.(check (list string)) "only R2" [ Lint_rules.non_atomic_rmw ] (rules_of fs)
 
 let test_r2_quiet_and_suppressed () =
-  (* good_rmw.ml contains a suppressed Atomic.set-of-get with a reason: no
-     findings must survive. *)
+  (* good_rmw.ml contains a suppressed Atomic.set-of-get with a reason, a
+     CAS-retry loop, a CAS-sanctioned blind reset, and a cross-closure
+     get/set pair: no findings must survive. *)
   Alcotest.(check (list string)) "clean" [] (rules_of (lint "good_rmw.ml"))
 
 let test_r3_fires () =
@@ -105,7 +106,7 @@ let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
 let test_interleave_passes () =
   let outcomes = Interleave.run_all null_ppf in
-  Alcotest.(check int) "eight scenarios" 8 (List.length outcomes);
+  Alcotest.(check int) "eleven scenarios" 11 (List.length outcomes);
   List.iter
     (fun (name, schedules) ->
       Alcotest.(check bool) (name ^ " explored > 1 schedule") true (schedules > 1))

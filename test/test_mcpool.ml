@@ -42,8 +42,8 @@ let test_local_roundtrip () =
   Mc_pool.add pool h "a";
   Mc_pool.add pool h "b";
   Alcotest.(check int) "size" 2 (Mc_pool.size pool);
-  Alcotest.(check (option string)) "lifo" (Some "b") (Mc_pool.try_remove_local pool h);
-  Alcotest.(check (option string)) "next" (Some "a") (Mc_pool.try_remove_local pool h);
+  Alcotest.(check (option string)) "fifo" (Some "a") (Mc_pool.try_remove_local pool h);
+  Alcotest.(check (option string)) "next" (Some "b") (Mc_pool.try_remove_local pool h);
   Alcotest.(check (option string)) "empty" None (Mc_pool.try_remove_local pool h)
 
 let test_steal_across_slots kind () =
@@ -705,16 +705,15 @@ let test_segment_fast_path_stats () =
   done;
   let stats = Mc_segment.stats s in
   let get name = Cpool_metrics.Counters.get (Mc_stats.counters stats) name in
-  (* The first pushes grow the ring under the lock; everything after is
-     lock-free. Solo pops stay lock-free except for the very last element,
-     where pop_fast cannot prove it is ahead of a stealer and arbitrates
-     through the mutex by design. *)
-  Alcotest.(check int) "all pushes counted" 8 (get "fast-path pushes" + get "locked pushes");
-  Alcotest.(check bool) "fast pushes dominate" true (get "fast-path pushes" >= 6);
-  Alcotest.(check int) "solo pops lock only for the last element" 7 (get "fast-path pops");
-  Alcotest.(check int) "last pop arbitrates via the mutex" 1 (get "locked pops");
-  Alcotest.(check bool) "fraction reflects the split" true
-    (Mc_stats.fast_path_fraction stats > 0.8)
+  (* Every owner op is lock-free now: pushes publish with one fetch-and-add
+     of [bottom], pops (including the last element) commit with one CAS on
+     [top]. The locked counters only move under [fast_path:false]. *)
+  Alcotest.(check int) "all pushes fast" 8 (get "fast-path pushes");
+  Alcotest.(check int) "no locked pushes" 0 (get "locked pushes");
+  Alcotest.(check int) "all pops fast" 8 (get "fast-path pops");
+  Alcotest.(check int) "no locked pops" 0 (get "locked pops");
+  Alcotest.(check int) "uncontended: no CAS retries" 0 (get "top CAS retries");
+  Alcotest.(check (float 0.0)) "fraction is 1" 1.0 (Mc_stats.fast_path_fraction stats)
 
 let test_segment_baseline_mode () =
   (* fast_path:false is the benchmark's all-mutex twin: same results, all
@@ -732,21 +731,122 @@ let test_segment_baseline_mode () =
   Alcotest.(check int) "all ops locked" 16 (Mc_stats.locked_path_ops stats)
 
 let test_segment_steal_batch_stats () =
-  let s : int Mc_segment.t = Mc_segment.make ~id:0 () in
+  (* Batch-size telemetry lives on the thief's handle now: with the victim
+     segment lock-free there is no serialization point left on its side to
+     record a single-writer sample. Exercise it through the pool. *)
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let h0 = Mc_pool.register_at pool 0 in
+  let h1 = Mc_pool.register_at pool 1 in
   for i = 1 to 8 do
-    Mc_segment.add s i
+    Mc_pool.add pool h1 i
   done;
-  (match Mc_segment.steal_half s with
-  | Cpool.Steal.Batch (_, rest) ->
-    Alcotest.(check int) "half the ring in one claim" 4 (1 + List.length rest)
-  | _ -> Alcotest.fail "expected a batch");
-  ignore (Mc_segment.steal_half ~max_take:1 s);
-  let stats = Mc_segment.stats s in
-  Alcotest.(check int) "only multi-element steals are batched" 1
+  (* Steal 1: ceil(8/2) = 4 claimed in one batched CAS window. *)
+  Alcotest.(check (option int)) "first steal, victim's oldest" (Some 1)
+    (Mc_pool.try_remove pool h0);
+  for _ = 1 to 3 do
+    ignore (Mc_pool.try_remove_local pool h0)
+  done;
+  (* Steal 2: victim holds 5..8, so ceil(4/2) = 2 claimed. *)
+  Alcotest.(check (option int)) "second steal" (Some 5) (Mc_pool.try_remove pool h0);
+  ignore (Mc_pool.try_remove_local pool h0);
+  (* Steal 3: victim holds 7 and 8 — a single-element claim. *)
+  Alcotest.(check (option int)) "single steal" (Some 7) (Mc_pool.try_remove pool h0);
+  let stats = Mc_pool.stats_of_handle h0 in
+  Alcotest.(check int) "only multi-element steals are batched" 2
     (Cpool_metrics.Counters.get (Mc_stats.counters stats) "batched steals");
   let sizes = Mc_stats.steal_batch_sizes stats in
-  Alcotest.(check int) "both steals sampled" 2 (Cpool_metrics.Sample.n sizes);
+  Alcotest.(check int) "every steal sampled" 3 (Cpool_metrics.Sample.n sizes);
   Alcotest.(check (float 0.0)) "largest batch" 4.0 (Cpool_metrics.Sample.max_value sizes)
+
+let test_segment_concurrent_steal_disjoint () =
+  (* Two stealer domains race batched CAS claims on one owner's ring while
+     the owner keeps pushing and popping. Element identity proves loot
+     disjointness: every pushed element comes out exactly once — a failed
+     claim that still delivered (double-take) or a lost window would break
+     the multiset equality. *)
+  let s : int Mc_segment.t = Mc_segment.make ~id:0 () in
+  let total = 20_000 in
+  let loot = Array.make 2 [] in
+  let stop = Atomic.make false in
+  let thieves =
+    List.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              match Mc_segment.steal_half ~max_take:3 s with
+              | Cpool.Steal.Nothing -> Domain.cpu_relax ()
+              | Cpool.Steal.Single x -> acc := x :: !acc
+              | Cpool.Steal.Batch (x, rest) -> acc := List.rev_append (x :: rest) !acc
+            done;
+            loot.(i) <- !acc))
+  in
+  let popped = ref [] in
+  for i = 1 to total do
+    Mc_segment.add s i;
+    if i mod 3 = 0 then
+      match Mc_segment.try_remove s with
+      | Some x -> popped := x :: !popped
+      | None -> ()
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join thieves;
+  let rec drain () =
+    match Mc_segment.try_remove s with
+    | Some x ->
+      popped := x :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let all = List.concat [ loot.(0); loot.(1); !popped ] in
+  Alcotest.(check int) "conserved" total (List.length all);
+  Alcotest.(check bool) "every element exactly once" true
+    (List.sort compare all = List.init total (fun i -> i + 1));
+  Alcotest.(check bool) "consistent" true (Mc_segment.invariant_ok s)
+
+let test_segment_mpsc_drain_completeness () =
+  (* Three spiller domains CAS-push onto the MPSC inbox while the owner
+     pops concurrently. Spill traffic is FIFO end-to-end (the drain
+     reverses the Treiber stack back to arrival order before folding it
+     into the ring), so each spiller's elements must come out in its own
+     push order; and with no stealers, every spilled element must arrive
+     through an owner drain. *)
+  let s : (int * int) Mc_segment.t = Mc_segment.make ~id:0 () in
+  let per = 5_000 in
+  let spillers_done = Atomic.make 0 in
+  let spillers =
+    List.init 3 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              while not (Mc_segment.spill_add s (d, i)) do
+                Domain.cpu_relax ()
+              done
+            done;
+            Atomic.incr spillers_done))
+  in
+  let total = 3 * per in
+  let seen = Array.make 3 0 in
+  let got = ref 0 in
+  while !got < total do
+    match Mc_segment.try_remove s with
+    | Some (d, i) ->
+      incr got;
+      if i <> seen.(d) + 1 then
+        Alcotest.failf "spiller %d out of order: got %d after %d" d i seen.(d);
+      seen.(d) <- i
+    | None ->
+      if Atomic.get spillers_done = 3 && Mc_segment.size s = 0 then
+        Alcotest.failf "lost elements: only %d of %d drained" !got total;
+      Domain.cpu_relax ()
+  done;
+  List.iter Domain.join spillers;
+  Alcotest.(check bool) "drained dry" true (Mc_segment.try_remove s = None);
+  Alcotest.(check bool) "consistent" true (Mc_segment.invariant_ok s);
+  let c = Mc_stats.counters (Mc_segment.stats s) in
+  Alcotest.(check int) "every spill was an inbox add" total
+    (Cpool_metrics.Counters.get c "inbox adds");
+  Alcotest.(check int) "every inbox element drained by the owner" total
+    (Cpool_metrics.Counters.get c "inbox drained")
 
 let test_pool_fast_path_off_equivalent kind () =
   (* The baseline pool must behave identically (it is the same protocol,
@@ -786,6 +886,10 @@ let suites =
         Alcotest.test_case "fast-path counters" `Quick test_segment_fast_path_stats;
         Alcotest.test_case "all-mutex baseline mode" `Quick test_segment_baseline_mode;
         Alcotest.test_case "batched-steal stats" `Quick test_segment_steal_batch_stats;
+        Alcotest.test_case "concurrent steal loot disjoint" `Quick
+          test_segment_concurrent_steal_disjoint;
+        Alcotest.test_case "mpsc drain completeness + FIFO" `Quick
+          test_segment_mpsc_drain_completeness;
         Alcotest.test_case "mc_bench smoke + JSON artifact" `Quick test_mc_bench_smoke;
       ]
       @ per_kind "baseline conservation under domains" test_pool_fast_path_off_equivalent );

@@ -165,6 +165,53 @@ let prop_random_op_sequence_conserves =
             ops;
           !balance >= 0 && Segment.size_free s = !balance))
 
+(* --- Multicore segment: the one-element owner/stealer boundary ---
+
+   The hardest spot of the lock-free protocol: one element in the ring and
+   the owner's pop racing a stealer's claim on the same [top] CAS. Exactly
+   one side must win each round — never both (duplication), never neither
+   (loss). Real domains, many rounds. *)
+let test_mc_one_element_boundary () =
+  let module M = Cpool_mc.Mc_segment in
+  let s : int M.t = M.make ~id:0 () in
+  let rounds = 2_000 in
+  let round_no = Atomic.make 0 in
+  let acked = Atomic.make 0 in
+  let stolen = Atomic.make 0 in
+  let thief =
+    Domain.spawn (fun () ->
+        for r = 1 to rounds do
+          while Atomic.get round_no < r do
+            Domain.cpu_relax ()
+          done;
+          (match M.steal_half ~max_take:1 s with
+          | Steal.Single x ->
+            if x <> r then failwith "thief got a stale element";
+            Atomic.incr stolen
+          | Steal.Nothing -> ()
+          | Steal.Batch _ -> failwith "max_take:1 returned a batch");
+          Atomic.incr acked
+        done)
+  in
+  let owner_wins = ref 0 in
+  for r = 1 to rounds do
+    M.add s r;
+    Atomic.set round_no r;
+    (match M.try_remove s with
+    | Some x ->
+      if x <> r then Alcotest.failf "owner got a stale element in round %d" r;
+      incr owner_wins
+    | None -> ());
+    while Atomic.get acked < r do
+      Domain.cpu_relax ()
+    done;
+    if M.size s <> 0 then Alcotest.failf "element neither popped nor stolen in round %d" r
+  done;
+  Domain.join thief;
+  Alcotest.(check int) "exactly one winner per round" rounds
+    (!owner_wins + Atomic.get stolen);
+  Alcotest.(check bool) "consistent" true (M.invariant_ok s)
+
 let suites =
   [
     ( "segment",
@@ -183,5 +230,7 @@ let suites =
         Alcotest.test_case "LIFO locality" `Quick test_remove_lifo_locality;
         QCheck_alcotest.to_alcotest prop_steal_takes_ceil_half;
         QCheck_alcotest.to_alcotest prop_random_op_sequence_conserves;
+        Alcotest.test_case "mc one-element owner/stealer boundary" `Quick
+          test_mc_one_element_boundary;
       ] );
   ]
