@@ -16,16 +16,30 @@ dune runtest
 echo "== pools_lint (concurrency-discipline static analysis) =="
 dune exec bin/pools_lint.exe -- check lib
 
-echo "== pools_lint interleave (exhaustive Mc_segment schedule check) =="
-# The scenario corpus must include the lock-free steal/MPSC races (11 as of
-# the CAS-stealing PR); a shrinking count means a scenario was lost, not run.
+echo "== pools_lint interleave (DPOR Mc_segment schedule check) =="
+# The scenario count is derived from the registry itself (interleave
+# --count), not hard-coded here: the run must cover exactly the scenarios
+# the binary declares, so a lost scenario is a count mismatch, not a
+# silently smaller run.
+expected=$(dune exec bin/pools_lint.exe -- interleave --count)
+interleave_start=$(date +%s)
 interleave_out=$(dune exec bin/pools_lint.exe -- interleave)
+interleave_elapsed=$(( $(date +%s) - interleave_start ))
 echo "$interleave_out"
 scenarios=$(echo "$interleave_out" | sed -n 's/^pools_lint interleave: \([0-9]*\) scenarios.*/\1/p')
-if [ -z "$scenarios" ] || [ "$scenarios" -lt 11 ]; then
-  echo "check.sh: expected >= 11 interleave scenarios, saw '${scenarios:-none}'" >&2
+if [ -z "$scenarios" ] || [ "$scenarios" -ne "$expected" ]; then
+  echo "check.sh: expected $expected interleave scenarios, saw '${scenarios:-none}'" >&2
   exit 1
 fi
+# Wall-clock budget: the reduction is the only thing keeping the deeper
+# scenarios enumerable, so a blown budget means DPOR regressed (or a
+# scenario grew past what it buys back).
+interleave_budget=120
+if [ "$interleave_elapsed" -gt "$interleave_budget" ]; then
+  echo "check.sh: interleave took ${interleave_elapsed}s, budget ${interleave_budget}s" >&2
+  exit 1
+fi
+echo "check.sh: interleave took ${interleave_elapsed}s (budget ${interleave_budget}s)"
 
 echo "== mc-stress smoke (all kinds, bounded + unbounded) =="
 dune exec bin/pools_bench.exe -- mc-stress --domains 4 --seconds 0.5 --capacity 32

@@ -44,17 +44,52 @@ let loot_list = function
   | Cpool.Steal.Single x -> [ x ]
   | Cpool.Steal.Batch (x, rest) -> x :: rest
 
+(* Linearizability recording: every segment operation a scenario performs
+   goes through one of these wrappers, so each explored schedule leaves a
+   complete invocation/response history for [Linz.check] (called from the
+   scenario's [check_final]). Setup operations before the run record as
+   fiber [-1]; their intervals complete before any fiber starts, so the
+   oracle orders them first automatically. The wrappers themselves add no
+   scheduling points — schedule counts are unchanged by recording. *)
+let l_add h f seg s x = Linz.record h ~fiber:f ~seg (Linz.Add x) (fun () -> M.add s x)
+
+let l_try_add h f seg s x =
+  Linz.record h ~fiber:f ~seg (Linz.Try_add x) (fun () -> M.try_add s x)
+
+let l_spill h f seg s x =
+  Linz.record h ~fiber:f ~seg (Linz.Spill x) (fun () -> M.spill_add s x)
+
+let l_remove h f seg s =
+  Linz.record h ~fiber:f ~seg Linz.Remove (fun () -> M.try_remove s)
+
+let l_steal h f seg s max_take =
+  Linz.record h ~fiber:f ~seg Linz.Steal (fun () ->
+      loot_list (M.steal_half ?max_take s))
+
+let l_reserve h f seg s k =
+  Linz.record h ~fiber:f ~seg (Linz.Reserve k) (fun () -> M.reserve s k)
+
+let l_refill h f seg s reserved xs =
+  Linz.record h ~fiber:f ~seg
+    (Linz.Refill (reserved, xs))
+    (fun () -> M.refill s ~reserved xs)
+
+let l_deposit h f seg s xs =
+  Linz.record h ~fiber:f ~seg (Linz.Deposit xs) (fun () -> M.deposit s xs)
+
 (* The owner's try_add racing a foreign spill_add on a capacity-2 segment:
    the CAS capacity claims must admit exactly as many elements as fit, at
    most one of the two paths winning the last unit. *)
 let try_add_capacity () =
   let name = "try-add capacity race" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:(Some 2);
   let seg = M.make ~capacity:2 ~id:0 () in
   let ok = Array.make 2 0 in
   let owner () =
-    List.iter (fun x -> if M.try_add seg x then ok.(0) <- ok.(0) + 1) [ 1; 2 ]
+    List.iter (fun x -> if l_try_add h 0 0 seg x then ok.(0) <- ok.(0) + 1) [ 1; 2 ]
   in
-  let spiller () = if M.spill_add seg 3 then ok.(1) <- 1 in
+  let spiller () = if l_spill h 1 0 seg 3 then ok.(1) <- 1 in
   {
     Sched.threads = [ owner; spiller ];
     check_step = bound_ok name seg;
@@ -64,7 +99,8 @@ let try_add_capacity () =
         let n = stored seg in
         if ok.(0) + ok.(1) <> n then
           failf name "successful adds %d <> stored %d" (ok.(0) + ok.(1)) n;
-        if n <> 2 then failf name "expected the segment full (2), stored %d" n);
+        if n <> 2 then failf name "expected the segment full (2), stored %d" n;
+        Linz.check h);
   }
 
 (* A thief (steal_half + deposit into its own segment, the unbounded pool
@@ -72,21 +108,24 @@ let try_add_capacity () =
    duplicated. *)
 let steal_vs_add () =
   let name = "steal_half vs add conservation" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
+  Linz.declare_seg h ~id:1 ~capacity:None;
   let victim = M.make ~id:0 () in
   let own = M.make ~id:1 () in
-  List.iter (M.add victim) [ 1; 2; 3 ];
+  List.iter (l_add h (-1) 0 victim) [ 1; 2; 3 ];
   let returned = ref 0 in
   let thief () =
-    match M.steal_half victim with
-    | Cpool.Steal.Nothing -> ()
-    | Cpool.Steal.Single _ -> returned := 1
-    | Cpool.Steal.Batch (_, rest) ->
+    match l_steal h 0 0 victim None with
+    | [] -> ()
+    | [ _ ] -> returned := 1
+    | _ :: rest -> (
       returned := 1;
-      (match M.deposit own rest with
+      match l_deposit h 0 1 own rest with
       | [] -> ()
       | _ :: _ -> failf name "unbounded deposit rejected elements")
   in
-  let adder () = M.add victim 4 in
+  let adder () = l_add h 1 0 victim 4 in
   {
     Sched.threads = [ thief; adder ];
     check_step = all_of [ bound_ok name victim; bound_ok name own ];
@@ -95,7 +134,8 @@ let steal_vs_add () =
         quiescent name victim;
         quiescent name own;
         let total = stored victim + stored own + !returned in
-        if total <> 4 then failf name "conservation broken: %d elements of 4" total);
+        if total <> 4 then failf name "conservation broken: %d elements of 4" total;
+        Linz.check h);
   }
 
 (* The bounded steal path (reserve room, steal at most that, refill) racing
@@ -103,26 +143,29 @@ let steal_vs_add () =
    the bound intact at every instant and release exactly on refill. *)
 let reserve_refill_race () =
   let name = "reserve/refill vs spill_add" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:(Some 4);
+  Linz.declare_seg h ~id:1 ~capacity:(Some 2);
   let victim = M.make ~capacity:4 ~id:0 () in
   let own = M.make ~capacity:2 ~id:1 () in
-  List.iter (fun x -> assert (M.try_add victim x)) [ 1; 2; 3 ];
-  assert (M.try_add own 10);
+  List.iter (fun x -> assert (l_try_add h (-1) 0 victim x)) [ 1; 2; 3 ];
+  assert (l_try_add h (-1) 1 own 10);
   let returned = ref 0 in
   let rival_ok = ref 0 in
   let thief () =
     (* Mirrors Mc_pool.attempt_steal's bounded branch. *)
     let want = (M.size victim + 1) / 2 in
-    let reserved = M.reserve own (max 0 (want - 1)) in
-    match M.steal_half ~max_take:(reserved + 1) victim with
-    | Cpool.Steal.Nothing -> M.refill own ~reserved []
-    | Cpool.Steal.Single _ ->
-      M.refill own ~reserved [];
+    let reserved = l_reserve h 0 1 own (max 0 (want - 1)) in
+    match l_steal h 0 0 victim (Some (reserved + 1)) with
+    | [] -> l_refill h 0 1 own reserved []
+    | [ _ ] ->
+      l_refill h 0 1 own reserved [];
       returned := 1
-    | Cpool.Steal.Batch (_, rest) ->
-      M.refill own ~reserved rest;
+    | _ :: rest ->
+      l_refill h 0 1 own reserved rest;
       returned := 1
   in
-  let rival () = if M.spill_add own 11 then rival_ok := 1 in
+  let rival () = if l_spill h 1 1 own 11 then rival_ok := 1 in
   {
     Sched.threads = [ thief; rival ];
     check_step = all_of [ bound_ok name victim; bound_ok name own ];
@@ -132,7 +175,8 @@ let reserve_refill_race () =
         quiescent name own;
         let total = stored victim + stored own + !returned in
         if total <> 4 + !rival_ok then
-          failf name "conservation broken: %d elements of %d" total (4 + !rival_ok));
+          failf name "conservation broken: %d elements of %d" total (4 + !rival_ok);
+        Linz.check h);
   }
 
 (* Three threads on one segment: the owner popping, a foreign spill_add,
@@ -140,26 +184,25 @@ let reserve_refill_race () =
    inbox-fallback branch. Baseline mode ([fast_path:false], the
    configuration the throughput benchmark compares against) keeps every
    operation mutex-serialized, which both certifies the all-mutex twin and
-   keeps a 3-thread schedule space enumerable — the DFS has no
-   partial-order reduction, and the lock-free fast path is covered
-   exhaustively by the 2-thread scenarios above and below. One element is
-   preloaded into the ring and one into the inbox, so the stealer's
+   keeps the 3-thread schedule space small even exhaustively. One element
+   is preloaded into the ring and one into the inbox, so the stealer's
    ring-claim and inbox-pop branches, the owner's direct claim and its
    exchange-drain are all reachable depending on the schedule. *)
 let three_way () =
   let name = "owner pop vs spill vs inbox steal (3 threads)" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
   let seg = M.make ~fast_path:false ~id:0 () in
-  assert (M.try_add seg 1);
-  assert (M.spill_add seg 2);
+  assert (l_try_add h (-1) 0 seg 1);
+  assert (l_spill h (-1) 0 seg 2);
   let popped = ref 0 in
   let stolen = ref 0 in
-  let owner () = match M.try_remove seg with Some _ -> popped := 1 | None -> () in
-  let spiller () = ignore (M.spill_add seg 3) in
+  let owner () = match l_remove h 0 0 seg with Some _ -> popped := 1 | None -> () in
+  let spiller () = ignore (l_spill h 1 0 seg 3) in
   let stealer () =
-    match M.steal_half ~max_take:1 seg with
-    | Cpool.Steal.Nothing -> ()
-    | Cpool.Steal.Single _ -> stolen := 1
-    | Cpool.Steal.Batch (_, rest) -> stolen := 1 + List.length rest
+    match l_steal h 2 0 seg (Some 1) with
+    | [] -> ()
+    | loot -> stolen := List.length loot
   in
   {
     Sched.threads = [ owner; spiller; stealer ];
@@ -171,7 +214,8 @@ let three_way () =
            and the owner (never finding the segment empty) exactly one. *)
         if !popped <> 1 then failf name "owner pop found the segment empty";
         let total = stored seg + !popped + !stolen in
-        if total <> 3 then failf name "conservation broken: %d elements of 3" total);
+        if total <> 3 then failf name "conservation broken: %d elements of 3" total;
+        Linz.check h);
   }
 
 (* Two stealers racing CAS claims of the same ring front: the loot sets
@@ -180,10 +224,12 @@ let three_way () =
    the same [top]) or strand one below the advanced cursor. *)
 let steal_vs_steal () =
   let name = "steal vs steal CAS race" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
   let seg = M.make ~id:0 () in
-  List.iter (M.add seg) [ 1; 2; 3; 4 ];
+  List.iter (l_add h (-1) 0 seg) [ 1; 2; 3; 4 ];
   let loots = Array.make 2 [] in
-  let thief i () = loots.(i) <- loot_list (M.steal_half ~max_take:2 seg) in
+  let thief i () = loots.(i) <- l_steal h i 0 seg (Some 2) in
   {
     Sched.threads = [ thief 0; thief 1 ];
     check_step = bound_ok name seg;
@@ -203,7 +249,8 @@ let steal_vs_steal () =
         let all = List.sort compare (loots.(0) @ loots.(1) @ drain []) in
         if all <> [ 1; 2; 3; 4 ] then
           failf name "elements lost or duplicated: [%s]"
-            (String.concat ";" (List.map string_of_int all)));
+            (String.concat ";" (List.map string_of_int all));
+        Linz.check h);
   }
 
 (* The one-element boundary: an owner pop and a steal racing for the last
@@ -212,14 +259,16 @@ let steal_vs_steal () =
    nothing — no duplication, no loss, no deadlock. *)
 let pop_vs_steal_one () =
   let name = "one-element owner/stealer boundary" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
   let seg = M.make ~id:0 () in
-  M.add seg 42;
+  l_add h (-1) 0 seg 42;
   let popped = ref [] in
   let stolen = ref [] in
   let owner () =
-    match M.try_remove seg with Some x -> popped := [ x ] | None -> ()
+    match l_remove h 0 0 seg with Some x -> popped := [ x ] | None -> ()
   in
-  let stealer () = stolen := loot_list (M.steal_half ~max_take:1 seg) in
+  let stealer () = stolen := l_steal h 1 0 seg (Some 1) in
   {
     Sched.threads = [ owner; stealer ];
     check_step = bound_ok name seg;
@@ -233,7 +282,8 @@ let pop_vs_steal_one () =
           failf name "element duplicated: popped [%s], stolen [%s]"
             (String.concat ";" (List.map string_of_int !popped))
             (String.concat ";" (List.map string_of_int !stolen)));
-        if stored seg <> 0 then failf name "segment not empty at quiescence");
+        if stored seg <> 0 then failf name "segment not empty at quiescence";
+        Linz.check h);
   }
 
 (* The MPSC inbox under fire: a foreign spiller CAS-pushing two elements
@@ -243,16 +293,18 @@ let pop_vs_steal_one () =
    end exactly once in popped + stored. *)
 let mpsc_push_vs_drain () =
   let name = "MPSC push vs exchange-drain" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
   let seg = M.make ~id:0 () in
-  assert (M.spill_add seg 1);
+  assert (l_spill h (-1) 0 seg 1);
   let popped = ref [] in
   let spilled = ref 1 in
   let owner () =
-    match M.try_remove seg with Some x -> popped := [ x ] | None -> ()
+    match l_remove h 0 0 seg with Some x -> popped := [ x ] | None -> ()
   in
   let spiller () =
-    if M.spill_add seg 2 then incr spilled;
-    if M.spill_add seg 3 then incr spilled
+    if l_spill h 1 0 seg 2 then incr spilled;
+    if l_spill h 1 0 seg 3 then incr spilled
   in
   {
     Sched.threads = [ owner; spiller ];
@@ -271,7 +323,8 @@ let mpsc_push_vs_drain () =
         if all <> expect then
           failf name "elements lost or duplicated: [%s] of %d spills"
             (String.concat ";" (List.map string_of_int all))
-            !spilled);
+            !spilled;
+        Linz.check h);
   }
 
 (* The heart of the new ring protocol: the owner's lock-free pop racing a
@@ -280,14 +333,16 @@ let mpsc_push_vs_drain () =
    element to both sides (duplication) or to neither (loss). *)
 let pop_vs_steal () =
   let name = "owner pop vs steal-claim" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
   let seg = M.make ~id:0 () in
-  List.iter (M.add seg) [ 1; 2; 3 ];
+  List.iter (l_add h (-1) 0 seg) [ 1; 2; 3 ];
   let popped = ref [] in
   let stolen = ref [] in
   let owner () =
-    match M.try_remove seg with Some x -> popped := [ x ] | None -> ()
+    match l_remove h 0 0 seg with Some x -> popped := [ x ] | None -> ()
   in
-  let stealer () = stolen := loot_list (M.steal_half ~max_take:2 seg) in
+  let stealer () = stolen := l_steal h 1 0 seg (Some 2) in
   {
     Sched.threads = [ owner; stealer ];
     check_step = bound_ok name seg;
@@ -302,7 +357,8 @@ let pop_vs_steal () =
         let all = List.sort compare (!popped @ !stolen @ drain []) in
         if all <> [ 1; 2; 3 ] then
           failf name "elements lost or duplicated: [%s]"
-            (String.concat ";" (List.map string_of_int all)));
+            (String.concat ";" (List.map string_of_int all));
+        Linz.check h);
   }
 
 (* An owner push racing the full bounded banking dance on two segments: the
@@ -311,22 +367,25 @@ let pop_vs_steal () =
    hold at every step and every element must survive. *)
 let push_vs_reserve () =
   let name = "owner push vs bounded reserve/steal/refill" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:(Some 3);
+  Linz.declare_seg h ~id:1 ~capacity:(Some 2);
   let victim = M.make ~capacity:3 ~id:0 () in
   let own = M.make ~capacity:2 ~id:1 () in
-  List.iter (fun x -> assert (M.try_add victim x)) [ 1; 2 ];
+  List.iter (fun x -> assert (l_try_add h (-1) 0 victim x)) [ 1; 2 ];
   let pushed = ref 0 in
   let returned = ref 0 in
-  let owner () = if M.try_add victim 3 then pushed := 1 in
+  let owner () = if l_try_add h 0 0 victim 3 then pushed := 1 in
   let thief () =
     let want = (M.size victim + 1) / 2 in
-    let reserved = M.reserve own (max 0 (want - 1)) in
-    match M.steal_half ~max_take:(reserved + 1) victim with
-    | Cpool.Steal.Nothing -> M.refill own ~reserved []
-    | Cpool.Steal.Single _ ->
-      M.refill own ~reserved [];
+    let reserved = l_reserve h 1 1 own (max 0 (want - 1)) in
+    match l_steal h 1 0 victim (Some (reserved + 1)) with
+    | [] -> l_refill h 1 1 own reserved []
+    | [ _ ] ->
+      l_refill h 1 1 own reserved [];
       returned := 1
-    | Cpool.Steal.Batch (_, rest) ->
-      M.refill own ~reserved rest;
+    | _ :: rest ->
+      l_refill h 1 1 own reserved rest;
       returned := 1
   in
   {
@@ -338,7 +397,8 @@ let push_vs_reserve () =
         quiescent name own;
         let total = stored victim + stored own + !returned in
         if total <> 2 + !pushed then
-          failf name "conservation broken: %d elements of %d" total (2 + !pushed));
+          failf name "conservation broken: %d elements of %d" total (2 + !pushed);
+        Linz.check h);
   }
 
 (* The hinted hand-off's core race: a searcher publishing its hint and
@@ -351,6 +411,9 @@ let push_vs_reserve () =
    leaked. *)
 let hint_add_vs_park () =
   let name = "hint add vs park/retract" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
+  Linz.declare_seg h ~id:1 ~capacity:None;
   let seeker = M.make ~id:0 () in
   let adder_seg = M.make ~id:1 () in
   let board = H.create ~slots:2 () in
@@ -371,9 +434,9 @@ let hint_add_vs_park () =
     | Some w ->
       claimed := true;
       if w <> 0 then failf name "claimed slot %d, expected 0" w;
-      if not (M.spill_add seeker 7) then failf name "unbounded spill_add rejected";
+      if not (l_spill h 1 0 seeker 7) then failf name "unbounded spill_add rejected";
       H.release board w
-    | None -> M.add adder_seg 7
+    | None -> l_add h 1 1 adder_seg 7
   in
   {
     Sched.threads = [ searcher; adder ];
@@ -404,7 +467,8 @@ let hint_add_vs_park () =
             local;
         if !claimed && delivered <> 1 then failf name "claim won but no delivery landed";
         if !retracted && local <> 1 then
-          failf name "retract won but the add left its own segment");
+          failf name "retract won but the add left its own segment";
+        Linz.check h);
   }
 
 (* Two adders racing to claim the single published hint: the claim CAS must
@@ -415,23 +479,28 @@ let hint_add_vs_park () =
    adder can observe the hint. *)
 let hint_double_claim () =
   let name = "hint double-claim" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
+  Linz.declare_seg h ~id:1 ~capacity:None;
+  Linz.declare_seg h ~id:2 ~capacity:None;
   let seeker = M.make ~id:0 () in
   let seg1 = M.make ~id:1 () in
   let seg2 = M.make ~id:2 () in
   let board = H.create ~slots:3 () in
   H.publish board 0;
   let wins = Array.make 2 false in
-  let adder seg slot idx () =
+  let adder seg_id seg slot idx () =
     match H.try_claim board ~from:slot with
     | Some w ->
       wins.(idx) <- true;
       if w <> 0 then failf name "claimed slot %d, expected 0" w;
-      if not (M.spill_add seeker (10 + idx)) then failf name "unbounded spill_add rejected";
+      if not (l_spill h idx 0 seeker (10 + idx)) then
+        failf name "unbounded spill_add rejected";
       H.release board w
-    | None -> M.add seg (10 + idx)
+    | None -> l_add h idx seg_id seg (10 + idx)
   in
   {
-    Sched.threads = [ adder seg1 1 0; adder seg2 2 1 ];
+    Sched.threads = [ adder 1 seg1 1 0; adder 2 seg2 2 1 ];
     check_step =
       (fun () ->
         bound_ok name seeker ();
@@ -455,7 +524,157 @@ let hint_double_claim () =
           failf name "expected exactly one delivery, segment holds %d" (stored seeker);
         if stored seeker + stored seg1 + stored seg2 <> 2 then
           failf name "conservation broken: %d elements of 2"
-            (stored seeker + stored seg1 + stored seg2));
+            (stored seeker + stored seg1 + stored seg2);
+        Linz.check h);
+  }
+
+(* ---- scenarios only the reduction can enumerate ---------------------- *)
+
+(* Three stealers and the owner's pop converging on one ring: every claim
+   CAS contends with every other, the doomed-thief copy window (the
+   sanctioned racy read) is actually reachable, and loot disjointness is
+   checked pairwise. Exhaustively this explodes past the schedule bound;
+   under DPOR it completes, because most step pairs (distinct claim
+   buffers, distinct loot cells) commute. *)
+let three_stealers () =
+  let name = "3 stealers vs owner pop" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
+  let seg = M.make ~id:0 () in
+  List.iter (l_add h (-1) 0 seg) [ 1; 2; 3; 4 ];
+  let popped = ref [] in
+  let loots = Array.make 3 [] in
+  let owner () =
+    match l_remove h 0 0 seg with Some x -> popped := [ x ] | None -> ()
+  in
+  let thief i () = loots.(i) <- l_steal h (i + 1) 0 seg (Some 2) in
+  {
+    Sched.threads = [ owner; thief 0; thief 1; thief 2 ];
+    check_step = bound_ok name seg;
+    check_final =
+      (fun () ->
+        quiescent name seg;
+        let pairwise_disjoint =
+          List.for_all
+            (fun (i, j) ->
+              List.for_all (fun x -> not (List.mem x loots.(j))) loots.(i))
+            [ (0, 1); (0, 2); (1, 2) ]
+        in
+        if not pairwise_disjoint then failf name "stealer loot not disjoint";
+        let rec drain acc =
+          match M.try_remove seg with Some x -> drain (x :: acc) | None -> acc
+        in
+        let all =
+          List.sort compare
+            (!popped @ loots.(0) @ loots.(1) @ loots.(2) @ drain [])
+        in
+        if all <> [ 1; 2; 3; 4 ] then
+          failf name "elements lost or duplicated: [%s]"
+            (String.concat ";" (List.map string_of_int all));
+        Linz.check h);
+  }
+
+(* The full hint life cycle under three-way contention: a searcher
+   publishes and immediately retracts (the park/unpark edge) while two
+   adders race each other — and the retract — to claim the hint. At most
+   one of the three CASes wins the slot; the element accounting and board
+   state must come out exact in every outcome. *)
+let hint_three_way () =
+  let name = "hint publish/claim/expire three-way" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
+  Linz.declare_seg h ~id:1 ~capacity:None;
+  Linz.declare_seg h ~id:2 ~capacity:None;
+  let seeker = M.make ~id:0 () in
+  let seg1 = M.make ~id:1 () in
+  let seg2 = M.make ~id:2 () in
+  let board = H.create ~slots:3 () in
+  let retracted = ref false in
+  let wins = Array.make 2 false in
+  let searcher () =
+    H.publish board 0;
+    match H.retract board 0 with
+    | H.Retracted -> retracted := true
+    | H.Claim_pending -> ()
+  in
+  let adder seg_id seg slot idx () =
+    match H.try_claim board ~from:slot with
+    | Some w ->
+      wins.(idx) <- true;
+      if w <> 0 then failf name "claimed slot %d, expected 0" w;
+      if not (l_spill h (idx + 1) 0 seeker (10 + idx)) then
+        failf name "unbounded spill_add rejected";
+      H.release board w
+    | None -> l_add h (idx + 1) seg_id seg (10 + idx)
+  in
+  {
+    Sched.threads = [ searcher; adder 1 seg1 1 0; adder 2 seg2 2 1 ];
+    check_step =
+      (fun () ->
+        bound_ok name seeker ();
+        let w = H.waiters board in
+        if w < -1 || w > 1 then failf name "waiter count %d out of [-1, 1]" w);
+    check_final =
+      (fun () ->
+        quiescent name seeker;
+        quiescent name seg1;
+        quiescent name seg2;
+        let claims = (if wins.(0) then 1 else 0) + if wins.(1) then 1 else 0 in
+        if claims > 1 then failf name "both adders claimed the one hint";
+        if !retracted && claims > 0 then
+          failf name "hint both retracted and claimed";
+        if H.waiters board <> 0 then
+          failf name "waiter count leaked: %d" (H.waiters board);
+        if not (H.is_free board 0) then failf name "slot 0 not Free at quiescence";
+        if stored seeker <> claims then
+          failf name "claims %d but %d deliveries" claims (stored seeker);
+        if stored seeker + stored seg1 + stored seg2 <> 2 then
+          failf name "conservation broken: %d elements of 2"
+            (stored seeker + stored seg1 + stored seg2);
+        Linz.check h);
+  }
+
+(* The MPSC inbox with two concurrent spillers against the owner's
+   exchange-drain: push CASes contend with each other and with the drain's
+   exchange. One spiller alone already saturates the exhaustive bound
+   (473k schedules at the seed); two are far beyond it, but commute enough
+   for the reduction. *)
+let spill_spill_drain () =
+  let name = "2 spillers vs exchange-drain" in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
+  let seg = M.make ~id:0 () in
+  assert (l_spill h (-1) 0 seg 1);
+  let popped = ref [] in
+  let spilled = ref [ 1 ] in
+  let spill_ok idx x = if l_spill h idx 0 seg x then spilled := x :: !spilled in
+  let owner () =
+    match l_remove h 0 0 seg with Some x -> popped := [ x ] | None -> ()
+  in
+  let spiller_a () =
+    spill_ok 1 2;
+    spill_ok 1 3
+  in
+  let spiller_b () =
+    spill_ok 2 4;
+    spill_ok 2 5
+  in
+  {
+    Sched.threads = [ owner; spiller_a; spiller_b ];
+    check_step = bound_ok name seg;
+    check_final =
+      (fun () ->
+        quiescent name seg;
+        if !popped = [] then failf name "owner pop lost the drained elements";
+        let rec drain acc =
+          match M.try_remove seg with Some x -> drain (x :: acc) | None -> acc
+        in
+        let all = List.sort compare (!popped @ drain []) in
+        if all <> List.sort compare !spilled then
+          failf name "elements lost or duplicated: [%s] of %d spills"
+            (String.concat ";" (List.map string_of_int all))
+            (List.length !spilled);
+        Linz.check h);
   }
 
 let scenarios =
@@ -471,7 +690,12 @@ let scenarios =
     { name = "push-vs-reserve"; instance = push_vs_reserve };
     { name = "hint-add-vs-park"; instance = hint_add_vs_park };
     { name = "hint-double-claim"; instance = hint_double_claim };
+    { name = "three-stealers"; instance = three_stealers };
+    { name = "hint-three-way"; instance = hint_three_way };
+    { name = "spill-spill-drain"; instance = spill_spill_drain };
   ]
+
+let count = List.length scenarios
 
 let run_all ppf =
   List.map
@@ -485,3 +709,72 @@ let run_all ppf =
         failwith
           (Printf.sprintf "interleave %s failed: %s" sc.name (Printexc.to_string e)))
     scenarios
+
+(* ---- DPOR instrumentation and cross-validation ----------------------- *)
+
+type stat = {
+  s_name : string;
+  dpor : int;
+  dpor_pruned : int;
+  exhaustive : int option;
+}
+
+let dpor_stats ?(exhaustive_cap = 1_000_000) () =
+  List.map
+    (fun sc ->
+      let d = Sched.explore_stats ~mode:Dpor sc.instance in
+      let exhaustive =
+        match
+          Sched.explore ~mode:Exhaustive ~max_schedules:exhaustive_cap
+            sc.instance
+        with
+        | n -> Some n
+        | exception Sched.Exploded _ -> None
+      in
+      { s_name = sc.name; dpor = d.schedules; dpor_pruned = d.pruned; exhaustive })
+    scenarios
+
+(* A deliberately broken two-fiber lost update on a shim atomic: the
+   reduction must reach a failing schedule exactly as the full DFS does.
+   (Read-then-write on one object conflicts with itself, so DPOR may not
+   collapse the racing orders.) *)
+let lost_update_instance () =
+  let module A = Sched.Prim.Atomic in
+  let c = A.make 0 in
+  let bump () =
+    let v = A.get c in
+    A.set c (v + 1)
+  in
+  {
+    Sched.threads = [ bump; bump ];
+    check_step = (fun () -> ());
+    check_final =
+      (fun () -> if A.get c <> 2 then failwith "lost update");
+  }
+
+let cross_validate ppf =
+  List.iter
+    (fun n ->
+      let sc = List.find (fun s -> s.name = n) scenarios in
+      let ex = Sched.explore ~mode:Exhaustive sc.instance in
+      let dp = Sched.explore ~mode:Dpor sc.instance in
+      if dp >= ex then
+        failwith
+          (Printf.sprintf
+             "cross-validate %s: DPOR explored %d schedules, not fewer than \
+              the exhaustive %d"
+             n dp ex);
+      Format.fprintf ppf
+        "cross-validate: %-16s verdicts agree (exhaustive %d, dpor %d)@." n ex
+        dp)
+    [ "reserve-refill"; "pop-vs-steal-one"; "steal-vs-steal" ];
+  let fails mode =
+    match Sched.explore ~mode lost_update_instance with
+    | _ -> false
+    | exception Failure _ -> true
+  in
+  if not (fails Sched.Exhaustive) then
+    failwith "cross-validate: exhaustive DFS missed the seeded lost update";
+  if not (fails Sched.Dpor) then
+    failwith "cross-validate: DPOR missed the seeded lost update";
+  Format.fprintf ppf "cross-validate: seeded lost update caught by both modes@."

@@ -7,13 +7,19 @@
     comment anywhere in the file. *)
 
 val lint_source :
-  ?ban_random:bool -> file:string -> string -> Lint_rules.finding list
+  ?ban_random:bool ->
+  ?allow_obj:bool ->
+  file:string ->
+  string ->
+  Lint_rules.finding list
 (** [lint_source ~file source] checks [source], applying suppressions found
     in it. [ban_random] defaults from [file]'s path: banned under
-    [lib/pool], [lib/sim], [lib/mcpool] and [lib/analysis]. Findings are
-    sorted. *)
+    [lib/pool], [lib/sim], [lib/mcpool] and [lib/analysis]. [allow_obj]
+    defaults from [file]'s basename: raw [Obj] is sanctioned only in
+    [mc_segment_core.ml] and [sched.ml]. Findings are sorted. *)
 
-val lint_file : ?ban_random:bool -> string -> Lint_rules.finding list
+val lint_file :
+  ?ban_random:bool -> ?allow_obj:bool -> string -> Lint_rules.finding list
 (** [lint_file path] is {!lint_source} on the contents of [path]. *)
 
 val lint_tree : ?require_mli:bool -> string list -> Lint_rules.finding list

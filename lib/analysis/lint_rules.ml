@@ -4,6 +4,7 @@ let raw_mutex = "raw-mutex"
 let non_atomic_rmw = "non-atomic-rmw"
 let blocking_under_lock = "blocking-under-lock"
 let ambient_random = "ambient-random"
+let raw_obj = "raw-obj"
 let missing_mli = "missing-mli"
 let bad_suppression = "bad-suppression"
 let parse_error = "parse-error"
@@ -14,6 +15,7 @@ let all_rules =
     non_atomic_rmw;
     blocking_under_lock;
     ambient_random;
+    raw_obj;
     missing_mli;
     bad_suppression;
     parse_error;
@@ -137,7 +139,15 @@ let targets_read_by ~lookup value =
   it.expr it value;
   List.sort_uniq String.compare !acc
 
-let check_structure ~file ~ban_random (str : Parsetree.structure) =
+(* R6: the unsafe [Obj] trio. [Obj.magic] is never sanctioned; [repr]/[obj]
+   only inside the modules that own a uniform-representation container (the
+   ring's [Obj.t] slots) and are certified by the interleave scenarios. *)
+let raw_obj_name path =
+  match suffix2 path with
+  | Some ("Obj", (("magic" | "repr" | "obj") as fn)) -> Some ("Obj." ^ fn)
+  | _ -> None
+
+let check_structure ~file ~ban_random ~allow_obj (str : Parsetree.structure) =
   let findings = ref [] in
   let add (loc : Location.t) rule message =
     findings :=
@@ -188,13 +198,24 @@ let check_structure ~file ~ban_random (str : Parsetree.structure) =
             "nested lock acquisition (with_* call) inside a with_* critical \
              section risks deadlock; restructure to decide under one lock"
       end;
-      if ban_random then
-        match ambient_random_name path with
+      (if ban_random then
+         match ambient_random_name path with
+         | Some name ->
+           add e.pexp_loc ambient_random
+             (Printf.sprintf
+                "%s draws from ambient global state; all randomness here must flow \
+                 through a seeded generator (Cpool_util.Rng / Cpool_sim.Rng)"
+                name)
+         | None -> ());
+      if not allow_obj then
+        match raw_obj_name path with
         | Some name ->
-          add e.pexp_loc ambient_random
+          add e.pexp_loc raw_obj
             (Printf.sprintf
-               "%s draws from ambient global state; all randomness here must flow \
-                through a seeded generator (Cpool_util.Rng / Cpool_sim.Rng)"
+               "%s defeats the type system outside the sanctioned \
+                uniform-representation modules (mc_segment_core, sched); keep \
+                unsafe casts behind their certified boundaries or suppress \
+                with (* lint: allow raw-obj -- <reason> *)"
                name)
         | None -> ()
   in
@@ -284,11 +305,11 @@ let check_structure ~file ~ban_random (str : Parsetree.structure) =
   it.structure it str;
   List.rev !findings
 
-let check_source ~file ~ban_random source =
+let check_source ~file ~ban_random ~allow_obj source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf file;
   match Parse.implementation lexbuf with
-  | str -> check_structure ~file ~ban_random str
+  | str -> check_structure ~file ~ban_random ~allow_obj str
   | exception e ->
     let line =
       match e with

@@ -24,6 +24,11 @@
     - R4 [ambient-random] — no global [Random.*] (or
       [Random.State.make_self_init]) where [ban_random] is set: the pool,
       simulator and checker must be pure functions of their seeds.
+    - R6 [raw-obj] — no [Obj.magic]/[Obj.repr]/[Obj.obj] where [allow_obj]
+      is unset. The unsafe casts are confined to the modules that own a
+      uniform-representation container and are certified by the interleave
+      scenarios ([mc_segment_core], [sched]); anywhere else they must carry
+      a [(* lint: allow raw-obj -- <reason> *)].
 
     R5 [missing-mli] is a filesystem property checked by {!Lint_driver}. *)
 
@@ -33,6 +38,7 @@ val raw_mutex : string
 val non_atomic_rmw : string
 val blocking_under_lock : string
 val ambient_random : string
+val raw_obj : string
 val missing_mli : string
 val bad_suppression : string
 val parse_error : string
@@ -46,7 +52,8 @@ val compare_findings : finding -> finding -> int
 val pp : Format.formatter -> finding -> unit
 (** Renders ["file:line: [rule] message"]. *)
 
-val check_source : file:string -> ban_random:bool -> string -> finding list
-(** [check_source ~file ~ban_random source] parses [source] (reporting a
-    [parse-error] finding if it does not parse) and returns the raw AST-rule
-    findings, before suppression filtering. *)
+val check_source :
+  file:string -> ban_random:bool -> allow_obj:bool -> string -> finding list
+(** [check_source ~file ~ban_random ~allow_obj source] parses [source]
+    (reporting a [parse-error] finding if it does not parse) and returns the
+    raw AST-rule findings, before suppression filtering. *)

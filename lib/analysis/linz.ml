@@ -1,0 +1,233 @@
+(* Wing–Gong linearizability checking of one explored execution against a
+   sequential multiset-pool specification.
+
+   The recorder timestamps each operation's invocation and response with a
+   global logical counter; an execution's history is the set of recorded
+   events with their real-time intervals. [check] then searches for a
+   linearization: a total order of the events that (a) respects real-time
+   precedence (if op1 responded before op2 was invoked, op1 comes first)
+   and (b) is a legal sequential history of the spec below. The search is
+   the classic Wing–Gong enumeration — repeatedly linearize some minimal
+   (in precedence order) unlinearized event whose result the spec can
+   produce — with memoization on (linearized-set, spec-state): two search
+   branches reaching the same remaining-work-and-state are equivalent, and
+   the first failure prunes both. *)
+
+type _ call =
+  | Add : int -> unit call
+  | Try_add : int -> bool call
+  | Spill : int -> bool call
+  | Remove : int option call
+  | Steal : int list call
+  | Reserve : int -> int call
+  | Refill : (int * int list) -> unit call
+  | Deposit : int list -> int list call
+
+type event =
+  | Ev : {
+      fiber : int;
+      seg : int;
+      call : 'r call;
+      result : 'r;
+      inv : int;
+      resp : int;
+    }
+      -> event
+
+type t = {
+  mutable clock : int;
+  mutable events : event list;  (* newest first *)
+  mutable segs : (int * int option) list;  (* id, capacity *)
+}
+
+exception Not_linearizable of string
+
+let create () = { clock = 0; events = []; segs = [] }
+
+let declare_seg t ~id ~capacity =
+  if List.mem_assoc id t.segs then
+    invalid_arg "Linz.declare_seg: duplicate segment id";
+  t.segs <- (id, capacity) :: t.segs
+
+let record (type r) t ~fiber ~seg (call : r call) (f : unit -> r) : r =
+  if not (List.mem_assoc seg t.segs) then
+    invalid_arg "Linz.record: undeclared segment id";
+  t.clock <- t.clock + 1;
+  let inv = t.clock in
+  let result = f () in
+  t.clock <- t.clock + 1;
+  let resp = t.clock in
+  t.events <- Ev { fiber; seg; call; result; inv; resp } :: t.events;
+  result
+
+(* ---- the sequential specification ---------------------------------- *)
+
+(* A segment is a bounded multiset plus a reservation count: [Reserve]
+   grants room in advance, [Refill] returns it, and occupancy (size +
+   outstanding reservations) never exceeds the capacity. *)
+type seg_state = { bag : int list (* sorted *); resv : int; cap : int }
+
+let sorted_insert x l =
+  let rec go = function
+    | [] -> [ x ]
+    | y :: _ as l when x <= y -> x :: l
+    | y :: rest -> y :: go rest
+  in
+  go l
+
+(* Multiset difference: [remove_all xs bag] is [Some bag'] iff every
+   element of [xs] occurs in [bag] (with multiplicity). *)
+let remove_all xs bag =
+  let rec remove1 x = function
+    | [] -> None
+    | y :: rest when x = y -> Some rest
+    | y :: rest -> Option.map (fun r -> y :: r) (remove1 x rest)
+  in
+  List.fold_left
+    (fun acc x -> Option.bind acc (remove1 x))
+    (Some bag) xs
+
+let size s = List.length s.bag
+
+let room s = s.cap - size s - s.resv
+
+(* [apply s call result] is [Some s'] iff the spec, in state [s], can
+   respond [result] to [call] (yielding [s']). *)
+let apply (type r) (s : seg_state) (call : r call) (result : r) :
+    seg_state option =
+  match call with
+  | Add x -> Some { s with bag = sorted_insert x s.bag }
+  | Try_add x ->
+    if result then
+      if room s > 0 then Some { s with bag = sorted_insert x s.bag } else None
+    else if room s <= 0 then Some s
+    else None
+  | Spill x ->
+    if result then
+      if room s > 0 then Some { s with bag = sorted_insert x s.bag } else None
+    else if room s <= 0 then Some s
+    else None
+  | Remove -> (
+    match result with
+    | Some x ->
+      Option.map (fun bag -> { s with bag }) (remove_all [ x ] s.bag)
+    | None -> if s.bag = [] then Some s else None)
+  | Steal ->
+    (* An empty steal is always legal: the shipped steal_half probes the
+       ring and then the inbox in two separate reads, so it can miss
+       elements that were always present somewhere — a spurious failure
+       the pool's callers must (and do) tolerate. A non-empty loot must
+       come out of the bag. *)
+    if result = [] then Some s
+    else Option.map (fun bag -> { s with bag }) (remove_all result s.bag)
+  | Reserve k ->
+    if result = min k (max 0 (room s)) then
+      Some { s with resv = s.resv + result }
+    else None
+  | Refill (reserved, xs) ->
+    if reserved <= s.resv && List.length xs <= reserved then
+      Some
+        {
+          s with
+          resv = s.resv - reserved;
+          bag = List.fold_left (fun b x -> sorted_insert x b) s.bag xs;
+        }
+    else None
+  | Deposit xs ->
+    let accepted = List.filteri (fun i _ -> i < max 0 (room s)) xs
+    and rejected = List.filteri (fun i _ -> i >= max 0 (room s)) xs in
+    if result = rejected then
+      Some
+        {
+          s with
+          bag = List.fold_left (fun b x -> sorted_insert x b) s.bag accepted;
+        }
+    else None
+
+(* ---- pretty-printing (for failure reports) -------------------------- *)
+
+let ints l = "[" ^ String.concat ";" (List.map string_of_int l) ^ "]"
+
+let call_to_string (type r) (call : r call) (result : r) =
+  match call with
+  | Add x -> Printf.sprintf "add %d" x
+  | Try_add x -> Printf.sprintf "try_add %d -> %b" x result
+  | Spill x -> Printf.sprintf "spill_add %d -> %b" x result
+  | Remove ->
+    Printf.sprintf "try_remove -> %s"
+      (match result with Some x -> "Some " ^ string_of_int x | None -> "None")
+  | Steal -> Printf.sprintf "steal_half -> %s" (ints result)
+  | Reserve k -> Printf.sprintf "reserve %d -> %d" k result
+  | Refill (r, xs) -> Printf.sprintf "refill ~reserved:%d %s" r (ints xs)
+  | Deposit xs -> Printf.sprintf "deposit %s -> rejected %s" (ints xs) (ints result)
+
+let event_to_string (Ev e) =
+  Printf.sprintf "  [%d,%d] fiber %d seg %d: %s" e.inv e.resp e.fiber e.seg
+    (call_to_string e.call e.result)
+
+(* ---- the search ------------------------------------------------------ *)
+
+let check t =
+  let events = Array.of_list (List.rev t.events) in
+  let n = Array.length events in
+  if n > 60 then invalid_arg "Linz.check: history too long";
+  let full = (1 lsl n) - 1 in
+  let init_states =
+    List.map
+      (fun (id, cap) ->
+        (id, { bag = []; resv = 0; cap = Option.value cap ~default:max_int }))
+      t.segs
+  in
+  (* Memo: states visited and found not to reach [full]. The state key is
+     the linearized set plus each segment's (bag, resv) — capacities are
+     constant. *)
+  let dead : (int * (int * (int list * int)) list, unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let key mask states =
+    (mask, List.map (fun (id, s) -> (id, (s.bag, s.resv))) states)
+  in
+  let rec search mask states =
+    mask = full
+    || (not (Hashtbl.mem dead (key mask states)))
+       &&
+       let progressed =
+         (* Candidates: unlinearized events no unlinearized event fully
+            precedes in real time. *)
+         let minimal i =
+           let (Ev e) = events.(i) in
+           let blocked = ref false in
+           for j = 0 to n - 1 do
+             if mask land (1 lsl j) = 0 && j <> i then begin
+               let (Ev e') = events.(j) in
+               if e'.resp < e.inv then blocked := true
+             end
+           done;
+           not !blocked
+         in
+         let rec try_each i =
+           i < n
+           && ((mask land (1 lsl i) = 0)
+               && minimal i
+               && (let (Ev e) = events.(i) in
+                   match apply (List.assoc e.seg states) e.call e.result with
+                   | Some s' ->
+                     search
+                       (mask lor (1 lsl i))
+                       (List.map
+                          (fun (id, s) -> if id = e.seg then (id, s') else (id, s))
+                          states)
+                   | None -> false)
+              || try_each (i + 1))
+         in
+         try_each 0
+       in
+       if not progressed then Hashtbl.add dead (key mask states) ();
+       progressed
+  in
+  if not (search 0 init_states) then
+    raise
+      (Not_linearizable
+         ("no linearization of the recorded history:\n"
+         ^ String.concat "\n"
+             (List.map event_to_string (Array.to_list events))))

@@ -1,0 +1,126 @@
+(* Vector-clock happens-before tracking for one scheduled execution.
+
+   The scheduler feeds every synchronisation step through [step] +
+   [acquire]/[release]; the instrumented plain cells feed their accesses
+   through [plain_read]/[plain_write]. Happens-before is the union of
+   program order and release/acquire edges:
+
+     release: mutex unlock, atomic write / RMW  (thread clock -> object)
+     acquire: mutex lock,  atomic read / RMW    (object clock -> thread)
+
+   Two plain accesses to the same cell from different fibers, at least one
+   a write, with neither clock dominating the other, are concurrent — an
+   unsynchronized access the shipped code must never perform, reported by
+   raising {!Race}.
+
+   Edges are only ever under-approximated with respect to the label-based
+   dependence relation the DPOR explorer uses (reads do not release, so no
+   read->write edge exists), which is the safe direction for both clients:
+   a missing edge can only add backtrack points to the exploration or
+   surface a plain access as racy, never hide one behind a fabricated
+   ordering. *)
+
+module Vclock = struct
+  type t = int array
+
+  let make n = Array.make n 0
+
+  let copy = Array.copy
+
+  let tick c i = c.(i) <- c.(i) + 1
+
+  let merge_into ~into src =
+    Array.iteri (fun i v -> if v > into.(i) then into.(i) <- v) src
+
+  let leq a b =
+    let n = Array.length a in
+    let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+    go 0
+end
+
+exception Race of string
+
+(* Per-cell access summary, FastTrack-style but unoptimised: the last write
+   (owner fiber + its clock at the write) and the most recent read per
+   fiber. A write that dominates every recorded read empties the read set
+   — earlier reads are then ordered through it transitively. *)
+type cell = {
+  mutable last_write : (int * Vclock.t) option;
+  mutable reads : (int * Vclock.t) list;
+}
+
+type t = {
+  nthreads : int;
+  clocks : Vclock.t array; (* current clock of each fiber *)
+  objs : (int, Vclock.t) Hashtbl.t; (* release clocks of sync objects *)
+  cells : (int, cell) Hashtbl.t; (* plain-cell access summaries *)
+}
+
+let create ~nthreads =
+  {
+    nthreads;
+    clocks = Array.init nthreads (fun _ -> Vclock.make nthreads);
+    objs = Hashtbl.create 32;
+    cells = Hashtbl.create 32;
+  }
+
+let step t ~tid = Vclock.tick t.clocks.(tid) tid
+
+let acquire t ~tid ~oid =
+  match Hashtbl.find_opt t.objs oid with
+  | Some c -> Vclock.merge_into ~into:t.clocks.(tid) c
+  | None -> ()
+
+let release t ~tid ~oid =
+  match Hashtbl.find_opt t.objs oid with
+  | Some c -> Vclock.merge_into ~into:c t.clocks.(tid)
+  | None -> Hashtbl.replace t.objs oid (Vclock.copy t.clocks.(tid))
+
+let snapshot t ~tid = Vclock.copy t.clocks.(tid)
+
+let ordered_before t clock ~tid = Vclock.leq clock t.clocks.(tid)
+
+let cell_of t oid =
+  match Hashtbl.find_opt t.cells oid with
+  | Some c -> c
+  | None ->
+    let c = { last_write = None; reads = [] } in
+    Hashtbl.replace t.cells oid c;
+    c
+
+let racef fmt = Printf.ksprintf (fun m -> raise (Race m)) fmt
+
+let plain_read t ~tid ~oid =
+  let c = cell_of t oid in
+  let clk = t.clocks.(tid) in
+  (match c.last_write with
+  | Some (wt, wc) when wt <> tid && not (Vclock.leq wc clk) ->
+    racef
+      "plain cell #%d: read by fiber %d races an unsynchronized write by \
+       fiber %d"
+      oid tid wt
+  | Some _ | None -> ());
+  c.reads <- (tid, Vclock.copy clk) :: List.remove_assoc tid c.reads
+
+let plain_write t ~tid ~oid =
+  let c = cell_of t oid in
+  let clk = t.clocks.(tid) in
+  (match c.last_write with
+  | Some (wt, wc) when wt <> tid && not (Vclock.leq wc clk) ->
+    racef
+      "plain cell #%d: write by fiber %d races an unsynchronized write by \
+       fiber %d"
+      oid tid wt
+  | Some _ | None -> ());
+  List.iter
+    (fun (rt, rc) ->
+      if rt <> tid && not (Vclock.leq rc clk) then
+        racef
+          "plain cell #%d: write by fiber %d races an unsynchronized read by \
+           fiber %d"
+          oid tid rt)
+    c.reads;
+  (* Every recorded access is now <= this write's clock: earlier accesses
+     are ordered through it, so the summaries can be collapsed. *)
+  c.last_write <- Some (tid, Vclock.copy clk);
+  c.reads <- []

@@ -18,9 +18,24 @@ module type MUTEX = sig
   val unlock : t -> unit
 end
 
+module type PLAIN = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+
+  val racy_get : 'a t -> 'a
+  (* A sanctioned racy read: the caller certifies the value is treated as
+     garbage unless a subsequent CAS (or equivalent) validates that no
+     conflicting write intervened. The checker's shim exempts it from
+     happens-before race reporting; [get]/[set] remain fully checked. *)
+end
+
 module type S = sig
   module Atomic : ATOMIC
   module Mutex : MUTEX
+  module Plain : PLAIN
 end
 
 module Real = struct
@@ -34,4 +49,13 @@ module Real = struct
   end
 
   module Mutex = Mutex
+
+  module Plain = struct
+    type 'a t = { mutable v : 'a }
+
+    let make v = { v }
+    let get c = c.v
+    let set c x = c.v <- x
+    let racy_get = get
+  end
 end

@@ -40,14 +40,37 @@ module type MUTEX = sig
   val unlock : t -> unit
 end
 
+(** A tracked plain (non-atomic) mutable cell. Shared mutable state that is
+    deliberately unsynchronized — the ring's element slots, the owner-only
+    scrub cursor — lives in [Plain.t] rather than bare [mutable] fields so
+    the interleaving checker's shim can feed every access to its
+    happens-before race detector: an access the protocol does not actually
+    order gets reported instead of silently relying on luck. *)
+module type PLAIN = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+
+  val racy_get : 'a t -> 'a
+  (** A sanctioned racy read: the caller certifies the value is treated as
+      garbage unless a subsequent CAS (or equivalent) validates that no
+      conflicting write intervened — the copy-then-claim window copy. The
+      checker exempts it from race reporting; [get]/[set] stay checked. *)
+end
+
 module type S = sig
   module Atomic : ATOMIC
   module Mutex : MUTEX
+  module Plain : PLAIN
 end
 
-(** The hardware primitives: [Stdlib.Atomic] and [Stdlib.Mutex];
-    [make_padded] additionally re-homes the atomic in a padded heap block. *)
+(** The hardware primitives: [Stdlib.Atomic], [Stdlib.Mutex], and a bare
+    mutable record field for [Plain]; [make_padded] additionally re-homes
+    the atomic in a padded heap block. *)
 module Real : sig
   module Atomic : ATOMIC with type 'a t = 'a Stdlib.Atomic.t
   module Mutex : MUTEX with type t = Stdlib.Mutex.t
+  module Plain : PLAIN
 end

@@ -25,6 +25,7 @@ end
 module Make (P : Mc_prim.S) = struct
   module Atomic = P.Atomic
   module Mutex = P.Mutex
+  module Plain = P.Plain
 
   type 'a atomic = 'a Atomic.t
   type mutex = Mutex.t
@@ -97,19 +98,29 @@ module Make (P : Mc_prim.S) = struct
      visible and decrements after it is taken, so [count >= stored] always;
      on a bounded segment every increment goes through a CAS that refuses
      to exceed the bound, so capacity holds at every instant. *)
+  (* Ring slots are tracked [Plain] cells, not bare array elements: slot
+     reads and writes are exactly the shared plain accesses whose ordering
+     the protocol must prove (owner store -> [bottom] publish -> consumer
+     read), so routing them through [Plain] lets the checker's
+     happens-before race detector certify that proof on the shipped code.
+     The one deliberate exception — the consumer's pre-CAS window copy,
+     whose value is garbage unless the [top] CAS validates it — reads
+     through [Plain.racy_get]. *)
   type 'a t = {
     seg_id : int;
     bound : int option;
     fast_path : bool; (* false = all-mutex baseline, for benchmarking *)
     mutex : Mutex.t;
-    ring : Obj.t array Atomic.t; (* swapped only by the owner, on growth *)
+    ring : Obj.t Plain.t array Atomic.t; (* swapped only by the owner, on growth *)
     top : int Atomic.t;
     bottom : int Atomic.t;
-    mutable scrub : int; (* owner-only: slots [scrub, top) may need clearing *)
+    scrub : int Plain.t; (* owner-only: slots [scrub, top) may need clearing *)
     inbox : 'a list Atomic.t; (* MPSC Treiber stack of spilled elements *)
     count : int Atomic.t;
     seg_stats : Mc_stats.t; (* path counters; see Mc_stats writer discipline *)
   }
+
+  let fresh_ring n = Array.init n (fun _ -> Plain.make vacant)
 
   let make ?capacity ?(fast_path = true) ~id () =
     (match capacity with
@@ -120,10 +131,10 @@ module Make (P : Mc_prim.S) = struct
       bound = capacity;
       fast_path;
       mutex = Mutex.create ();
-      ring = Atomic.make_padded (Array.make initial_ring vacant);
+      ring = Atomic.make_padded (fresh_ring initial_ring);
       top = Atomic.make_padded 0;
       bottom = Atomic.make_padded 0;
-      scrub = 0;
+      scrub = Plain.make 0;
       inbox = Atomic.make_padded [];
       count = Atomic.make_padded 0;
       seg_stats = Mc_stats.create ();
@@ -181,14 +192,14 @@ module Make (P : Mc_prim.S) = struct
      window [top] has already passed, i.e. to a doomed CAS. *)
   let scrub_consumed s =
     let t = Atomic.get s.top in
-    if s.scrub < t then begin
+    if Plain.get s.scrub < t then begin
       let ring = Atomic.get s.ring in
       let b = Atomic.get s.bottom in
-      let from = max s.scrub (b - Array.length ring) in
+      let from = max (Plain.get s.scrub) (b - Array.length ring) in
       for i = from to t - 1 do
-        ring.(slot ring i) <- vacant
+        Plain.set ring.(slot ring i) vacant
       done;
-      s.scrub <- t
+      Plain.set s.scrub t
     end
 
   (* Owner-only lock-free ring replacement: build the fresh array, copy the
@@ -203,11 +214,11 @@ module Make (P : Mc_prim.S) = struct
     while b - t + extra > !cap do
       cap := 2 * !cap
     done;
-    let fresh = Array.make !cap vacant in
+    let fresh = fresh_ring !cap in
     for i = t to b - 1 do
-      fresh.(i land (!cap - 1)) <- old.(slot old i)
+      Plain.set fresh.(i land (!cap - 1)) (Plain.get old.(slot old i))
     done;
-    s.scrub <- t;
+    Plain.set s.scrub t;
     ignore (Atomic.exchange s.ring fresh);
     fresh
 
@@ -225,7 +236,7 @@ module Make (P : Mc_prim.S) = struct
       if b + n - Atomic.get s.top <= Array.length ring then ring
       else grow s ~extra:n
     in
-    List.iteri (fun i x -> ring.(slot ring (b + i)) <- Obj.repr x) xs;
+    List.iteri (fun i x -> Plain.set ring.(slot ring (b + i)) (Obj.repr x)) xs;
     ignore (Atomic.fetch_and_add s.bottom n)
 
   let note_push s =
@@ -303,7 +314,11 @@ module Make (P : Mc_prim.S) = struct
        let ring = Atomic.get s.ring in
        let buf = Array.make w vacant in
        for i = 0 to w - 1 do
-         buf.(i) <- ring.(slot ring (t + i))
+         (* Sanctioned racy read: a concurrent owner overwrite (recycled
+            index) or scrub makes this copy garbage, but then [top] has
+            moved past [t] and the CAS below fails, discarding it — see the
+            overwrite note on the type. *)
+         buf.(i) <- Plain.racy_get ring.(slot ring (t + i))
        done;
        if Atomic.compare_and_set s.top t (t + w) then begin
          shift_count s (-w);
@@ -462,7 +477,7 @@ module Make (P : Mc_prim.S) = struct
   let invariant_ok s =
     let t = Atomic.get s.top and b = Atomic.get s.bottom in
     let c = Atomic.get s.count in
-    t <= b && s.scrub <= t
+    t <= b && Plain.get s.scrub <= t
     && c = stored_now s
     && match s.bound with None -> true | Some bd -> c <= bd
 

@@ -1,0 +1,13 @@
+(* R6 known-bad: raw Obj casts outside the sanctioned modules. *)
+
+(* The classic type-system escape hatch. *)
+let coerce (x : int) : bool = Obj.magic x
+
+(* repr/obj round-trips are just as unsafe outside a certified container:
+   nothing here proves the tag and layout assumptions hold. *)
+let smuggle (x : string) = Obj.repr x
+
+let unsmuggle (r : Obj.t) : string = Obj.obj r
+
+(* Qualified access is the same call. *)
+let coerce_std (x : int) : bool = Stdlib.Obj.magic x

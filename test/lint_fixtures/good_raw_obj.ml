@@ -1,0 +1,14 @@
+(* R6 known-good: benign Obj uses, and a documented suppression where a
+   cast is genuinely required. *)
+
+(* Inspection-only Obj functions are not casts and stay legal. *)
+let is_boxed (x : 'a) =
+  (* lint: allow raw-obj -- repr feeds is_int only; never reinterpreted *)
+  not (Obj.is_int (Obj.repr x))
+
+let tag_of (x : 'a) =
+  (* lint: allow raw-obj -- tag inspection, no reinterpretation *)
+  Obj.tag (Obj.repr x)
+
+(* No Obj at all: ordinary polymorphism needs no casts. *)
+let id (x : 'a) : 'a = x
