@@ -7,10 +7,24 @@
      pools_bench run all --trials 10
      pools_bench mc-stress --domains 8 --seconds 2
      pools_bench mc-stress --kind tree --mode bounded --capacity 32
-*)
+     pools_bench mc-throughput --domains 4 --topology two-group:4
+     pools_bench mc-throughput --topology topo/two_group.topo --domains 4
+
+   Exit codes follow the pools_lint convention: 0 clean, 1 findings
+   (invariant violations, invalid artifacts), 2 usage errors (bad flags,
+   malformed values, nonexistent files). *)
 
 open Cmdliner
 open Cpool_experiments
+
+(* A usage error: the command line itself is wrong. Mirrors pools_lint's
+   treatment so exit 1 keeps meaning "the run found something". *)
+let usage_error fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "pools_bench: %s@." msg;
+      2)
+    fmt
 
 let apply_overrides cfg trials ops participants initial seed plies =
   let cfg = match trials with Some t -> { cfg with Exp_config.trials = t } | None -> cfg in
@@ -70,9 +84,33 @@ let experiments =
   let doc = "Experiments to run (see $(b,list)); $(b,all) runs every one." in
   Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
+let topo_file =
+  let doc =
+    "Topology file for the $(b,topology) experiment ($(b,Cpool_topology) format; \
+     the same file $(b,mc-throughput --topology) accepts)."
+  in
+  Arg.(value & opt (some string) None & info [ "topo" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let run preset trials ops participants initial seed plies names =
+  let run preset trials ops participants initial seed plies topo_file names =
+    (* Validate the topology file here so a bad path is a usage error, not
+       an uncaught Failure out of the experiment. *)
+    let topo_problem =
+      match topo_file with
+      | None -> None
+      | Some file -> (
+        match In_channel.with_open_bin file In_channel.input_all with
+        | exception Sys_error msg -> Some msg
+        | source -> (
+          match Cpool_topology.parse source with
+          | Error msg -> Some (Printf.sprintf "%s: %s" file msg)
+          | Ok _ -> None))
+    in
+    match topo_problem with
+    | Some msg -> usage_error "%s" msg
+    | None ->
     let cfg = apply_overrides preset trials ops participants initial seed plies in
+    let cfg = { cfg with Exp_config.topo_file } in
     let entries =
       if List.mem "all" names then Ok Registry.all
       else
@@ -88,7 +126,7 @@ let run_cmd =
           (Ok []) names
     in
     match entries with
-    | Error msg -> `Error (false, msg)
+    | Error msg -> usage_error "%s" msg
     | Ok entries ->
       List.iter
         (fun entry ->
@@ -96,20 +134,21 @@ let run_cmd =
           print_endline (entry.Registry.run cfg);
           print_newline ())
         entries;
-      `Ok ()
+      0
   in
   let doc = "Regenerate paper experiments" in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
-      ret
-        (const run $ preset $ trials $ ops $ participants $ initial $ seed $ plies $ experiments))
+      const run $ preset $ trials $ ops $ participants $ initial $ seed $ plies $ topo_file
+      $ experiments)
 
 let list_cmd =
   let list () =
     List.iter
       (fun e -> Printf.printf "%-10s %s\n" e.Registry.id e.Registry.title)
-      Registry.all
+      Registry.all;
+    0
   in
   Cmd.v (Cmd.info "list" ~doc:"List available experiments") Term.(const list $ const ())
 
@@ -188,9 +227,9 @@ let mc_stress_cmd =
       | Some d -> d
       | None -> min 8 (max 2 (Domain.recommended_domain_count ()))
     in
-    if domains < 1 then `Error (true, "--domains must be at least 1")
-    else if capacity < 1 then `Error (true, "--capacity must be at least 1")
-    else if seconds <= 0.0 then `Error (true, "--seconds must be positive")
+    if domains < 1 then usage_error "--domains must be at least 1"
+    else if capacity < 1 then usage_error "--capacity must be at least 1"
+    else if seconds <= 0.0 then usage_error "--seconds must be positive"
     else
     let kinds = match kind with Some k -> [ k ] | None -> Cpool_intf.all in
     let capacities =
@@ -222,8 +261,11 @@ let mc_stress_cmd =
             if not (Cpool_mc.Mc_stress.passed report) then incr failures)
           capacities)
       kinds;
-    if !failures = 0 then `Ok ()
-    else `Error (false, Printf.sprintf "%d stress cell(s) violated invariants" !failures)
+    if !failures = 0 then 0
+    else begin
+      Format.eprintf "pools_bench: %d stress cell(s) violated invariants@." !failures;
+      1
+    end
   in
   let doc = "Soak-test the real multicore pool and check its invariants" in
   let man =
@@ -241,9 +283,8 @@ let mc_stress_cmd =
   Cmd.v
     (Cmd.info "mc-stress" ~doc ~man)
     Term.(
-      ret
-        (const run $ domains $ seconds $ stress_kind $ mode $ capacity $ add_bias $ initial
-       $ no_churn $ stress_seed $ stress_trace))
+      const run $ domains $ seconds $ stress_kind $ mode $ capacity $ add_bias $ initial
+      $ no_churn $ stress_seed $ stress_trace)
 
 (* --- mc-throughput: lock-free fast path vs all-mutex baseline --------- *)
 
@@ -259,6 +300,72 @@ let mix_conv =
     | _ -> Format.pp_print_string fmt "both"
   in
   Arg.conv (parse, print)
+
+(* A topology spec is resolved per --domains count, because the preset form
+   scales with the pool while a file pins an exact node count. *)
+type topo_spec = {
+  spec : string;  (* what the user typed, for error messages *)
+  resolve : int -> (Cpool_topology.t, string) result;
+}
+
+(* SPEC is either the synthetic preset [two-group:PENALTY[:UNIT_NS]] (scales
+   to any domain count >= 2) or a path to a topology file in the
+   Cpool_topology.parse format — the same file the simulator's topology
+   experiment consumes, so one config drives both worlds. Parsed inside the
+   term (not an Arg.conv) so every malformed spec, unreadable file and
+   node-count mismatch is a usage error on stderr with exit 2. *)
+let parse_topo_spec spec =
+  match String.split_on_char ':' spec with
+  | "two-group" :: rest -> (
+    let preset_err =
+      Printf.sprintf
+        "bad preset %S (expected two-group:PENALTY or two-group:PENALTY:UNIT_NS)" spec
+    in
+    let mk =
+      match rest with
+      | [] -> Ok (fun nodes -> Cpool_topology.two_group ~nodes ())
+      | [ p ] -> (
+        match float_of_string_opt p with
+        | Some p -> Ok (fun nodes -> Cpool_topology.two_group ~penalty:p ~nodes ())
+        | None -> Error preset_err)
+      | [ p; u ] -> (
+        match (float_of_string_opt p, int_of_string_opt u) with
+        | Some p, Some u ->
+          Ok (fun nodes -> Cpool_topology.two_group ~penalty:p ~unit_ns:u ~nodes ())
+        | _ -> Error preset_err)
+      | _ -> Error preset_err
+    in
+    match mk with
+    | Error _ as e -> e
+    | Ok mk ->
+      Ok
+        {
+          spec;
+          resolve =
+            (fun nodes ->
+              match mk nodes with
+              | t -> Ok t
+              | exception Invalid_argument msg -> Error msg);
+        })
+  | _ -> (
+    match In_channel.with_open_bin spec In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | source -> (
+      match Cpool_topology.parse source with
+      | Error msg -> Error (Printf.sprintf "%s: %s" spec msg)
+      | Ok t ->
+        Ok
+          {
+            spec;
+            resolve =
+              (fun nodes ->
+                if Cpool_topology.nodes t = nodes then Ok t
+                else
+                  Error
+                    (Printf.sprintf
+                       "topology file %s describes %d nodes but --domains asks for %d"
+                       spec (Cpool_topology.nodes t) nodes));
+          }))
 
 let mc_throughput_cmd =
   let domains =
@@ -307,13 +414,47 @@ let mc_throughput_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let run domains seconds kind mixes capacity no_baseline out seed trace_out =
+  let topology =
+    let doc =
+      "Attach a locality model and benchmark topology-aware stealing against \
+       its distance-oblivious twin. $(docv) is $(b,two-group:PENALTY) (or \
+       $(b,two-group:PENALTY:UNIT_NS)) for the synthetic two-socket preset, or \
+       a path to a topology file in the $(b,Cpool_topology) format — the same \
+       file the simulator's $(b,topology) experiment reads."
+    in
+    Arg.(value & opt (some string) None & info [ "topology"; "t" ] ~docv:"SPEC" ~doc)
+  in
+  let run domains seconds kind mixes capacity no_baseline out seed trace_out topo_arg =
+    (* Resolve the spec against every requested domain count up front, so a
+       mismatched file or an unscalable preset is a usage error before any
+       cell runs. *)
+    let topo =
+      match topo_arg with
+      | None -> Ok None
+      | Some spec -> (
+        match parse_topo_spec spec with
+        | Error _ as e -> e
+        | Ok ts -> (
+          match
+            List.find_map
+              (fun d ->
+                if d < 1 then None
+                else match ts.resolve d with Ok _ -> None | Error msg -> Some msg)
+              domains
+          with
+          | Some msg -> Error msg
+          | None -> Ok (Some ts)))
+    in
     if List.exists (fun d -> d < 1) domains || domains = [] then
-      `Error (true, "--domains needs positive counts")
-    else if seconds <= 0.0 then `Error (true, "--seconds must be positive")
+      usage_error "--domains needs positive counts"
+    else if seconds <= 0.0 then usage_error "--seconds must be positive"
     else if (match capacity with Some c -> c < 1 | None -> false) then
-      `Error (true, "--capacity must be at least 1")
-    else begin
+      usage_error "--capacity must be at least 1"
+    else
+      match topo with
+      | Error msg -> usage_error "%s" msg
+      | Ok topo ->
+    begin
       let kinds = match kind with Some k -> [ k ] | None -> Cpool_intf.all in
       let config =
         {
@@ -325,6 +466,7 @@ let mc_throughput_cmd =
           capacity;
           seed;
           trace = trace_out <> None;
+          topo_of = Option.map (fun t -> t.resolve) topo;
         }
       in
       let results = Cpool_mc.Mc_bench.run config in
@@ -350,7 +492,7 @@ let mc_throughput_cmd =
         output_string oc (Cpool_util.Json.to_string doc);
         close_out oc;
         Printf.printf "wrote %s (%d events recorded)\n" file events);
-      `Ok ()
+      0
     end
   in
   let doc = "Measure mc-pool throughput: lock-free fast path vs all-mutex baseline" in
@@ -362,16 +504,19 @@ let mc_throughput_cmd =
          domain count × operation mix (the paper's sufficient and sparse regimes), \
          each cell twice — with the segments' lock-free owner path and with the \
          all-mutex baseline — and reports ops/sec, sampled p50/p99 per-op latency, \
-         fast-path vs locked-path hit counts and the batched-steal profile. The \
-         JSON report (default $(b,BENCH_mcpool.json)) is the committed artifact.";
+         fast-path vs locked-path hit counts and the batched-steal profile. With \
+         $(b,--topology) the grid gains topology cells: each selected kind runs on \
+         the emulated machine with near-first (topology-aware) policies and, unless \
+         $(b,--no-baseline), with distance-oblivious ones — same latencies, blind \
+         probe order — reporting the near/far steal split. The JSON report \
+         (default $(b,BENCH_mcpool.json)) is the committed artifact.";
     ]
   in
   Cmd.v
     (Cmd.info "mc-throughput" ~doc ~man)
     Term.(
-      ret
-        (const run $ domains $ seconds $ bench_kind $ mixes $ capacity $ no_baseline $ out
-       $ bench_seed $ trace_out))
+      const run $ domains $ seconds $ bench_kind $ mixes $ capacity $ no_baseline $ out
+      $ bench_seed $ trace_out $ topology)
 
 (* --- mc-trace: trace a real run and replay the paper's strip charts --- *)
 
@@ -421,11 +566,11 @@ let mc_trace_cmd =
       | Some d -> d
       | None -> min 8 (max 2 (Domain.recommended_domain_count ()))
     in
-    if domains < 1 then `Error (true, "--domains must be at least 1")
-    else if seconds <= 0.0 then `Error (true, "--seconds must be positive")
-    else if buckets < 1 then `Error (true, "--buckets must be at least 1")
+    if domains < 1 then usage_error "--domains must be at least 1"
+    else if seconds <= 0.0 then usage_error "--seconds must be positive"
+    else if buckets < 1 then usage_error "--buckets must be at least 1"
     else if (match capacity with Some c -> c < 1 | None -> false) then
-      `Error (true, "--capacity must be at least 1")
+      usage_error "--capacity must be at least 1"
     else begin
       let kind = match kind with Some k -> k | None -> Cpool_mc.Mc_pool.Hinted in
       let cfg =
@@ -474,8 +619,11 @@ let mc_trace_cmd =
         Printf.printf "wrote %s (%d events recorded, %d overwritten)\n" file
           (Cpool_mc.Mc_trace.total_recorded traces)
           (Cpool_mc.Mc_trace.total_dropped traces));
-      if Cpool_mc.Mc_stress.passed report then `Ok ()
-      else `Error (false, "traced run violated invariants (see report above)")
+      if Cpool_mc.Mc_stress.passed report then 0
+      else begin
+        Format.eprintf "pools_bench: traced run violated invariants (see report above)@.";
+        1
+      end
     end
   in
   let doc = "Trace a real mc-pool run and replay the paper's segment-size charts" in
@@ -493,9 +641,8 @@ let mc_trace_cmd =
   Cmd.v
     (Cmd.info "mc-trace" ~doc ~man)
     Term.(
-      ret
-        (const run $ domains $ seconds $ trace_kind $ capacity $ add_bias $ initial
-       $ trace_seed $ out $ buckets))
+      const run $ domains $ seconds $ trace_kind $ capacity $ add_bias $ initial
+      $ trace_seed $ out $ buckets)
 
 (* --- json-check: validate a benchmark artifact ------------------------- *)
 
@@ -504,28 +651,32 @@ let json_check_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"JSON report to check.")
   in
   let run file =
+    let finding msg =
+      Format.eprintf "pools_bench: %s: %s@." file msg;
+      1
+    in
     match In_channel.with_open_bin file In_channel.input_all with
-    | exception Sys_error msg -> `Error (false, msg)
+    | exception Sys_error msg -> usage_error "%s" msg
     | source -> (
       match Cpool_util.Json.parse source with
-      | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+      | Error msg -> finding msg
       | Ok doc ->
         if Cpool_util.Json.member "traceEvents" doc <> None then (
           match Cpool_mc.Mc_trace.validate_chrome doc with
-          | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+          | Error msg -> finding msg
           | Ok events ->
             Printf.printf "%s: valid Chrome trace, %d events\n" file events;
-            `Ok ())
+            0)
         else (
           match Cpool_mc.Mc_bench.validate_json doc with
-          | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+          | Error msg -> finding msg
           | Ok cells ->
             Printf.printf "%s: valid mc-throughput report, %d cells\n" file cells;
-            `Ok ()))
+            0))
   in
   Cmd.v
     (Cmd.info "json-check" ~doc:"Validate an mc-throughput or Chrome trace JSON report")
-    Term.(ret (const run $ file))
+    Term.(const run $ file)
 
 let main =
   let doc = "Concurrent pools (Kotz & Ellis 1989) experiment driver" in
@@ -533,4 +684,6 @@ let main =
   Cmd.group info
     [ run_cmd; list_cmd; mc_stress_cmd; mc_throughput_cmd; mc_trace_cmd; json_check_cmd ]
 
-let () = exit (Cmd.eval main)
+(* eval' maps the int our terms return straight to the exit code;
+   Cmdliner's own parse errors exit 2 to match. *)
+let () = exit (Cmd.eval' ~term_err:2 main)

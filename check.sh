@@ -56,14 +56,43 @@ echo "== mc-throughput smoke (hinted hand-off, sparse mix) =="
 dune exec bin/pools_bench.exe -- mc-throughput --domains 2 --seconds 0.2 \
   --kind hinted --mixes sparse --out BENCH_mcpool_hinted_smoke.json
 
+echo "== mc-throughput smoke (topology-aware vs distance-oblivious, two-group) =="
+# The committed topo/two_group.topo drives both this real-domain run and
+# the simulator's topology experiment — one locality model, two worlds.
+dune exec bin/pools_bench.exe -- mc-throughput --domains 4 --seconds 0.2 \
+  --kind linear --mixes sparse --topology topo/two_group.topo \
+  --out BENCH_mctopo_smoke.json
+
 echo "== mc-trace smoke (traced run, event/telemetry reconciliation) =="
 dune exec bin/pools_bench.exe -- mc-trace --domains 3 --seconds 0.3 \
   --add-bias 0.4 --initial 32 --out TRACE_mcpool_smoke.json
 
 echo "== json-check (benchmark artifacts parse and validate) =="
+# The topology artifact's near/far steal split is validated here too
+# (near_steals + far_steals must equal steals in every topology cell).
 dune exec bin/pools_bench.exe -- json-check BENCH_mcpool_smoke.json
 dune exec bin/pools_bench.exe -- json-check BENCH_mcpool_hinted_smoke.json
+dune exec bin/pools_bench.exe -- json-check BENCH_mctopo_smoke.json
 dune exec bin/pools_bench.exe -- json-check TRACE_mcpool_smoke.json
-rm -f BENCH_mcpool_smoke.json BENCH_mcpool_hinted_smoke.json TRACE_mcpool_smoke.json
+rm -f BENCH_mcpool_smoke.json BENCH_mcpool_hinted_smoke.json \
+  BENCH_mctopo_smoke.json TRACE_mcpool_smoke.json
+
+echo "== usage-error exit codes (pools_bench, PR 7 convention) =="
+# mc-throughput must reject nonsense flags with a usage error on stderr
+# and exit 2 (0 = clean, 1 = findings, 2 = usage).
+for bad in "--domains 0" "--seconds=-1" "--topology nonexistent.topo"; do
+  if dune exec bin/pools_bench.exe -- mc-throughput $bad --out /dev/null \
+    >/dev/null 2>&1; then
+    echo "check.sh: mc-throughput $bad should have failed" >&2
+    exit 1
+  fi
+  status=0
+  dune exec bin/pools_bench.exe -- mc-throughput $bad --out /dev/null \
+    >/dev/null 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "check.sh: mc-throughput $bad exited $status, expected 2" >&2
+    exit 1
+  fi
+done
 
 echo "check.sh: all green"

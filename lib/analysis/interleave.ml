@@ -677,6 +677,58 @@ let spill_spill_drain () =
         Linz.check h);
   }
 
+(* Topology-aware stealing under the two-group preset: the thief walks the
+   probe sequence the shared locality model dictates (own segment first,
+   the far one second — exactly Mc_pool's near-first search on a two-node
+   machine) while the victim's owner pops. The order is data, not
+   synchronization, so the schedule space is pop-vs-steal's; what this
+   certifies is that driving the steal from Cpool_topology.near_first_order
+   preserves conservation and linearizability on every interleaving. *)
+let near_steal_vs_pop () =
+  let name = "near-first steal vs owner pop" in
+  let topo = Cpool_topology.two_group ~nodes:2 () in
+  let order = Cpool_topology.near_first_order topo ~from:1 in
+  let h = Linz.create () in
+  Linz.declare_seg h ~id:0 ~capacity:None;
+  Linz.declare_seg h ~id:1 ~capacity:None;
+  let segs = [| M.make ~id:0 (); M.make ~id:1 () |] in
+  List.iter (l_add h (-1) 0 segs.(0)) [ 1; 2; 3 ];
+  let popped = ref 0 in
+  let returned = ref 0 in
+  let thief () =
+    (* Walks the near-first order like Mc_pool.search_pass: skip the own
+       slot, steal from the first non-empty victim, bank the remainder. *)
+    Array.iter
+      (fun v ->
+        if v <> 1 && !returned = 0 then
+          match l_steal h 0 v segs.(v) None with
+          | [] -> ()
+          | [ _ ] -> returned := 1
+          | _ :: rest -> (
+            returned := 1;
+            match l_deposit h 0 1 segs.(1) rest with
+            | [] -> ()
+            | _ :: _ -> failf name "unbounded deposit rejected elements"))
+      order
+  in
+  let owner () =
+    match l_remove h 1 0 segs.(0) with Some _ -> popped := 1 | None -> ()
+  in
+  {
+    Sched.threads = [ thief; owner ];
+    check_step = all_of [ bound_ok name segs.(0); bound_ok name segs.(1) ];
+    check_final =
+      (fun () ->
+        quiescent name segs.(0);
+        quiescent name segs.(1);
+        if order <> [| 1; 0 |] then failf name "near-first order from slot 1 must be [1;0]";
+        (* steal_half of 3 takes at most 2, so the owner always finds one. *)
+        if !popped <> 1 then failf name "owner pop found its own segment empty";
+        let total = stored segs.(0) + stored segs.(1) + !returned + !popped in
+        if total <> 3 then failf name "conservation broken: %d elements of 3" total;
+        Linz.check h);
+  }
+
 let scenarios =
   [
     { name = "try-add-capacity"; instance = try_add_capacity };
@@ -693,6 +745,7 @@ let scenarios =
     { name = "three-stealers"; instance = three_stealers };
     { name = "hint-three-way"; instance = hint_three_way };
     { name = "spill-spill-drain"; instance = spill_spill_drain };
+    { name = "near-steal-vs-pop"; instance = near_steal_vs_pop };
   ]
 
 let count = List.length scenarios

@@ -10,6 +10,7 @@ type t = {
   app_plies : int;
   app_workers : int list;
   dib_n : int;
+  topo_file : string option;
 }
 
 let paper =
@@ -23,6 +24,7 @@ let paper =
     app_plies = 3;
     app_workers = [ 1; 2; 4; 8; 16 ];
     dib_n = 10;
+    topo_file = None;
   }
 
 let quick = { paper with trials = 3; app_plies = 2; dib_n = 8 }

@@ -15,6 +15,10 @@ type t = {
   app_plies : int;  (** Application search depth (paper: 3). *)
   app_workers : int list;  (** Worker counts for the speedup sweep. *)
   dib_n : int;  (** N-Queens size for the backtracking (DIB) experiment. *)
+  topo_file : string option;
+      (** Topology file ({!Cpool_topology.parse} format) for the topology
+          experiment; [None] uses the built-in two-group preset. The same
+          file feeds [pools_bench mc-throughput --topology]. *)
 }
 
 val paper : t

@@ -78,6 +78,11 @@ let all =
       run = (fun cfg -> Dib_exp.render (Dib_exp.run cfg));
     };
     {
+      id = "topology";
+      title = "Extension: locality-model remote-penalty sweep (see topo/)";
+      run = (fun cfg -> Topology_exp.render (Topology_exp.run cfg));
+    };
+    {
       id = "classed";
       title = "Extension (Sec 5): distinguishable elements (classed pool)";
       run = (fun cfg -> Classed_exp.render (Classed_exp.run cfg));

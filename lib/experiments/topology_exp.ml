@@ -1,0 +1,99 @@
+open Cpool_workload
+open Cpool_metrics
+
+type point = {
+  scale : float;
+  far : float;
+  by_kind : (Cpool.Pool.kind * float) list;
+}
+
+type result = {
+  source : string;
+  topo : Cpool_topology.t;
+  points : point list;
+}
+
+let scales = [ 0.0; 0.5; 1.0; 2.0 ]
+
+let load cfg =
+  match cfg.Exp_config.topo_file with
+  | None -> (Cpool_topology.two_group ~nodes:4 (), "built-in two-group preset")
+  | Some file -> (
+    match In_channel.with_open_bin file In_channel.input_all with
+    | exception Sys_error msg -> failwith msg
+    | source -> (
+      match Cpool_topology.parse source with
+      | Ok t -> (t, file)
+      | Error msg -> failwith (Printf.sprintf "%s: %s" file msg)))
+
+let sweep cfg topo ~roles ~seed_offset scales =
+  List.map
+    (fun scale ->
+      let t = Cpool_topology.scale_remote topo scale in
+      let cost = Cpool_sim.Topology.with_topology t Cpool_sim.Topology.butterfly in
+      {
+        scale;
+        far = Cpool_topology.max_distance t;
+        by_kind =
+          List.map
+            (fun kind ->
+              let spec = Exp_config.spec cfg ~kind ~seed_offset roles in
+              let spec = { spec with Driver.cost } in
+              (kind, Driver.mean_of (fun r -> r.Driver.op_time) (Exp_config.trials cfg spec)))
+            Cpool.Pool.all_kinds;
+      })
+    scales
+
+let run ?(scales = scales) cfg =
+  let topo, source = load cfg in
+  let p = Cpool_topology.nodes topo in
+  let cfg = { cfg with Exp_config.participants = p } in
+  let roles = Role.uniform_mix ~participants:p ~add_percent:30 in
+  { source; topo; points = sweep cfg topo ~roles ~seed_offset:800 scales }
+
+let slowdown r kind =
+  let time scale =
+    List.find_map
+      (fun pt -> if pt.scale = scale then List.assoc_opt kind pt.by_kind else None)
+      r.points
+  in
+  match (time 0.0, time 1.0) with
+  | Some base, Some full when base > 0.0 -> full /. base
+  | _ -> Float.nan
+
+let render r =
+  let headers =
+    [ "remote scale"; "far dist"; "linear ms"; "random ms"; "tree ms"; "slowdown" ]
+  in
+  let base =
+    match r.points with
+    | { by_kind; _ } :: _ -> List.assoc Cpool.Pool.Linear by_kind
+    | [] -> Float.nan
+  in
+  let rows =
+    List.map
+      (fun pt ->
+        let v kind = List.assoc kind pt.by_kind /. 1000.0 in
+        [
+          Printf.sprintf "%g" pt.scale;
+          Printf.sprintf "%g" pt.far;
+          Render.float_cell (v Cpool.Pool.Linear);
+          Render.float_cell (v Cpool.Pool.Random);
+          Render.float_cell (v Cpool.Pool.Tree);
+          Printf.sprintf "%.2fx" (List.assoc Cpool.Pool.Linear pt.by_kind /. base);
+        ])
+      r.points
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "Topology sweep -- locality model %s (%s, %d nodes)"
+        (Cpool_topology.label r.topo) r.source
+        (Cpool_topology.nodes r.topo);
+      Render.table
+        ~title:"mean op time vs remote-penalty scale (30% adds, steal-heavy)"
+        ~headers ~rows ();
+      "remote scale k maps every distance d to 1 + (d - 1)k: 0 is a uniform machine,";
+      "1 the declared topology, 2 doubles the remote penalty. slowdown is the linear";
+      "algorithm's op time relative to the uniform machine -- the simulator's";
+      "prediction for what the real-domain topology benchmark should measure.";
+    ]

@@ -1,0 +1,36 @@
+(** Topology sweep: the locality model's predicted cost of remoteness.
+
+    Runs the simulator on the machine described by a {!Cpool_topology}
+    (the [topo_file] of the config, or the built-in two-group preset) with
+    the remote penalty scaled from "uniform machine" to "double the
+    declared distance", and reports how mean operation time inflates. The
+    same topology file drives [pools_bench mc-throughput --topology], so
+    the table here is the prediction column of the predicted-vs-measured
+    comparison in EXPERIMENTS.md. *)
+
+type point = {
+  scale : float;  (** Remote-penalty scale [k]: d becomes 1 + (d - 1)k. *)
+  far : float;  (** The scaled topology's largest distance. *)
+  by_kind : (Cpool.Pool.kind * float) list;  (** Mean op time, us. *)
+}
+
+type result = {
+  source : string;  (** Where the topology came from (file or preset). *)
+  topo : Cpool_topology.t;  (** The unscaled model. *)
+  points : point list;
+}
+
+val scales : float list
+(** Default remote-penalty scales: 0 (uniform), 0.5, 1 (as declared), 2. *)
+
+val run : ?scales:float list -> Exp_config.t -> result
+(** Runs with [participants] forced to the topology's node count so the
+    simulated machine and the locality model agree. Raises [Failure] if
+    the config's [topo_file] cannot be read or parsed. *)
+
+val slowdown : result -> Cpool.Pool.kind -> float
+(** [slowdown r kind] is the kind's mean op time at scale 1 relative to
+    scale 0 — the predicted remote-penalty cost; [nan] if either point
+    was not swept. *)
+
+val render : result -> string

@@ -1,0 +1,316 @@
+(* Shared locality model: one description of "which segments are close"
+   consumed by both the simulator cost model (lib/sim/topology.ml) and the
+   real multicore pool (Mc_pool ~topology).
+
+   Distances are multipliers on the cost of a local access: the diagonal is
+   exactly 1.0 and every off-diagonal entry is >= 1.0 (the paper's Butterfly
+   is ~4x). Groups (sockets) are the connected components of the
+   distance-1.0 graph. [unit_ns] converts one distance unit above local into
+   nanoseconds for the real-domain emulation of remote latency. *)
+
+type source =
+  | Groups of { sizes : int list; near : float; far : float }
+  | Matrix
+
+type t = {
+  nodes : int;
+  group_of : int array;
+  dist : float array array;
+  unit_ns : int;
+  source : source;
+}
+
+let default_unit_ns = 1_000
+
+let nodes t = t.nodes
+let unit_ns t = t.unit_ns
+let group t i = t.group_of.(i)
+let distance t ~from ~to_ = t.dist.(from).(to_)
+let near t i j = t.group_of.(i) = t.group_of.(j)
+
+let groups t =
+  Array.fold_left (fun acc g -> max acc (g + 1)) 0 t.group_of
+
+let max_distance t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left max acc row)
+    1.0 t.dist
+
+let ( let* ) r f = Result.bind r f
+
+let check_unit_ns u =
+  if u <= 0 then Error "unit_ns must be positive" else Ok u
+
+(* Groups as connected components of the dist = 1.0 graph, numbered in
+   first-seen node order so group ids are deterministic. *)
+let derive_groups dist =
+  let n = Array.length dist in
+  let group_of = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if group_of.(i) < 0 then begin
+      let g = !next in
+      incr next;
+      let rec flood i =
+        group_of.(i) <- g;
+        for j = 0 to n - 1 do
+          if group_of.(j) < 0 && dist.(i).(j) = 1.0 then flood j
+        done
+      in
+      flood i
+    end
+  done;
+  group_of
+
+let of_matrix ?(unit_ns = default_unit_ns) m =
+  let n = Array.length m in
+  let* unit_ns = check_unit_ns unit_ns in
+  if n = 0 then Error "matrix must be non-empty"
+  else if Array.exists (fun row -> Array.length row <> n) m then
+    Error "matrix must be square"
+  else begin
+    let dist = Array.map Array.copy m in
+    let bad = ref None in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let d = dist.(i).(j) in
+        if not (Float.is_finite d) || (i = j && d <> 1.0) then
+          bad := Some "diagonal entries must be 1.0 and finite"
+        else if i <> j && d < 1.0 then
+          bad := Some "off-diagonal distances must be >= 1.0"
+        else if dist.(j).(i) <> d then bad := Some "matrix must be symmetric"
+      done
+    done;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+      Ok { nodes = n; group_of = derive_groups dist; dist; unit_ns;
+           source = Matrix }
+  end
+
+let of_groups ?(near = 1.0) ?(far = 4.0) ?(unit_ns = default_unit_ns) sizes =
+  let* unit_ns = check_unit_ns unit_ns in
+  if sizes = [] then Error "groups must be non-empty"
+  else if List.exists (fun s -> s <= 0) sizes then
+    Error "group sizes must be positive"
+  else if not (Float.is_finite near) || near < 1.0 then
+    Error "near distance must be >= 1.0"
+  else if not (Float.is_finite far) || far < near then
+    Error "far distance must be >= the near distance"
+  else begin
+    let n = List.fold_left ( + ) 0 sizes in
+    let group_of = Array.make n 0 in
+    let i = ref 0 in
+    List.iteri
+      (fun g size ->
+        for _ = 1 to size do
+          group_of.(!i) <- g;
+          incr i
+        done)
+      sizes;
+    let dist =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              if i = j then 1.0
+              else if group_of.(i) = group_of.(j) then near
+              else far))
+    in
+    (* [derive_groups] only sees near = 1.0 pairs as one component; keep the
+       declared grouping (it is what affinity placement should follow even
+       when near > 1.0). *)
+    Ok { nodes = n; group_of; dist; unit_ns; source = Groups { sizes; near; far } }
+  end
+
+let two_group ?(penalty = 4.0) ?unit_ns ~nodes () =
+  if nodes < 2 then invalid_arg "Cpool_topology.two_group: nodes must be >= 2";
+  let half = nodes / 2 in
+  match of_groups ?unit_ns ~near:1.0 ~far:penalty [ half; nodes - half ] with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Cpool_topology.two_group: " ^ msg)
+
+let scale_remote t k =
+  if not (Float.is_finite k) || k < 0.0 then
+    invalid_arg "Cpool_topology.scale_remote: scale must be >= 0";
+  let remap d = 1.0 +. ((d -. 1.0) *. k) in
+  let dist =
+    Array.mapi
+      (fun i row -> Array.mapi (fun j d -> if i = j then 1.0 else remap d) row)
+      t.dist
+  in
+  let source =
+    match t.source with
+    | Groups { sizes; near; far } ->
+      Groups { sizes; near = remap near; far = remap far }
+    | Matrix -> Matrix
+  in
+  { t with dist; source }
+
+(* Probe orders ------------------------------------------------------- *)
+
+let near_first_order t ~from =
+  let n = t.nodes in
+  let order = Array.init n (fun i -> i) in
+  let key j =
+    (* Own slot first (offset 0 at distance 1.0), then ascending distance,
+       ties broken by ring offset so the order is deterministic. *)
+    (t.dist.(from).(j), (j - from + n) mod n)
+  in
+  Array.sort (fun a b -> compare (key a) (key b)) order;
+  order
+
+(* Spans of equal distance within [near_first_order], excluding position 0
+   (the probing slot itself stays pinned first). Used to shuffle Random-kind
+   probes inside each distance bucket without breaking near-before-far. *)
+let distance_spans t ~from order =
+  let n = t.nodes in
+  let spans = ref [] in
+  let start = ref 1 in
+  for i = 2 to n do
+    let boundary =
+      i = n
+      || t.dist.(from).(order.(i)) <> t.dist.(from).(order.(!start))
+    in
+    if boundary then begin
+      if i - !start > 1 then spans := (!start, i - !start) :: !spans;
+      start := i
+    end
+  done;
+  List.rev !spans
+
+(* Nodes sorted by (group, index): clusters each group contiguously, for
+   mapping segments onto tree leaves so subtrees are locality groups. *)
+let group_major_order t =
+  let order = Array.init t.nodes (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (t.group_of.(a), a) (t.group_of.(b), b))
+    order;
+  order
+
+(* Parsing ------------------------------------------------------------ *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens_of_line line =
+  strip_comment line |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s: not a number: %S" what s)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s: not an integer: %S" what s)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text |> List.map tokens_of_line
+    |> List.filter (fun l -> l <> [])
+  in
+  let sizes = ref None
+  and near = ref None
+  and far = ref None
+  and unit_ns = ref None
+  and rows = ref []
+  and in_matrix = ref false
+  and err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  let set what r v =
+    match !r with
+    | Some _ -> fail (Printf.sprintf "duplicate %s line" what)
+    | None -> r := Some v
+  in
+  List.iter
+    (fun line ->
+      if !err <> None then ()
+      else
+        match line with
+        | "groups" :: raw ->
+          in_matrix := false;
+          (match map_result (parse_int "groups") raw with
+          | Ok [] -> fail "groups: expected at least one size"
+          | Ok sz -> set "groups" sizes sz
+          | Error e -> fail e)
+        | [ "near"; raw ] -> (
+          in_matrix := false;
+          match parse_float "near" raw with
+          | Ok v -> set "near" near v
+          | Error e -> fail e)
+        | [ "far"; raw ] -> (
+          in_matrix := false;
+          match parse_float "far" raw with
+          | Ok v -> set "far" far v
+          | Error e -> fail e)
+        | [ "unit_ns"; raw ] -> (
+          in_matrix := false;
+          match parse_int "unit_ns" raw with
+          | Ok v -> set "unit_ns" unit_ns v
+          | Error e -> fail e)
+        | [ "matrix" ] ->
+          if !rows <> [] then fail "duplicate matrix line";
+          in_matrix := true
+        | raw when !in_matrix -> (
+          match map_result (parse_float "matrix") raw with
+          | Ok row -> rows := Array.of_list row :: !rows
+          | Error e -> fail e)
+        | tok :: _ -> fail (Printf.sprintf "unknown directive %S" tok)
+        | [] -> ())
+    lines;
+  match !err with
+  | Some msg -> Error msg
+  | None -> (
+    let unit_ns = Option.value !unit_ns ~default:default_unit_ns in
+    match (!sizes, List.rev !rows) with
+    | Some _, _ :: _ -> Error "cannot combine groups and matrix"
+    | None, [] -> Error "expected a groups or matrix directive"
+    | Some sizes, [] ->
+      of_groups ?near:!near ?far:!far ~unit_ns sizes
+    | None, rows ->
+      if !near <> None || !far <> None then
+        Error "near/far apply only to groups topologies"
+      else of_matrix ~unit_ns (Array.of_list rows))
+
+let to_string t =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# cpool topology (%d nodes, %d groups)" t.nodes (groups t);
+  (match t.source with
+  | Groups { sizes; near; far } ->
+    line "groups %s" (String.concat " " (List.map string_of_int sizes));
+    line "near %g" near;
+    line "far %g" far
+  | Matrix ->
+    line "matrix";
+    Array.iter
+      (fun row ->
+        line "%s"
+          (String.concat " "
+             (Array.to_list (Array.map (Printf.sprintf "%g") row))))
+      t.dist);
+  line "unit_ns %d" t.unit_ns;
+  Buffer.contents b
+
+let label t =
+  match t.source with
+  | Groups { sizes; far; _ } ->
+    Printf.sprintf "groups:%s:far%g"
+      (String.concat "+" (List.map string_of_int sizes))
+      far
+  | Matrix -> Printf.sprintf "matrix:%dx%d" t.nodes t.nodes
+
+let equal a b =
+  a.nodes = b.nodes && a.group_of = b.group_of && a.dist = b.dist
+  && a.unit_ns = b.unit_ns

@@ -18,6 +18,11 @@ type config = {
   capacity : int option;
   seed : int;
   trace : bool;
+  topo_of : (int -> (Cpool_topology.t, string) result) option;
+      (* Resolves a domain count to the topology for that grid column (a
+         preset scales with the count; a config file only matches its own).
+         When set, the topology cells — aware vs distance-oblivious twins —
+         run in addition to the plain grid, into the same artifact. *)
 }
 
 let default =
@@ -30,6 +35,7 @@ let default =
     capacity = None;
     seed = 42;
     trace = false;
+    topo_of = None;
   }
 
 type cell = {
@@ -37,6 +43,8 @@ type cell = {
   domains : int;
   mix : mix;
   fast_path : bool;
+  topo : Cpool_topology.t option;
+  aware : bool; (* meaningful only with [topo]: false = oblivious twin *)
 }
 
 type result = {
@@ -59,6 +67,12 @@ type result = {
   hints_claimed : int;
   hints_delivered : int;
   hints_expired : int;
+  near_steals : int;
+  far_steals : int;
+  near_probes : int;
+  far_probes : int;
+  mean_near_batch : float;
+  mean_far_batch : float;
   traces : Mc_trace.t list;
 }
 
@@ -152,7 +166,7 @@ let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) ?(trace = false) c
   if seconds <= 0.0 then invalid_arg "Mc_bench.run_cell: seconds must be positive";
   let pool : int Mc_pool.t =
     Mc_pool.create ~kind:cell.kind ?capacity ~fast_path:cell.fast_path ~trace
-      ~segments:cell.domains ()
+      ?topology:cell.topo ~topology_aware:cell.aware ~segments:cell.domains ()
   in
   let prefill_attempts =
     prefill pool ~capacity ~per_domain:(mix_initial_per_domain cell.mix) cell.domains
@@ -205,31 +219,72 @@ let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) ?(trace = false) c
     hints_claimed = Mc_stats.hints_claimed all;
     hints_delivered = Mc_stats.hints_delivered all;
     hints_expired = Mc_stats.hints_expired all;
+    near_steals = Mc_stats.near_steals all;
+    far_steals = Mc_stats.far_steals all;
+    near_probes = Mc_stats.near_probes all;
+    far_probes = Mc_stats.far_probes all;
+    mean_near_batch = Cpool_metrics.Sample.mean (Mc_stats.near_steal_batch_sizes all);
+    mean_far_batch = Cpool_metrics.Sample.mean (Mc_stats.far_steal_batch_sizes all);
     traces = Mc_pool.traces pool;
   }
 
 let run config =
   let protocols = if config.baseline then [ true; false ] else [ true ] in
-  List.concat_map
-    (fun kind ->
-      List.concat_map
-        (fun domains ->
+  let grid =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun domains ->
+            List.concat_map
+              (fun mix ->
+                List.map
+                  (fun fast_path ->
+                    run_cell ~seconds:config.seconds ~capacity:config.capacity
+                      ~seed:config.seed ~trace:config.trace
+                      { kind; domains; mix; fast_path; topo = None; aware = true })
+                  protocols)
+              config.mixes)
+          config.domain_counts)
+      config.kinds
+  in
+  match config.topo_of with
+  | None -> grid
+  | Some topo_of ->
+    (* Topology cells: always on the lock-free path; the twin dimension is
+       aware vs distance-oblivious instead of fast vs mutex, so the
+       comparison isolates the probe-ordering policy on the same emulated
+       machine. The CLI pre-validates the spec, so a resolution failure
+       here is a driver bug, not user error. *)
+    let policies = if config.baseline then [ true; false ] else [ true ] in
+    grid
+    @ List.concat_map
+        (fun kind ->
           List.concat_map
-            (fun mix ->
-              List.map
-                (fun fast_path ->
-                  run_cell ~seconds:config.seconds ~capacity:config.capacity
-                    ~seed:config.seed ~trace:config.trace
-                    { kind; domains; mix; fast_path })
-                protocols)
-            config.mixes)
-        config.domain_counts)
-    config.kinds
+            (fun domains ->
+              let topo =
+                match topo_of domains with
+                | Ok t -> t
+                | Error msg -> failwith ("Mc_bench.run: " ^ msg)
+              in
+              List.concat_map
+                (fun mix ->
+                  List.map
+                    (fun aware ->
+                      run_cell ~seconds:config.seconds ~capacity:config.capacity
+                        ~seed:config.seed ~trace:config.trace
+                        { kind; domains; mix; fast_path = true; topo = Some topo; aware })
+                    policies)
+                config.mixes)
+            config.domain_counts)
+        config.kinds
 
 let cell_label c =
-  Printf.sprintf "%s/%dd/%s/%s" (Mc_stress.kind_name c.kind) c.domains
+  Printf.sprintf "%s/%dd/%s/%s%s" (Mc_stress.kind_name c.kind) c.domains
     (mix_name c.mix)
     (if c.fast_path then "fast" else "mutex")
+    (match c.topo with
+    | None -> ""
+    | Some _ -> if c.aware then "/topo" else "/topo-blind")
 
 let to_chrome results =
   Mc_trace.to_chrome_labeled
@@ -305,11 +360,73 @@ let render results =
              h.ops_per_sec l.ops_per_sec))
       hinted_vs_linear
   end;
+  (* Locality telemetry and the topology headline: aware vs the
+     distance-oblivious twin on the same emulated machine. *)
+  let topo_results = List.filter (fun r -> r.cell.topo <> None) results in
+  if topo_results <> [] then begin
+    Buffer.add_char buf '\n';
+    let trow r =
+      [
+        cell_label r.cell;
+        string_of_int r.near_probes;
+        string_of_int r.far_probes;
+        string_of_int r.near_steals;
+        string_of_int r.far_steals;
+        Cpool_metrics.Render.float_cell r.mean_near_batch;
+        Cpool_metrics.Render.float_cell r.mean_far_batch;
+      ]
+    in
+    Buffer.add_string buf
+      (Cpool_metrics.Render.table ~title:"mc-topology near/far"
+         ~headers:
+           [
+             "cell"; "near probes"; "far probes"; "near steals"; "far steals";
+             "elems/near"; "elems/far";
+           ]
+         ~rows:(List.map trow topo_results) ());
+    let topo_twins =
+      List.filter_map
+        (fun r ->
+          if not r.cell.aware then None
+          else
+            List.find_opt (fun b -> b.cell = { r.cell with aware = false })
+              topo_results
+            |> Option.map (fun b -> (r, b)))
+        topo_results
+    in
+    if topo_twins <> [] then begin
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun (a, b) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "topology-aware %s: %.2fx over the distance-oblivious twin (%.0f vs %.0f ops/s)\n"
+               (cell_label a.cell)
+               (a.ops_per_sec /. Float.max 1e-9 b.ops_per_sec)
+               a.ops_per_sec b.ops_per_sec))
+        topo_twins
+    end
+  end;
   Buffer.contents buf
 
 let json_of_result r =
+  let topo_fields =
+    match r.cell.topo with
+    | None -> []
+    | Some topo ->
+      [
+        ("topology", Cpool_util.Json.Str (Cpool_topology.label topo));
+        ("topology_aware", Cpool_util.Json.Bool r.cell.aware);
+        ("near_steals", Cpool_util.Json.Int r.near_steals);
+        ("far_steals", Cpool_util.Json.Int r.far_steals);
+        ("near_probes", Cpool_util.Json.Int r.near_probes);
+        ("far_probes", Cpool_util.Json.Int r.far_probes);
+        ("mean_near_batch", Cpool_util.Json.Float r.mean_near_batch);
+        ("mean_far_batch", Cpool_util.Json.Float r.mean_far_batch);
+      ]
+  in
   Cpool_util.Json.Assoc
-    [
+    ([
       ("kind", Cpool_util.Json.Str (Mc_stress.kind_name r.cell.kind));
       ("domains", Cpool_util.Json.Int r.cell.domains);
       ("mix", Cpool_util.Json.Str (mix_name r.cell.mix));
@@ -333,6 +450,7 @@ let json_of_result r =
       ("hints_delivered", Cpool_util.Json.Int r.hints_delivered);
       ("hints_expired", Cpool_util.Json.Int r.hints_expired);
     ]
+    @ topo_fields)
 
 let to_json config results =
   Cpool_util.Json.Assoc
@@ -408,8 +526,47 @@ let validate_json doc =
             else Ok ()
           | _ -> Error (Printf.sprintf "cell %d: path counters are not numbers" i)
         in
-        (match J.member "fast_path" c with
-        | Some (J.Bool _) -> check (i + 1) rest
-        | Some _ | None -> Error (Printf.sprintf "cell %d: missing boolean \"fast_path\"" i))
+        let* () =
+          match J.member "fast_path" c with
+          | Some (J.Bool _) -> Ok ()
+          | Some _ | None ->
+            Error (Printf.sprintf "cell %d: missing boolean \"fast_path\"" i)
+        in
+        (* Topology cells must carry the locality split, and it must tile
+           the steal count exactly: every steal is near or far, nothing
+           else. *)
+        let* () =
+          match J.member "topology" c with
+          | None -> Ok ()
+          | Some _ -> (
+            let* () =
+              match J.member "topology_aware" c with
+              | Some (J.Bool _) -> Ok ()
+              | Some _ | None ->
+                Error
+                  (Printf.sprintf "cell %d: missing boolean \"topology_aware\"" i)
+            in
+            let* () =
+              List.fold_left
+                (fun acc name ->
+                  let* () = acc in
+                  Result.map_error
+                    (fun e -> Printf.sprintf "cell %d: %s" i e)
+                    (number c name))
+                (Ok ())
+                [ "near_steals"; "far_steals"; "near_probes"; "far_probes" ]
+            in
+            match (get "near_steals", get "far_steals", get "steals") with
+            | Some near, Some far, Some steals ->
+              if near +. far <> steals then
+                Error
+                  (Printf.sprintf
+                     "cell %d: near_steals %.0f + far_steals %.0f <> steals %.0f"
+                     i near far steals)
+              else Ok ()
+            | _ ->
+              Error (Printf.sprintf "cell %d: locality counters are not numbers" i))
+        in
+        check (i + 1) rest
     in
     check 0 cs

@@ -38,17 +38,30 @@ type config = {
   trace : bool;
       (** Give every worker an {!Mc_trace} event ring (adds a per-event
           timestamp cost; off for the committed throughput numbers). *)
+  topo_of : (int -> (Cpool_topology.t, string) result) option;
+      (** Resolve a domain count to the locality model for that column of
+          the grid (the [two-group] preset scales with the count; a config
+          file only matches its own). When set, the topology cells run
+          {e in addition to} the plain grid: every (kind, domains, mix) on
+          the lock-free path, once topology-aware and (when [baseline])
+          once as the distance-oblivious twin, all into one artifact. *)
 }
 
 val default : config
 (** Linear kind, 2 and 8 domains, both mixes, baseline on, 1 s cells,
-    unbounded, seed 42, tracing off. *)
+    unbounded, seed 42, tracing off, no topology. *)
 
 type cell = {
   kind : Mc_pool.kind;
   domains : int;
   mix : mix;
   fast_path : bool;
+  topo : Cpool_topology.t option;
+      (** Home segment [i] on topology node [i] and emulate remote
+          latency; [None] for the plain grid cells. *)
+  aware : bool;
+      (** Meaningful only with [topo]: [false] is the distance-oblivious
+          twin (same emulated machine, distance-blind probe order). *)
 }
 
 type result = {
@@ -76,6 +89,12 @@ type result = {
   hints_claimed : int;  (** Hints CAS-claimed by adders. *)
   hints_delivered : int;  (** Claims whose element landed in the parked searcher's segment. *)
   hints_expired : int;  (** Hints retracted unclaimed (backoff or quiescence). *)
+  near_steals : int;  (** Steals from the thief's own locality group. *)
+  far_steals : int;  (** Steals across groups; [near + far = steals] with a topology. *)
+  near_probes : int;
+  far_probes : int;
+  mean_near_batch : float;  (** Mean elements per near steal; [nan] if none. *)
+  mean_far_batch : float;  (** Mean elements per far steal; [nan] if none. *)
   traces : Mc_trace.t list;  (** Per-handle event rings; empty unless traced. *)
 }
 
@@ -93,7 +112,9 @@ val render : result list -> string
 (** Human-readable table of every cell plus, for each (kind, domains, mix)
     pair present in both protocols, the fast-path speedup over the
     baseline, and for each Hinted cell whose Linear twin is present, the
-    hinted-over-linear speedup. *)
+    hinted-over-linear speedup. Topology cells additionally get a near/far
+    telemetry table and, twin permitting, the aware-over-oblivious
+    speedup. *)
 
 val to_json : config -> result list -> Cpool_util.Json.t
 (** The JSON document written to [BENCH_mcpool.json]: benchmark metadata
@@ -111,4 +132,7 @@ val validate_json : Cpool_util.Json.t -> (int, string) Stdlib.result
     first malformed field. Beyond field presence it enforces the
     counter-accounting identities
     [fast_ops + locked_ops <= ops_attempted] and [ops <= ops_attempted]
-    per cell, so a self-contradictory artifact fails the check. *)
+    per cell, so a self-contradictory artifact fails the check. Cells
+    carrying a ["topology"] field must also carry a boolean
+    ["topology_aware"], numeric near/far probe and steal counters, and
+    satisfy [near_steals + far_steals = steals] exactly. *)

@@ -42,7 +42,7 @@ module type HINTS = sig
 
   val publish : t -> int -> unit
 
-  val try_claim : t -> from:int -> int option
+  val try_claim : ?order:int array -> t -> from:int -> int option
 
   val release : t -> int -> unit
 
@@ -81,16 +81,21 @@ module Make (P : Mc_prim.S) : HINTS = struct
     P.Atomic.set t.board.(i) Published;
     ignore (P.Atomic.fetch_and_add t.waiting 1)
 
-  let try_claim t ~from =
+  let try_claim ?order t ~from =
     let p = Array.length t.board in
-    (* Start next to the claimer's own slot (never useful to claim) and
-       take the first published hint on the ring, like the spill scan. *)
+    (* Visit slots in [order] when given (topology-aware pools pass the
+       claimer's near-first permutation so nearby parked searchers win);
+       default to the ring from the claimer's own slot, like the spill
+       scan. The claimer's own slot is skipped either way — never useful
+       to claim. Take the first published hint that the CAS wins. *)
+    let slot_at k = match order with None -> (from + k) mod p | Some o -> o.(k) in
     let rec scan k =
       if k = p then None
       else
-        let w = (from + k) mod p in
+        let w = slot_at k in
         if
-          P.Atomic.get t.board.(w) == Published
+          w <> from
+          && P.Atomic.get t.board.(w) == Published
           && P.Atomic.compare_and_set t.board.(w) Published Claimed
         then begin
           ignore (P.Atomic.fetch_and_add t.waiting (-1));
@@ -98,7 +103,7 @@ module Make (P : Mc_prim.S) : HINTS = struct
         end
         else scan (k + 1)
     in
-    scan 1
+    scan (match order with None -> 1 | Some _ -> 0)
 
   let release t w =
     (* Claimed -> Free; only the adder whose CAS won holds the slot, so a

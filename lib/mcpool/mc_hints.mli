@@ -42,11 +42,14 @@ module type HINTS = sig
       searcher registered on segment [i]) may call it, and only when the
       slot is [Free]. *)
 
-  val try_claim : t -> from:int -> int option
+  val try_claim : ?order:int array -> t -> from:int -> int option
   (** [try_claim t ~from] scans the ring starting after slot [from] (the
       claimer's own slot is never examined) and CAS-claims the first
       published hint. [Some w] obliges the caller to attempt the delivery
-      into segment [w] and then {!release} [w]. *)
+      into segment [w] and then {!release} [w]. [?order] overrides the scan
+      order with an explicit slot permutation (topology-aware pools pass
+      the claimer's near-first order so nearby parked searchers are claimed
+      before far ones); [from] is still skipped. *)
 
   val release : t -> int -> unit
   (** [release t w] frees a slot the caller claimed, after the delivery

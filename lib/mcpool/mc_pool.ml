@@ -14,6 +14,23 @@ type tree = {
   node_locks : Mutex.t array; (* internal nodes; protect children's counters *)
 }
 
+(* Everything derived from the shared locality model at [create] time, so
+   the hot path only does array reads. Segment [i] is homed on topology
+   node [i]; [aware = false] is the distance-oblivious twin, which pays the
+   same emulated latencies but keeps the distance-blind probe orders — the
+   bench baseline that isolates the ordering policy from the machine. *)
+type topo_info = {
+  topology : Cpool_topology.t;
+  aware : bool;
+  far : bool array array; (* slot -> seg -> outside the slot's group *)
+  delay_ns : int array array; (* slot -> seg -> emulated ns per remote access *)
+  order : int array array; (* slot -> probe order (near-first when aware) *)
+  near_len : int array; (* slot -> length of order's within-group prefix *)
+  spans : (int * int) list array; (* slot -> shuffleable equal-distance runs *)
+  seg_of_leaf : int array; (* aware Tree: leaf position -> segment, -1 pad *)
+  leaf_of_seg : int array; (* aware Tree: segment -> leaf position *)
+}
+
 type 'a t = {
   pool_kind : kind;
   bound : int option;
@@ -28,6 +45,7 @@ type 'a t = {
   seed : int64;
   tree : tree option;
   hints : Mc_hints.t option; (* the Hinted kind's claimable hint board *)
+  topo : topo_info option;
   trace_on : bool;
   trace_capacity : int;
 }
@@ -43,12 +61,74 @@ type handle = {
   mutable last_leaf : int;
   mutable my_round : int;
   mutable started : bool;
+  mutable pass_tick : int; (* aware search passes so far; drives escalation *)
 }
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
 
+(* Busy-wait for [ns] nanoseconds: the emulated latency of a remote access
+   on the synthetic topology (real NUMA stalls the core too, it does not
+   yield). A plain loop on the monotonic clock, never called under a lock. *)
+let spin_ns ns =
+  if ns > 0 then begin
+    let deadline = Cpool_util.Clock.now_ns () + ns in
+    while Cpool_util.Clock.now_ns () < deadline do
+      Domain.cpu_relax ()
+    done
+  end
+
+let make_topo_info ~segments ~tree ~aware topology =
+  if Cpool_topology.nodes topology <> segments then
+    invalid_arg
+      (Printf.sprintf
+         "Mc_pool.create: topology describes %d nodes but the pool has %d \
+          segments"
+         (Cpool_topology.nodes topology) segments);
+  let order =
+    Array.init segments (fun s ->
+        if aware then Cpool_topology.near_first_order topology ~from:s
+        else Array.init segments (fun i -> (s + i) mod segments))
+  in
+  let spans =
+    Array.init segments (fun s ->
+        if aware then Cpool_topology.distance_spans topology ~from:s order.(s)
+        else [])
+  in
+  let far =
+    Array.init segments (fun i ->
+        Array.init segments (fun j -> not (Cpool_topology.near topology i j)))
+  in
+  let near_len =
+    (* The near-first order puts the slot's whole group (own slot included)
+       in a prefix; its length is where near-only passes stop probing. *)
+    Array.init segments (fun s ->
+        Array.fold_left (fun n j -> if far.(s).(j) then n else n + 1) 0 order.(s))
+  in
+  let unit_ns = float_of_int (Cpool_topology.unit_ns topology) in
+  let delay_ns =
+    Array.init segments (fun i ->
+        Array.init segments (fun j ->
+            let d = Cpool_topology.distance topology ~from:i ~to_:j in
+            int_of_float (Float.round ((d -. 1.0) *. unit_ns))))
+  in
+  let seg_of_leaf, leaf_of_seg =
+    match tree with
+    | Some tr when aware ->
+      (* Cluster each locality group on a contiguous leaf range so the
+         Manber subtrees coincide with sockets: a searcher exhausts its
+         own group's subtree before the round structure walks it across. *)
+      let placement = Cpool_topology.group_major_order topology in
+      let sol = Array.make tr.leaves (-1) in
+      Array.iteri (fun pos s -> sol.(pos) <- s) placement;
+      let los = Array.make segments 0 in
+      Array.iteri (fun pos s -> if s >= 0 then los.(s) <- pos) sol;
+      (sol, los)
+    | _ -> ([||], [||])
+  in
+  { topology; aware; far; delay_ns; order; near_len; spans; seg_of_leaf; leaf_of_seg }
+
 let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ?(trace = false)
-    ?(trace_capacity = 8192) ~segments () =
+    ?(trace_capacity = 8192) ?topology ?(topology_aware = true) ~segments () =
   if segments <= 0 then invalid_arg "Mc_pool.create: segments must be positive";
   (match capacity with
   | Some c when c <= 0 -> invalid_arg "Mc_pool.create: capacity must be positive"
@@ -71,6 +151,9 @@ let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ?(trace 
     | Hinted -> Some (Mc_hints.create ~slots:segments ())
     | Linear | Random | Tree -> None
   in
+  let topo =
+    Option.map (make_topo_info ~segments ~tree ~aware:topology_aware) topology
+  in
   {
     pool_kind = kind;
     bound = capacity;
@@ -85,6 +168,7 @@ let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ?(trace 
     seed;
     tree;
     hints;
+    topo;
     trace_on = trace;
     trace_capacity;
   }
@@ -92,6 +176,31 @@ let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ?(trace 
 let segments t = Array.length t.segs
 
 let kind t = t.pool_kind
+
+let topology t = Option.map (fun ti -> ti.topology) t.topo
+
+let topology_aware t = match t.topo with Some ti -> ti.aware | None -> false
+
+(* Leaf-position <-> segment translation for the Tree walk. Identity unless
+   the pool is topology-aware (then leaves follow the group-major
+   placement); [h.last_leaf] always holds a leaf {e position}. *)
+let leaf_pos t s =
+  match t.topo with
+  | Some ti when Array.length ti.leaf_of_seg > 0 -> ti.leaf_of_seg.(s)
+  | _ -> s
+
+let leaf_seg t p j =
+  match t.topo with
+  | Some ti when Array.length ti.seg_of_leaf > 0 -> ti.seg_of_leaf.(j)
+  | _ -> if j < p then j else -1
+
+let shuffle_span rng a off len =
+  for i = len - 1 downto 1 do
+    let j = Cpool_util.Rng.int rng (i + 1) in
+    let tmp = a.(off + i) in
+    a.(off + i) <- a.(off + j);
+    a.(off + j) <- tmp
+  done
 
 let mk_handle t slot =
   {
@@ -104,10 +213,36 @@ let mk_handle t slot =
     hunt_probes = 0;
     active = true;
     last_found = slot;
-    last_leaf = slot;
+    last_leaf = leaf_pos t slot;
     my_round = 1;
     started = false;
+    pass_tick = 0;
   }
+
+let probe_order t ~slot =
+  let p = Array.length t.segs in
+  if slot < 0 || slot >= p then invalid_arg "Mc_pool.probe_order: slot out of range";
+  match (t.pool_kind, t.topo) with
+  | Tree, Some ti when ti.aware && Array.length ti.seg_of_leaf > 0 ->
+    let out = Array.make p 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun s ->
+        if s >= 0 then begin
+          out.(!k) <- s;
+          incr k
+        end)
+      ti.seg_of_leaf;
+    out
+  | Random, Some ti when ti.aware ->
+    (* A representative draw: the same span shuffle a searcher on [slot]
+       performs, seeded like its handle rng. *)
+    let base = Array.copy ti.order.(slot) in
+    let rng = Cpool_util.Rng.create (Int64.add t.seed (Int64.of_int slot)) in
+    List.iter (fun (off, len) -> shuffle_span rng base off len) ti.spans.(slot);
+    base
+  | _, Some ti -> Array.copy ti.order.(slot)
+  | _, None -> Array.init p (fun i -> (slot + i) mod p)
 
 (* The one place the registration mutex is taken: every caller goes through
    here so the lock is released even when the body raises (slot scans and
@@ -179,12 +314,22 @@ let try_deliver t h x =
   match t.hints with
   | None -> false
   | Some board ->
+    let order =
+      (* Near-first claim order: a topology-aware adder hands off to a
+         parked searcher in its own group before waking a far one. *)
+      match t.topo with
+      | Some ti when ti.aware -> Some ti.order.(h.pool_slot)
+      | _ -> None
+    in
     Mc_hints.waiters board > 0
-    && (match Mc_hints.try_claim board ~from:h.pool_slot with
+    && (match Mc_hints.try_claim ?order board ~from:h.pool_slot with
        | None -> false
        | Some w ->
          Mc_stats.note_hint_claimed h.stats;
          Mc_trace.record h.tracer Mc_trace.Hint_claim ~a1:w ~a2:0;
+         (match t.topo with
+         | Some ti -> spin_ns ti.delay_ns.(h.pool_slot).(w)
+         | None -> ());
          let delivered = Mc_segment.spill_add t.segs.(w) x in
          Mc_hints.release board w;
          if delivered then begin
@@ -229,9 +374,16 @@ let try_add t h x =
         else begin
           (* Foreign segments take spill traffic through their inbox
              ([spill_add]); only the owning domain may touch a ring. *)
-          let pos = (h.pool_slot + i) mod p in
+          let pos =
+            match t.topo with
+            | Some ti when ti.aware -> ti.order.(h.pool_slot).(i)
+            | _ -> (h.pool_slot + i) mod p
+          in
           if Mc_segment.spare t.segs.(pos) > 0 && Mc_segment.spill_add t.segs.(pos) x
           then begin
+            (match t.topo with
+            | Some ti -> spin_ns ti.delay_ns.(h.pool_slot).(pos)
+            | None -> ());
             Mc_stats.note_spill h.stats;
             if Mc_trace.enabled h.tracer then begin
               Mc_trace.record h.tracer Mc_trace.Mpsc_push ~a1:pos ~a2:0;
@@ -273,11 +425,19 @@ let try_remove_local t h =
 let record_steal t h pos ~elements =
   Atomic.incr t.steal_count;
   h.last_found <- pos;
-  h.last_leaf <- pos;
+  h.last_leaf <- leaf_pos t pos;
   Mc_stats.note_steal h.stats ~probes:h.hunt_probes ~elements;
   (* The transfer-size sample lives on the thief's handle (single writer);
      the victim segment cannot record it without a serialization point. *)
   Mc_stats.note_steal_batch h.stats elements;
+  (match t.topo with
+  | None -> ()
+  | Some ti ->
+    Mc_stats.note_steal_locality h.stats ~far:ti.far.(h.pool_slot).(pos)
+      ~elements;
+    (* Moving [elements] elements out of a remote segment is [elements]
+       remote accesses on the synthetic machine. *)
+    spin_ns (ti.delay_ns.(h.pool_slot).(pos) * elements));
   Mc_trace.record h.tracer Mc_trace.Steal_claim ~a1:pos ~a2:elements;
   h.hunt_probes <- 0
 
@@ -291,6 +451,17 @@ let attempt_steal t h pos =
   let victim = t.segs.(pos) in
   h.hunt_probes <- h.hunt_probes + 1;
   Mc_stats.note_probe h.stats;
+  (match t.topo with
+  | None -> ()
+  | Some ti ->
+    (* Probing a remote segment pays the emulated latency before the size
+       read lands, aware or not — the topology is the machine, the probe
+       order is the policy. *)
+    let far = ti.far.(h.pool_slot).(pos) in
+    Mc_stats.note_probe_locality h.stats ~far;
+    let d = ti.delay_ns.(h.pool_slot).(pos) in
+    if far then Mc_trace.record h.tracer Mc_trace.Far_probe ~a1:pos ~a2:d;
+    spin_ns d);
   let vsize = Mc_segment.size victim in
   Mc_trace.record h.tracer Mc_trace.Steal_probe ~a1:pos ~a2:vsize;
   if vsize = 0 then None
@@ -335,10 +506,17 @@ let sweep t h =
   Mc_stats.note_sweep h.stats;
   Mc_trace.record h.tracer Mc_trace.Sweep ~a1:h.pool_slot ~a2:0;
   let p = Array.length t.segs in
+  let seg_at =
+    (* Aware sweeps also go near-first: both orders start at the sweeper's
+       own slot, so the empty-confirmation coverage is identical. *)
+    match t.topo with
+    | Some ti when ti.aware -> fun i -> ti.order.(h.pool_slot).(i)
+    | _ -> fun i -> (h.pool_slot + i) mod p
+  in
   let rec go i =
     if i = p then None
     else
-      match attempt_steal t h ((h.pool_slot + i) mod p) with
+      match attempt_steal t h (seg_at i) with
       | Some x -> Some x
       | None -> go (i + 1)
   in
@@ -354,11 +532,44 @@ let with_node_lock tree v f =
     Mutex.unlock tree.node_locks.(v);
     raise e
 
+(* Reluctant escalation: most aware search passes stay inside the
+   searcher's locality group (the near prefix of its probe order) and only
+   every [escalate_every]-th pass crosses the group boundary. Failed far
+   probes are the dominant cost of a starved NUMA pool — every one stalls
+   the core for the emulated remote latency — and a near-only pass can
+   never conclude emptiness anyway: that is [sweep]'s job, and sweeps
+   always cover every segment, so quiescence detection is unaffected. An
+   element parked in a far segment is found at most [escalate_every - 1]
+   passes late. *)
+let escalate_every = 4
+
+let pass_limit h ti =
+  let tick = h.pass_tick in
+  h.pass_tick <- tick + 1;
+  if tick mod escalate_every = 0 then Array.length ti.order.(h.pool_slot)
+  else ti.near_len.(h.pool_slot)
+
 (* One algorithm-specific search pass; None does not mean empty, only that
    this pass failed. *)
 let rec search_pass t h =
   let p = Array.length t.segs in
+  let aware = match t.topo with Some ti -> ti.aware | None -> false in
   match t.pool_kind with
+  | (Linear | Hinted) when aware ->
+    (* Near-first scan: own slot, then ascending distance. The aware order
+       replaces the last-found restart — locality beats the temporal hint
+       on a machine where far probes cost real latency. *)
+    let ti = Option.get t.topo in
+    let ord = ti.order.(h.pool_slot) in
+    let limit = pass_limit h ti in
+    let rec go i =
+      if i = limit then None
+      else
+        match attempt_steal t h ord.(i) with
+        | Some x -> Some x
+        | None -> go (i + 1)
+    in
+    go 0
   | Linear | Hinted ->
     (* Hinted is linear search plus the hint board; the pass itself is the
        same ring scan. *)
@@ -370,6 +581,24 @@ let rec search_pass t h =
         | None -> ring (i + 1)
     in
     ring 0
+  | Random when aware ->
+    (* Still randomized, but only within each distance bucket: every full
+       pass probes a permutation of all segments, near buckets before far
+       (near-only passes stop at the group boundary). *)
+    let ti = Option.get t.topo in
+    let ord = Array.copy ti.order.(h.pool_slot) in
+    List.iter
+      (fun (off, len) -> shuffle_span h.rng ord off len)
+      ti.spans.(h.pool_slot);
+    let limit = pass_limit h ti in
+    let rec go i =
+      if i = limit then None
+      else
+        match attempt_steal t h ord.(i) with
+        | Some x -> Some x
+        | None -> go (i + 1)
+    in
+    go 0
   | Random ->
     let rec probe i =
       if i = p then None
@@ -379,6 +608,26 @@ let rec search_pass t h =
         | None -> probe (i + 1)
     in
     probe 0
+  | Tree when aware -> (
+    let ti = Option.get t.topo in
+    let limit = pass_limit h ti in
+    if limit < p then begin
+      (* Near-only pass: under the group-major leaf placement the
+         searcher's subtree is exactly its locality group, so a
+         within-group pass is the near prefix scan; the round protocol
+         only matters for whole-tree emptiness claims, which near passes
+         never make. *)
+      let ord = ti.order.(h.pool_slot) in
+      let rec go i =
+        if i = limit then None
+        else
+          match attempt_steal t h ord.(i) with
+          | Some x -> Some x
+          | None -> go (i + 1)
+      in
+      go 0
+    end
+    else tree_pass t h)
   | Tree -> tree_pass t h
 
 (* Manber's walk, one round: returns when an element is found or when this
@@ -392,8 +641,12 @@ and tree_pass t h =
     tree.leaves lsr depth i 0
   in
   let rec visit_leaf j =
+    (* [j] is a leaf position; the segment living there follows the
+       group-major placement when the pool is topology-aware (identity
+       otherwise), so each subtree covers one locality group. *)
     h.last_leaf <- j;
-    match if j < p then attempt_steal t h j else None with
+    let s = leaf_seg t p j in
+    match if s >= 0 then attempt_steal t h s else None with
     | Some x -> Some x
     | None ->
       if tree.leaves = 1 then begin
@@ -419,7 +672,7 @@ and tree_pass t h =
     match decision with
     | `Restart newest ->
       h.my_round <- newest;
-      visit_leaf h.pool_slot
+      visit_leaf (leaf_pos t h.pool_slot)
     | `Sibling sibling_round ->
       if sibling_round = h.my_round then
         if v = 0 then begin
@@ -434,7 +687,7 @@ and tree_pass t h =
     if h.started then h.last_leaf
     else begin
       h.started <- true;
-      h.pool_slot
+      leaf_pos t h.pool_slot
     end
   in
   visit_leaf start

@@ -44,6 +44,8 @@ val create :
   ?fast_path:bool ->
   ?trace:bool ->
   ?trace_capacity:int ->
+  ?topology:Cpool_topology.t ->
+  ?topology_aware:bool ->
   segments:int ->
   unit ->
   'a t
@@ -59,12 +61,46 @@ val create :
     gives every handle a per-domain {!Mc_trace} event ring of
     [trace_capacity] slots (default [8192], rounded up to a power of two);
     when off, handles share the no-op {!Mc_trace.disabled} tracer and pay
-    one predictable branch per recording site. Raises [Invalid_argument]
-    if [segments <= 0], [capacity <= 0] or [trace_capacity <= 0]. *)
+    one predictable branch per recording site.
+
+    [topology] attaches the shared locality model ({!Cpool_topology}):
+    segment [i] is homed on topology node [i], remote probes, steals,
+    spills and hint deliveries pay an emulated busy-wait latency of
+    [(distance - 1) * unit_ns] per access, and the near/far
+    {!Mc_stats} counters come alive. With [topology_aware] (default
+    [true]) the search policies exploit the model — Linear/Hinted scan in
+    near-first order, Random shuffles only within equal-distance buckets,
+    Tree maps locality groups onto contiguous leaf subtrees, spills fill
+    near segments first, and hinted adders claim near parked searchers
+    before far ones. Aware searchers also escalate reluctantly: three of
+    every four failed search passes scan only the near prefix of the
+    probe order, and every fourth goes the full distance — so a starved
+    searcher mostly avoids paying remote probe latency, while emptiness
+    is still only ever concluded from a full sweep of every segment.
+    [~topology_aware:false] is the distance-oblivious
+    twin: same emulated machine, distance-blind policies — the benchmark
+    baseline. Raises [Invalid_argument] if [segments <= 0],
+    [capacity <= 0], [trace_capacity <= 0], or the topology's node count
+    differs from [segments]. *)
 
 val segments : 'a t -> int
 
 val kind : 'a t -> kind
+
+val topology : 'a t -> Cpool_topology.t option
+(** The locality model the pool was created with, if any. *)
+
+val topology_aware : 'a t -> bool
+(** Whether the search policies exploit the topology; [false] for pools
+    without one and for the distance-oblivious twin. *)
+
+val probe_order : 'a t -> slot:int -> int array
+(** [probe_order t ~slot] is the sequence of segments one full search pass
+    from [slot] examines — always a permutation of [0 .. segments t - 1].
+    Near-first for topology-aware pools (for [Random], a representative
+    bucket-shuffled draw seeded like the slot's handle; for [Tree], the
+    group-major leaf placement), the plain ring otherwise. Raises
+    [Invalid_argument] if [slot] is out of range. *)
 
 val register : 'a t -> handle
 (** [register t] claims the next free segment slot. Raises [Failure] when

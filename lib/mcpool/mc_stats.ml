@@ -43,6 +43,16 @@ type t = {
   segs_per_steal : int array;
   elems_per_steal : int array;
   batch_sizes : int array; (* elements moved per successful steal transfer *)
+  (* Locality split (only bumped when the pool has a topology). Near = the
+     probed/robbed segment shares the prober's locality group; far = it
+     does not. All four counters and both bucket arrays are written by the
+     thief's own handle, single-writer like the batch counters above. *)
+  mutable near_probes : int;
+  mutable far_probes : int;
+  mutable near_steals : int;
+  mutable far_steals : int;
+  near_batch_sizes : int array; (* elements per steal from a near segment *)
+  far_batch_sizes : int array; (* elements per steal from a far segment *)
 }
 
 let create () =
@@ -78,6 +88,12 @@ let create () =
       segs_per_steal = Array.make (bucket_limit + 1) 0;
       elems_per_steal = Array.make (bucket_limit + 1) 0;
       batch_sizes = Array.make (bucket_limit + 1) 0;
+      near_probes = 0;
+      far_probes = 0;
+      near_steals = 0;
+      far_steals = 0;
+      near_batch_sizes = Array.make (bucket_limit + 1) 0;
+      far_batch_sizes = Array.make (bucket_limit + 1) 0;
     }
 
 let bump buckets v =
@@ -147,6 +163,20 @@ let note_steal_batch s n =
   if n >= 2 then s.batched_steals <- s.batched_steals + 1;
   bump s.batch_sizes n
 
+let note_probe_locality s ~far =
+  if far then s.far_probes <- s.far_probes + 1
+  else s.near_probes <- s.near_probes + 1
+
+let note_steal_locality s ~far ~elements =
+  if far then begin
+    s.far_steals <- s.far_steals + 1;
+    bump s.far_batch_sizes elements
+  end
+  else begin
+    s.near_steals <- s.near_steals + 1;
+    bump s.near_batch_sizes elements
+  end
+
 let removes s = s.local_removes + s.steals
 
 let merge a b =
@@ -183,6 +213,14 @@ let merge a b =
   blit s.elems_per_steal b.elems_per_steal;
   blit s.batch_sizes a.batch_sizes;
   blit s.batch_sizes b.batch_sizes;
+  s.near_probes <- a.near_probes + b.near_probes;
+  s.far_probes <- a.far_probes + b.far_probes;
+  s.near_steals <- a.near_steals + b.near_steals;
+  s.far_steals <- a.far_steals + b.far_steals;
+  blit s.near_batch_sizes a.near_batch_sizes;
+  blit s.near_batch_sizes b.near_batch_sizes;
+  blit s.far_batch_sizes a.far_batch_sizes;
+  blit s.far_batch_sizes b.far_batch_sizes;
   s
 
 let merge_all ts = List.fold_left merge (create ()) ts
@@ -214,6 +252,10 @@ let counters s =
       ("top CAS retries", top_cas_retries s);
       ("mpsc retries", mpsc_retries s);
       ("batched steals", s.batched_steals);
+      ("near probes", s.near_probes);
+      ("far probes", s.far_probes);
+      ("near steals", s.near_steals);
+      ("far steals", s.far_steals);
     ]
 
 let sample_of buckets =
@@ -231,6 +273,18 @@ let segments_per_steal s = sample_of s.segs_per_steal
 let elements_per_steal s = sample_of s.elems_per_steal
 
 let steal_batch_sizes s = sample_of s.batch_sizes
+
+let near_steal_batch_sizes s = sample_of s.near_batch_sizes
+
+let far_steal_batch_sizes s = sample_of s.far_batch_sizes
+
+let near_probes s = s.near_probes
+
+let far_probes s = s.far_probes
+
+let near_steals s = s.near_steals
+
+let far_steals s = s.far_steals
 
 let hints_published s = s.hints_published
 

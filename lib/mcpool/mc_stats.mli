@@ -121,6 +121,15 @@ val note_steal_batch : t -> int -> unit
     steal. Bumped on the {e thief's own handle} (single writer), not the
     victim segment. *)
 
+val note_probe_locality : t -> far:bool -> unit
+(** One steal probe classified by the pool topology: [far] iff the probed
+    segment is outside the prober's locality group. Thief's own handle. *)
+
+val note_steal_locality : t -> far:bool -> elements:int -> unit
+(** One successful steal transfer of [elements] elements classified by the
+    pool topology, also bucketed into the near/far batch-size
+    distributions. Thief's own handle. *)
+
 (** {2 Reading and merging} *)
 
 val removes : t -> int
@@ -144,6 +153,24 @@ val elements_per_steal : t -> Cpool_metrics.Sample.t
 val steal_batch_sizes : t -> Cpool_metrics.Sample.t
 (** Distribution of elements moved per single batched steal transfer,
     recorded on the victim segment's side. *)
+
+val near_probes : t -> int
+
+val far_probes : t -> int
+
+val near_steals : t -> int
+
+val far_steals : t -> int
+(** Locality-classified probe/steal counts; all zero unless the pool was
+    created with a topology. [near_steals + far_steals = steals] and
+    [near_probes + far_probes] equals the total probe count whenever a
+    topology is present. *)
+
+val near_steal_batch_sizes : t -> Cpool_metrics.Sample.t
+
+val far_steal_batch_sizes : t -> Cpool_metrics.Sample.t
+(** Distance-bucketed batch telemetry: distribution of elements moved per
+    steal, split by whether the victim was in the thief's locality group. *)
 
 val hints_published : t -> int
 

@@ -14,12 +14,13 @@ type tag =
   | Wake
   | Mpsc_push
   | Mpsc_drain
+  | Far_probe
 
 let all_tags =
   [
     Add; Remove; Spill; Steal_probe; Steal_claim; Steal_transfer; Sweep;
     Hint_publish; Hint_claim; Hint_deliver; Hint_expire; Park; Wake;
-    Mpsc_push; Mpsc_drain;
+    Mpsc_push; Mpsc_drain; Far_probe;
   ]
 
 let tag_index = function
@@ -38,6 +39,7 @@ let tag_index = function
   | Wake -> 12
   | Mpsc_push -> 13
   | Mpsc_drain -> 14
+  | Far_probe -> 15
 
 let tag_of_index = function
   | 0 -> Add
@@ -55,6 +57,7 @@ let tag_of_index = function
   | 12 -> Wake
   | 13 -> Mpsc_push
   | 14 -> Mpsc_drain
+  | 15 -> Far_probe
   | _ -> invalid_arg "Mc_trace.tag_of_index"
 
 let tag_count = List.length all_tags
@@ -75,6 +78,7 @@ let tag_name = function
   | Wake -> "wake"
   | Mpsc_push -> "mpsc-push"
   | Mpsc_drain -> "mpsc-drain"
+  | Far_probe -> "far-probe"
 
 type t = {
   on : bool;
@@ -200,7 +204,8 @@ let observed_size e =
   match e.tag with
   | Add | Remove | Spill | Steal_probe -> Some (e.a1, e.a2)
   | Steal_claim | Steal_transfer | Sweep | Hint_publish | Hint_claim
-  | Hint_deliver | Hint_expire | Park | Wake | Mpsc_push | Mpsc_drain ->
+  | Hint_deliver | Hint_expire | Park | Wake | Mpsc_push | Mpsc_drain
+  | Far_probe ->
     None
 
 let chrome_us ~t0 e = float_of_int (e.ts_ns - t0) /. 1e3

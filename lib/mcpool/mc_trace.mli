@@ -35,7 +35,10 @@
     - [Hint_claim], [Hint_deliver]: the claimed (parked searcher's) slot, 0;
     - [Mpsc_push]: the target segment of a lock-free spill push, 0;
     - [Mpsc_drain]: the owner's segment, elements folded from the inbox
-      into the ring by that exchange-drain. *)
+      into the ring by that exchange-drain;
+    - [Far_probe]: segment probed outside the prober's locality group, the
+      emulated remote latency charged for it in ns (only emitted when the
+      pool has a topology; one per far [Steal_probe]). *)
 type tag =
   | Add
   | Remove
@@ -52,6 +55,7 @@ type tag =
   | Wake
   | Mpsc_push
   | Mpsc_drain
+  | Far_probe
 
 val all_tags : tag list
 

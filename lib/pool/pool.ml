@@ -23,8 +23,6 @@ type config = {
   locking_probes : bool;
 }
 
-let participants cfg = cfg.segments
-
 let default_config =
   {
     segments = 16;

@@ -61,14 +61,6 @@ type config = {
           (atomic read). See the [lockprobe] experiment. *)
 }
 
-val participants : config -> int
-[@@ocaml.deprecated "use cfg.segments instead"]
-(** Deprecated accessor for the old field name: [participants cfg] is
-    [cfg.segments]. The real pool's {!Mc_pool.create} already said
-    [~segments]; the record field now matches it. Carries
-    [\[@@ocaml.deprecated\]], so uses warn (alert [deprecated]) without
-    breaking the build. *)
-
 val default_config : config
 (** 16 segments, [Linear], [Counting], overheads calibrated to the
     paper's reported uncontended operation times. *)

@@ -47,6 +47,13 @@ let create ?(cost = Topology.butterfly) ~nodes ~seed () =
   (match Topology.validate cost with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.create: " ^ msg));
+  (match cost.Topology.topo with
+  | Some topo when Cpool_topology.nodes topo < nodes ->
+    invalid_arg
+      (Printf.sprintf
+         "Engine.create: topology describes %d nodes but the machine has %d"
+         (Cpool_topology.nodes topo) nodes)
+  | _ -> ());
   {
     time = 0.0;
     seq = 0;

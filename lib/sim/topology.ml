@@ -5,16 +5,33 @@ type cost_model = {
   remote_ratio : float;
   remote_extra : float;
   compute_per_op : float;
+  topo : Cpool_topology.t option;
 }
 
 let butterfly =
-  { local_cost = 2.0; remote_ratio = 4.0; remote_extra = 0.0; compute_per_op = 40.0 }
+  {
+    local_cost = 2.0;
+    remote_ratio = 4.0;
+    remote_extra = 0.0;
+    compute_per_op = 40.0;
+    topo = None;
+  }
 
 let with_remote_extra remote_extra m = { m with remote_extra }
+let with_topology topo m = { m with topo = Some topo }
 
 let access_cost m ~from ~home =
-  if from = home then m.local_cost
-  else (m.remote_ratio *. m.local_cost) +. m.remote_extra
+  match m.topo with
+  | Some topo when from < Cpool_topology.nodes topo && home < Cpool_topology.nodes topo ->
+    (* The shared topology refines the flat two-level model: distance is a
+       multiplier on the local cost, with [remote_extra] still charged on
+       any off-node access (the loosely-coupled delay sweeps compose). *)
+    let d = Cpool_topology.distance topo ~from ~to_:home in
+    let extra = if from = home then 0.0 else m.remote_extra in
+    (d *. m.local_cost) +. extra
+  | _ ->
+    if from = home then m.local_cost
+    else (m.remote_ratio *. m.local_cost) +. m.remote_extra
 
 let validate m =
   let non_negative name v =

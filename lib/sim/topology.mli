@@ -20,6 +20,15 @@ type cost_model = {
   compute_per_op : float;
       (** Fixed local computation charged once per pool operation (argument
           setup, bookkeeping); calibrates absolute operation times. *)
+  topo : Cpool_topology.t option;
+      (** Optional shared locality model. When present, an access from node
+          [f] to a word homed on [h] costs
+          [Cpool_topology.distance topo ~from:f ~to_:h *. local_cost]
+          (plus [remote_extra] when [f <> h]); the flat
+          [remote_ratio]-based model applies otherwise. The same config
+          file that builds this also drives [Mc_pool ~topology], which is
+          what lets EXPERIMENTS.md compare predicted vs. measured
+          remote-penalty curves. *)
 }
 
 val butterfly : cost_model
@@ -30,6 +39,10 @@ val butterfly : cost_model
 
 val with_remote_extra : float -> cost_model -> cost_model
 (** [with_remote_extra d m] is [m] with [remote_extra = d]. *)
+
+val with_topology : Cpool_topology.t -> cost_model -> cost_model
+(** [with_topology topo m] is [m] with its access costs driven by the
+    shared locality model [topo]. *)
 
 val access_cost : cost_model -> from:node -> home:node -> float
 (** [access_cost m ~from ~home] is the cost of one access to a word homed on

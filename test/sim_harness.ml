@@ -3,7 +3,7 @@
 open Cpool_sim
 
 let zero_cost =
-  { Topology.local_cost = 0.0; remote_ratio = 1.0; remote_extra = 0.0; compute_per_op = 0.0 }
+  { Topology.local_cost = 0.0; remote_ratio = 1.0; remote_extra = 0.0; compute_per_op = 0.0; topo = None }
 
 let expect_completed e =
   match Engine.run e with

@@ -163,7 +163,7 @@ let test_double_wake_rejected () =
 
 let test_charge_costs () =
   let cost =
-    { Topology.local_cost = 2.0; remote_ratio = 4.0; remote_extra = 0.0; compute_per_op = 0.0 }
+    { Topology.local_cost = 2.0; remote_ratio = 4.0; remote_extra = 0.0; compute_per_op = 0.0; topo = None }
   in
   let e = mk ~cost () in
   let local = ref 0.0 and remote = ref 0.0 in

@@ -269,7 +269,7 @@ let test_registry_ids_unique () =
   let ids = Registry.ids in
   Alcotest.(check int) "no duplicates" (List.length ids)
     (List.length (List.sort_uniq compare ids));
-  Alcotest.(check bool) "17 experiments" true (List.length ids = 17);
+  Alcotest.(check bool) "18 experiments" true (List.length ids = 18);
   Alcotest.(check bool) "find works" true (Registry.find "fig2" <> None);
   Alcotest.(check bool) "find misses" true (Registry.find "nope" = None)
 

@@ -14,6 +14,7 @@ let () =
          Test_metrics.suites;
          Test_workload.suites;
          Test_game.suites;
+         Test_topology.suites;
          Test_mcpool.suites;
          Test_trace.suites;
          Test_bounded.suites;

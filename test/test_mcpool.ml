@@ -860,6 +860,8 @@ let test_mc_bench_smoke () =
       domains = 2;
       mix = Cpool_mc.Mc_bench.Sufficient;
       fast_path = true;
+      topo = None;
+      aware = true;
     }
   in
   let r = Cpool_mc.Mc_bench.run_cell ~seconds:0.05 cell in

@@ -170,7 +170,7 @@ let test_lock_serialises_time () =
   (* Two processes each hold the lock for 10 us starting at the same instant:
      the second must finish at >= 20 us. *)
   let cost =
-    { Topology.local_cost = 0.0; remote_ratio = 1.0; remote_extra = 0.0; compute_per_op = 0.0 }
+    { Topology.local_cost = 0.0; remote_ratio = 1.0; remote_extra = 0.0; compute_per_op = 0.0; topo = None }
   in
   let e = Engine.create ~cost ~nodes:2 ~seed:2L () in
   let lock = Lock.make ~home:0 in

@@ -70,15 +70,6 @@ let test_participant_range_checked () =
         (Invalid_argument "Pool.remove: participant out of range") (fun () ->
           ignore (Pool.remove pool ~me:(-1))))
 
-let test_deprecated_participants_accessor () =
-  (* The old name survives as a read-only accessor for the renamed field.
-     It now carries [@@ocaml.deprecated]: callers get the [deprecated]
-     alert as a warning, not an error — this use site compiles only
-     because it acknowledges the alert explicitly, which is the pin. *)
-  Alcotest.(check int) "participants mirrors segments" 12
-    ((Pool.participants [@alert "-deprecated"])
-       { Pool.default_config with Pool.segments = 12 })
-
 let test_bad_config_rejected () =
   Alcotest.check_raises "segments" (Invalid_argument "Pool.create: segments must be positive")
     (fun () -> ignore (Pool.create (cfg ~segments:0 ())))
@@ -215,8 +206,6 @@ let suites =
         Alcotest.test_case "prefill" `Quick test_prefill;
         Alcotest.test_case "participant range" `Quick test_participant_range_checked;
         Alcotest.test_case "bad config" `Quick test_bad_config_rejected;
-        Alcotest.test_case "deprecated participants accessor" `Quick
-          test_deprecated_participants_accessor;
         Alcotest.test_case "trace callback" `Quick test_trace_callback;
         Alcotest.test_case "sufficient mix stays local" `Quick test_sufficient_local_only;
         Alcotest.test_case "deterministic totals" `Quick test_deterministic_runs;

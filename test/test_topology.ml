@@ -1,0 +1,239 @@
+(* Tests for the shared locality model (Cpool_topology) and the probe
+   orders it hands the searchers — including the property that every
+   topology-aware search kind still visits each segment exactly once. *)
+
+let get = function
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "unexpected topology error: %s" msg
+
+let err = function
+  | Ok _ -> Alcotest.fail "expected the topology to be rejected"
+  | Error msg -> msg
+
+(* --- validation ------------------------------------------------------- *)
+
+let test_matrix_rejects_asymmetric () =
+  let m = [| [| 1.0; 2.0 |]; [| 3.0; 1.0 |] |] in
+  Alcotest.(check string)
+    "asymmetric" "matrix must be symmetric"
+    (err (Cpool_topology.of_matrix m))
+
+let test_matrix_rejects_non_square () =
+  let m = [| [| 1.0; 2.0 |]; [| 2.0 |] |] in
+  Alcotest.(check string)
+    "non-square" "matrix must be square"
+    (err (Cpool_topology.of_matrix m));
+  Alcotest.(check string)
+    "empty" "matrix must be non-empty"
+    (err (Cpool_topology.of_matrix [||]))
+
+let test_matrix_rejects_bad_entries () =
+  let diag = [| [| 2.0; 2.0 |]; [| 2.0; 2.0 |] |] in
+  Alcotest.(check string)
+    "diagonal" "diagonal entries must be 1.0 and finite"
+    (err (Cpool_topology.of_matrix diag));
+  let sub = [| [| 1.0; 0.5 |]; [| 0.5; 1.0 |] |] in
+  Alcotest.(check string)
+    "sub-unit remote" "off-diagonal distances must be >= 1.0"
+    (err (Cpool_topology.of_matrix sub))
+
+let test_groups_reject_bad_shapes () =
+  Alcotest.(check string)
+    "empty" "groups must be non-empty"
+    (err (Cpool_topology.of_groups []));
+  Alcotest.(check string)
+    "zero size" "group sizes must be positive"
+    (err (Cpool_topology.of_groups [ 2; 0 ]));
+  Alcotest.(check string)
+    "inverted" "far distance must be >= the near distance"
+    (err (Cpool_topology.of_groups ~near:2.0 ~far:1.5 [ 2; 2 ]))
+
+(* --- groups derived from a matrix ------------------------------------- *)
+
+let test_matrix_groups_derived () =
+  (* Distance-1.0 components: {0,1} and {2}. *)
+  let m =
+    [|
+      [| 1.0; 1.0; 3.0 |];
+      [| 1.0; 1.0; 3.0 |];
+      [| 3.0; 3.0; 1.0 |];
+    |]
+  in
+  let t = get (Cpool_topology.of_matrix m) in
+  Alcotest.(check int) "groups" 2 (Cpool_topology.groups t);
+  Alcotest.(check bool) "0~1 near" true (Cpool_topology.near t 0 1);
+  Alcotest.(check bool) "0~2 far" false (Cpool_topology.near t 0 2);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Cpool_topology.max_distance t)
+
+(* --- config round-trip ------------------------------------------------ *)
+
+let test_group_round_trip () =
+  let t = get (Cpool_topology.of_groups ~near:1.0 ~far:2.5 ~unit_ns:500 [ 3; 2 ]) in
+  let t' = get (Cpool_topology.parse (Cpool_topology.to_string t)) in
+  Alcotest.(check bool) "round-trips" true (Cpool_topology.equal t t');
+  Alcotest.(check int) "unit_ns survives" 500 (Cpool_topology.unit_ns t')
+
+let test_matrix_round_trip () =
+  let m = [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  let t = get (Cpool_topology.of_matrix m) in
+  let t' = get (Cpool_topology.parse (Cpool_topology.to_string t)) in
+  Alcotest.(check bool) "round-trips" true (Cpool_topology.equal t t')
+
+let test_parse_rejects_garbage () =
+  (match Cpool_topology.parse "groups 2 2\nmatrix\n1 1\n1 1\n" with
+  | Ok _ -> Alcotest.fail "groups+matrix accepted"
+  | Error _ -> ());
+  match Cpool_topology.parse "# nothing here\n" with
+  | Ok _ -> Alcotest.fail "empty config accepted"
+  | Error _ -> ()
+
+(* --- the two-group CI preset ------------------------------------------ *)
+
+let test_two_group_invariants () =
+  let t = Cpool_topology.two_group ~penalty:4.0 ~nodes:5 () in
+  Alcotest.(check int) "nodes" 5 (Cpool_topology.nodes t);
+  Alcotest.(check int) "groups" 2 (Cpool_topology.groups t);
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      let d = Cpool_topology.distance t ~from:i ~to_:j in
+      let expected =
+        if i = j then 1.0
+        else if Cpool_topology.group t i = Cpool_topology.group t j then 1.0
+        else 4.0
+      in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "d(%d,%d)" i j) expected d
+    done
+  done;
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Cpool_topology.two_group: nodes must be >= 2") (fun () ->
+      ignore (Cpool_topology.two_group ~nodes:1 ()))
+
+let test_scale_remote () =
+  let t = Cpool_topology.two_group ~penalty:4.0 ~nodes:4 () in
+  let flat = Cpool_topology.scale_remote t 0.0 in
+  Alcotest.(check (float 1e-9)) "flat" 1.0 (Cpool_topology.max_distance flat);
+  let doubled = Cpool_topology.scale_remote t 2.0 in
+  Alcotest.(check (float 1e-9)) "doubled" 7.0 (Cpool_topology.max_distance doubled);
+  Alcotest.(check int) "groups preserved" 2 (Cpool_topology.groups doubled)
+
+(* --- probe orders ----------------------------------------------------- *)
+
+let check_permutation what n (a : int array) =
+  let seen = Array.make n false in
+  Alcotest.(check int) (what ^ " length") n (Array.length a);
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then Alcotest.failf "%s: out of range %d" what v;
+      if seen.(v) then Alcotest.failf "%s: duplicate %d" what v;
+      seen.(v) <- true)
+    a
+
+let test_near_first_order () =
+  let t = Cpool_topology.two_group ~nodes:4 () in
+  (* Groups {0,1} and {2,3}: from node 2, own slot first, then its group
+     peer, then the far group in ring order. *)
+  Alcotest.(check (array int))
+    "from 2" [| 2; 3; 0; 1 |]
+    (Cpool_topology.near_first_order t ~from:2);
+  let order = Cpool_topology.near_first_order t ~from:0 in
+  Alcotest.(check (array int)) "from 0" [| 0; 1; 2; 3 |] order;
+  (* The only shuffleable span is the far pair: position 0 and the
+     length-1 near remainder are excluded. *)
+  Alcotest.(check (list (pair int int)))
+    "spans" [ (2, 2) ]
+    (Cpool_topology.distance_spans t ~from:0 order)
+
+let test_group_major_order () =
+  let t = get (Cpool_topology.of_groups [ 2; 3 ]) in
+  check_permutation "group-major" 5 (Cpool_topology.group_major_order t);
+  let gm = Cpool_topology.group_major_order t in
+  let g i = Cpool_topology.group t gm.(i) in
+  for i = 1 to 4 do
+    if g i < g (i - 1) then Alcotest.fail "group-major order not grouped"
+  done
+
+(* Property: for every search kind, a topology-aware pool's probe order is
+   a permutation of all segments — no segment is skipped or visited twice,
+   whatever the group shapes. *)
+let prop_probe_order_permutes =
+  QCheck.Test.make ~name:"aware probe order is a permutation for every kind"
+    ~count:100
+    QCheck.(
+      triple (int_range 2 9) (int_range 0 8) (int_range 0 1000))
+    (fun (nodes, slot_raw, seed) ->
+      let slot = slot_raw mod nodes in
+      let topo = Cpool_topology.two_group ~nodes ~penalty:4.0 () in
+      List.for_all
+        (fun kind ->
+          let pool =
+            Cpool_mc.Mc_pool.create ~kind ~seed:(Int64.of_int seed) ~topology:topo
+              ~segments:nodes ()
+          in
+          let order = Cpool_mc.Mc_pool.probe_order pool ~slot in
+          check_permutation
+            (Cpool_intf.to_string kind ^ " order")
+            nodes order;
+          (* Near segments must precede far ones (modulo the own slot
+             leading) for the deterministic kinds and the bucket-shuffled
+             Random alike. *)
+          let d i = Cpool_topology.distance topo ~from:slot ~to_:order.(i) in
+          let ok = ref true in
+          (match kind with
+          | Cpool_intf.Tree -> ()
+          | _ ->
+            for i = 2 to nodes - 1 do
+              if d i < d (i - 1) then ok := false
+            done);
+          !ok)
+        Cpool_intf.all)
+
+let test_oblivious_order_is_ring () =
+  let topo = Cpool_topology.two_group ~nodes:4 () in
+  let pool =
+    Cpool_mc.Mc_pool.create ~topology:topo ~topology_aware:false ~segments:4 ()
+  in
+  Alcotest.(check (array int))
+    "ring from 2" [| 2; 3; 0; 1 |]
+    (Cpool_mc.Mc_pool.probe_order pool ~slot:2)
+
+(* --- the same model in the simulator cost model ----------------------- *)
+
+let test_sim_access_cost_uses_topology () =
+  let topo = Cpool_topology.two_group ~penalty:4.0 ~nodes:4 () in
+  let m = Cpool_sim.Topology.with_topology topo Cpool_sim.Topology.butterfly in
+  let local = Cpool_sim.Topology.access_cost m ~from:0 ~home:0 in
+  let near = Cpool_sim.Topology.access_cost m ~from:0 ~home:1 in
+  let far = Cpool_sim.Topology.access_cost m ~from:0 ~home:2 in
+  (* Same-group access costs like local (distance 1.0); only crossing a
+     group boundary pays the declared penalty. *)
+  Alcotest.(check (float 1e-9)) "near equals local" local near;
+  Alcotest.(check (float 1e-9)) "far pays the penalty" (4.0 *. local) far
+
+let suites =
+  [
+    ( "topology",
+      [
+        Alcotest.test_case "matrix rejects asymmetric" `Quick
+          test_matrix_rejects_asymmetric;
+        Alcotest.test_case "matrix rejects non-square" `Quick
+          test_matrix_rejects_non_square;
+        Alcotest.test_case "matrix rejects bad entries" `Quick
+          test_matrix_rejects_bad_entries;
+        Alcotest.test_case "groups reject bad shapes" `Quick
+          test_groups_reject_bad_shapes;
+        Alcotest.test_case "matrix groups derived" `Quick test_matrix_groups_derived;
+        Alcotest.test_case "group config round-trips" `Quick test_group_round_trip;
+        Alcotest.test_case "matrix config round-trips" `Quick test_matrix_round_trip;
+        Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
+        Alcotest.test_case "two-group preset invariants" `Quick
+          test_two_group_invariants;
+        Alcotest.test_case "scale_remote" `Quick test_scale_remote;
+        Alcotest.test_case "near-first order" `Quick test_near_first_order;
+        Alcotest.test_case "group-major order" `Quick test_group_major_order;
+        QCheck_alcotest.to_alcotest prop_probe_order_permutes;
+        Alcotest.test_case "oblivious order is the ring" `Quick
+          test_oblivious_order_is_ring;
+        Alcotest.test_case "sim access cost uses topology" `Quick
+          test_sim_access_cost_uses_topology;
+      ] );
+  ]
