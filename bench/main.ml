@@ -61,7 +61,7 @@ open Bechamel
 open Toolkit
 
 let pool_pair kind =
-  let pool = Cpool_mc.Mc_pool.create ~kind ~segments:2 () in
+  let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with kind; segments = 2 } in
   let mine = Cpool_mc.Mc_pool.register_at pool 0 in
   let other = Cpool_mc.Mc_pool.register_at pool 1 in
   (pool, mine, other)
@@ -153,7 +153,7 @@ let run_micro () =
 (* A fork/join task storm: every worker both produces and consumes; the
    pool's quiescence detection ends the run. Reported as tasks/second. *)
 let domain_throughput ~kind ~domains =
-  let pool = Cpool_mc.Mc_pool.create ~kind ~segments:domains () in
+  let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with kind; segments = domains } in
   let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
   let processed = Atomic.make 0 in
   Cpool_mc.Mc_pool.add pool handles.(0) 15;
@@ -206,7 +206,7 @@ let run_domain_throughput () =
    wall clock), so only the count-based columns are tabulated. *)
 
 let real_producer_consumer ~kind ~domains ~per =
-  let pool = Cpool_mc.Mc_pool.create ~kind ~segments:domains () in
+  let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with kind; segments = domains } in
   let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
   let producers = domains / 2 in
   let removes = Atomic.make 0 in

@@ -178,14 +178,41 @@ let mode_conv =
   in
   Arg.conv (parse, Format.pp_print_string)
 
+(* One shared workload-spec parser for mc-stress, mc-throughput and
+   mc-siege (Cpool_intf.Workload.of_string): a bad spec is a usage error
+   on stderr (exit 2) carrying the full list of valid forms. *)
+let workload_conv =
+  let parse s =
+    match Cpool_intf.Workload.of_string s with
+    | Ok w -> Ok w
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt w = Format.pp_print_string fmt (Cpool_intf.Workload.to_string w) in
+  Arg.conv (parse, print)
+
+let workload_doc =
+  "Workload spec: an optional preset ($(b,sufficient), $(b,sparse), \
+   $(b,default), $(b,siege)) followed by comma-separated settings — \
+   $(b,mix=F), $(b,initial=N) (per segment), $(b,duration=S), \
+   $(b,arrival=closed|poisson:RATE|bursty:RATE:ON_MS:OFF_MS), \
+   $(b,arrangement=uniform|balanced:K|unbalanced:K)."
+
+(* A --seconds override rewrites every selected workload's duration, so
+   scripts can scale a preset without restating the whole spec. *)
+let override_seconds seconds workloads =
+  match seconds with
+  | None -> workloads
+  | Some s ->
+    List.map (fun w -> { w with Cpool_intf.Workload.duration_s = s }) workloads
+
 let mc_stress_cmd =
   let domains =
     let doc = "Worker domains (= pool segments). Defaults to the recommended domain count." in
     Arg.(value & opt (some int) None & info [ "domains"; "d" ] ~docv:"N" ~doc)
   in
   let seconds =
-    let doc = "Seconds of mixed operations per configuration cell." in
-    Arg.(value & opt float 1.0 & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
+    let doc = "Override the workload's duration (seconds per cell)." in
+    Arg.(value & opt (some float) None & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
   in
   let stress_kind =
     let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree), $(b,hinted) or $(b,all)." in
@@ -199,13 +226,12 @@ let mc_stress_cmd =
     let doc = "Per-segment capacity for the bounded cells." in
     Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N" ~doc)
   in
-  let add_bias =
-    let doc = "Probability an operation is an add (0..1)." in
-    Arg.(value & opt float 0.5 & info [ "add-bias" ] ~docv:"P" ~doc)
-  in
-  let initial =
-    let doc = "Elements prefilled across the segments." in
-    Arg.(value & opt int 128 & info [ "initial" ] ~docv:"N" ~doc)
+  let workload =
+    let doc = workload_doc ^ " Must be closed-loop and uniform." in
+    Arg.(
+      value
+      & opt workload_conv Cpool_intf.Workload.default
+      & info [ "workload"; "w" ] ~docv:"SPEC" ~doc)
   in
   let no_churn =
     Arg.(value & flag & info [ "no-churn" ] ~doc:"Disable register/deregister churn.")
@@ -221,15 +247,28 @@ let mc_stress_cmd =
             "Record per-domain event traces and cross-check the event-derived \
              steal/hint counts against the merged telemetry (extra invariants).")
   in
-  let run domains seconds kind mode capacity add_bias initial no_churn seed trace =
+  let run domains seconds kind mode capacity workload no_churn seed trace =
     let domains =
       match domains with
       | Some d -> d
       | None -> min 8 (max 2 (Domain.recommended_domain_count ()))
     in
+    let workload =
+      List.hd (override_seconds seconds [ workload ])
+    in
     if domains < 1 then usage_error "--domains must be at least 1"
     else if capacity < 1 then usage_error "--capacity must be at least 1"
-    else if seconds <= 0.0 then usage_error "--seconds must be positive"
+    else if workload.Cpool_intf.Workload.duration_s <= 0.0 then
+      usage_error "--seconds must be positive"
+    else if not (Cpool_intf.Workload.closed workload) then
+      usage_error
+        "mc-stress is a closed-loop harness; open-loop arrivals belong to \
+         mc-siege"
+    else if workload.Cpool_intf.Workload.arrangement <> Cpool_intf.Workload.Uniform
+    then
+      usage_error
+        "mc-stress runs a uniform arrangement; producer/consumer splits belong \
+         to mc-siege"
     else
     let kinds = match kind with Some k -> [ k ] | None -> Cpool_intf.all in
     let capacities =
@@ -246,11 +285,9 @@ let mc_stress_cmd =
             let cfg =
               {
                 Cpool_mc.Mc_stress.domains;
-                seconds;
                 kind;
                 capacity;
-                add_bias;
-                initial;
+                workload;
                 churn = not no_churn;
                 seed;
                 trace;
@@ -283,23 +320,10 @@ let mc_stress_cmd =
   Cmd.v
     (Cmd.info "mc-stress" ~doc ~man)
     Term.(
-      const run $ domains $ seconds $ stress_kind $ mode $ capacity $ add_bias $ initial
+      const run $ domains $ seconds $ stress_kind $ mode $ capacity $ workload
       $ no_churn $ stress_seed $ stress_trace)
 
 (* --- mc-throughput: lock-free fast path vs all-mutex baseline --------- *)
-
-let mix_conv =
-  let parse = function
-    | "sufficient" -> Ok [ Cpool_mc.Mc_bench.Sufficient ]
-    | "sparse" -> Ok [ Cpool_mc.Mc_bench.Sparse ]
-    | "both" -> Ok [ Cpool_mc.Mc_bench.Sufficient; Cpool_mc.Mc_bench.Sparse ]
-    | s -> Error (`Msg (Printf.sprintf "unknown mix %S (expected sufficient, sparse or both)" s))
-  in
-  let print fmt = function
-    | [ m ] -> Format.pp_print_string fmt (Cpool_mc.Mc_bench.mix_name m)
-    | _ -> Format.pp_print_string fmt "both"
-  in
-  Arg.conv (parse, print)
 
 (* A topology spec is resolved per --domains count, because the preset form
    scales with the pool while a file pins an exact node count. *)
@@ -373,19 +397,20 @@ let mc_throughput_cmd =
     Arg.(value & opt (list int) [ 2; 8 ] & info [ "domains"; "d" ] ~docv:"N,.." ~doc)
   in
   let seconds =
-    let doc = "Seconds of mixed operations per cell." in
-    Arg.(value & opt float 1.0 & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
+    let doc = "Override every selected workload's duration (seconds per cell)." in
+    Arg.(value & opt (some float) None & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
   in
   let bench_kind =
     let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree), $(b,hinted) or $(b,all)." in
     Arg.(value & opt kind_conv (Some Cpool_mc.Mc_pool.Linear) & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
   in
-  let mixes =
-    let doc = "Operation mixes: $(b,sufficient), $(b,sparse) or $(b,both)." in
-    Arg.(
-      value
-      & opt mix_conv [ Cpool_mc.Mc_bench.Sufficient; Cpool_mc.Mc_bench.Sparse ]
-      & info [ "mixes"; "m" ] ~docv:"MIX" ~doc)
+  let workloads =
+    let doc =
+      workload_doc
+      ^ " Repeatable, one grid row each; defaults to $(b,sufficient) and \
+         $(b,sparse). Must be closed-loop."
+    in
+    Arg.(value & opt_all workload_conv [] & info [ "workload"; "w" ] ~docv:"SPEC" ~doc)
   in
   let capacity =
     let doc = "Per-segment capacity (omit for unbounded segments)." in
@@ -424,7 +449,7 @@ let mc_throughput_cmd =
     in
     Arg.(value & opt (some string) None & info [ "topology"; "t" ] ~docv:"SPEC" ~doc)
   in
-  let run domains seconds kind mixes capacity no_baseline out seed trace_out topo_arg =
+  let run domains seconds kind workloads capacity no_baseline out seed trace_out topo_arg =
     (* Resolve the spec against every requested domain count up front, so a
        mismatched file or an unscalable preset is a usage error before any
        cell runs. *)
@@ -445,9 +470,22 @@ let mc_throughput_cmd =
           | Some msg -> Error msg
           | None -> Ok (Some ts)))
     in
+    let workloads =
+      if workloads = [] then
+        [ Cpool_intf.Workload.sufficient; Cpool_intf.Workload.sparse ]
+      else workloads
+    in
+    let workloads = override_seconds seconds workloads in
     if List.exists (fun d -> d < 1) domains || domains = [] then
       usage_error "--domains needs positive counts"
-    else if seconds <= 0.0 then usage_error "--seconds must be positive"
+    else if (match seconds with Some s -> s <= 0.0 | None -> false) then
+      usage_error "--seconds must be positive"
+    else if
+      List.exists (fun w -> not (Cpool_intf.Workload.closed w)) workloads
+    then
+      usage_error
+        "mc-throughput is a closed-loop harness; open-loop arrivals belong to \
+         mc-siege"
     else if (match capacity with Some c -> c < 1 | None -> false) then
       usage_error "--capacity must be at least 1"
     else
@@ -460,9 +498,8 @@ let mc_throughput_cmd =
         {
           Cpool_mc.Mc_bench.kinds;
           domain_counts = domains;
-          mixes;
+          workloads;
           baseline = not no_baseline;
-          seconds;
           capacity;
           seed;
           trace = trace_out <> None;
@@ -515,7 +552,7 @@ let mc_throughput_cmd =
   Cmd.v
     (Cmd.info "mc-throughput" ~doc ~man)
     Term.(
-      const run $ domains $ seconds $ bench_kind $ mixes $ capacity $ no_baseline $ out
+      const run $ domains $ seconds $ bench_kind $ workloads $ capacity $ no_baseline $ out
       $ bench_seed $ trace_out $ topology)
 
 (* --- mc-trace: trace a real run and replay the paper's strip charts --- *)
@@ -526,8 +563,8 @@ let mc_trace_cmd =
     Arg.(value & opt (some int) None & info [ "domains"; "d" ] ~docv:"N" ~doc)
   in
   let seconds =
-    let doc = "Seconds of mixed operations to trace." in
-    Arg.(value & opt float 1.0 & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
+    let doc = "Override the workload's duration (seconds to trace)." in
+    Arg.(value & opt (some float) None & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
   in
   let trace_kind =
     let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree) or $(b,hinted)." in
@@ -540,13 +577,12 @@ let mc_trace_cmd =
     let doc = "Per-segment capacity (omit for unbounded segments)." in
     Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
   in
-  let add_bias =
-    let doc = "Probability an operation is an add (0..1); < 0.5 is the sparse regime." in
-    Arg.(value & opt float 0.4 & info [ "add-bias" ] ~docv:"P" ~doc)
-  in
-  let initial =
-    let doc = "Elements prefilled across the segments." in
-    Arg.(value & opt int 128 & info [ "initial" ] ~docv:"N" ~doc)
+  let workload =
+    let doc = workload_doc ^ " Must be closed-loop and uniform." in
+    Arg.(
+      value
+      & opt workload_conv { Cpool_intf.Workload.default with mix = 0.4 }
+      & info [ "workload"; "w" ] ~docv:"SPEC" ~doc)
   in
   let trace_seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Base random seed.")
@@ -560,27 +596,33 @@ let mc_trace_cmd =
     let doc = "Time buckets of the segment-size strip chart." in
     Arg.(value & opt int 72 & info [ "buckets" ] ~docv:"N" ~doc)
   in
-  let run domains seconds kind capacity add_bias initial seed out buckets =
+  let run domains seconds kind capacity workload seed out buckets =
     let domains =
       match domains with
       | Some d -> d
       | None -> min 8 (max 2 (Domain.recommended_domain_count ()))
     in
+    let workload = List.hd (override_seconds seconds [ workload ]) in
     if domains < 1 then usage_error "--domains must be at least 1"
-    else if seconds <= 0.0 then usage_error "--seconds must be positive"
+    else if workload.Cpool_intf.Workload.duration_s <= 0.0 then
+      usage_error "--seconds must be positive"
     else if buckets < 1 then usage_error "--buckets must be at least 1"
     else if (match capacity with Some c -> c < 1 | None -> false) then
       usage_error "--capacity must be at least 1"
+    else if not (Cpool_intf.Workload.closed workload) then
+      usage_error
+        "mc-trace is a closed-loop harness; open-loop arrivals belong to \
+         mc-siege"
+    else if workload.Cpool_intf.Workload.arrangement <> Cpool_intf.Workload.Uniform
+    then usage_error "mc-trace runs a uniform arrangement"
     else begin
       let kind = match kind with Some k -> k | None -> Cpool_mc.Mc_pool.Hinted in
       let cfg =
         {
           Cpool_mc.Mc_stress.domains;
-          seconds;
           kind;
           capacity;
-          add_bias;
-          initial;
+          workload;
           churn = false;
           seed;
           trace = true;
@@ -607,7 +649,8 @@ let mc_trace_cmd =
         (Cpool_metrics.Render.strip_chart
            ~title:
              (Printf.sprintf "segment size over time (%s, add-bias %.2f)"
-                (Cpool_mc.Mc_stress.kind_name kind) add_bias)
+                (Cpool_mc.Mc_stress.kind_name kind)
+                workload.Cpool_intf.Workload.mix)
            ~labels grid);
       (match out with
       | None -> ()
@@ -641,8 +684,273 @@ let mc_trace_cmd =
   Cmd.v
     (Cmd.info "mc-trace" ~doc ~man)
     Term.(
-      const run $ domains $ seconds $ trace_kind $ capacity $ add_bias $ initial
+      const run $ domains $ seconds $ trace_kind $ capacity $ workload
       $ trace_seed $ out $ buckets)
+
+(* --- mc-siege: open-loop load harness and breaking-point finder ------- *)
+
+let mc_siege_cmd =
+  let domains =
+    let doc = "Worker domains (= pool segments). Defaults to the recommended domain count." in
+    Arg.(value & opt (some int) None & info [ "domains"; "d" ] ~docv:"N" ~doc)
+  in
+  let siege_kind =
+    let doc = "Search algorithm: $(b,linear), $(b,random), $(b,tree), $(b,hinted) or $(b,all)." in
+    Arg.(value & opt kind_conv None & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
+  in
+  let workloads =
+    let doc =
+      workload_doc
+      ^ " Repeatable, one saturation search each; defaults to the $(b,siege) \
+         preset. Must be open-loop (a non-closed arrival); the spec's rate is \
+         the ramp's starting load."
+    in
+    Arg.(value & opt_all workload_conv [] & info [ "workload"; "w" ] ~docv:"SPEC" ~doc)
+  in
+  let seconds =
+    let doc = "Override every selected workload's duration (seconds per load point)." in
+    Arg.(value & opt (some float) None & info [ "seconds"; "s" ] ~docv:"SEC" ~doc)
+  in
+  let capacity =
+    let doc = "Per-segment capacity (omit for unbounded segments)." in
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let topology =
+    let doc =
+      "Attach a locality model (remote-delay sweep): $(b,two-group:PENALTY) / \
+       $(b,two-group:PENALTY:UNIT_NS) or a $(b,Cpool_topology) file — the same \
+       specs mc-throughput accepts."
+    in
+    Arg.(value & opt (some string) None & info [ "topology"; "t" ] ~docv:"SPEC" ~doc)
+  in
+  let topo_blind =
+    Arg.(
+      value & flag
+      & info [ "topo-blind" ]
+          ~doc:
+            "With $(b,--topology), run the distance-oblivious twin (same \
+             emulated machine, distance-blind policies).")
+  in
+  let p99_bound =
+    let doc = "p99 sojourn bound of the breaking-point test, in µs." in
+    Arg.(value & opt float 10_000.0 & info [ "p99-bound-us" ] ~docv:"US" ~doc)
+  in
+  let max_rate =
+    let doc = "Upper end of the load ramp, arrivals/s." in
+    Arg.(value & opt float 1e6 & info [ "max-rate" ] ~docv:"RATE" ~doc)
+  in
+  let bisect =
+    let doc = "Bisection refinements after the geometric ramp." in
+    Arg.(value & opt int 3 & info [ "bisect" ] ~docv:"N" ~doc)
+  in
+  let siege_seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Base random seed.")
+  in
+  let out =
+    let doc = "Write the JSON curve to $(docv) (omit to skip the file)." in
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_mcsiege.json")
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run domains kind workloads seconds capacity topo_arg topo_blind p99_bound
+      max_rate bisect seed out =
+    let domains =
+      match domains with
+      | Some d -> d
+      | None -> min 8 (max 2 (Domain.recommended_domain_count ()))
+    in
+    let workloads =
+      if workloads = [] then [ Cpool_intf.Workload.siege ] else workloads
+    in
+    let workloads = override_seconds seconds workloads in
+    let arrangement_fits w =
+      match w.Cpool_intf.Workload.arrangement with
+      | Cpool_intf.Workload.Uniform -> true
+      | Cpool_intf.Workload.Balanced k | Cpool_intf.Workload.Unbalanced k ->
+        k < domains
+    in
+    let topo =
+      match topo_arg with
+      | None -> Ok None
+      | Some spec ->
+        Result.bind (parse_topo_spec spec) (fun ts ->
+            Result.map Option.some (ts.resolve domains))
+    in
+    if domains < 2 then usage_error "--domains must be at least 2"
+    else if (match seconds with Some s -> s <= 0.0 | None -> false) then
+      usage_error "--seconds must be positive"
+    else if (match capacity with Some c -> c < 1 | None -> false) then
+      usage_error "--capacity must be at least 1"
+    else if List.exists Cpool_intf.Workload.closed workloads then
+      usage_error
+        "mc-siege is open-loop: give the workload an arrival process \
+         (arrival=poisson:RATE or arrival=bursty:RATE:ON_MS:OFF_MS)"
+    else if not (List.for_all arrangement_fits workloads) then
+      usage_error
+        "the arrangement needs fewer producers than --domains (at least one \
+         consumer)"
+    else if not (p99_bound > 0.0) then usage_error "--p99-bound-us must be positive"
+    else if bisect < 0 then usage_error "--bisect must be non-negative"
+    else if
+      List.exists
+        (fun w ->
+          match Cpool_intf.Workload.offered_rate w with
+          | Some r -> r > max_rate
+          | None -> false)
+        workloads
+    then usage_error "the workload's rate exceeds --max-rate"
+    else
+      match topo with
+      | Error msg -> usage_error "%s" msg
+      | Ok topology ->
+        let kinds = match kind with Some k -> [ k ] | None -> Cpool_intf.all in
+        let outcomes =
+          List.concat_map
+            (fun kind ->
+              List.map
+                (fun workload ->
+                  Cpool_mc.Mc_siege.run
+                    {
+                      pool =
+                        {
+                          Cpool_mc.Mc_pool.Config.default with
+                          segments = domains;
+                          kind;
+                          capacity;
+                          topology;
+                          topology_aware = not topo_blind;
+                        };
+                      workload;
+                      seed;
+                      p99_bound_us = p99_bound;
+                      max_rate;
+                      bisect_steps = bisect;
+                    })
+                workloads)
+            kinds
+        in
+        print_string (Cpool_mc.Mc_siege.render outcomes);
+        (match out with
+        | None -> ()
+        | Some file ->
+          let doc = Cpool_mc.Mc_siege.to_json outcomes in
+          let oc = open_out file in
+          output_string oc (Cpool_util.Json.to_string doc);
+          close_out oc;
+          Printf.printf "wrote %s (%d cells)\n" file (List.length outcomes));
+        0
+  in
+  let doc = "Open-loop siege: find each pool's breaking point under arrival-driven load" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Drives the real pool with an arrival process (Poisson or bursty \
+         on/off) on an absolute schedule — the open-loop regime that exposes \
+         queueing collapse, unlike the closed-loop mc-throughput where workers \
+         can never outrun the pool. Producer domains (placed by the workload's \
+         arrangement: balanced around the ring, unbalanced in contiguous \
+         slots, or uniform everyone-produces) enqueue timestamps; consumers \
+         record each element's sojourn into mergeable log-scaled histograms. \
+         The offered load ramps geometrically from the workload's rate and \
+         then bisects to the breaking point (p99 beyond the bound, backlog \
+         not draining, rejected adds, or a lagging generator), emitting the \
+         latency-under-load curve as $(b,BENCH_mcsiege.json) — the baseline \
+         $(b,siege-diff) gates CI against.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "mc-siege" ~doc ~man)
+    Term.(
+      const run $ domains $ siege_kind $ workloads $ seconds $ capacity $ topology
+      $ topo_blind $ p99_bound $ max_rate $ bisect $ siege_seed $ out)
+
+(* --- siege-diff: regression gate against the committed baseline -------- *)
+
+let siege_diff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Committed BENCH_mcsiege.json to gate against.")
+  in
+  let fresh =
+    let doc =
+      "Compare against this already-written fresh artifact instead of \
+       rerunning the baseline's cells."
+    in
+    Arg.(value & opt (some string) None & info [ "fresh" ] ~docv:"FILE" ~doc)
+  in
+  let run baseline_file fresh_file =
+    let read file =
+      match In_channel.with_open_bin file In_channel.input_all with
+      | exception Sys_error msg -> Error msg
+      | source -> (
+        match Cpool_util.Json.parse source with
+        | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+        | Ok doc -> (
+          match Cpool_mc.Mc_siege.validate_json doc with
+          | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+          | Ok _ -> Ok doc))
+    in
+    match read baseline_file with
+    | Error msg -> usage_error "%s" msg
+    | Ok baseline -> (
+      let fresh =
+        match fresh_file with
+        | Some file -> read file
+        | None -> (
+          (* Rerun every baseline cell with its own recorded config — the
+             artifact carries everything needed to reproduce itself. *)
+          let cells =
+            Option.get
+              (Cpool_util.Json.to_list
+                 (Option.get (Cpool_util.Json.member "cells" baseline)))
+          in
+          let configs =
+            List.fold_left
+              (fun acc c ->
+                Result.bind acc (fun cfgs ->
+                    Result.map
+                      (fun cfg -> cfg :: cfgs)
+                      (Cpool_mc.Mc_siege.config_of_cell_json c)))
+              (Ok []) cells
+          in
+          match configs with
+          | Error msg -> Error (Printf.sprintf "%s: %s" baseline_file msg)
+          | Ok cfgs ->
+            let outcomes = List.rev_map Cpool_mc.Mc_siege.run cfgs in
+            print_string (Cpool_mc.Mc_siege.render outcomes);
+            Ok (Cpool_mc.Mc_siege.to_json outcomes))
+      in
+      match fresh with
+      | Error msg -> usage_error "%s" msg
+      | Ok fresh -> (
+        match Cpool_mc.Mc_siege.diff ~baseline ~fresh with
+        | Error msg -> usage_error "%s" msg
+        | Ok [] ->
+          Printf.printf "siege-diff: OK against %s\n" baseline_file;
+          0
+        | Ok regressions ->
+          List.iter (fun r -> Format.eprintf "pools_bench: %s@." r) regressions;
+          1))
+  in
+  let doc = "Gate a fresh mc-siege run against the committed baseline curve" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reruns every cell recorded in $(b,BASELINE) (or reads $(b,--fresh)) \
+         and fails — exit 1 — when a cell went missing, its best surviving \
+         throughput dropped more than the baseline's \
+         $(b,max_throughput_drop_pct), or its p99 at the lightest load \
+         inflated past $(b,max_p99_inflation_pct). The thresholds live in the \
+         baseline artifact itself and are deliberately generous: the gate \
+         catches collapses, not CI scatter.";
+    ]
+  in
+  Cmd.v (Cmd.info "siege-diff" ~doc ~man) Term.(const run $ baseline $ fresh)
 
 (* --- json-check: validate a benchmark artifact ------------------------- *)
 
@@ -667,6 +975,15 @@ let json_check_cmd =
           | Ok events ->
             Printf.printf "%s: valid Chrome trace, %d events\n" file events;
             0)
+        else if
+          Cpool_util.Json.member "benchmark" doc
+          = Some (Cpool_util.Json.Str "mc-siege")
+        then (
+          match Cpool_mc.Mc_siege.validate_json doc with
+          | Error msg -> finding msg
+          | Ok cells ->
+            Printf.printf "%s: valid mc-siege report, %d cells\n" file cells;
+            0)
         else (
           match Cpool_mc.Mc_bench.validate_json doc with
           | Error msg -> finding msg
@@ -675,15 +992,29 @@ let json_check_cmd =
             0))
   in
   Cmd.v
-    (Cmd.info "json-check" ~doc:"Validate an mc-throughput or Chrome trace JSON report")
+    (Cmd.info "json-check"
+       ~doc:"Validate an mc-throughput, mc-siege or Chrome trace JSON report")
     Term.(const run $ file)
 
 let main =
   let doc = "Concurrent pools (Kotz & Ellis 1989) experiment driver" in
   let info = Cmd.info "pools_bench" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ run_cmd; list_cmd; mc_stress_cmd; mc_throughput_cmd; mc_trace_cmd; json_check_cmd ]
+    [
+      run_cmd;
+      list_cmd;
+      mc_stress_cmd;
+      mc_throughput_cmd;
+      mc_siege_cmd;
+      siege_diff_cmd;
+      mc_trace_cmd;
+      json_check_cmd;
+    ]
 
 (* eval' maps the int our terms return straight to the exit code;
-   Cmdliner's own parse errors exit 2 to match. *)
-let () = exit (Cmd.eval' ~term_err:2 main)
+   Cmdliner's own parse errors exit 2 to match — including Arg.conv
+   failures (e.g. a malformed --workload spec), which Cmdliner reports as
+   [Exit.cli_error] rather than [term_err]. *)
+let () =
+  let code = Cmd.eval' ~term_err:2 main in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -14,7 +14,7 @@ let best_move_parallel ~plies ~domains board =
   match Board.legal_moves board with
   | [] -> None
   | moves ->
-    let pool = Cpool_mc.Mc_pool.create ~segments:domains () in
+    let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with segments = domains } in
     let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
     List.iter (Cpool_mc.Mc_pool.add pool handles.(0)) moves;
     let best = Atomic.make (min_int, -1) in

@@ -46,7 +46,7 @@ dune exec bin/pools_bench.exe -- mc-stress --domains 4 --seconds 0.5 --capacity 
 
 echo "== mc-stress smoke (hinted hand-off under a sparse mix) =="
 dune exec bin/pools_bench.exe -- mc-stress --domains 4 --seconds 0.3 \
-  -k hinted --add-bias 0.35 --initial 32
+  -k hinted --workload mix=0.35,initial=8
 
 echo "== mc-throughput smoke (fast path vs all-mutex baseline) =="
 dune exec bin/pools_bench.exe -- mc-throughput --domains 2 --seconds 0.2 \
@@ -54,18 +54,23 @@ dune exec bin/pools_bench.exe -- mc-throughput --domains 2 --seconds 0.2 \
 
 echo "== mc-throughput smoke (hinted hand-off, sparse mix) =="
 dune exec bin/pools_bench.exe -- mc-throughput --domains 2 --seconds 0.2 \
-  --kind hinted --mixes sparse --out BENCH_mcpool_hinted_smoke.json
+  --kind hinted --workload sparse --out BENCH_mcpool_hinted_smoke.json
 
 echo "== mc-throughput smoke (topology-aware vs distance-oblivious, two-group) =="
 # The committed topo/two_group.topo drives both this real-domain run and
 # the simulator's topology experiment — one locality model, two worlds.
 dune exec bin/pools_bench.exe -- mc-throughput --domains 4 --seconds 0.2 \
-  --kind linear --mixes sparse --topology topo/two_group.topo \
+  --kind linear --workload sparse --topology topo/two_group.topo \
   --out BENCH_mctopo_smoke.json
 
 echo "== mc-trace smoke (traced run, event/telemetry reconciliation) =="
 dune exec bin/pools_bench.exe -- mc-trace --domains 3 --seconds 0.3 \
-  --add-bias 0.4 --initial 32 --out TRACE_mcpool_smoke.json
+  --workload mix=0.4,initial=11 --out TRACE_mcpool_smoke.json
+
+echo "== mc-siege smoke (open-loop breaking-point search, 2 domains) =="
+dune exec bin/pools_bench.exe -- mc-siege --domains 2 --kind linear \
+  --workload siege,arrival=poisson:500,duration=0.05,arrangement=balanced:1 \
+  --max-rate 2000 --bisect 0 --out BENCH_mcsiege_smoke.json
 
 echo "== json-check (benchmark artifacts parse and validate) =="
 # The topology artifact's near/far steal split is validated here too
@@ -74,8 +79,18 @@ dune exec bin/pools_bench.exe -- json-check BENCH_mcpool_smoke.json
 dune exec bin/pools_bench.exe -- json-check BENCH_mcpool_hinted_smoke.json
 dune exec bin/pools_bench.exe -- json-check BENCH_mctopo_smoke.json
 dune exec bin/pools_bench.exe -- json-check TRACE_mcpool_smoke.json
+dune exec bin/pools_bench.exe -- json-check BENCH_mcsiege_smoke.json
+
+echo "== siege-diff gate (fresh smoke vs itself, then the committed baseline) =="
+# Self-diff must always be clean — it exercises the pairing and threshold
+# logic without rerunning anything.
+dune exec bin/pools_bench.exe -- siege-diff BENCH_mcsiege_smoke.json \
+  --fresh BENCH_mcsiege_smoke.json
+# The committed baseline is rerun cell by cell (its cells carry their own
+# config); thresholds live in the artifact and are generous for CI noise.
+dune exec bin/pools_bench.exe -- siege-diff BENCH_mcsiege.json
 rm -f BENCH_mcpool_smoke.json BENCH_mcpool_hinted_smoke.json \
-  BENCH_mctopo_smoke.json TRACE_mcpool_smoke.json
+  BENCH_mctopo_smoke.json TRACE_mcpool_smoke.json BENCH_mcsiege_smoke.json
 
 echo "== usage-error exit codes (pools_bench, PR 7 convention) =="
 # mc-throughput must reject nonsense flags with a usage error on stderr
@@ -93,6 +108,24 @@ for bad in "--domains 0" "--seconds=-1" "--topology nonexistent.topo"; do
     echo "check.sh: mc-throughput $bad exited $status, expected 2" >&2
     exit 1
   fi
+done
+# An unknown workload spec must exit 2 and list the valid forms on stderr
+# (the one parser serves mc-stress, mc-throughput and mc-siege alike).
+for cmd in mc-stress mc-throughput mc-siege; do
+  status=0
+  err=$(dune exec bin/pools_bench.exe -- "$cmd" --workload bogus \
+    2>&1 >/dev/null) || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "check.sh: $cmd --workload bogus exited $status, expected 2" >&2
+    exit 1
+  fi
+  case "$err" in
+  *"mix="*) ;;
+  *)
+    echo "check.sh: $cmd --workload bogus error does not list valid forms" >&2
+    exit 1
+    ;;
+  esac
 done
 
 echo "check.sh: all green"

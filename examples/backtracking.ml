@@ -40,7 +40,7 @@ let on_domains () =
   let n = 10 in
   let domains = min 8 (max 2 (Domain.recommended_domain_count ())) in
   let problem = Nqueens.problem ~n in
-  let pool = Cpool_mc.Mc_pool.create ~segments:domains () in
+  let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with segments = domains } in
   let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
   List.iter (Cpool_mc.Mc_pool.add pool handles.(0)) problem.Backtrack.roots;
   let solutions = Atomic.make 0 in

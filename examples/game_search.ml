@@ -13,7 +13,7 @@
 open Cpool_game
 
 let best_opening_with_domains ~plies ~domains =
-  let pool = Cpool_mc.Mc_pool.create ~segments:domains () in
+  let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with segments = domains } in
   let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
   List.iter (Cpool_mc.Mc_pool.add pool handles.(0)) (Board.legal_moves Board.empty);
   let best = Atomic.make (min_int, -1) in

@@ -10,7 +10,7 @@
 let single_domain () =
   print_endline "-- single domain --";
   let pool : string Cpool_mc.Mc_pool.t =
-    Cpool_mc.Mc_pool.create ~kind:Cpool_mc.Mc_pool.Linear ~segments:4 ()
+    Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with kind = Cpool_mc.Mc_pool.Linear; segments = 4 }
   in
   let me = Cpool_mc.Mc_pool.register pool in
   List.iter (Cpool_mc.Mc_pool.add pool me) [ "alpha"; "beta"; "gamma" ];
@@ -28,7 +28,7 @@ let single_domain () =
 let many_domains () =
   print_endline "-- four domains --";
   let domains = 4 in
-  let pool = Cpool_mc.Mc_pool.create ~segments:domains () in
+  let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with segments = domains } in
   (* Register every worker up front so quiescence detection sees them all. *)
   let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
   let consumed = Atomic.make 0 in

@@ -20,7 +20,7 @@ let burn n =
   Sys.opaque_identity !acc |> ignore
 
 let run_workload ~kind ~domains =
-  let pool = Cpool_mc.Mc_pool.create ~kind ~segments:domains () in
+  let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with kind; segments = domains } in
   let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
   let processed = Atomic.make 0 in
   (* Seed: a three-level tree, fanout 8, ~585 tasks of 200k iterations. *)

@@ -1,20 +1,10 @@
-type mix = Sufficient | Sparse
-
-let mix_name = function Sufficient -> "sufficient" | Sparse -> "sparse"
-
-(* The paper's regimes: sufficient mixes keep every segment stocked (adds
-   dominate and the pool is prefilled), sparse mixes run the pool dry so
-   removes mostly probe and steal. *)
-let mix_add_bias = function Sufficient -> 0.65 | Sparse -> 0.35
-
-let mix_initial_per_domain = function Sufficient -> 256 | Sparse -> 8
+module Workload = Cpool_intf.Workload
 
 type config = {
   kinds : Mc_pool.kind list;
   domain_counts : int list;
-  mixes : mix list;
+  workloads : Workload.t list;
   baseline : bool;
-  seconds : float;
   capacity : int option;
   seed : int;
   trace : bool;
@@ -29,9 +19,8 @@ let default =
   {
     kinds = [ Mc_pool.Linear ];
     domain_counts = [ 2; 8 ];
-    mixes = [ Sufficient; Sparse ];
+    workloads = [ Workload.sufficient; Workload.sparse ];
     baseline = true;
-    seconds = 1.0;
     capacity = None;
     seed = 42;
     trace = false;
@@ -41,7 +30,7 @@ let default =
 type cell = {
   kind : Mc_pool.kind;
   domains : int;
-  mix : mix;
+  workload : Workload.t;
   fast_path : bool;
   topo : Cpool_topology.t option;
   aware : bool; (* meaningful only with [topo]: false = oblivious twin *)
@@ -101,7 +90,7 @@ let () = assert (sample_every > 0 && sample_every land (sample_every - 1) = 0)
 
 let worker pool cell ~seed tally i barrier deadline_ns =
   let rng = Cpool_util.Rng.create (Int64.of_int ((seed * 6007) + i)) in
-  let add_threshold = int_of_float (mix_add_bias cell.mix *. 1_000_000.0) in
+  let add_threshold = int_of_float (cell.workload.Workload.mix *. 1_000_000.0) in
   let sample_phase = Cpool_util.Rng.int rng sample_every in
   let h = Mc_pool.register_at pool i in
   Atomic.decr barrier;
@@ -114,7 +103,7 @@ let worker pool cell ~seed tally i barrier deadline_ns =
      exactly the behaviour under test. Blocking removes can stall until a
      peer adds, so the deadline is checked every batch. Sufficient cells
      keep the non-blocking remove and the sparser deadline check. *)
-  let blocking = cell.mix = Sparse in
+  let blocking = Workload.sparse_regime cell.workload in
   let deadline_mask = if blocking then 0 else 15 in
   let batches = ref 0 in
   let running = ref true in
@@ -161,15 +150,29 @@ let prefill pool ~capacity ~per_domain domains =
   done;
   quota * domains
 
-let run_cell ?(seconds = 1.0) ?(capacity = None) ?(seed = 42) ?(trace = false) cell =
+let run_cell ?seconds ?(capacity = None) ?(seed = 42) ?(trace = false) cell =
   if cell.domains <= 0 then invalid_arg "Mc_bench.run_cell: domains must be positive";
+  if not (Workload.closed cell.workload) then
+    invalid_arg "Mc_bench.run_cell: the throughput harness is closed-loop only";
+  let seconds =
+    match seconds with Some s -> s | None -> cell.workload.Workload.duration_s
+  in
   if seconds <= 0.0 then invalid_arg "Mc_bench.run_cell: seconds must be positive";
   let pool : int Mc_pool.t =
-    Mc_pool.create ~kind:cell.kind ?capacity ~fast_path:cell.fast_path ~trace
-      ?topology:cell.topo ~topology_aware:cell.aware ~segments:cell.domains ()
+    Mc_pool.of_config
+      {
+        Mc_pool.Config.default with
+        segments = cell.domains;
+        kind = cell.kind;
+        capacity;
+        fast_path = cell.fast_path;
+        trace;
+        topology = cell.topo;
+        topology_aware = cell.aware;
+      }
   in
   let prefill_attempts =
-    prefill pool ~capacity ~per_domain:(mix_initial_per_domain cell.mix) cell.domains
+    prefill pool ~capacity ~per_domain:cell.workload.Workload.initial cell.domains
   in
   let tallies =
     Array.init cell.domains (fun _ ->
@@ -236,14 +239,14 @@ let run config =
         List.concat_map
           (fun domains ->
             List.concat_map
-              (fun mix ->
+              (fun workload ->
                 List.map
                   (fun fast_path ->
-                    run_cell ~seconds:config.seconds ~capacity:config.capacity
-                      ~seed:config.seed ~trace:config.trace
-                      { kind; domains; mix; fast_path; topo = None; aware = true })
+                    run_cell ~capacity:config.capacity ~seed:config.seed
+                      ~trace:config.trace
+                      { kind; domains; workload; fast_path; topo = None; aware = true })
                   protocols)
-              config.mixes)
+              config.workloads)
           config.domain_counts)
       config.kinds
   in
@@ -267,20 +270,21 @@ let run config =
                 | Error msg -> failwith ("Mc_bench.run: " ^ msg)
               in
               List.concat_map
-                (fun mix ->
+                (fun workload ->
                   List.map
                     (fun aware ->
-                      run_cell ~seconds:config.seconds ~capacity:config.capacity
-                        ~seed:config.seed ~trace:config.trace
-                        { kind; domains; mix; fast_path = true; topo = Some topo; aware })
+                      run_cell ~capacity:config.capacity ~seed:config.seed
+                        ~trace:config.trace
+                        { kind; domains; workload; fast_path = true;
+                          topo = Some topo; aware })
                     policies)
-                config.mixes)
+                config.workloads)
             config.domain_counts)
         config.kinds
 
 let cell_label c =
   Printf.sprintf "%s/%dd/%s/%s%s" (Mc_stress.kind_name c.kind) c.domains
-    (mix_name c.mix)
+    (Workload.mix_label c.workload)
     (if c.fast_path then "fast" else "mutex")
     (match c.topo with
     | None -> ""
@@ -354,7 +358,7 @@ let render results =
       (fun (h, l) ->
         Buffer.add_string buf
           (Printf.sprintf "hinted vs linear %dd/%s/%s: %.2fx (%.0f vs %.0f ops/s)\n"
-             h.cell.domains (mix_name h.cell.mix)
+             h.cell.domains (Workload.mix_label h.cell.workload)
              (if h.cell.fast_path then "fast" else "mutex")
              (h.ops_per_sec /. Float.max 1e-9 l.ops_per_sec)
              h.ops_per_sec l.ops_per_sec))
@@ -429,7 +433,8 @@ let json_of_result r =
     ([
       ("kind", Cpool_util.Json.Str (Mc_stress.kind_name r.cell.kind));
       ("domains", Cpool_util.Json.Int r.cell.domains);
-      ("mix", Cpool_util.Json.Str (mix_name r.cell.mix));
+      ("mix", Cpool_util.Json.Str (Workload.mix_label r.cell.workload));
+      ("workload", Cpool_util.Json.Str (Workload.to_string r.cell.workload));
       ("fast_path", Cpool_util.Json.Bool r.cell.fast_path);
       ("duration_s", Cpool_util.Json.Float r.duration);
       ("ops", Cpool_util.Json.Int r.ops);
@@ -456,7 +461,11 @@ let to_json config results =
   Cpool_util.Json.Assoc
     [
       ("benchmark", Cpool_util.Json.Str "mc-throughput");
-      ("seconds", Cpool_util.Json.Float config.seconds);
+      ( "workloads",
+        Cpool_util.Json.List
+          (List.map
+             (fun w -> Cpool_util.Json.Str (Workload.to_string w))
+             config.workloads) );
       ( "capacity",
         match config.capacity with
         | None -> Cpool_util.Json.Null

@@ -22,17 +22,16 @@
     hit counters, and the batched-steal profile. Results serialize to JSON
     ({!to_json}) for the committed [BENCH_mcpool.json] artifact. *)
 
-type mix = Sufficient | Sparse
-
-val mix_name : mix -> string
-(** ["sufficient"] / ["sparse"]. *)
-
 type config = {
   kinds : Mc_pool.kind list;
   domain_counts : int list;
-  mixes : mix list;
+  workloads : Cpool_intf.Workload.t list;
+      (** Closed-loop scenarios, one grid row per entry. [mix] is the add
+          probability, [initial] the prefill per segment, [duration_s] the
+          wall-clock length of the cell's mixed-op phase.
+          {!Cpool_intf.Workload.sufficient} and
+          {!Cpool_intf.Workload.sparse} are the paper's two regimes. *)
   baseline : bool;  (** Also run every cell with [fast_path:false]. *)
-  seconds : float;  (** Wall-clock length of each cell's mixed-op phase. *)
   capacity : int option;  (** Per-segment bound; [None] = unbounded. *)
   seed : int;
   trace : bool;
@@ -48,13 +47,14 @@ type config = {
 }
 
 val default : config
-(** Linear kind, 2 and 8 domains, both mixes, baseline on, 1 s cells,
-    unbounded, seed 42, tracing off, no topology. *)
+(** Linear kind, 2 and 8 domains, both canonical workloads (sufficient
+    and sparse, 1 s cells), baseline on, unbounded, seed 42, tracing off,
+    no topology. *)
 
 type cell = {
   kind : Mc_pool.kind;
   domains : int;
-  mix : mix;
+  workload : Cpool_intf.Workload.t;
   fast_path : bool;
   topo : Cpool_topology.t option;
       (** Home segment [i] on topology node [i] and emulate remote
@@ -100,9 +100,10 @@ type result = {
 
 val run_cell :
   ?seconds:float -> ?capacity:int option -> ?seed:int -> ?trace:bool -> cell -> result
-(** Run one cell. Defaults: [seconds = 1.0], [capacity = None],
-    [seed = 42], [trace = false]. Raises [Invalid_argument] on
-    non-positive [domains] or [seconds]. *)
+(** Run one cell. [seconds] overrides the workload's [duration_s];
+    [capacity = None], [seed = 42], [trace = false]. Raises
+    [Invalid_argument] on non-positive [domains] or [seconds], or a
+    workload that is not closed-loop. *)
 
 val run : config -> result list
 (** Run the whole grid, fast-path cells and (when [config.baseline])

@@ -81,7 +81,7 @@ let make_topo_info ~segments ~tree ~aware topology =
   if Cpool_topology.nodes topology <> segments then
     invalid_arg
       (Printf.sprintf
-         "Mc_pool.create: topology describes %d nodes but the pool has %d \
+         "Mc_pool.of_config: topology describes %d nodes but the pool has %d \
           segments"
          (Cpool_topology.nodes topology) segments);
   let order =
@@ -127,13 +127,44 @@ let make_topo_info ~segments ~tree ~aware topology =
   in
   { topology; aware; far; delay_ns; order; near_len; spans; seg_of_leaf; leaf_of_seg }
 
-let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ?(trace = false)
-    ?(trace_capacity = 8192) ?topology ?(topology_aware = true) ~segments () =
-  if segments <= 0 then invalid_arg "Mc_pool.create: segments must be positive";
+module Config = struct
+  type t = {
+    segments : int;
+    kind : kind;
+    seed : int64;
+    capacity : int option;
+    fast_path : bool;
+    trace : bool;
+    trace_capacity : int;
+    topology : Cpool_topology.t option;
+    topology_aware : bool;
+  }
+
+  let default =
+    {
+      segments = 1;
+      kind = Linear;
+      seed = 42L;
+      capacity = None;
+      fast_path = true;
+      trace = false;
+      trace_capacity = 8192;
+      topology = None;
+      topology_aware = true;
+    }
+end
+
+let of_config (c : Config.t) =
+  let { Config.segments; kind; seed; capacity; fast_path; trace; trace_capacity;
+        topology; topology_aware } = c in
+  if segments <= 0 then
+    invalid_arg "Mc_pool.of_config: segments must be positive";
   (match capacity with
-  | Some c when c <= 0 -> invalid_arg "Mc_pool.create: capacity must be positive"
+  | Some c when c <= 0 ->
+    invalid_arg "Mc_pool.of_config: capacity must be positive"
   | Some _ | None -> ());
-  if trace_capacity <= 0 then invalid_arg "Mc_pool.create: trace_capacity must be positive";
+  if trace_capacity <= 0 then
+    invalid_arg "Mc_pool.of_config: trace_capacity must be positive";
   let tree =
     match kind with
     | Tree ->
@@ -172,6 +203,22 @@ let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true) ?(trace 
     trace_on = trace;
     trace_capacity;
   }
+
+let create ?(kind = Linear) ?(seed = 42L) ?capacity ?(fast_path = true)
+    ?(trace = false) ?(trace_capacity = 8192) ?topology
+    ?(topology_aware = true) ~segments () =
+  of_config
+    {
+      Config.segments;
+      kind;
+      seed;
+      capacity;
+      fast_path;
+      trace;
+      trace_capacity;
+      topology;
+      topology_aware;
+    }
 
 let segments t = Array.length t.segs
 

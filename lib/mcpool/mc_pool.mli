@@ -37,6 +37,65 @@ type handle
 (** A worker's identity: its segment slot plus search state. Handles are
     not thread-safe; use each handle from one domain at a time. *)
 
+(** Pool construction options, consolidated in one record so call sites
+    read [{ Config.default with segments = 8; kind = Hinted }] instead of
+    threading eight optional keywords, and harness configs can embed a
+    pool spec as a plain value. *)
+module Config : sig
+  type t = {
+    segments : int;  (** Segment slots; one per worker domain. *)
+    kind : kind;  (** Search algorithm; [Linear] by default. *)
+    seed : int64;
+        (** Drives the [Random] search's probe sequence deterministically
+            per handle. *)
+    capacity : int option;
+        (** Per-segment bound; [None] (default) is unbounded. Full adds
+            spill to the first segment with room, and a thief reserves
+            spare room in its own segment before stealing so the banked
+            remainder always fits (no segment ever exceeds its capacity,
+            even transiently). *)
+    fast_path : bool;
+        (** Enable the segments' lock-free owner path (default [true]);
+            [false] is the all-mutex baseline used for benchmarking. *)
+    trace : bool;
+        (** Give every handle a per-domain {!Mc_trace} event ring
+            (default [false]); when off, handles share the no-op
+            {!Mc_trace.disabled} tracer and pay one predictable branch
+            per recording site. *)
+    trace_capacity : int;
+        (** Event-ring slots per handle (default [8192], rounded up to a
+            power of two). *)
+    topology : Cpool_topology.t option;
+        (** Attach the shared locality model: segment [i] is homed on
+            topology node [i], remote probes, steals, spills and hint
+            deliveries pay an emulated busy-wait latency of
+            [(distance - 1) * unit_ns] per access, and the near/far
+            {!Mc_stats} counters come alive. *)
+    topology_aware : bool;
+        (** With a topology, let the search policies exploit the model
+            (default [true]) — Linear/Hinted scan in near-first order,
+            Random shuffles only within equal-distance buckets, Tree maps
+            locality groups onto contiguous leaf subtrees, spills fill
+            near segments first, and hinted adders claim near parked
+            searchers before far ones. Aware searchers also escalate
+            reluctantly: three of every four failed search passes scan
+            only the near prefix of the probe order, and every fourth
+            goes the full distance. [false] is the distance-oblivious
+            twin: same emulated machine, distance-blind policies — the
+            benchmark baseline. *)
+  }
+
+  val default : t
+  (** One [Linear] segment, seed [42L], unbounded, fast path on, no
+      trace, no topology. Build pools as record updates of this. *)
+end
+
+val of_config : Config.t -> 'a t
+(** [of_config c] builds a pool from the consolidated options. Raises
+    [Invalid_argument] if [c.segments <= 0], [c.capacity <= Some 0],
+    [c.trace_capacity <= 0], or the topology's node count differs from
+    [c.segments]. *)
+
 val create :
   ?kind:kind ->
   ?seed:int64 ->
@@ -49,39 +108,14 @@ val create :
   segments:int ->
   unit ->
   'a t
-(** [create ~segments ()] builds a pool with [segments] slots. [kind]
-    defaults to [Linear]; [seed] (default [42L]) drives the [Random]
-    search's probe sequence deterministically per handle; [capacity]
-    bounds each segment (default unbounded) — full adds spill to the first
-    segment with room, and a thief reserves spare room in its own segment
-    before stealing so the banked remainder always fits (no segment ever
-    exceeds its capacity, even transiently). [fast_path] (default [true])
-    enables the segments' lock-free owner path; [~fast_path:false] is the
-    all-mutex baseline used for benchmarking. [trace] (default [false])
-    gives every handle a per-domain {!Mc_trace} event ring of
-    [trace_capacity] slots (default [8192], rounded up to a power of two);
-    when off, handles share the no-op {!Mc_trace.disabled} tracer and pay
-    one predictable branch per recording site.
-
-    [topology] attaches the shared locality model ({!Cpool_topology}):
-    segment [i] is homed on topology node [i], remote probes, steals,
-    spills and hint deliveries pay an emulated busy-wait latency of
-    [(distance - 1) * unit_ns] per access, and the near/far
-    {!Mc_stats} counters come alive. With [topology_aware] (default
-    [true]) the search policies exploit the model — Linear/Hinted scan in
-    near-first order, Random shuffles only within equal-distance buckets,
-    Tree maps locality groups onto contiguous leaf subtrees, spills fill
-    near segments first, and hinted adders claim near parked searchers
-    before far ones. Aware searchers also escalate reluctantly: three of
-    every four failed search passes scan only the near prefix of the
-    probe order, and every fourth goes the full distance — so a starved
-    searcher mostly avoids paying remote probe latency, while emptiness
-    is still only ever concluded from a full sweep of every segment.
-    [~topology_aware:false] is the distance-oblivious
-    twin: same emulated machine, distance-blind policies — the benchmark
-    baseline. Raises [Invalid_argument] if [segments <= 0],
-    [capacity <= 0], [trace_capacity <= 0], or the topology's node count
-    differs from [segments]. *)
+[@@alert
+  deprecated
+    "Use Mc_pool.of_config { Config.default with segments = ... } instead; \
+     the keyword create is a thin wrapper kept for transition."]
+(** [create ~segments ()] is
+    [of_config { Config.default with segments; ... }] — the historical
+    keyword interface, kept as a deprecated wrapper. Defaults and
+    validation are exactly {!Config.default} and {!of_config}'s. *)
 
 val segments : 'a t -> int
 

@@ -1,10 +1,8 @@
 type config = {
   domains : int;
-  seconds : float;
   kind : Mc_pool.kind;
   capacity : int option;
-  add_bias : float;
-  initial : int;
+  workload : Cpool_intf.Workload.t;
   churn : bool;
   seed : int;
   trace : bool;
@@ -13,11 +11,9 @@ type config = {
 let default =
   {
     domains = 4;
-    seconds = 1.0;
     kind = Mc_pool.Linear;
     capacity = None;
-    add_bias = 0.5;
-    initial = 128;
+    workload = Cpool_intf.Workload.default;
     churn = true;
     seed = 42;
     trace = false;
@@ -59,25 +55,32 @@ type worker_tally = {
 }
 
 let validate cfg =
+  let w = cfg.workload in
   if cfg.domains <= 0 then invalid_arg "Mc_stress.run: domains must be positive";
-  if cfg.seconds < 0.0 then invalid_arg "Mc_stress.run: seconds must be non-negative";
-  if cfg.add_bias < 0.0 || cfg.add_bias > 1.0 then
-    invalid_arg "Mc_stress.run: add_bias must be in [0, 1]";
-  if cfg.initial < 0 then invalid_arg "Mc_stress.run: initial must be non-negative"
+  if not (Cpool_intf.Workload.closed w) then
+    invalid_arg "Mc_stress.run: the soak harness is closed-loop only";
+  if w.arrangement <> Cpool_intf.Workload.Uniform then
+    invalid_arg "Mc_stress.run: the soak harness runs a uniform arrangement";
+  if w.duration_s < 0.0 then
+    invalid_arg "Mc_stress.run: duration must be non-negative";
+  if w.mix < 0.0 || w.mix > 1.0 then
+    invalid_arg "Mc_stress.run: mix must be in [0, 1]";
+  if w.initial < 0 then invalid_arg "Mc_stress.run: initial must be non-negative"
 
 (* Prefill by registering each slot in turn, so elements spread evenly and
-   the fill itself exercises register/deregister. *)
+   the fill itself exercises register/deregister. [workload.initial] is per
+   segment, like every other driver. *)
 let prefill pool cfg =
   let p = Mc_pool.segments pool in
   let per_slot =
-    let share = (cfg.initial + p - 1) / p in
-    match cfg.capacity with None -> share | Some c -> min share c
+    match cfg.capacity with
+    | None -> cfg.workload.Cpool_intf.Workload.initial
+    | Some c -> min cfg.workload.Cpool_intf.Workload.initial c
   in
   let added = ref 0 in
   for s = 0 to p - 1 do
     let h = Mc_pool.register_at pool s in
-    let quota = min per_slot (cfg.initial - !added) in
-    for _ = 1 to quota do
+    for _ = 1 to per_slot do
       if Mc_pool.try_add pool h !added then incr added
     done;
     Mc_pool.deregister pool h
@@ -86,7 +89,9 @@ let prefill pool cfg =
 
 let worker pool cfg tally i barrier deadline =
   let rng = Cpool_util.Rng.create (Int64.of_int ((cfg.seed * 7919) + i)) in
-  let add_threshold = int_of_float (cfg.add_bias *. 1_000_000.0) in
+  let add_threshold =
+    int_of_float (cfg.workload.Cpool_intf.Workload.mix *. 1_000_000.0)
+  in
   let h = ref (Mc_pool.register_at pool i) in
   (* Everyone registers before anyone operates, so quiescence accounting
      never sees a partially started fleet. *)
@@ -133,8 +138,14 @@ let worker pool cfg tally i barrier deadline =
 let run cfg =
   validate cfg;
   let pool : int Mc_pool.t =
-    Mc_pool.create ~kind:cfg.kind ?capacity:cfg.capacity ~trace:cfg.trace
-      ~segments:cfg.domains ()
+    Mc_pool.of_config
+      {
+        Mc_pool.Config.default with
+        segments = cfg.domains;
+        kind = cfg.kind;
+        capacity = cfg.capacity;
+        trace = cfg.trace;
+      }
   in
   let initial_added = prefill pool cfg in
   let tallies =
@@ -160,7 +171,9 @@ let run cfg =
              done))
   in
   let t0_ns = Cpool_util.Clock.now_ns () in
-  let deadline_ns = t0_ns + Cpool_util.Clock.ns_of_s cfg.seconds in
+  let deadline_ns =
+    t0_ns + Cpool_util.Clock.ns_of_s cfg.workload.Cpool_intf.Workload.duration_s
+  in
   let ds =
     List.init cfg.domains (fun i ->
         Domain.spawn (fun () -> worker pool cfg tallies.(i) i barrier deadline_ns))

@@ -31,19 +31,21 @@
 
 type config = {
   domains : int;  (** Worker domains = pool segments. *)
-  seconds : float;  (** Wall-clock length of the mixed-op phase. *)
   kind : Mc_pool.kind;
   capacity : int option;  (** Per-segment bound; [None] = unbounded. *)
-  add_bias : float;  (** Probability an operation is an add, in [0, 1]. *)
-  initial : int;  (** Elements prefilled across the segments. *)
+  workload : Cpool_intf.Workload.t;
+      (** The scenario: [mix] is the add probability, [initial] the
+          prefill per segment, [duration_s] the mixed-op phase length.
+          Must be closed-loop and uniform — the soak harness drives
+          workers as fast as the pool allows. *)
   churn : bool;  (** Odd-numbered workers re-register every ~4096 ops. *)
   seed : int;
   trace : bool;  (** Trace every handle and cross-check events vs stats. *)
 }
 
 val default : config
-(** 4 domains, 1 s, linear, unbounded, 50% adds, 128 initial, churn on,
-    tracing off. *)
+(** 4 domains, linear, unbounded, {!Cpool_intf.Workload.default} (50%
+    adds, 32 initial per segment, 1 s), churn on, tracing off. *)
 
 val kind_name : Mc_pool.kind -> string
 
@@ -74,7 +76,7 @@ type report = {
 val run : config -> report
 (** [run cfg] executes one soak cell. Raises [Invalid_argument] on a
     nonsensical config (non-positive domains, negative duration,
-    out-of-range bias). *)
+    out-of-range mix, or a workload that is not closed-loop uniform). *)
 
 val passed : report -> bool
 (** [passed r] is [r.violations = []]. *)

@@ -1,17 +1,40 @@
-type t = { lo : float; hi : float; counts : int array; mutable total : int }
+type scale = Linear | Log
+
+type t = {
+  scale : scale;
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
 
 let create ~lo ~hi ~bins =
   if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
   if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
-  { lo; hi; counts = Array.make bins 0; total = 0 }
+  { scale = Linear; lo; hi; counts = Array.make bins 0; total = 0 }
+
+let create_log ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create_log: bins must be positive";
+  if not (lo > 0.0) then invalid_arg "Histogram.create_log: lo must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create_log: hi must exceed lo";
+  { scale = Log; lo; hi; counts = Array.make bins 0; total = 0 }
+
+let scale h = h.scale
 
 let bins h = Array.length h.counts
 
+(* Bin index of [x] before clamping; callers clamp to [0, bins-1]. *)
+let index h x =
+  let b = float_of_int (Array.length h.counts) in
+  match h.scale with
+  | Linear -> int_of_float (Float.floor ((x -. h.lo) /. (h.hi -. h.lo) *. b))
+  | Log ->
+    if x <= h.lo then -1
+    else int_of_float (Float.floor (b *. log (x /. h.lo) /. log (h.hi /. h.lo)))
+
 let add h x =
   let b = Array.length h.counts in
-  let width = (h.hi -. h.lo) /. float_of_int b in
-  let i = int_of_float (Float.floor ((x -. h.lo) /. width)) in
-  let i = max 0 (min (b - 1) i) in
+  let i = max 0 (min (b - 1) (index h x)) in
   h.counts.(i) <- h.counts.(i) + 1;
   h.total <- h.total + 1
 
@@ -25,8 +48,48 @@ let bin_count h i =
 
 let bin_bounds h i =
   check h i "Histogram.bin_bounds: out of range";
-  let width = (h.hi -. h.lo) /. float_of_int (Array.length h.counts) in
-  (h.lo +. (float_of_int i *. width), h.lo +. (float_of_int (i + 1) *. width))
+  let b = float_of_int (Array.length h.counts) in
+  match h.scale with
+  | Linear ->
+    let width = (h.hi -. h.lo) /. b in
+    (h.lo +. (float_of_int i *. width), h.lo +. (float_of_int (i + 1) *. width))
+  | Log ->
+    let ratio = h.hi /. h.lo in
+    ( h.lo *. (ratio ** (float_of_int i /. b)),
+      h.lo *. (ratio ** (float_of_int (i + 1) /. b)) )
+
+let same_shape a b =
+  a.scale = b.scale && a.lo = b.lo && a.hi = b.hi
+  && Array.length a.counts = Array.length b.counts
+
+let merge a b =
+  if not (same_shape a b) then
+    invalid_arg "Histogram.merge: histograms have different shapes";
+  Array.iteri (fun i c -> a.counts.(i) <- a.counts.(i) + c) b.counts;
+  a.total <- a.total + b.total
+
+let percentile h p =
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg "Histogram.percentile: p must be in [0, 100]";
+  if h.total = 0 then Float.nan
+  else begin
+    let target = p /. 100.0 *. float_of_int h.total in
+    let i = ref 0 and seen = ref 0 in
+    let n = Array.length h.counts in
+    while !i < n - 1 && float_of_int (!seen + h.counts.(!i)) < target do
+      seen := !seen + h.counts.(!i);
+      incr i
+    done;
+    let lo, hi = bin_bounds h !i in
+    let in_bin = h.counts.(!i) in
+    if in_bin = 0 then lo
+    else
+      let frac = (target -. float_of_int !seen) /. float_of_int in_bin in
+      let frac = Float.max 0.0 (Float.min 1.0 frac) in
+      match h.scale with
+      | Linear -> lo +. (frac *. (hi -. lo))
+      | Log -> lo *. ((hi /. lo) ** frac)
+  end
 
 let to_rows h =
   List.init (Array.length h.counts) (fun i ->

@@ -1,20 +1,43 @@
-(** Fixed-width histograms over a bounded range.
+(** Fixed-bucket histograms over a bounded range, linear or log-scaled.
 
-    Used to summarise distributions (steal sizes, search lengths) in the
-    bench output. Observations outside the range clamp into the first or
-    last bin. *)
+    Used to summarise distributions (steal sizes, search lengths, siege
+    sojourn latencies) in the bench output. Observations outside the range
+    clamp into the first or last bin. Histograms of the same shape merge,
+    so per-domain recorders can be combined after workers quiesce and
+    percentiles read without ever storing samples. *)
 
 type t
+
+type scale = Linear | Log
 
 val create : lo:float -> hi:float -> bins:int -> t
 (** [create ~lo ~hi ~bins] divides [\[lo, hi)] into [bins] equal bins.
     Raises [Invalid_argument] if [bins <= 0] or [hi <= lo]. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** [create_log ~lo ~hi ~bins] divides [\[lo, hi)] into [bins]
+    geometrically equal bins (constant width in log space), the right
+    shape for latency distributions spanning decades. Raises
+    [Invalid_argument] if [bins <= 0], [lo <= 0] or [hi <= lo]. *)
+
+val scale : t -> scale
 
 val add : t -> float -> unit
 (** [add h x] increments the bin containing [x] (clamped to the range). *)
 
 val count : t -> int
 (** [count h] is the total number of observations. *)
+
+val merge : t -> t -> unit
+(** [merge a b] adds [b]'s counts into [a]. Raises [Invalid_argument]
+    when the histograms differ in scale, range or bin count. *)
+
+val percentile : t -> float -> float
+(** [percentile h p] estimates the [p]-th percentile ([0 <= p <= 100]) by
+    walking the cumulative counts and interpolating within the target bin
+    — linearly for [Linear] histograms, geometrically for [Log] ones, so
+    the estimate's relative error is bounded by the bin width. [nan] on an
+    empty histogram. Raises [Invalid_argument] if [p] is out of range. *)
 
 val bin_count : t -> int -> int
 (** [bin_count h i] is the number of observations in bin [i]. Raises

@@ -1,0 +1,50 @@
+(* The deprecated keyword [Mc_pool.create] must keep compiling and behave
+   exactly like [of_config] until the transition window closes. This file
+   is the one place allowed to acknowledge the alert — every other caller
+   has migrated (the alert is fatal in the dev profile). *)
+[@@@alert "-deprecated"]
+
+open Cpool_mc
+
+let test_keyword_create_defaults () =
+  let pool : int Mc_pool.t = Mc_pool.create ~segments:3 () in
+  Alcotest.(check int) "segments" 3 (Mc_pool.segments pool);
+  Alcotest.(check bool) "default kind" true (Mc_pool.kind pool = Mc_pool.Linear);
+  Alcotest.(check bool) "no topology" true (Mc_pool.topology pool = None);
+  let h = Mc_pool.register pool in
+  Mc_pool.add pool h 7;
+  Alcotest.(check (option int)) "roundtrip" (Some 7) (Mc_pool.try_remove pool h);
+  Mc_pool.deregister pool h
+
+let test_keyword_create_forwards_everything () =
+  let pool : int Mc_pool.t =
+    Mc_pool.create ~kind:Mc_pool.Hinted ~seed:9L ~capacity:4 ~trace:true ~segments:2 ()
+  in
+  Alcotest.(check bool) "kind forwarded" true (Mc_pool.kind pool = Mc_pool.Hinted);
+  Alcotest.(check bool) "trace forwarded" true (Mc_pool.tracing pool);
+  let h = Mc_pool.register_at pool 0 in
+  (* capacity is per segment: 2 segments x 4 fit, the 9th add bounces. *)
+  for i = 1 to 8 do
+    Alcotest.(check bool) "fits in capacity" true (Mc_pool.try_add pool h i)
+  done;
+  Alcotest.(check bool) "capacity forwarded" false (Mc_pool.try_add pool h 9);
+  Mc_pool.deregister pool h
+
+let test_keyword_create_is_thin_wrapper () =
+  (* The validation error names of_config: proof the keyword version is a
+     wrapper over the record API rather than a second implementation. *)
+  Alcotest.check_raises "segments"
+    (Invalid_argument "Mc_pool.of_config: segments must be positive") (fun () ->
+      ignore (Mc_pool.create ~segments:0 () : unit Mc_pool.t))
+
+let suites =
+  [
+    ( "mc_pool.config_compat",
+      [
+        Alcotest.test_case "keyword create: defaults" `Quick test_keyword_create_defaults;
+        Alcotest.test_case "keyword create: forwards every field" `Quick
+          test_keyword_create_forwards_everything;
+        Alcotest.test_case "keyword create: thin wrapper over of_config" `Quick
+          test_keyword_create_is_thin_wrapper;
+      ] );
+  ]

@@ -119,7 +119,7 @@ let test_strip_chart_zero_width_grid () =
 (* --- Mc_pool steal variants --- *)
 
 let test_mcpool_single_element_steal () =
-  let pool = Cpool_mc.Mc_pool.create ~segments:2 () in
+  let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with segments = 2 } in
   let h0 = Cpool_mc.Mc_pool.register_at pool 0 in
   let h1 = Cpool_mc.Mc_pool.register_at pool 1 in
   Cpool_mc.Mc_pool.add pool h1 42;
@@ -128,7 +128,7 @@ let test_mcpool_single_element_steal () =
   Alcotest.(check int) "empty" 0 (Cpool_mc.Mc_pool.size pool)
 
 let test_mcpool_steal_banks_remainder () =
-  let pool = Cpool_mc.Mc_pool.create ~segments:2 () in
+  let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with segments = 2 } in
   let h0 = Cpool_mc.Mc_pool.register_at pool 0 in
   let h1 = Cpool_mc.Mc_pool.register_at pool 1 in
   for i = 1 to 9 do

@@ -13,11 +13,12 @@ let kinds =
 (* --- Single-domain semantics --- *)
 
 let test_create_invalid () =
-  Alcotest.check_raises "segments" (Invalid_argument "Mc_pool.create: segments must be positive")
-    (fun () -> ignore (Mc_pool.create ~segments:0 () : unit Mc_pool.t))
+  Alcotest.check_raises "segments"
+    (Invalid_argument "Mc_pool.of_config: segments must be positive")
+    (fun () -> ignore (Mc_pool.of_config { Mc_pool.Config.default with segments = 0 } : unit Mc_pool.t))
 
 let test_register_slots () =
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 2 } in
   let h0 = Mc_pool.register pool in
   let h1 = Mc_pool.register pool in
   Alcotest.(check int) "first slot" 0 (Mc_pool.slot h0);
@@ -28,7 +29,7 @@ let test_register_slots () =
   Alcotest.(check int) "segments" 2 (Mc_pool.segments pool)
 
 let test_register_at () =
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:3 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 3 } in
   let h2 = Mc_pool.register_at pool 2 in
   Alcotest.(check int) "explicit slot" 2 (Mc_pool.slot h2);
   Alcotest.check_raises "reclaim" (Invalid_argument "Mc_pool.register_at: slot already claimed")
@@ -37,7 +38,7 @@ let test_register_at () =
   Alcotest.(check int) "register skips" 0 (Mc_pool.slot (Mc_pool.register pool))
 
 let test_local_roundtrip () =
-  let pool = Mc_pool.create ~segments:2 () in
+  let pool = Mc_pool.of_config { Mc_pool.Config.default with segments = 2 } in
   let h = Mc_pool.register pool in
   Mc_pool.add pool h "a";
   Mc_pool.add pool h "b";
@@ -47,7 +48,7 @@ let test_local_roundtrip () =
   Alcotest.(check (option string)) "empty" None (Mc_pool.try_remove_local pool h)
 
 let test_steal_across_slots kind () =
-  let pool = Mc_pool.create ~kind ~segments:4 () in
+  let pool = Mc_pool.of_config { Mc_pool.Config.default with kind; segments = 4 } in
   let h0 = Mc_pool.register_at pool 0 in
   let h2 = Mc_pool.register_at pool 2 in
   for i = 1 to 8 do
@@ -60,14 +61,14 @@ let test_steal_across_slots kind () =
   Alcotest.(check int) "conserved" 7 (Mc_pool.size pool)
 
 let test_remove_confirms_empty kind () =
-  let pool : int Mc_pool.t = Mc_pool.create ~kind ~segments:3 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with kind; segments = 3 } in
   let h = Mc_pool.register pool in
   Alcotest.(check bool) "empty pool" true (Mc_pool.remove pool h = None);
   Mc_pool.add pool h 7;
   Alcotest.(check (option int)) "element back" (Some 7) (Mc_pool.remove pool h)
 
 let test_try_remove_nonblocking kind () =
-  let pool : int Mc_pool.t = Mc_pool.create ~kind ~segments:4 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with kind; segments = 4 } in
   let h = Mc_pool.register pool in
   Alcotest.(check (option int)) "nothing" None (Mc_pool.try_remove pool h)
 
@@ -77,7 +78,9 @@ let test_conservation_under_domains ?(fast_path = true) kind () =
   (* 4 domains, each adds [per] elements and removes [per] elements; at the
      end the pool must be exactly empty and every element consumed once. *)
   let domains = 4 and per = 2_000 in
-  let pool = Mc_pool.create ~kind ~fast_path ~segments:domains () in
+  let pool =
+    Mc_pool.of_config { Mc_pool.Config.default with kind; fast_path; segments = domains }
+  in
   let consumed = Array.make domains 0 in
   let spawn i =
     Domain.spawn (fun () ->
@@ -110,7 +113,7 @@ let test_conservation_under_domains ?(fast_path = true) kind () =
 let test_producer_consumer_domains kind () =
   (* 2 producers push, 2 consumers pull; totals must match. *)
   let per = 5_000 in
-  let pool = Mc_pool.create ~kind ~segments:4 () in
+  let pool = Mc_pool.of_config { Mc_pool.Config.default with kind; segments = 4 } in
   let eaten = Atomic.make 0 in
   (* Register every worker before any domain starts, so a fast consumer
      cannot observe "all registered workers searching" while a producer is
@@ -151,7 +154,7 @@ let test_producer_consumer_domains kind () =
 let test_work_generating_workload kind () =
   (* Task-graph shape: each element may spawn children; all domains run
      until global quiescence, which [remove] detects as None. *)
-  let pool = Mc_pool.create ~kind ~segments:4 () in
+  let pool = Mc_pool.of_config { Mc_pool.Config.default with kind; segments = 4 } in
   let produced = Atomic.make 0 in
   let processed = Atomic.make 0 in
   let seed_handle = Mc_pool.register_at pool 0 in
@@ -186,7 +189,7 @@ let test_work_generating_workload kind () =
 (* --- Lifecycle: slot release, churn, deregister-during-drain --- *)
 
 let test_deregister_releases_slot () =
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 2 } in
   let h0 = Mc_pool.register pool in
   let _h1 = Mc_pool.register pool in
   Alcotest.(check int) "both claimed" 2 (Mc_pool.claimed_count pool);
@@ -196,7 +199,7 @@ let test_deregister_releases_slot () =
   Alcotest.(check int) "freed slot reused" 0 (Mc_pool.slot h0')
 
 let test_double_deregister_rejected () =
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:1 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 1 } in
   let h = Mc_pool.register pool in
   Mc_pool.deregister pool h;
   Alcotest.check_raises "double deregister"
@@ -207,7 +210,7 @@ let test_register_deregister_churn () =
   (* Regression for the slot leak: the seed version never cleared
      [claimed] on deregister, so the second cycle here already failed with
      "all slots claimed". *)
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 2 } in
   let keeper = Mc_pool.register pool in
   for i = 1 to 1_000 do
     let h = Mc_pool.register pool in
@@ -227,7 +230,7 @@ let test_concurrent_churn () =
   (* Four domains cycle registration concurrently on a shared pool; the
      registration mutex must keep claims exact and leak-free. *)
   let cycles = 250 in
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:8 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 8 } in
   let ds =
     List.init 4 (fun d ->
         Domain.spawn (fun () ->
@@ -253,7 +256,7 @@ let test_deregister_while_draining kind () =
      return None. A regression here either hangs (None never concluded) or
      loses elements (None concluded too early). *)
   let elements = 500 in
-  let pool : int Mc_pool.t = Mc_pool.create ~kind ~segments:4 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with kind; segments = 4 } in
   let producer = Mc_pool.register_at pool 0 in
   for i = 1 to elements do
     Mc_pool.add pool producer i
@@ -287,7 +290,7 @@ let test_deregister_while_draining kind () =
 (* --- Telemetry --- *)
 
 let test_stats_counters () =
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 2 } in
   let h0 = Mc_pool.register_at pool 0 in
   let h1 = Mc_pool.register_at pool 1 in
   for i = 1 to 4 do
@@ -319,7 +322,7 @@ let test_stats_counters () =
 let test_stats_survive_churn () =
   (* Pool-level stats merge every handle ever issued, so totals are
      conserved across register/deregister churn. *)
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 2 } in
   for i = 1 to 10 do
     let h = Mc_pool.register pool in
     Mc_pool.add pool h i;
@@ -332,7 +335,7 @@ let test_stats_survive_churn () =
   Alcotest.(check int) "removes accumulated" 10 (Mc_stats.removes merged)
 
 let test_stats_render () =
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:1 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 1 } in
   let h = Mc_pool.register pool in
   Mc_pool.add pool h 1;
   ignore (Mc_pool.try_remove_local pool h : int option);
@@ -353,10 +356,10 @@ let test_stress_harness kind () =
     {
       Mc_stress.default with
       Mc_stress.domains = 4;
-      seconds = 0.05;
       kind;
       capacity = Some 16;
-      initial = 32;
+      workload =
+        { Cpool_intf.Workload.default with duration_s = 0.05; initial = 8 };
     }
   in
   let r = Mc_stress.run cfg in
@@ -392,7 +395,7 @@ let test_hinted_remove_none_on_quiescence () =
   (* A lone registered searcher on an empty hinted pool must abort with
      None (not park forever), and the abort must leave the hint board fully
      retracted: published = claimed + expired. *)
-  let pool : int Mc_pool.t = Mc_pool.create ~kind:Mc_pool.Hinted ~segments:4 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with kind = Mc_pool.Hinted; segments = 4 } in
   let h = Mc_pool.register pool in
   Alcotest.(check (option int)) "empty pool" None (Mc_pool.remove pool h);
   Mc_pool.add pool h 7;
@@ -407,7 +410,7 @@ let test_hinted_remove_none_on_quiescence () =
 let test_hinted_quiescence_under_domains () =
   (* Two domains both hunting an empty pool: each must see the other as
      "searching empty" (parked counts) and abort, rather than deadlock. *)
-  let pool : int Mc_pool.t = Mc_pool.create ~kind:Mc_pool.Hinted ~segments:2 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with kind = Mc_pool.Hinted; segments = 2 } in
   let handles = Array.init 2 (Mc_pool.register_at pool) in
   let ds =
     List.init 2 (fun i ->
@@ -426,7 +429,7 @@ let test_hinted_parked_searcher_woken () =
      consumer's segment. Repeat enough rounds that at least one add lands
      while the searcher is parked. *)
   let rounds = 20 in
-  let pool : int Mc_pool.t = Mc_pool.create ~kind:Mc_pool.Hinted ~segments:2 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with kind = Mc_pool.Hinted; segments = 2 } in
   let h0 = Mc_pool.register_at pool 0 in
   let h1 = Mc_pool.register_at pool 1 in
   let got = Atomic.make 0 in
@@ -474,10 +477,14 @@ let test_hinted_sparse_stress_cell () =
     {
       Mc_stress.default with
       Mc_stress.domains = 4;
-      seconds = 0.1;
       kind = Mc_pool.Hinted;
-      add_bias = 0.35;
-      initial = 32;
+      workload =
+        {
+          Cpool_intf.Workload.default with
+          mix = 0.35;
+          duration_s = 0.1;
+          initial = 8;
+        };
     }
   in
   let r = Mc_stress.run cfg in
@@ -515,7 +522,7 @@ let main_suites =
 (* --- Bounded multicore pools --- *)
 
 let test_bounded_spill_and_reject () =
-  let pool = Mc_pool.create ~capacity:2 ~segments:2 () in
+  let pool = Mc_pool.of_config { Mc_pool.Config.default with capacity = Some 2; segments = 2 } in
   let h0 = Mc_pool.register_at pool 0 in
   Alcotest.(check bool) "1" true (Mc_pool.try_add pool h0 1);
   Alcotest.(check bool) "2" true (Mc_pool.try_add pool h0 2);
@@ -530,11 +537,12 @@ let test_bounded_spill_and_reject () =
   Mc_pool.deregister pool h0
 
 let test_bounded_capacity_validated () =
-  Alcotest.check_raises "capacity" (Invalid_argument "Mc_pool.create: capacity must be positive")
-    (fun () -> ignore (Mc_pool.create ~capacity:0 ~segments:2 () : int Mc_pool.t))
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Mc_pool.of_config: capacity must be positive")
+    (fun () -> ignore (Mc_pool.of_config { Mc_pool.Config.default with capacity = Some 0; segments = 2 } : int Mc_pool.t))
 
 let test_bounded_steal_capped () =
-  let pool = Mc_pool.create ~capacity:4 ~segments:2 () in
+  let pool = Mc_pool.of_config { Mc_pool.Config.default with capacity = Some 4; segments = 2 } in
   let h0 = Mc_pool.register_at pool 0 in
   let h1 = Mc_pool.register_at pool 1 in
   for i = 1 to 4 do
@@ -554,7 +562,10 @@ let test_bounded_capacity_never_exceeded kind () =
      every segment's occupied capacity throughout an add-heavy
      multi-domain run: the bound must hold at every instant. *)
   let domains = 4 and capacity = 8 and per = 10_000 in
-  let pool = Mc_pool.create ~kind ~capacity ~segments:domains () in
+  let pool =
+    Mc_pool.of_config
+      { Mc_pool.Config.default with kind; capacity = Some capacity; segments = domains }
+  in
   let handles = Array.init domains (Mc_pool.register_at pool) in
   let stop = Atomic.make false in
   let over_capacity = Atomic.make 0 in
@@ -734,7 +745,7 @@ let test_segment_steal_batch_stats () =
   (* Batch-size telemetry lives on the thief's handle now: with the victim
      segment lock-free there is no serialization point left on its side to
      record a single-writer sample. Exercise it through the pool. *)
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 2 } in
   let h0 = Mc_pool.register_at pool 0 in
   let h1 = Mc_pool.register_at pool 1 in
   for i = 1 to 8 do
@@ -858,7 +869,7 @@ let test_mc_bench_smoke () =
     {
       Cpool_mc.Mc_bench.kind = Mc_pool.Linear;
       domains = 2;
-      mix = Cpool_mc.Mc_bench.Sufficient;
+      workload = Cpool_intf.Workload.sufficient;
       fast_path = true;
       topo = None;
       aware = true;
@@ -868,7 +879,14 @@ let test_mc_bench_smoke () =
   Alcotest.(check bool) "did work" true (r.Cpool_mc.Mc_bench.ops > 0);
   Alcotest.(check bool) "throughput positive" true (r.Cpool_mc.Mc_bench.ops_per_sec > 0.0);
   Alcotest.(check bool) "fast path used" true (r.Cpool_mc.Mc_bench.fast_ops > 0);
-  let config = { Cpool_mc.Mc_bench.default with seconds = 0.05; domain_counts = [ 2 ] } in
+  let config =
+    {
+      Cpool_mc.Mc_bench.default with
+      workloads =
+        [ { Cpool_intf.Workload.sufficient with duration_s = 0.05 } ];
+      domain_counts = [ 2 ];
+    }
+  in
   let doc = Cpool_mc.Mc_bench.to_json config [ r ] in
   match Cpool_util.Json.parse (Cpool_util.Json.to_string doc) with
   | Error e -> Alcotest.fail ("emitted JSON does not re-parse: " ^ e)

@@ -166,8 +166,14 @@ let prop_probe_order_permutes =
       List.for_all
         (fun kind ->
           let pool =
-            Cpool_mc.Mc_pool.create ~kind ~seed:(Int64.of_int seed) ~topology:topo
-              ~segments:nodes ()
+            Cpool_mc.Mc_pool.of_config
+              {
+                Cpool_mc.Mc_pool.Config.default with
+                kind;
+                seed = Int64.of_int seed;
+                topology = Some topo;
+                segments = nodes;
+              }
           in
           let order = Cpool_mc.Mc_pool.probe_order pool ~slot in
           check_permutation
@@ -190,7 +196,13 @@ let prop_probe_order_permutes =
 let test_oblivious_order_is_ring () =
   let topo = Cpool_topology.two_group ~nodes:4 () in
   let pool =
-    Cpool_mc.Mc_pool.create ~topology:topo ~topology_aware:false ~segments:4 ()
+    Cpool_mc.Mc_pool.of_config
+      {
+        Cpool_mc.Mc_pool.Config.default with
+        topology = Some topo;
+        topology_aware = false;
+        segments = 4;
+      }
   in
   Alcotest.(check (array int))
     "ring from 2" [| 2; 3; 0; 1 |]

@@ -201,7 +201,7 @@ let test_size_series () =
 (* --- Pool integration ------------------------------------------------ *)
 
 let test_pool_tracing_disabled_by_default () =
-  let pool : int Mc_pool.t = Mc_pool.create ~segments:2 () in
+  let pool : int Mc_pool.t = Mc_pool.of_config { Mc_pool.Config.default with segments = 2 } in
   Alcotest.(check bool) "off by default" false (Mc_pool.tracing pool);
   let h = Mc_pool.register pool in
   Mc_pool.add pool h 1;
@@ -212,11 +212,16 @@ let test_pool_tracing_disabled_by_default () =
 
 let test_pool_trace_capacity_invalid () =
   Alcotest.check_raises "capacity"
-    (Invalid_argument "Mc_pool.create: trace_capacity must be positive") (fun () ->
-      ignore (Mc_pool.create ~segments:1 ~trace:true ~trace_capacity:0 () : unit Mc_pool.t))
+    (Invalid_argument "Mc_pool.of_config: trace_capacity must be positive") (fun () ->
+      ignore
+        (Mc_pool.of_config
+           { Mc_pool.Config.default with segments = 1; trace = true; trace_capacity = 0 }
+          : unit Mc_pool.t))
 
 let test_pool_records_ops kind () =
-  let pool = Mc_pool.create ~kind ~segments:2 ~trace:true () in
+  let pool =
+    Mc_pool.of_config { Mc_pool.Config.default with kind; segments = 2; trace = true }
+  in
   Alcotest.(check bool) "tracing on" true (Mc_pool.tracing pool);
   let h0 = Mc_pool.register_at pool 0 in
   let h1 = Mc_pool.register_at pool 1 in
@@ -249,9 +254,9 @@ let test_stress_reconciles kind () =
       {
         Mc_stress.default with
         Mc_stress.domains = 3;
-        seconds = 0.15;
         kind;
-        initial = 32;
+        workload =
+          { Cpool_intf.Workload.default with duration_s = 0.15; initial = 11 };
         trace = true;
       }
   in
