@@ -48,11 +48,11 @@ let run_experiments cfg names =
   in
   List.iter
     (fun entry ->
-      let t0 = Unix.gettimeofday () in
+      let since_ns = Cpool_util.Clock.now_ns () in
       Printf.printf "==== %s: %s ====\n%!" entry.Registry.id entry.Registry.title;
       print_endline (entry.Registry.run cfg);
       Printf.printf "(%s finished in %.1fs)\n\n%!" entry.Registry.id
-        (Unix.gettimeofday () -. t0))
+        (Cpool_util.Clock.elapsed_s ~since_ns))
     entries
 
 (* --- Part 2: Bechamel micro-benchmarks --- *)
@@ -157,7 +157,7 @@ let domain_throughput ~kind ~domains =
   let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
   let processed = Atomic.make 0 in
   Cpool_mc.Mc_pool.add pool handles.(0) 15;
-  let t0 = Unix.gettimeofday () in
+  let since_ns = Cpool_util.Clock.now_ns () in
   let worker i =
     Domain.spawn (fun () ->
         let h = handles.(i) in
@@ -177,7 +177,7 @@ let domain_throughput ~kind ~domains =
   in
   let ds = List.init domains worker in
   List.iter Domain.join ds;
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Cpool_util.Clock.elapsed_s ~since_ns in
   (float_of_int (Atomic.get processed) /. dt, Atomic.get processed, Cpool_mc.Mc_pool.steals pool)
 
 let run_domain_throughput () =

@@ -866,6 +866,117 @@ let mc_siege_cmd =
       const run $ domains $ siege_kind $ workloads $ seconds $ capacity $ topology
       $ topo_blind $ p99_bound $ max_rate $ bisect $ siege_seed $ out)
 
+(* --- mc-app: the paper's applications on real domains ------------------ *)
+
+let mc_app_cmd =
+  let module App = Cpool_game.Mc_app in
+  let domains =
+    let doc = "Comma-separated worker-domain counts, one grid column each." in
+    Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "domains"; "d" ] ~docv:"N,.." ~doc)
+  in
+  let app_kind =
+    let doc = "Pool kind to race against the stack: $(b,linear), $(b,random), $(b,tree), $(b,hinted) or $(b,all)." in
+    Arg.(value & opt kind_conv None & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
+  in
+  let app_plies =
+    let doc = "Minimax search depth from the empty board." in
+    Arg.(value & opt int App.default.App.plies & info [ "plies" ] ~docv:"N" ~doc)
+  in
+  let fork_plies =
+    let doc = "Minimax fork frontier: plies that fork a future per move." in
+    Arg.(value & opt int App.default.App.fork_plies & info [ "fork-plies" ] ~docv:"N" ~doc)
+  in
+  let queens =
+    let doc = "N-queens board size." in
+    Arg.(value & opt int App.default.App.queens & info [ "queens" ] ~docv:"N" ~doc)
+  in
+  let fork_depth =
+    let doc = "N-queens fork frontier: rows that fork a future per placement." in
+    Arg.(value & opt int App.default.App.fork_depth & info [ "fork-depth" ] ~docv:"N" ~doc)
+  in
+  let repeats =
+    let doc = "Runs per cell; each cell keeps the fastest." in
+    Arg.(value & opt int App.default.App.repeats & info [ "repeats" ] ~docv:"N" ~doc)
+  in
+  let app_seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Pool construction seed.")
+  in
+  let out =
+    let doc = "Write the JSON report to $(docv) (omit to skip the file)." in
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_mcapp.json")
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run domains kind plies fork_plies queens fork_depth repeats seed out =
+    if domains = [] || List.exists (fun d -> d < 1) domains then
+      usage_error "--domains needs positive counts"
+    else if repeats < 1 then usage_error "--repeats must be at least 1"
+    else begin
+      let config =
+        {
+          App.kinds = (match kind with Some k -> [ k ] | None -> Cpool_intf.all);
+          domain_counts = domains;
+          plies;
+          fork_plies;
+          queens;
+          fork_depth;
+          repeats;
+          seed = Int64.of_int seed;
+        }
+      in
+      (* Mc_app and Mc_search validate the search parameters; surface their
+         Invalid_argument as a usage error rather than a backtrace. *)
+      match App.run config with
+      | exception Invalid_argument msg -> usage_error "%s" msg
+      | summary ->
+        print_string (App.render summary);
+        (match out with
+        | None -> ()
+        | Some file ->
+          let doc = App.to_json summary in
+          let oc = open_out file in
+          output_string oc (Cpool_util.Json.to_string doc);
+          close_out oc;
+          Printf.printf "\nwrote %s (%d cells)\n" file (List.length summary.App.cells));
+        let bad = List.filter (fun c -> not c.App.ok) summary.App.cells in
+        if bad = [] then 0
+        else begin
+          List.iter
+            (fun c ->
+              Format.eprintf
+                "pools_bench: %s on %s with %d domain(s): got %d, expected %d \
+                 (%d of %d forked tasks processed)@."
+                (App.app_to_string c.App.app)
+                (App.scheduler_to_string c.App.scheduler)
+                c.App.domains c.App.value c.App.expected c.App.tasks c.App.forked)
+            bad;
+          1
+        end
+    end
+  in
+  let doc = "Race minimax and n-queens on real domains: every pool kind vs the stack" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the paper's two applications — fixed-depth minimax on the 4x4x4 \
+         board and n-queens backtracking — through the work-stealing task \
+         scheduler on real OCaml 5 domains, once per scheduler (the global-lock \
+         stack baseline plus every selected pool kind) per domain count, best \
+         of $(b,--repeats) runs per cell. Every cell's answer is checked \
+         against the sequential reference and the scheduler's task conservation \
+         ($(b,processed = forked)); any mismatch fails the run with exit 1. The \
+         JSON report (default $(b,BENCH_mcapp.json)) is the committed artifact \
+         $(b,json-check) validates.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "mc-app" ~doc ~man)
+    Term.(
+      const run $ domains $ app_kind $ app_plies $ fork_plies $ queens $ fork_depth
+      $ repeats $ app_seed $ out)
+
 (* --- siege-diff: regression gate against the committed baseline -------- *)
 
 let siege_diff_cmd =
@@ -984,6 +1095,15 @@ let json_check_cmd =
           | Ok cells ->
             Printf.printf "%s: valid mc-siege report, %d cells\n" file cells;
             0)
+        else if
+          Cpool_util.Json.member "benchmark" doc
+          = Some (Cpool_util.Json.Str "mc-app")
+        then (
+          match Cpool_game.Mc_app.validate_json doc with
+          | Error msg -> finding msg
+          | Ok cells ->
+            Printf.printf "%s: valid mc-app report, %d cells\n" file cells;
+            0)
         else (
           match Cpool_mc.Mc_bench.validate_json doc with
           | Error msg -> finding msg
@@ -993,7 +1113,7 @@ let json_check_cmd =
   in
   Cmd.v
     (Cmd.info "json-check"
-       ~doc:"Validate an mc-throughput, mc-siege or Chrome trace JSON report")
+       ~doc:"Validate an mc-throughput, mc-siege, mc-app or Chrome trace JSON report")
     Term.(const run $ file)
 
 let main =
@@ -1005,6 +1125,7 @@ let main =
       list_cmd;
       mc_stress_cmd;
       mc_throughput_cmd;
+      mc_app_cmd;
       mc_siege_cmd;
       siege_diff_cmd;
       mc_trace_cmd;

@@ -67,6 +67,32 @@ echo "== mc-trace smoke (traced run, event/telemetry reconciliation) =="
 dune exec bin/pools_bench.exe -- mc-trace --domains 3 --seconds 0.3 \
   --workload mix=0.4,initial=11 --out TRACE_mcpool_smoke.json
 
+echo "== mc-app smoke (minimax + n-queens on real domains, pool vs stack) =="
+# Tiny parameters: the full grid is the committed BENCH_mcapp.json; this
+# only proves the scheduler wiring (answers checked against the sequential
+# references, task conservation enforced — a mismatch is exit 1).
+dune exec bin/pools_bench.exe -- mc-app --domains 1,2 --plies 1 --queens 6 \
+  --fork-depth 2 --repeats 1 --out BENCH_mcapp_smoke.json
+
+echo "== examples smoke (they must run, not just build) =="
+# task_scheduler exits non-zero if the 1-domain and N-domain runs disagree
+# on the task count or checksum; the others assert their answers inline.
+dune exec examples/quickstart.exe > /dev/null
+dune exec examples/sim_tour.exe > /dev/null
+dune exec examples/task_scheduler.exe > /dev/null
+dune exec examples/game_search.exe > /dev/null
+dune exec examples/backtracking.exe > /dev/null
+
+echo "== timing discipline (no wall-clock timing outside Cpool_util.Clock) =="
+# Examples and harnesses must time with the monotonic Clock; gettimeofday
+# jumps under NTP and once fed negative deltas into the stats. Only the
+# Clock's own documentation may mention it.
+if grep -rn "Unix\.gettimeofday" --include="*.ml" --include="*.mli" \
+  bin lib examples bench test | grep -v "lib/util/clock.mli"; then
+  echo "check.sh: Unix.gettimeofday outside Cpool_util.Clock (use Clock.now_ns)" >&2
+  exit 1
+fi
+
 echo "== mc-siege smoke (open-loop breaking-point search, 2 domains) =="
 dune exec bin/pools_bench.exe -- mc-siege --domains 2 --kind linear \
   --workload siege,arrival=poisson:500,duration=0.05,arrangement=balanced:1 \
@@ -80,6 +106,7 @@ dune exec bin/pools_bench.exe -- json-check BENCH_mcpool_hinted_smoke.json
 dune exec bin/pools_bench.exe -- json-check BENCH_mctopo_smoke.json
 dune exec bin/pools_bench.exe -- json-check TRACE_mcpool_smoke.json
 dune exec bin/pools_bench.exe -- json-check BENCH_mcsiege_smoke.json
+dune exec bin/pools_bench.exe -- json-check BENCH_mcapp_smoke.json
 
 echo "== siege-diff gate (fresh smoke vs itself, then the committed baseline) =="
 # Self-diff must always be clean — it exercises the pairing and threshold
@@ -90,7 +117,8 @@ dune exec bin/pools_bench.exe -- siege-diff BENCH_mcsiege_smoke.json \
 # config); thresholds live in the artifact and are generous for CI noise.
 dune exec bin/pools_bench.exe -- siege-diff BENCH_mcsiege.json
 rm -f BENCH_mcpool_smoke.json BENCH_mcpool_hinted_smoke.json \
-  BENCH_mctopo_smoke.json TRACE_mcpool_smoke.json BENCH_mcsiege_smoke.json
+  BENCH_mctopo_smoke.json TRACE_mcpool_smoke.json BENCH_mcsiege_smoke.json \
+  BENCH_mcapp_smoke.json
 
 echo "== usage-error exit codes (pools_bench, PR 7 convention) =="
 # mc-throughput must reject nonsense flags with a usage error on stderr

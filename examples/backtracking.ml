@@ -45,7 +45,7 @@ let on_domains () =
   List.iter (Cpool_mc.Mc_pool.add pool handles.(0)) problem.Backtrack.roots;
   let solutions = Atomic.make 0 in
   let nodes = Atomic.make 0 in
-  let t0 = Unix.gettimeofday () in
+  let since_ns = Cpool_util.Clock.now_ns () in
   let worker i =
     Domain.spawn (fun () ->
         let h = handles.(i) in
@@ -65,7 +65,7 @@ let on_domains () =
   List.iter Domain.join ds;
   Printf.printf "== real domains: %d-queens on %d domains: %d solutions, %d nodes, %.2fs, %d steals\n"
     n domains (Atomic.get solutions) (Atomic.get nodes)
-    (Unix.gettimeofday () -. t0)
+    (Cpool_util.Clock.elapsed_s ~since_ns)
     (Cpool_mc.Mc_pool.steals pool);
   assert (Nqueens.known_solutions n = Some (Atomic.get solutions))
 

@@ -1,9 +1,10 @@
 (* Parallel game-tree search over a concurrent pool — the paper's Section
    4.4 application, in two forms:
 
-   1. On real domains: the 64 opening moves of 4x4x4 tic-tac-toe are
-      distributed through an Mc_pool; each worker alpha-beta-searches its
-      moves and the results reduce to the best opening move.
+   1. On real domains: the 64 opening moves of 4x4x4 tic-tac-toe become
+      futures on the Mc_task work-stealing scheduler; each task
+      alpha-beta-searches its move and the awaits reduce to the best
+      opening move.
    2. In the simulator: the same game searched by the paper's virtual
       16-processor machine, comparing the pool against the global-lock
       stack work list (speedup shapes of the paper).
@@ -11,37 +12,33 @@
    Run with: dune exec examples/game_search.exe *)
 
 open Cpool_game
+module Mc_task = Cpool_tasks.Mc_task
+module Clock = Cpool_util.Clock
 
 let best_opening_with_domains ~plies ~domains =
-  let pool = Cpool_mc.Mc_pool.of_config { Cpool_mc.Mc_pool.Config.default with segments = domains } in
-  let handles = Array.init domains (Cpool_mc.Mc_pool.register_at pool) in
-  List.iter (Cpool_mc.Mc_pool.add pool handles.(0)) (Board.legal_moves Board.empty);
-  let best = Atomic.make (min_int, -1) in
-  let rec improve candidate =
-    let current = Atomic.get best in
-    if candidate > current && not (Atomic.compare_and_set best current candidate) then
-      improve candidate
+  let t =
+    Mc_task.of_config
+      { Cpool_mc.Mc_pool.Config.default with segments = domains + 1 }
   in
-  let worker i =
-    Domain.spawn (fun () ->
-        let h = handles.(i) in
-        let rec go () =
-          match Cpool_mc.Mc_pool.remove pool h with
-          | Some move ->
-            let value = -Minimax.alpha_beta_value ~plies (Board.play Board.empty move) in
-            improve (value, move);
-            go ()
-          | None -> ()
-        in
-        go ();
-        Cpool_mc.Mc_pool.deregister pool h)
+  let since_ns = Clock.now_ns () in
+  let futures =
+    List.map
+      (fun move ->
+        ( move,
+          Mc_task.fork t (fun () ->
+              -Minimax.alpha_beta_value ~plies (Board.play Board.empty move)) ))
+      (Board.legal_moves Board.empty)
   in
-  let t0 = Unix.gettimeofday () in
-  let ds = List.init domains worker in
-  List.iter Domain.join ds;
-  let elapsed = Unix.gettimeofday () -. t0 in
-  let value, move = Atomic.get best in
-  (move, value, elapsed, Cpool_mc.Mc_pool.steals pool)
+  let value, move =
+    List.fold_left
+      (fun best (move, fut) ->
+        let candidate = (Mc_task.await fut, move) in
+        if candidate > best then candidate else best)
+      (min_int, -1) futures
+  in
+  let elapsed = Clock.elapsed_s ~since_ns in
+  Mc_task.shutdown t;
+  (move, value, elapsed, Mc_task.steals t)
 
 let () =
   let domains = min 8 (max 2 (Domain.recommended_domain_count ())) in

@@ -1,0 +1,66 @@
+module Mc_task = Cpool_tasks.Mc_task
+
+(* Fork a future per move while both budgets last, then drop into the
+   sequential searcher. Equality with [Minimax.value] is by induction:
+   the frontier calls ARE [Minimax.value], and above it negamax over the
+   same move list combines the same subtree values. *)
+let rec par_negamax t fork plies board =
+  if fork = 0 || plies = 0 then Minimax.value ~plies board
+  else
+    match Board.legal_moves board with
+    | [] -> Minimax.value ~plies board
+    | moves ->
+      let futures =
+        List.map
+          (fun move ->
+            Mc_task.fork t (fun () ->
+                -par_negamax t (fork - 1) (plies - 1) (Board.play board move)))
+          moves
+      in
+      List.fold_left (fun best f -> max best (Mc_task.await f)) min_int futures
+
+let minimax_value t ?(fork_plies = 2) ~plies board =
+  if plies < 0 then invalid_arg "Mc_search.minimax_value: negative plies";
+  if fork_plies < 0 then invalid_arg "Mc_search.minimax_value: negative fork_plies";
+  par_negamax t fork_plies plies board
+
+(* Below the fork frontier: the same DFS as Backtrack.sequential, but
+   returning the counts so subtree tallies combine functionally. *)
+let rec seq_visit (p : _ Backtrack.problem) state =
+  let here = if p.is_solution state then 1 else 0 in
+  List.fold_left
+    (fun (sols, nodes) child ->
+      let s, n = seq_visit p child in
+      (sols + s, nodes + n))
+    (here, 1) (p.children state)
+
+let rec par_visit t fork (p : _ Backtrack.problem) state =
+  if fork = 0 then seq_visit p state
+  else
+    let here = if p.is_solution state then 1 else 0 in
+    let futures =
+      List.map
+        (fun child -> Mc_task.fork t (fun () -> par_visit t (fork - 1) p child))
+        (p.children state)
+    in
+    List.fold_left
+      (fun (sols, nodes) f ->
+        let s, n = Mc_task.await f in
+        (sols + s, nodes + n))
+      (here, 1) futures
+
+let backtrack_count t ?(fork_depth = 3) (p : _ Backtrack.problem) =
+  if fork_depth < 0 then invalid_arg "Mc_search.backtrack_count: negative fork_depth";
+  (* One future per root so even a single-root problem leaves the caller
+     immediately and runs entirely on the workers. *)
+  let futures =
+    List.map (fun r -> Mc_task.fork t (fun () -> par_visit t fork_depth p r)) p.roots
+  in
+  List.fold_left
+    (fun (sols, nodes) f ->
+      let s, n = Mc_task.await f in
+      (sols + s, nodes + n))
+    (0, 0) futures
+
+let nqueens_solutions ?fork_depth ~n t =
+  backtrack_count t ?fork_depth (Nqueens.problem ~n)

@@ -1,0 +1,39 @@
+(** The paper's applications on real domains, via the task scheduler.
+
+    {!Parallel} and {!Backtrack.solve} run minimax and backtracking on the
+    {e simulated} machine; this module runs the same two workloads on real
+    OCaml 5 domains through {!Cpool_tasks.Mc_task}, shaped so the parallel
+    answer provably equals the sequential reference:
+
+    - {!minimax_value} forks a future per move down to a fork-depth
+      frontier and completes each frontier subtree with {!Minimax.value},
+      so by induction it returns {e exactly} [Minimax.value ~plies b];
+    - {!backtrack_count} forks per child down to a depth frontier and
+      finishes each subtree with the same DFS as {!Backtrack.sequential},
+      so solutions and node counts match it exactly.
+
+    The fork frontier controls task grain: depth [d] over branching [b]
+    yields ~[b^d] tasks, enough for steals to matter without drowning the
+    run in scheduling overhead (Cilk's granularity story). *)
+
+val minimax_value :
+  Cpool_tasks.Mc_task.t -> ?fork_plies:int -> plies:int -> Board.t -> int
+(** [minimax_value t ~plies b] is [Minimax.value ~plies b], computed by
+    forking one future per legal move for the first [fork_plies] (default
+    [2]) plies and searching the rest sequentially inside each task.
+    Callable from outside the scheduler's workers (the caller's awaits
+    only poll; the workers do all the searching). Raises
+    [Invalid_argument] if [plies < 0] or [fork_plies < 0]. *)
+
+val backtrack_count :
+  Cpool_tasks.Mc_task.t -> ?fork_depth:int -> 's Backtrack.problem -> int * int
+(** [backtrack_count t p] is [(solutions, nodes)], equal to
+    [Backtrack.sequential p]: one future per tree node for the first
+    [fork_depth] (default [3]) levels below the roots, plain DFS below
+    that. Raises [Invalid_argument] if [fork_depth < 0]. *)
+
+val nqueens_solutions :
+  ?fork_depth:int -> n:int -> Cpool_tasks.Mc_task.t -> int * int
+(** [nqueens_solutions ~n t] is {!backtrack_count} over
+    [Nqueens.problem ~n] — [(solutions, nodes)], where [solutions] must
+    equal [Nqueens.known_solutions n] for the published sizes. *)

@@ -76,8 +76,8 @@ type tally = {
    as a group and recorded as µs per op. Group timing is what makes sub-µs
    operations resolve, while a slow steal or lock inside the window still
    lifts that sample into the tail. All timing reads the monotonic
-   [Cpool_util.Clock] — wall-clock ([Unix.gettimeofday]) jumps under NTP
-   steps fed negative batch latencies into [Sample.add] and moved the run
+   [Cpool_util.Clock] — the wall clock jumps under NTP steps, which fed
+   negative batch latencies into [Sample.add] and moved the run
    deadline. Each worker's sampling phase is drawn from its seeded [Rng]:
    a fixed phase (always the [sample_every]-th batch) aliases with
    periodic steal/backoff cycles and biases the latency distribution. *)
@@ -126,7 +126,7 @@ let worker pool cell ~seed tally i barrier deadline_ns =
     if timed then begin
       let dt_ns = Cpool_util.Clock.now_ns () - t0 in
       (* A negative delta is impossible on a monotonic source; the guard
-         survives the gettimeofday fallback on clockless platforms. *)
+         survives the wall-clock fallback on clockless platforms. *)
       if dt_ns >= 0 then
         Cpool_metrics.Sample.add tally.t_lat
           (float_of_int dt_ns /. 1e3 /. float_of_int batch)

@@ -748,8 +748,14 @@ let try_remove t h =
     | Some x -> Some x
     | None -> sweep t h)
 
+(* Idle-searcher backoff, shared by the plain and hinted hunts: spin this
+   many iterations before escalating to sleep slices of this length. *)
+let park_spin_iters = 256
+
+let park_sleep_s = 5e-5
+
 let plain_hunt t h =
-  let rec hunt () =
+  let rec hunt waited =
     match search_pass t h with
     | Some x -> Some x
     | None ->
@@ -763,11 +769,19 @@ let plain_hunt t h =
       end
       else begin
         Mc_stats.note_spin h.stats;
-        Domain.cpu_relax ();
-        hunt ()
+        (* Same escalation as the hinted parking discipline below: spin
+           briefly (work from a truly parallel adder lands within the
+           window), then sleep between search passes. The sleep matters
+           beyond politeness — a domain blocked in [sleepf] sits in a
+           blocking section, so it neither burns the producer's timeslice
+           on an oversubscribed machine nor forces its scheduling into
+           every stop-the-world GC barrier. *)
+        if waited < park_spin_iters then Domain.cpu_relax ()
+        else Unix.sleepf park_sleep_s;
+        hunt (waited + 1)
       end
   in
-  hunt ()
+  hunt 0
 
 (* Parking discipline for the Hinted hunt. A parked searcher spins briefly
    (a hand-off from a truly parallel adder lands within the spin window)
@@ -776,10 +790,6 @@ let plain_hunt t h =
    publish budget doubles, up to a cap, each time it expires with nothing
    seen — exponential backoff between sweep rounds, so the loosely-coupled
    regime re-sweeps at a geometric cadence instead of spinning. *)
-let park_spin_iters = 256
-
-let park_sleep_s = 5e-5
-
 let park_budget_base = 64
 
 let park_budget_cap = 4096

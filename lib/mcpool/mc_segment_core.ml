@@ -330,6 +330,31 @@ module Make (P : Mc_prim.S) = struct
        end
      end
 
+  (* Single-element take, the owner's pop in a task-scheduler loop where
+     it runs once per task: the same copy-then-claim protocol as
+     [claim_ring] with [w = 1], minus its window buffer and result list —
+     an allocation-free hot path. The memory-ordering argument is
+     unchanged: the slot is read through [racy_get] BEFORE the [top] CAS,
+     and a raced overwrite means [top] already moved so the CAS fails and
+     the garbage copy is discarded unconverted. *)
+  let rec claim_one : 'a. 'a t -> 'a option =
+    fun s ->
+     let t = Atomic.get s.top in
+     let b = Atomic.get s.bottom in
+     if b - t <= 0 then None
+     else begin
+       let ring = Atomic.get s.ring in
+       let x = Plain.racy_get ring.(slot ring t) in
+       if Atomic.compare_and_set s.top t (t + 1) then begin
+         shift_count s (-1);
+         Some (Obj.obj x : 'a)
+       end
+       else begin
+         Mc_stats.note_top_cas_retry s.seg_stats;
+         claim_one s
+       end
+     end
+
   (* Owner drain: swap the whole MPSC stack out in one exchange, reverse it
      back to arrival order, and batch it into the FIFO ring — spill traffic
      is consumed oldest-first end-to-end. [count] is untouched: the
@@ -345,9 +370,9 @@ module Make (P : Mc_prim.S) = struct
       n
 
   let rec pop s =
-    match claim_ring s ~want:1 ~halve:false with
-    | x :: _ -> Some x
-    | [] -> if drain_inbox s = 0 then None else pop s
+    match claim_one s with
+    | Some _ as r -> r
+    | None -> if drain_inbox s = 0 then None else pop s
 
   let note_pop s =
     if s.fast_path then Mc_stats.note_fast_pop s.seg_stats
